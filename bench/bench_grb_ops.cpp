@@ -1,0 +1,193 @@
+// bench_grb_ops — google-benchmark microbenchmarks for the grb substrate:
+// the operations of Table I on random matrices across sizes, including the
+// push/pull kernel pair and the masked-dot mxm used by TC/BC.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+
+namespace {
+
+grb::Matrix<double> random_matrix(Index n, Index entries_per_row,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> uv(0, n - 1);
+  std::vector<Index> ri, ci;
+  std::vector<double> vx;
+  for (Index i = 0; i < n; ++i) {
+    for (Index e = 0; e < entries_per_row; ++e) {
+      ri.push_back(i);
+      ci.push_back(uv(rng));
+      vx.push_back(1.0);
+    }
+  }
+  grb::Matrix<double> a(n, n);
+  a.build(std::span<const Index>(ri), std::span<const Index>(ci),
+          std::span<const double>(vx), grb::First{});
+  return a;
+}
+
+grb::Vector<double> random_vector(Index n, Index nvals, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> uv(0, n - 1);
+  grb::Vector<double> v(n);
+  for (Index e = 0; e < nvals; ++e) v.set_element(uv(rng), 1.0);
+  return v;
+}
+
+void BM_vxm_push_sparse_frontier(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 1);
+  auto u = random_vector(n, n / 64 + 1, 2);
+  grb::Vector<double> w(n);
+  for (auto _ : state) {
+    grb::vxm(w, grb::no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * u.nvals() * 8);
+}
+BENCHMARK(BM_vxm_push_sparse_frontier)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_mxv_pull_dense_frontier(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 3);
+  auto u = random_vector(n, n / 2, 4);
+  u.to_bitmap();
+  grb::Vector<double> w(n);
+  for (auto _ : state) {
+    grb::mxv(w, grb::no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, a, u);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nvals());
+}
+BENCHMARK(BM_mxv_pull_dense_frontier)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_mxv_pull_any_early_exit(benchmark::State &state) {
+  // The BFS pull: any monoid stops each dot product at the first hit.
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 3);
+  auto u = random_vector(n, n / 2, 4);
+  grb::Vector<std::int64_t> w(n);
+  for (auto _ : state) {
+    grb::mxv(w, grb::no_mask, grb::NoAccum{},
+             grb::AnySecondI<std::int64_t>{}, a, u);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+}
+BENCHMARK(BM_mxv_pull_any_early_exit)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_mxm_gustavson(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 5);
+  auto b = random_matrix(n, 8, 6);
+  for (auto _ : state) {
+    grb::Matrix<double> c(n, n);
+    grb::mxm(c, grb::no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, a, b);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_mxm_gustavson)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_mxm_masked_dot(benchmark::State &state) {
+  // The TC shape: C⟨s(L)⟩ = L plus.pair Uᵀ.
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 7);
+  grb::Matrix<double> l(n, n);
+  grb::Matrix<double> u(n, n);
+  grb::select(l, grb::no_mask, grb::NoAccum{}, grb::Tril{}, a, -1.0);
+  grb::select(u, grb::no_mask, grb::NoAccum{}, grb::Triu{}, a, 1.0);
+  for (auto _ : state) {
+    grb::Matrix<std::uint64_t> c(n, n);
+    grb::mxm(c, l, grb::NoAccum{}, grb::PlusPair<std::uint64_t>{}, l, u,
+             grb::Descriptor{}.T1().S());
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_mxm_masked_dot)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_ewise_add_vectors(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto u = random_vector(n, n / 4, 8);
+  auto v = random_vector(n, n / 4, 9);
+  grb::Vector<double> w(n);
+  for (auto _ : state) {
+    grb::eWiseAdd(w, grb::no_mask, grb::NoAccum{}, grb::Plus{}, u, v);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+}
+BENCHMARK(BM_ewise_add_vectors)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_transpose(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 10);
+  for (auto _ : state) {
+    auto at = grb::transposed(a);
+    benchmark::DoNotOptimize(at.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nvals());
+}
+BENCHMARK(BM_transpose)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_build_from_tuples(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<Index> uv(0, n - 1);
+  std::vector<Index> ri, ci;
+  std::vector<double> vx;
+  for (Index e = 0; e < n * 8; ++e) {
+    ri.push_back(uv(rng));
+    ci.push_back(uv(rng));
+    vx.push_back(1.0);
+  }
+  for (auto _ : state) {
+    grb::Matrix<double> a(n, n);
+    a.build(std::span<const Index>(ri), std::span<const Index>(ci),
+            std::span<const double>(vx), grb::Plus{});
+    benchmark::DoNotOptimize(a.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * ri.size());
+}
+BENCHMARK(BM_build_from_tuples)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_vector_format_switch(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto u = random_vector(n, n / 4, 12);
+  for (auto _ : state) {
+    u.to_bitmap();
+    u.to_sparse();
+  }
+}
+BENCHMARK(BM_vector_format_switch)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_reduce_rowwise(benchmark::State &state) {
+  const Index n = static_cast<Index>(state.range(0));
+  auto a = random_matrix(n, 8, 13);
+  grb::Vector<double> w(n);
+  for (auto _ : state) {
+    grb::reduce(w, grb::no_mask, grb::NoAccum{}, grb::PlusMonoid<double>{},
+                a);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nvals());
+}
+BENCHMARK(BM_reduce_rowwise)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_assign_masked(benchmark::State &state) {
+  // The BFS parent update p⟨s(q)⟩ = q.
+  const Index n = static_cast<Index>(state.range(0));
+  auto q = random_vector(n, n / 16, 14);
+  auto p = random_vector(n, n / 2, 15);
+  for (auto _ : state) {
+    auto pc = p;
+    grb::assign(pc, q, grb::NoAccum{}, q, grb::Indices::all(), grb::desc::S);
+    benchmark::DoNotOptimize(pc.nvals());
+  }
+}
+BENCHMARK(BM_assign_masked)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

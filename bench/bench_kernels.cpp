@@ -1,0 +1,160 @@
+// bench_kernels — google-benchmark per-kernel comparisons of the LAGraph
+// algorithms against the gapbs direct baselines on a Kron graph, swept over
+// scale. Supporting microdata for the Table III harness.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using grb::Index;
+
+namespace {
+
+bench::BenchGraph &kron_graph(int scale) {
+  static std::map<int, bench::BenchGraph> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    gen::GapGraphSpec spec{gen::GapGraphId::kron, scale, 8, 0xabcdULL};
+    it = cache.emplace(scale, bench::make_bench_graph(gen::make_gap_graph(spec)))
+             .first;
+    char msg[LAGRAPH_MSG_LEN];
+    lagraph::property_at(it->second.lg, msg);
+    lagraph::property_row_degree(it->second.lg, msg);
+    lagraph::property_ndiag(it->second.lg, msg);
+    lagraph::property_symmetric_pattern(it->second.lg, msg);
+  }
+  return it->second;
+}
+
+void BM_bfs_lagraph(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  auto sources = bench::pick_sources(g.ref, 4, 1);
+  char msg[LAGRAPH_MSG_LEN];
+  for (auto _ : state) {
+    for (auto s : sources) {
+      grb::Vector<std::int64_t> parent;
+      lagraph::advanced::bfs_do(nullptr, &parent, g.lg, s, msg);
+      benchmark::DoNotOptimize(parent.nvals());
+    }
+  }
+}
+BENCHMARK(BM_bfs_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_bfs_gap(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  auto sources = bench::pick_sources(g.ref, 4, 1);
+  for (auto _ : state) {
+    for (auto s : sources) {
+      auto parent = gapbs::bfs(g.ref, static_cast<gapbs::NodeId>(s));
+      benchmark::DoNotOptimize(parent.size());
+    }
+  }
+}
+BENCHMARK(BM_bfs_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_pagerank_lagraph(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  char msg[LAGRAPH_MSG_LEN];
+  for (auto _ : state) {
+    grb::Vector<double> r;
+    lagraph::advanced::pagerank_gap(&r, nullptr, g.lg, 0.85, 1e-4, 100, msg);
+    benchmark::DoNotOptimize(r.nvals());
+  }
+}
+BENCHMARK(BM_pagerank_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_pagerank_gap(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = gapbs::pagerank(g.ref, 0.85, 1e-4, 100);
+    benchmark::DoNotOptimize(r.size());
+  }
+}
+BENCHMARK(BM_pagerank_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_bc_lagraph(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  auto sources = bench::pick_sources(g.ref, 4, 2);
+  char msg[LAGRAPH_MSG_LEN];
+  for (auto _ : state) {
+    grb::Vector<double> c;
+    lagraph::advanced::betweenness_centrality(&c, g.lg, sources, true, msg);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_bc_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_bc_gap(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  auto sources = bench::pick_sources(g.ref, 4, 2);
+  std::vector<gapbs::NodeId> srcs(sources.begin(), sources.end());
+  for (auto _ : state) {
+    auto c = gapbs::bc(g.ref, srcs);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_bc_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_sssp_lagraph(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  char msg[LAGRAPH_MSG_LEN];
+  for (auto _ : state) {
+    grb::Vector<double> dist;
+    lagraph::advanced::sssp_delta_stepping(&dist, g.lg, 0, 2.0, msg);
+    benchmark::DoNotOptimize(dist.nvals());
+  }
+}
+BENCHMARK(BM_sssp_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_sssp_gap(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto dist = gapbs::sssp(g.ref, 0, 2.0);
+    benchmark::DoNotOptimize(dist.size());
+  }
+}
+BENCHMARK(BM_sssp_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_tc_lagraph(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  char msg[LAGRAPH_MSG_LEN];
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    lagraph::advanced::triangle_count(&count, g.lg,
+                                      lagraph::TcPresort::automatic, false,
+                                      msg);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_tc_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_tc_gap(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gapbs::tc(g.ref));
+  }
+}
+BENCHMARK(BM_tc_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_cc_lagraph(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  char msg[LAGRAPH_MSG_LEN];
+  for (auto _ : state) {
+    grb::Vector<Index> comp;
+    lagraph::connected_components(&comp, g.lg, msg);
+    benchmark::DoNotOptimize(comp.nvals());
+  }
+}
+BENCHMARK(BM_cc_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_cc_gap(benchmark::State &state) {
+  auto &g = kron_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto comp = gapbs::cc(g.ref);
+    benchmark::DoNotOptimize(comp.size());
+  }
+}
+BENCHMARK(BM_cc_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

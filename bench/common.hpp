@@ -1,0 +1,111 @@
+// Shared benchmark harness helpers: suite construction at a laptop-friendly
+// scale (override with LAGRAPH_BENCH_SCALE / LAGRAPH_BENCH_EDGEFACTOR),
+// conversions to both graph representations, deterministic source picking
+// (the GAP benchmark uses 64 random sources; we scale the trial count down),
+// and a Table III-style printer.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gapbs/graph.hpp"
+#include "gen/generators.hpp"
+#include "lagraph/lagraph.hpp"
+
+namespace bench {
+
+using grb::Index;
+
+inline int env_int(const char *name, int fallback) {
+  const char *v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline int suite_scale() { return env_int("LAGRAPH_BENCH_SCALE", 13); }
+inline int suite_edgefactor() { return env_int("LAGRAPH_BENCH_EF", 8); }
+inline int suite_trials() { return env_int("LAGRAPH_BENCH_TRIALS", 3); }
+
+struct BenchGraph {
+  gen::GapGraph spec;
+  gapbs::Graph ref;
+  lagraph::Graph<double> lg;
+};
+
+inline BenchGraph make_bench_graph(gen::GapGraph &&g) {
+  BenchGraph b;
+  b.ref = gapbs::Graph::build(g.edges, g.directed);
+  auto m = gen::to_matrix<double>(g.edges);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::make_graph(b.lg, std::move(m),
+                      g.directed ? lagraph::Kind::adjacency_directed
+                                 : lagraph::Kind::adjacency_undirected,
+                      msg);
+  b.spec = std::move(g);
+  return b;
+}
+
+inline std::vector<BenchGraph> make_suite() {
+  std::vector<BenchGraph> out;
+  for (auto &g :
+       gen::make_default_suite(suite_scale(), suite_edgefactor(),
+                               0x6a5eedULL)) {
+    out.push_back(make_bench_graph(std::move(g)));
+  }
+  return out;
+}
+
+/// Deterministic "random" non-isolated source vertices, like the GAP picker.
+inline std::vector<Index> pick_sources(const gapbs::Graph &g, int count,
+                                       std::uint64_t seed) {
+  std::vector<Index> out;
+  std::uint64_t state = seed | 1;
+  while (static_cast<int>(out.size()) < count) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    Index v = (state * 0x2545F4914F6CDD1DULL) %
+              static_cast<Index>(g.num_nodes());
+    if (g.out_degree(static_cast<gapbs::NodeId>(v)) > 0) out.push_back(v);
+  }
+  return out;
+}
+
+/// Time a callable once, in seconds.
+template <typename F>
+double time_once(F &&f) {
+  lagraph::Timer t;
+  lagraph::tic(t);
+  f();
+  return lagraph::toc(t);
+}
+
+/// Best-of-trials timing.
+template <typename F>
+double time_best(int trials, F &&f) {
+  double best = 1e300;
+  for (int i = 0; i < trials; ++i) best = std::min(best, time_once(f));
+  return best;
+}
+
+struct TableRow {
+  std::string label;
+  std::vector<double> seconds;  // one per graph
+};
+
+inline void print_table(const char *title,
+                        const std::vector<std::string> &graphs,
+                        const std::vector<TableRow> &rows) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s", "Algorithm");
+  for (auto &g : graphs) std::printf("%10s", g.c_str());
+  std::printf("\n");
+  for (auto &r : rows) {
+    std::printf("%-14s", r.label.c_str());
+    for (double s : r.seconds) std::printf("%10.3f", s);
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench

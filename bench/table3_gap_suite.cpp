@@ -1,0 +1,180 @@
+// table3_gap_suite — regenerates Table III of the paper: run time (seconds)
+// of the GAP-style direct kernels ("GAP") versus LAGraph on the grb
+// GraphBLAS substrate ("SS" in the paper's labelling) for the six kernels on
+// the five benchmark graphs.
+//
+// The graphs are synthetic stand-ins at LAGRAPH_BENCH_SCALE (default 13, ~8k
+// nodes) — absolute seconds are not comparable to the paper's 128M-node
+// runs, but the *shape* is: who wins per kernel, by what rough factor, and
+// the Road-graph pathology (high diameter ⇒ per-iteration library overhead
+// dominates the LAGraph side). EXPERIMENTS.md records the comparison.
+//
+// GAP benchmark parameters, scaled: trials per kernel from
+// LAGRAPH_BENCH_TRIALS (paper: 64 sources for BFS/SSSP, 16 for BC); BC batch
+// ns=4; PR damping .85, tol 1e-4, ≤100 iters; SSSP delta 2 on weights
+// [1,255]; TC and CC once each.
+#include <cstdio>
+
+#include "common.hpp"
+
+using bench::BenchGraph;
+using grb::Index;
+
+namespace {
+
+struct Cell {
+  double gap = 0;
+  double ss = 0;
+};
+
+Cell bench_bfs(BenchGraph &bg, int trials) {
+  auto sources = bench::pick_sources(bg.ref, trials, 17);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(bg.lg, msg);
+  Cell c;
+  for (Index s : sources) {
+    c.gap += bench::time_once(
+        [&] { gapbs::bfs(bg.ref, static_cast<gapbs::NodeId>(s)); });
+    c.ss += bench::time_once([&] {
+      grb::Vector<std::int64_t> parent;
+      lagraph::advanced::bfs_do(nullptr, &parent, bg.lg, s, msg);
+    });
+  }
+  c.gap /= static_cast<double>(sources.size());
+  c.ss /= static_cast<double>(sources.size());
+  return c;
+}
+
+Cell bench_bc(BenchGraph &bg, int trials) {
+  const int ns = 4;  // the paper's typical batch size
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(bg.lg, msg);
+  Cell c;
+  for (int t = 0; t < trials; ++t) {
+    auto sources = bench::pick_sources(bg.ref, ns, 100 + t);
+    std::vector<gapbs::NodeId> srcs(sources.begin(), sources.end());
+    c.gap += bench::time_once([&] { gapbs::bc(bg.ref, srcs); });
+    c.ss += bench::time_once([&] {
+      grb::Vector<double> cent;
+      lagraph::advanced::betweenness_centrality(&cent, bg.lg, sources, true,
+                                                msg);
+    });
+  }
+  c.gap /= trials;
+  c.ss /= trials;
+  return c;
+}
+
+Cell bench_pr(BenchGraph &bg, int trials) {
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(bg.lg, msg);
+  lagraph::property_row_degree(bg.lg, msg);
+  Cell c;
+  c.gap = bench::time_best(trials,
+                           [&] { gapbs::pagerank(bg.ref, 0.85, 1e-4, 100); });
+  c.ss = bench::time_best(trials, [&] {
+    grb::Vector<double> r;
+    lagraph::advanced::pagerank_gap(&r, nullptr, bg.lg, 0.85, 1e-4, 100, msg);
+  });
+  return c;
+}
+
+Cell bench_cc(BenchGraph &bg, int trials) {
+  char msg[LAGRAPH_MSG_LEN];
+  Cell c;
+  c.gap = bench::time_best(trials, [&] { gapbs::cc(bg.ref); });
+  c.ss = bench::time_best(trials, [&] {
+    grb::Vector<Index> comp;
+    lagraph::connected_components(&comp, bg.lg, msg);
+  });
+  return c;
+}
+
+Cell bench_sssp(BenchGraph &bg, int trials) {
+  auto sources = bench::pick_sources(bg.ref, trials, 99);
+  char msg[LAGRAPH_MSG_LEN];
+  const double delta = 2.0;  // the GAP default for [1,255] weights
+  Cell c;
+  for (Index s : sources) {
+    c.gap += bench::time_once(
+        [&] { gapbs::sssp(bg.ref, static_cast<gapbs::NodeId>(s), delta); });
+    c.ss += bench::time_once([&] {
+      grb::Vector<double> dist;
+      lagraph::advanced::sssp_delta_stepping(&dist, bg.lg, s, delta, msg);
+    });
+  }
+  c.gap /= static_cast<double>(sources.size());
+  c.ss /= static_cast<double>(sources.size());
+  return c;
+}
+
+Cell bench_tc(BenchGraph &bg, int trials) {
+  // TC runs on the undirected graphs only (as in GAP, which symmetrizes);
+  // for directed graphs we build the symmetrized view once, outside timing.
+  char msg[LAGRAPH_MSG_LEN];
+  Cell c;
+  lagraph::Graph<double> *g = &bg.lg;
+  lagraph::Graph<double> symmetrized;
+  if (bg.lg.kind == lagraph::Kind::adjacency_directed) {
+    grb::Matrix<double> s(bg.lg.nodes(), bg.lg.nodes());
+    auto at = grb::transposed(bg.lg.a);
+    grb::eWiseAdd(s, grb::no_mask, grb::NoAccum{}, grb::First{}, bg.lg.a, at);
+    lagraph::make_graph(symmetrized, std::move(s),
+                        lagraph::Kind::adjacency_undirected, msg);
+    g = &symmetrized;
+  }
+  gen::EdgeList sym_el = bg.spec.edges;
+  gen::symmetrize(sym_el);
+  auto sym_ref = gapbs::Graph::build(sym_el, false);
+  lagraph::property_row_degree(*g, msg);
+  lagraph::property_ndiag(*g, msg);
+  lagraph::property_symmetric_pattern(*g, msg);
+  c.gap = bench::time_best(trials, [&] { gapbs::tc(sym_ref); });
+  c.ss = bench::time_best(trials, [&] {
+    std::uint64_t count = 0;
+    lagraph::advanced::triangle_count(&count, *g, lagraph::TcPresort::automatic,
+                                      false, msg);
+  });
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table III reproduction: GAP vs LAGraph+grb (seconds)\n");
+  std::printf("scale=%d edgefactor=%d trials=%d\n", bench::suite_scale(),
+              bench::suite_edgefactor(), bench::suite_trials());
+  auto suite = bench::make_suite();
+  const int trials = bench::suite_trials();
+
+  std::vector<std::string> names;
+  for (auto &g : suite) names.push_back(g.spec.name);
+
+  struct Kernel {
+    const char *name;
+    Cell (*run)(BenchGraph &, int);
+  };
+  const Kernel kernels[] = {
+      {"BC", bench_bc},   {"BFS", bench_bfs},   {"PR", bench_pr},
+      {"CC", bench_cc},   {"SSSP", bench_sssp}, {"TC", bench_tc},
+  };
+
+  std::vector<bench::TableRow> rows;
+  for (auto &k : kernels) {
+    bench::TableRow gap_row{std::string(k.name) + " : GAP", {}};
+    bench::TableRow ss_row{std::string(k.name) + " : SS", {}};
+    bench::TableRow ratio{std::string(k.name) + " : ratio", {}};
+    for (auto &g : suite) {
+      Cell c = k.run(g, trials);
+      gap_row.seconds.push_back(c.gap);
+      ss_row.seconds.push_back(c.ss);
+      ratio.seconds.push_back(c.gap > 0 ? c.ss / c.gap : 0.0);
+      std::fflush(stdout);
+    }
+    rows.push_back(std::move(gap_row));
+    rows.push_back(std::move(ss_row));
+    rows.push_back(std::move(ratio));
+  }
+  print_table("Run time of GAP and LAGraph+grb (ratio = SS/GAP)", names, rows);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// web_ranking — ranking pages of a web crawl, demonstrating the paper's
+// §IV-C point: the GAP-specified PageRank mishandles dangling pages (pages
+// with no out-links lose their rank mass every iteration), while the
+// Graphalytics variant redistributes it. On a crawl — where dead-end pages
+// are common — the two give visibly different rankings and totals.
+//
+// Run: ./build/examples/web_ranking [scale]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/generators.hpp"
+#include "lagraph/lagraph.hpp"
+
+#define LAGraph_CATCH(status)                                     \
+  {                                                               \
+    std::fprintf(stderr, "error %d: %s\n", status, msg);          \
+    return status;                                                \
+  }
+
+int main(int argc, char **argv) {
+  char msg[LAGRAPH_MSG_LEN];
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  std::printf("generating a web-like crawl graph (scale %d)...\n", scale);
+  auto el = gen::web_like(scale, 8, 0x3eb5eedULL);
+  lagraph::Graph<double> g;
+  LAGRAPH_TRY(lagraph::make_graph(g, gen::to_matrix<double>(el),
+                                  lagraph::Kind::adjacency_directed, msg));
+
+  // Count the dangling pages (no out-links).
+  LAGRAPH_TRY(lagraph::property_row_degree(g, msg));
+  const grb::Index dangling = g.nodes() - g.row_degree->nvals();
+  std::printf("%llu pages, %llu links, %llu dangling pages (%.1f%%)\n\n",
+              static_cast<unsigned long long>(g.nodes()),
+              static_cast<unsigned long long>(g.entries()),
+              static_cast<unsigned long long>(dangling),
+              100.0 * double(dangling) / double(g.nodes()));
+
+  grb::Vector<double> r_gap;
+  grb::Vector<double> r_lytics;
+  int it1 = 0;
+  int it2 = 0;
+  LAGRAPH_TRY(lagraph::pagerank(&r_gap, &it1, g, 0.85, 1e-9, 200, msg));
+  LAGRAPH_TRY(lagraph::pagerank_dangling_aware(&r_lytics, &it2, g, 0.85, 1e-9,
+                                               200, msg));
+
+  double sum_gap = 0;
+  double sum_lytics = 0;
+  grb::reduce(sum_gap, grb::NoAccum{}, grb::PlusMonoid<double>{}, r_gap);
+  grb::reduce(sum_lytics, grb::NoAccum{}, grb::PlusMonoid<double>{}, r_lytics);
+  std::printf("GAP variant          : %3d iterations, total rank mass %.4f\n",
+              it1, sum_gap);
+  std::printf("Graphalytics variant : %3d iterations, total rank mass %.4f\n",
+              it2, sum_lytics);
+  std::printf("(the GAP variant leaks the dangling pages' mass, §IV-C)\n\n");
+
+  auto top_of = [](const grb::Vector<double> &r) {
+    std::vector<std::pair<double, grb::Index>> top;
+    r.for_each([&](grb::Index v, const double &x) { top.emplace_back(x, v); });
+    std::partial_sort(top.begin(),
+                      top.begin() + std::min<std::size_t>(5, top.size()),
+                      top.end(), std::greater<>());
+    top.resize(std::min<std::size_t>(5, top.size()));
+    return top;
+  };
+  auto t1 = top_of(r_gap);
+  auto t2 = top_of(r_lytics);
+  std::printf("top pages            GAP                 Graphalytics\n");
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    std::printf("  #%zu       page %-8llu %.5f   page %-8llu %.5f\n", i + 1,
+                static_cast<unsigned long long>(t1[i].second), t1[i].first,
+                static_cast<unsigned long long>(t2[i].second), t2[i].first);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// gapbs/graph.hpp — flat CSR graph for the direct GAP-style kernels.
+//
+// Holds both out-adjacency and in-adjacency (shared when the graph is
+// undirected, exactly as the GAP benchmark builder does), with optional
+// per-edge weights kept alongside the column arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/generators.hpp"
+
+namespace gapbs {
+
+using NodeId = std::int64_t;
+
+class Graph {
+ public:
+  /// Build from an edge list. For undirected inputs the edge list is
+  /// expected to already contain both directions (gen::symmetrize).
+  static Graph build(const gen::EdgeList &el, bool directed);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+  /// Number of stored directed arcs (twice the undirected edge count).
+  [[nodiscard]] std::int64_t num_arcs() const noexcept {
+    return static_cast<std::int64_t>(out_col_.size());
+  }
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
+  [[nodiscard]] bool weighted() const noexcept { return !out_wt_.empty(); }
+
+  [[nodiscard]] std::int64_t out_degree(NodeId u) const {
+    return out_row_[u + 1] - out_row_[u];
+  }
+  [[nodiscard]] std::int64_t in_degree(NodeId u) const {
+    return in_row()[u + 1] - in_row()[u];
+  }
+
+  [[nodiscard]] std::span<const NodeId> out_neigh(NodeId u) const {
+    return {out_col_.data() + out_row_[u],
+            static_cast<std::size_t>(out_degree(u))};
+  }
+  [[nodiscard]] std::span<const double> out_weights(NodeId u) const {
+    return {out_wt_.data() + out_row_[u],
+            static_cast<std::size_t>(out_degree(u))};
+  }
+  [[nodiscard]] std::span<const NodeId> in_neigh(NodeId u) const {
+    const auto &col = directed_ ? in_col_ : out_col_;
+    return {col.data() + in_row()[u],
+            static_cast<std::size_t>(in_degree(u))};
+  }
+  [[nodiscard]] std::span<const double> in_weights(NodeId u) const {
+    const auto &wt = directed_ ? in_wt_ : out_wt_;
+    return {wt.data() + in_row()[u],
+            static_cast<std::size_t>(in_degree(u))};
+  }
+
+ private:
+  [[nodiscard]] const std::vector<std::int64_t> &in_row() const {
+    return directed_ ? in_row_ : out_row_;
+  }
+
+  NodeId n_ = 0;
+  bool directed_ = false;
+  std::vector<std::int64_t> out_row_;
+  std::vector<NodeId> out_col_;
+  std::vector<double> out_wt_;
+  std::vector<std::int64_t> in_row_;
+  std::vector<NodeId> in_col_;
+  std::vector<double> in_wt_;
+};
+
+// -- the six GAP kernels --------------------------------------------------------
+
+/// Direction-optimizing BFS (Beamer): top-down with a sparse queue, bottom-up
+/// with a bitmap frontier. Returns the parent of each node (-1 unreached;
+/// the source is its own parent). alpha/beta are the GAP switching defaults.
+std::vector<NodeId> bfs(const Graph &g, NodeId source, int alpha = 15,
+                        int beta = 18);
+
+/// Push-only (top-down) BFS, the unoptimized baseline.
+std::vector<NodeId> bfs_push(const Graph &g, NodeId source);
+
+/// Batched Brandes betweenness centrality from the given sources
+/// (unnormalized dependency scores, as accumulated by GAP's bc.cc).
+std::vector<double> bc(const Graph &g, std::span<const NodeId> sources);
+
+/// GAP-style PageRank: pull iteration, damping 0.85, stops when the L1 norm
+/// of the change drops below tol. Dangling nodes are NOT handled — their
+/// rank mass leaks, faithfully reproducing pr.cc (paper §IV-C).
+std::vector<double> pagerank(const Graph &g, double damping = 0.85,
+                             double tol = 1e-4, int max_iters = 1000);
+
+/// Delta-stepping SSSP with a bucket queue; returns distances (inf if
+/// unreached).
+std::vector<double> sssp(const Graph &g, NodeId source, double delta);
+
+/// Triangle count for undirected graphs: degree-ordered, sorted-intersection
+/// merge (the tc.cc algorithm).
+std::uint64_t tc(const Graph &g);
+
+/// Connected components, Shiloach-Vishkin style hooking + shortcutting (the
+/// algorithm family of GAP's cc.cc / Afforest). Returns component labels.
+std::vector<NodeId> cc(const Graph &g);
+
+// -- slow but obviously-correct oracles (for tests) -------------------------------
+
+std::vector<std::int64_t> bfs_levels_reference(const Graph &g, NodeId source);
+std::vector<double> dijkstra(const Graph &g, NodeId source);
+std::uint64_t tc_reference(const Graph &g);
+std::vector<NodeId> cc_reference(const Graph &g);
+std::vector<double> bc_reference(const Graph &g,
+                                 std::span<const NodeId> sources);
+
+}  // namespace gapbs

@@ -1,0 +1,100 @@
+// Direction-optimizing BFS (Beamer et al., SC'12) — the bfs.cc baseline.
+//
+// Top-down (push) processes the frontier as a sparse queue; bottom-up (pull)
+// scans unvisited vertices' in-edges against a bitmap frontier and stops at
+// the first visited parent — the benign-race "any parent" selection that
+// inspired the GraphBLAS `any` monoid (paper §IV-A).
+#include <vector>
+
+#include "gapbs/graph.hpp"
+
+namespace gapbs {
+
+namespace {
+
+std::int64_t top_down_step(const Graph &g, const std::vector<NodeId> &frontier,
+                           std::vector<NodeId> &next,
+                           std::vector<NodeId> &parent) {
+  std::int64_t scout = 0;
+  for (NodeId u : frontier) {
+    for (NodeId v : g.out_neigh(u)) {
+      if (parent[v] < 0) {
+        parent[v] = u;
+        next.push_back(v);
+        scout += g.out_degree(v);
+      }
+    }
+  }
+  return scout;
+}
+
+std::int64_t bottom_up_step(const Graph &g, const std::vector<bool> &front,
+                            std::vector<bool> &next,
+                            std::vector<NodeId> &parent) {
+  std::int64_t awake = 0;
+  const NodeId n = g.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] >= 0) continue;
+    for (NodeId u : g.in_neigh(v)) {
+      if (front[u]) {
+        parent[v] = u;  // any parent in the frontier is valid
+        next[v] = true;
+        ++awake;
+        break;
+      }
+    }
+  }
+  return awake;
+}
+
+}  // namespace
+
+std::vector<NodeId> bfs(const Graph &g, NodeId source, int alpha, int beta) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> parent(n, -1);
+  parent[source] = source;
+  std::vector<NodeId> frontier = {source};
+  std::int64_t edges_to_check = g.num_arcs();
+  std::int64_t scout_count = g.out_degree(source);
+
+  while (!frontier.empty()) {
+    if (scout_count > edges_to_check / alpha) {
+      // switch to bottom-up until the frontier shrinks again
+      std::vector<bool> front(n, false);
+      for (NodeId u : frontier) front[u] = true;
+      std::int64_t awake = static_cast<std::int64_t>(frontier.size());
+      std::int64_t old_awake;
+      do {
+        old_awake = awake;
+        std::vector<bool> next(n, false);
+        awake = bottom_up_step(g, front, next, parent);
+        front.swap(next);
+      } while (awake >= old_awake || awake > n / beta);
+      frontier.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (front[v]) frontier.push_back(v);
+      }
+      scout_count = 1;
+    } else {
+      edges_to_check -= scout_count;
+      std::vector<NodeId> next;
+      scout_count = top_down_step(g, frontier, next, parent);
+      frontier.swap(next);
+    }
+  }
+  return parent;
+}
+
+std::vector<NodeId> bfs_push(const Graph &g, NodeId source) {
+  std::vector<NodeId> parent(g.num_nodes(), -1);
+  parent[source] = source;
+  std::vector<NodeId> frontier = {source};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    top_down_step(g, frontier, next, parent);
+    frontier.swap(next);
+  }
+  return parent;
+}
+
+}  // namespace gapbs

@@ -1,0 +1,67 @@
+#include "gapbs/graph.hpp"
+
+#include <numeric>
+
+namespace gapbs {
+
+namespace {
+
+void build_csr(NodeId n, const std::vector<gen::Index> &src,
+               const std::vector<gen::Index> &dst,
+               const std::vector<double> &wt, std::vector<std::int64_t> &row,
+               std::vector<NodeId> &col, std::vector<double> &out_wt) {
+  row.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (gen::Index s : src) ++row[s + 1];
+  std::partial_sum(row.begin(), row.end(), row.begin());
+  col.resize(src.size());
+  const bool weighted = !wt.empty();
+  if (weighted) out_wt.resize(src.size());
+  std::vector<std::int64_t> next(row.begin(), row.end() - 1);
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    auto p = next[src[e]]++;
+    col[p] = static_cast<NodeId>(dst[e]);
+    if (weighted) out_wt[p] = wt[e];
+  }
+  // Deduplicate parallel edges (keeping the first weight) so the CSR agrees
+  // with the adjacency-matrix view, where duplicates collapse to one entry.
+  std::vector<std::pair<NodeId, double>> scratch;
+  std::vector<std::int64_t> new_row(row.size(), 0);
+  std::size_t out = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    scratch.clear();
+    for (auto p = row[u]; p < row[u + 1]; ++p) {
+      scratch.emplace_back(col[p], weighted ? out_wt[p] : 0.0);
+    }
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const auto &a, const auto &b) {
+                       return a.first < b.first;
+                     });
+    for (std::size_t q = 0; q < scratch.size(); ++q) {
+      if (q > 0 && scratch[q].first == scratch[q - 1].first) continue;
+      col[out] = scratch[q].first;
+      if (weighted) out_wt[out] = scratch[q].second;
+      ++out;
+    }
+    new_row[u + 1] = static_cast<std::int64_t>(out);
+  }
+  col.resize(out);
+  if (weighted) out_wt.resize(out);
+  row = std::move(new_row);
+}
+
+}  // namespace
+
+Graph Graph::build(const gen::EdgeList &el, bool directed) {
+  Graph g;
+  g.n_ = static_cast<NodeId>(el.n);
+  g.directed_ = directed;
+  build_csr(g.n_, el.src, el.dst, el.weight, g.out_row_, g.out_col_,
+            g.out_wt_);
+  if (directed) {
+    build_csr(g.n_, el.dst, el.src, el.weight, g.in_row_, g.in_col_,
+              g.in_wt_);
+  }
+  return g;
+}
+
+}  // namespace gapbs

@@ -1,0 +1,39 @@
+// GAP-style PageRank (pr.cc): pull iteration over in-edges.
+//
+// contrib(u) = score(u) / out_degree(u); score(v) = base + damping · Σ
+// contrib over in-neighbours; stop when the L1 norm of the change < tol.
+// Dangling vertices are deliberately NOT redistributed — the paper (§IV-C)
+// notes that the GAP benchmark PR "does not properly handle dangling
+// vertices"; the Graphalytics-style fix lives on the LAGraph side.
+#include <cmath>
+#include <vector>
+
+#include "gapbs/graph.hpp"
+
+namespace gapbs {
+
+std::vector<double> pagerank(const Graph &g, double damping, double tol,
+                             int max_iters) {
+  const NodeId n = g.num_nodes();
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  std::vector<double> scores(n, 1.0 / static_cast<double>(n));
+  std::vector<double> contrib(n, 0.0);
+  for (int it = 0; it < max_iters; ++it) {
+    double error = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      auto deg = g.out_degree(u);
+      contrib[u] = deg > 0 ? scores[u] / static_cast<double>(deg) : 0.0;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (NodeId u : g.in_neigh(v)) sum += contrib[u];
+      double next = base + damping * sum;
+      error += std::fabs(next - scores[v]);
+      scores[v] = next;
+    }
+    if (error < tol) break;
+  }
+  return scores;
+}
+
+}  // namespace gapbs

@@ -1,0 +1,67 @@
+// Delta-stepping SSSP with a bucket queue — the sssp.cc baseline.
+#include <limits>
+#include <vector>
+
+#include "gapbs/graph.hpp"
+
+namespace gapbs {
+
+std::vector<double> sssp(const Graph &g, NodeId source, double delta) {
+  const NodeId n = g.num_nodes();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+
+  std::vector<std::vector<NodeId>> buckets(1);
+  buckets[0].push_back(source);
+  auto bucket_of = [&](double d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  auto push = [&](NodeId v, double d) {
+    std::size_t b = bucket_of(d);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  for (std::size_t bi = 0; bi < buckets.size(); ++bi) {
+    // settle the bucket: light-edge relaxations may re-insert into bucket bi
+    std::vector<NodeId> settled;
+    while (!buckets[bi].empty()) {
+      std::vector<NodeId> current;
+      current.swap(buckets[bi]);
+      for (NodeId u : current) {
+        if (dist[u] >= static_cast<double>(bi + 1) * delta ||
+            dist[u] < static_cast<double>(bi) * delta) {
+          continue;  // stale entry
+        }
+        settled.push_back(u);
+        auto neigh = g.out_neigh(u);
+        auto wts = g.out_weights(u);
+        for (std::size_t e = 0; e < neigh.size(); ++e) {
+          if (wts[e] > delta) continue;  // heavy edges after the bucket
+          double nd = dist[u] + wts[e];
+          if (nd < dist[neigh[e]]) {
+            dist[neigh[e]] = nd;
+            push(neigh[e], nd);
+          }
+        }
+      }
+    }
+    // heavy edges of everything settled in this bucket
+    for (NodeId u : settled) {
+      auto neigh = g.out_neigh(u);
+      auto wts = g.out_weights(u);
+      for (std::size_t e = 0; e < neigh.size(); ++e) {
+        if (wts[e] <= delta) continue;
+        double nd = dist[u] + wts[e];
+        if (nd < dist[neigh[e]]) {
+          dist[neigh[e]] = nd;
+          push(neigh[e], nd);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace gapbs

@@ -1,0 +1,77 @@
+// Triangle counting — the tc.cc baseline: relabel by ascending degree when
+// the degree distribution is skewed, then count ordered wedges u > v > w by
+// sorted-adjacency intersection.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gapbs/graph.hpp"
+
+namespace gapbs {
+
+namespace {
+
+bool worth_relabelling(const Graph &g) {
+  // GAP heuristic: relabel when the average degree is much larger than the
+  // median degree (sampled). We compute the exact median; n is small here.
+  const NodeId n = g.num_nodes();
+  if (n == 0) return false;
+  std::vector<std::int64_t> deg(n);
+  for (NodeId u = 0; u < n; ++u) deg[u] = g.out_degree(u);
+  auto mid = deg.begin() + n / 2;
+  std::nth_element(deg.begin(), mid, deg.end());
+  double mean = static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+  return mean > 4.0 * static_cast<double>(*mid);
+}
+
+}  // namespace
+
+std::uint64_t tc(const Graph &g) {
+  const NodeId n = g.num_nodes();
+  // rank[] orders vertices; by degree when skewed, by id otherwise.
+  std::vector<NodeId> rank(n);
+  std::iota(rank.begin(), rank.end(), NodeId{0});
+  if (worth_relabelling(g)) {
+    std::vector<NodeId> byd(n);
+    std::iota(byd.begin(), byd.end(), NodeId{0});
+    std::stable_sort(byd.begin(), byd.end(), [&](NodeId a, NodeId b) {
+      return g.out_degree(a) < g.out_degree(b);
+    });
+    for (NodeId r = 0; r < n; ++r) rank[byd[r]] = r;
+  }
+
+  // Oriented adjacency: keep only edges to higher-ranked endpoints, sorted.
+  std::vector<std::vector<NodeId>> up(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.out_neigh(u)) {
+      if (rank[v] > rank[u]) up[u].push_back(v);
+    }
+    std::sort(up[u].begin(), up[u].end(),
+              [&](NodeId a, NodeId b) { return rank[a] < rank[b]; });
+  }
+
+  std::uint64_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : up[u]) {
+      // count common higher-ranked neighbours of u and v
+      auto &a = up[u];
+      auto &b = up[v];
+      std::size_t p = 0;
+      std::size_t q = 0;
+      while (p < a.size() && q < b.size()) {
+        if (rank[a[p]] < rank[b[q]]) {
+          ++p;
+        } else if (rank[b[q]] < rank[a[p]]) {
+          ++q;
+        } else {
+          ++total;
+          ++p;
+          ++q;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace gapbs

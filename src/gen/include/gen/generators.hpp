@@ -1,0 +1,147 @@
+// gen/generators.hpp — synthetic graph generators.
+//
+// The paper evaluates on the five GAP benchmark graphs (Table IV). Those
+// require tens of gigabytes; this module generates shape-faithful stand-ins
+// at configurable scale (see DESIGN.md for the substitution argument):
+//   - kronecker:       Graph500 R-MAT (A=.57,B=.19,C=.19,D=.05), undirected,
+//                      heavy-tailed degrees — the "Kron" graph.
+//   - uniform_random:  Erdős–Rényi by edge count — the "Urand" graph.
+//   - rmat:            parameterizable R-MAT; presets give a skewed directed
+//                      "Twitter"-like graph and a locality-heavy "Web"-like
+//                      graph.
+//   - road_grid:       2-D grid with unit-ish random weights; diameter
+//                      Θ(√n), reproducing the Road graph's high-diameter
+//                      pathology (paper §VI-B).
+// All generators are deterministic functions of their seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "grb/grb.hpp"
+
+namespace gen {
+
+using grb::Index;
+
+/// A multigraph edge list; duplicates and self-loops may be present until
+/// the clean-up helpers run.
+struct EdgeList {
+  Index n = 0;
+  std::vector<Index> src;
+  std::vector<Index> dst;
+  std::vector<double> weight;  // empty = unweighted
+
+  [[nodiscard]] std::size_t size() const noexcept { return src.size(); }
+  [[nodiscard]] bool weighted() const noexcept { return !weight.empty(); }
+  void push(Index s, Index d) {
+    src.push_back(s);
+    dst.push_back(d);
+  }
+};
+
+/// R-MAT quadrant probabilities.
+struct RmatParams {
+  double a, b, c;
+  // d = 1 - a - b - c
+};
+
+inline constexpr RmatParams kGraph500{0.57, 0.19, 0.19};
+inline constexpr RmatParams kTwitterLike{0.50, 0.20, 0.19};
+inline constexpr RmatParams kWebLike{0.42, 0.32, 0.12};
+
+/// Graph500-style Kronecker generator: 2^scale vertices, edgefactor·2^scale
+/// undirected edges, vertex ids randomly permuted (as the Graph500 spec
+/// requires, so degree does not correlate with id).
+EdgeList kronecker(int scale, int edgefactor, std::uint64_t seed);
+
+/// Uniform-random (Erdős–Rényi style, fixed edge count) undirected graph.
+EdgeList uniform_random(int scale, int edgefactor, std::uint64_t seed);
+
+/// General R-MAT, directed.
+EdgeList rmat(int scale, int edgefactor, RmatParams p, std::uint64_t seed,
+              bool permute_ids = true);
+
+/// Skewed directed graph standing in for the Twitter follower graph.
+EdgeList twitter_like(int scale, int edgefactor, std::uint64_t seed);
+
+/// Locality-heavy directed graph standing in for the Web crawl.
+EdgeList web_like(int scale, int edgefactor, std::uint64_t seed);
+
+/// width × height 4-neighbour grid (directed, both directions present),
+/// with a sprinkle of diagonal shortcuts; diameter ≈ width + height.
+EdgeList road_grid(Index width, Index height, std::uint64_t seed);
+
+/// Planted-partition ("stochastic block model") graph: `communities` groups
+/// of `community_size` nodes; each node gets ~`degree` neighbours, a
+/// `p_within` fraction of them inside its own community. Undirected. The
+/// ground-truth community of node v is v / community_size.
+EdgeList planted_partition(Index communities, Index community_size,
+                           Index degree, double p_within,
+                           std::uint64_t seed);
+
+// -- transformations ---------------------------------------------------------
+
+/// Add the reverse of every edge (A := A ∨ Aᵀ structurally).
+void symmetrize(EdgeList &el);
+
+/// Drop self-loops in place.
+void remove_self_loops(EdgeList &el);
+
+/// Attach uniform integer weights in [lo, hi] (the GAP SSSP convention,
+/// which uses [1, 255]). Symmetric pairs (u,v)/(v,u) receive the same
+/// weight so undirected graphs stay consistent.
+void add_uniform_weights(EdgeList &el, int lo, int hi, std::uint64_t seed);
+
+/// Build an adjacency matrix; duplicate edges collapse to a single entry
+/// (keeping the first weight).
+template <typename T>
+grb::Matrix<T> to_matrix(const EdgeList &el) {
+  grb::Matrix<T> a(el.n, el.n);
+  std::vector<T> vals(el.size());
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    vals[e] = el.weighted() ? static_cast<T>(el.weight[e]) : T(1);
+  }
+  a.build(std::span<const Index>(el.src), std::span<const Index>(el.dst),
+          std::span<const T>(vals), grb::First{});
+  return a;
+}
+
+// -- the benchmark suite ------------------------------------------------------
+
+/// Which of the five GAP-shaped graphs to generate.
+enum class GapGraphId { kron, urand, twitter, web, road };
+
+inline constexpr GapGraphId kAllGapGraphs[] = {
+    GapGraphId::kron, GapGraphId::urand, GapGraphId::twitter, GapGraphId::web,
+    GapGraphId::road};
+
+const char *gap_graph_name(GapGraphId id);
+
+struct GapGraphSpec {
+  GapGraphId id;
+  int scale;        // 2^scale vertices (road: grid side derived from scale)
+  int edgefactor;   // edges per vertex
+  std::uint64_t seed;
+};
+
+/// A generated benchmark graph: unweighted structure plus a weighted copy
+/// (for SSSP), and the directedness flag matching Table IV.
+struct GapGraph {
+  std::string name;
+  bool directed;
+  EdgeList edges;           // weighted
+  grb::Index nodes() const { return edges.n; }
+};
+
+/// Generate one of the five benchmark graphs at the given scale.
+GapGraph make_gap_graph(const GapGraphSpec &spec);
+
+/// The default laptop-scale suite (scales chosen so the whole Table III
+/// harness runs in minutes on one core).
+std::vector<GapGraph> make_default_suite(int scale, int edgefactor,
+                                         std::uint64_t seed);
+
+}  // namespace gen

@@ -1,0 +1,269 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace gen {
+
+namespace {
+
+/// One R-MAT edge: descend `scale` levels of the quadtree.
+std::pair<Index, Index> rmat_edge(int scale, const RmatParams &p,
+                                  std::mt19937_64 &rng) {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  Index row = 0;
+  Index col = 0;
+  for (int lvl = 0; lvl < scale; ++lvl) {
+    double r = u01(rng);
+    row <<= 1;
+    col <<= 1;
+    if (r < p.a) {
+      // top-left: nothing to add
+    } else if (r < p.a + p.b) {
+      col |= 1;
+    } else if (r < p.a + p.b + p.c) {
+      row |= 1;
+    } else {
+      row |= 1;
+      col |= 1;
+    }
+  }
+  return {row, col};
+}
+
+std::vector<Index> random_permutation(Index n, std::mt19937_64 &rng) {
+  std::vector<Index> perm(n);
+  std::iota(perm.begin(), perm.end(), Index{0});
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+void permute_ids_in_place(EdgeList &el, std::mt19937_64 &rng) {
+  auto perm = random_permutation(el.n, rng);
+  for (auto &s : el.src) s = perm[s];
+  for (auto &d : el.dst) d = perm[d];
+}
+
+}  // namespace
+
+EdgeList rmat(int scale, int edgefactor, RmatParams p, std::uint64_t seed,
+              bool permute_ids) {
+  std::mt19937_64 rng(seed);
+  EdgeList el;
+  el.n = Index{1} << scale;
+  const std::size_t m = static_cast<std::size_t>(edgefactor) << scale;
+  el.src.reserve(m);
+  el.dst.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    auto [s, d] = rmat_edge(scale, p, rng);
+    el.push(s, d);
+  }
+  if (permute_ids) permute_ids_in_place(el, rng);
+  return el;
+}
+
+EdgeList kronecker(int scale, int edgefactor, std::uint64_t seed) {
+  EdgeList el = rmat(scale, edgefactor, kGraph500, seed, /*permute_ids=*/true);
+  remove_self_loops(el);
+  symmetrize(el);
+  return el;
+}
+
+EdgeList uniform_random(int scale, int edgefactor, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  EdgeList el;
+  el.n = Index{1} << scale;
+  const std::size_t m = static_cast<std::size_t>(edgefactor) << scale;
+  std::uniform_int_distribution<Index> uv(0, el.n - 1);
+  el.src.reserve(m);
+  el.dst.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    Index s = uv(rng);
+    Index d = uv(rng);
+    if (s == d) continue;
+    el.push(s, d);
+  }
+  symmetrize(el);
+  return el;
+}
+
+EdgeList twitter_like(int scale, int edgefactor, std::uint64_t seed) {
+  EdgeList el = rmat(scale, edgefactor, kTwitterLike, seed);
+  remove_self_loops(el);
+  return el;
+}
+
+EdgeList web_like(int scale, int edgefactor, std::uint64_t seed) {
+  // Web crawls have strong locality: most links stay within a host. Model
+  // this by mixing R-MAT hubs with short-range links on the id axis.
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  EdgeList el = rmat(scale, std::max(1, edgefactor / 2), kWebLike, seed,
+                     /*permute_ids=*/false);
+  const std::size_t local = (static_cast<std::size_t>(edgefactor) << scale) -
+                            el.size();
+  std::uniform_int_distribution<Index> uv(0, el.n - 1);
+  std::geometric_distribution<Index> hop(0.1);
+  for (std::size_t e = 0; e < local; ++e) {
+    Index s = uv(rng);
+    Index d = (s + hop(rng) + 1) % el.n;
+    el.push(s, d);
+  }
+  remove_self_loops(el);
+  return el;
+}
+
+EdgeList road_grid(Index width, Index height, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  EdgeList el;
+  el.n = width * height;
+  auto id = [&](Index x, Index y) { return y * width + x; };
+  for (Index y = 0; y < height; ++y) {
+    for (Index x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        el.push(id(x, y), id(x + 1, y));
+        el.push(id(x + 1, y), id(x, y));
+      }
+      if (y + 1 < height) {
+        el.push(id(x, y), id(x, y + 1));
+        el.push(id(x, y + 1), id(x, y));
+      }
+    }
+  }
+  // A few diagonal "highway" shortcuts (~0.5% of nodes) keep the degree
+  // distribution road-like without collapsing the diameter.
+  std::uniform_int_distribution<Index> ux(0, width - 2);
+  std::uniform_int_distribution<Index> uy(0, height - 2);
+  const Index shortcuts = std::max<Index>(1, el.n / 200);
+  for (Index s = 0; s < shortcuts; ++s) {
+    Index x = ux(rng);
+    Index y = uy(rng);
+    el.push(id(x, y), id(x + 1, y + 1));
+    el.push(id(x + 1, y + 1), id(x, y));
+  }
+  return el;
+}
+
+EdgeList planted_partition(Index communities, Index community_size,
+                           Index degree, double p_within,
+                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  EdgeList el;
+  el.n = communities * community_size;
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_int_distribution<Index> in_comm(0, community_size - 1);
+  std::uniform_int_distribution<Index> anywhere(0, el.n - 1);
+  for (Index v = 0; v < el.n; ++v) {
+    const Index base = (v / community_size) * community_size;
+    for (Index e = 0; e < degree; ++e) {
+      Index w;
+      if (u01(rng) < p_within) {
+        w = base + in_comm(rng);
+      } else {
+        w = anywhere(rng);
+      }
+      if (w == v) continue;
+      el.push(v, w);
+    }
+  }
+  symmetrize(el);
+  return el;
+}
+
+void symmetrize(EdgeList &el) {
+  const std::size_t m = el.size();
+  el.src.reserve(2 * m);
+  el.dst.reserve(2 * m);
+  if (el.weighted()) el.weight.reserve(2 * m);
+  for (std::size_t e = 0; e < m; ++e) {
+    el.src.push_back(el.dst[e]);
+    el.dst.push_back(el.src[e]);
+    if (el.weighted()) el.weight.push_back(el.weight[e]);
+  }
+}
+
+void remove_self_loops(EdgeList &el) {
+  std::size_t out = 0;
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    if (el.src[e] == el.dst[e]) continue;
+    el.src[out] = el.src[e];
+    el.dst[out] = el.dst[e];
+    if (el.weighted()) el.weight[out] = el.weight[e];
+    ++out;
+  }
+  el.src.resize(out);
+  el.dst.resize(out);
+  if (el.weighted()) el.weight.resize(out);
+}
+
+void add_uniform_weights(EdgeList &el, int lo, int hi, std::uint64_t seed) {
+  // Hash each undirected pair so (u,v) and (v,u) get the same weight and the
+  // result does not depend on edge order.
+  el.weight.resize(el.size());
+  std::uniform_int_distribution<int> uw(lo, hi);
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    Index a = std::min(el.src[e], el.dst[e]);
+    Index b = std::max(el.src[e], el.dst[e]);
+    std::uint64_t h = seed;
+    h ^= (a + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    h ^= (b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    std::mt19937_64 rng(h);
+    el.weight[e] = static_cast<double>(uw(rng));
+  }
+}
+
+const char *gap_graph_name(GapGraphId id) {
+  switch (id) {
+    case GapGraphId::kron: return "Kron";
+    case GapGraphId::urand: return "Urand";
+    case GapGraphId::twitter: return "Twitter";
+    case GapGraphId::web: return "Web";
+    case GapGraphId::road: return "Road";
+  }
+  return "?";
+}
+
+GapGraph make_gap_graph(const GapGraphSpec &spec) {
+  GapGraph g;
+  g.name = gap_graph_name(spec.id);
+  switch (spec.id) {
+    case GapGraphId::kron:
+      g.directed = false;
+      g.edges = kronecker(spec.scale, spec.edgefactor, spec.seed);
+      break;
+    case GapGraphId::urand:
+      g.directed = false;
+      g.edges = uniform_random(spec.scale, spec.edgefactor, spec.seed);
+      break;
+    case GapGraphId::twitter:
+      g.directed = true;
+      g.edges = twitter_like(spec.scale, spec.edgefactor, spec.seed);
+      break;
+    case GapGraphId::web:
+      g.directed = true;
+      g.edges = web_like(spec.scale, spec.edgefactor, spec.seed);
+      break;
+    case GapGraphId::road: {
+      g.directed = true;  // Table IV lists Road as directed
+      // Grid side so that node count ≈ 2^scale.
+      Index side = Index{1} << (spec.scale / 2);
+      if (spec.scale % 2) side = static_cast<Index>(side * 1.41421356);
+      g.edges = road_grid(side, side, spec.seed);
+      break;
+    }
+  }
+  add_uniform_weights(g.edges, 1, 255, spec.seed ^ 0xfeedULL);
+  return g;
+}
+
+std::vector<GapGraph> make_default_suite(int scale, int edgefactor,
+                                         std::uint64_t seed) {
+  std::vector<GapGraph> out;
+  for (GapGraphId id : kAllGapGraphs) {
+    // Road uses edgefactor ~2.4 naturally; the parameter applies elsewhere.
+    out.push_back(make_gap_graph({id, scale, edgefactor, seed}));
+  }
+  return out;
+}
+
+}  // namespace gen

@@ -1,0 +1,139 @@
+// grb/apply.hpp — apply (unary / bound binary) and select (paper §III-B f).
+//
+// apply evaluates an operator on every entry; the bound-binary forms
+// (apply2nd / apply1st) correspond to GrB_apply with a BinaryOp and a bound
+// scalar. select keeps the entries for which an index-unary predicate
+// f(value, i, j, thunk) holds, zeroing out (dropping) the rest.
+#pragma once
+
+#include <vector>
+
+#include "grb/mask.hpp"
+
+namespace grb {
+
+/// w⟨m⟩ ⊙= f(u)
+template <typename W, typename MaskT, typename Accum, typename F, typename U>
+void apply(Vector<W> &w, const MaskT &mask, Accum accum, F f,
+           const Vector<U> &u, const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(w.size(), u.size(), "apply: size mismatch");
+  std::vector<Index> idx;
+  std::vector<W> val;
+  idx.reserve(u.nvals());
+  val.reserve(u.nvals());
+  u.for_each([&](Index i, const U &x) {
+    idx.push_back(i);
+    val.push_back(static_cast<W>(f(static_cast<W>(x))));
+  });
+  Vector<W> t(u.size());
+  t.adopt_sparse(std::move(idx), std::move(val));
+  detail::write_result(w, std::move(t), mask, accum, d);
+}
+
+/// w⟨m⟩ ⊙= op(u, s)  (bind-second)
+template <typename W, typename MaskT, typename Accum, typename Op, typename U,
+          typename S>
+void apply2nd(Vector<W> &w, const MaskT &mask, Accum accum, Op op,
+              const Vector<U> &u, const S &s,
+              const Descriptor &d = desc::DEFAULT) {
+  apply(
+      w, mask, accum,
+      [&](const W &x) { return op(x, static_cast<W>(s)); }, u, d);
+}
+
+/// w⟨m⟩ ⊙= op(s, u)  (bind-first)
+template <typename W, typename MaskT, typename Accum, typename Op, typename S,
+          typename U>
+void apply1st(Vector<W> &w, const MaskT &mask, Accum accum, Op op, const S &s,
+              const Vector<U> &u, const Descriptor &d = desc::DEFAULT) {
+  apply(
+      w, mask, accum,
+      [&](const W &x) { return op(static_cast<W>(s), x); }, u, d);
+}
+
+/// C⟨M⟩ ⊙= f(A)
+template <typename W, typename MaskT, typename Accum, typename F, typename U>
+void apply(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
+           const Matrix<U> &a, const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(c.nrows(), a.nrows(), "apply: shape mismatch");
+  detail::check_same_size(c.ncols(), a.ncols(), "apply: shape mismatch");
+  const Index m = a.nrows();
+  a.ensure_sorted();
+  std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> ci;
+  std::vector<W> cv;
+  ci.reserve(a.nvals());
+  cv.reserve(a.nvals());
+  for (Index i = 0; i < m; ++i) {
+    a.for_each_in_row(i, [&](Index j, const U &x) {
+      ci.push_back(j);
+      cv.push_back(static_cast<W>(f(static_cast<W>(x))));
+    });
+    rp[i + 1] = static_cast<Index>(ci.size());
+  }
+  Matrix<W> t(m, a.ncols());
+  t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  detail::write_result(c, std::move(t), mask, accum, d);
+}
+
+/// C⟨M⟩ ⊙= op(A, s)  (bind-second)
+template <typename W, typename MaskT, typename Accum, typename Op, typename U,
+          typename S>
+void apply2nd(Matrix<W> &c, const MaskT &mask, Accum accum, Op op,
+              const Matrix<U> &a, const S &s,
+              const Descriptor &d = desc::DEFAULT) {
+  apply(
+      c, mask, accum,
+      [&](const W &x) { return op(x, static_cast<W>(s)); }, a, d);
+}
+
+/// w⟨m⟩ ⊙= u⟨f(u, thunk)⟩ — keep entries where the predicate holds.
+template <typename W, typename MaskT, typename Accum, typename F, typename U,
+          typename S>
+void select(Vector<W> &w, const MaskT &mask, Accum accum, F f,
+            const Vector<U> &u, const S &thunk,
+            const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(w.size(), u.size(), "select: size mismatch");
+  std::vector<Index> idx;
+  std::vector<W> val;
+  const U th = static_cast<U>(thunk);
+  u.for_each([&](Index i, const U &x) {
+    if (f(x, i, Index{0}, th)) {
+      idx.push_back(i);
+      val.push_back(static_cast<W>(x));
+    }
+  });
+  Vector<W> t(u.size());
+  t.adopt_sparse(std::move(idx), std::move(val));
+  detail::write_result(w, std::move(t), mask, accum, d);
+}
+
+/// C⟨M⟩ ⊙= A⟨f(A, thunk)⟩
+template <typename W, typename MaskT, typename Accum, typename F, typename U,
+          typename S>
+void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
+            const Matrix<U> &a, const S &thunk,
+            const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(c.nrows(), a.nrows(), "select: shape mismatch");
+  detail::check_same_size(c.ncols(), a.ncols(), "select: shape mismatch");
+  const Index m = a.nrows();
+  a.ensure_sorted();
+  const U th = static_cast<U>(thunk);
+  std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> ci;
+  std::vector<W> cv;
+  for (Index i = 0; i < m; ++i) {
+    a.for_each_in_row(i, [&](Index j, const U &x) {
+      if (f(x, i, j, th)) {
+        ci.push_back(j);
+        cv.push_back(static_cast<W>(x));
+      }
+    });
+    rp[i + 1] = static_cast<Index>(ci.size());
+  }
+  Matrix<W> t(m, a.ncols());
+  t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  detail::write_result(c, std::move(t), mask, accum, d);
+}
+
+}  // namespace grb

@@ -1,0 +1,56 @@
+// grb/config.hpp — library-wide tunables and instrumentation counters.
+//
+// The paper's §VI-A discusses SuiteSparse-specific optimizations (bitmap
+// format for pull steps, lazy sort under non-blocking mode). These knobs let
+// the benchmark harness turn each one on and off to reproduce those ablations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "grb/types.hpp"
+
+namespace grb {
+
+struct Config {
+  /// Density threshold (nvals/size) above which a vector auto-switches to the
+  /// bitmap format. The bitmap format is what makes "pull" steps cheap
+  /// (paper §VI-A); set to > 1.0 to disable bitmap switching entirely.
+  double bitmap_switch_density = 1.0 / 16.0;
+
+  /// Lazy sort ("jumbled" matrices, paper §VI-A): operations that produce
+  /// rows in arbitrary column order leave them unsorted; the sort happens
+  /// only when a consumer requires sorted rows. If disabled, producers sort
+  /// eagerly.
+  bool lazy_sort = true;
+};
+
+inline Config &config() {
+  static Config c;
+  return c;
+}
+
+/// Instrumentation counters, cheap enough to leave always-on. Used by the
+/// ablation benchmarks to show, e.g., that the BFS/BC pipelines never pay for
+/// a sort when lazy sort is enabled ("if the sort is lazy enough, it might
+/// never occur").
+struct Stats {
+  std::atomic<std::uint64_t> row_sorts{0};        // deferred sorts performed
+  std::atomic<std::uint64_t> eager_sorts{0};      // eager sorts performed
+  std::atomic<std::uint64_t> pending_flushes{0};  // pending-tuple merges
+  std::atomic<std::uint64_t> format_switches{0};  // vector format conversions
+
+  void reset() noexcept {
+    row_sorts = 0;
+    eager_sorts = 0;
+    pending_flushes = 0;
+    format_switches = 0;
+  }
+};
+
+inline Stats &stats() {
+  static Stats s;
+  return s;
+}
+
+}  // namespace grb

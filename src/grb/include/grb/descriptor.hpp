@@ -1,0 +1,66 @@
+// grb/descriptor.hpp — operation descriptors (paper Table I footnote).
+//
+// A Descriptor modifies how an operation treats its inputs, mask, and output:
+//   - transpose_a / transpose_b: use Aᵀ (resp. Bᵀ) as input,
+//   - mask_structural: test mask entry presence, not value (⟨s(M)⟩),
+//   - mask_complement: use the complement of the mask (⟨¬M⟩),
+//   - replace: clear output entries outside the mask (⟨M, r⟩).
+// Named constants mirror the common GrB_DESC_* combinations used in the
+// paper's algorithms (e.g. RSC = replace + structural + complemented, the
+// BFS frontier mask ⟨¬s(p), r⟩).
+#pragma once
+
+namespace grb {
+
+struct Descriptor {
+  bool transpose_a = false;
+  bool transpose_b = false;
+  bool mask_structural = false;
+  bool mask_complement = false;
+  bool replace = false;
+
+  // Builder-style modifiers so call sites read like the paper's notation.
+  [[nodiscard]] constexpr Descriptor T0() const {
+    Descriptor d = *this;
+    d.transpose_a = true;
+    return d;
+  }
+  [[nodiscard]] constexpr Descriptor T1() const {
+    Descriptor d = *this;
+    d.transpose_b = true;
+    return d;
+  }
+  [[nodiscard]] constexpr Descriptor S() const {
+    Descriptor d = *this;
+    d.mask_structural = true;
+    return d;
+  }
+  [[nodiscard]] constexpr Descriptor C() const {
+    Descriptor d = *this;
+    d.mask_complement = true;
+    return d;
+  }
+  [[nodiscard]] constexpr Descriptor R() const {
+    Descriptor d = *this;
+    d.replace = true;
+    return d;
+  }
+};
+
+namespace desc {
+
+inline constexpr Descriptor DEFAULT{};
+inline constexpr Descriptor T0{true, false, false, false, false};
+inline constexpr Descriptor T1{false, true, false, false, false};
+inline constexpr Descriptor S{false, false, true, false, false};
+inline constexpr Descriptor C{false, false, false, true, false};
+inline constexpr Descriptor R{false, false, false, false, true};
+inline constexpr Descriptor RS{false, false, true, false, true};
+inline constexpr Descriptor SC{false, false, true, true, false};
+inline constexpr Descriptor RC{false, false, false, true, true};
+inline constexpr Descriptor RSC{false, false, true, true, true};
+inline constexpr Descriptor T0_RSC{true, false, true, true, true};
+
+}  // namespace desc
+
+}  // namespace grb

@@ -1,0 +1,204 @@
+// grb/ewise.hpp — element-wise addition (set union) and multiplication
+// (set intersection) for vectors and matrices (paper §III-B b,c).
+//
+// "Addition" and "multiplication" refer to the structure of the result, not
+// the operator: any binary op may be used. eWiseAdd applies op on the union
+// of the input structures (entries present in only one input pass through
+// unchanged); eWiseMult applies op on the intersection.
+#pragma once
+
+#include <vector>
+
+#include "grb/mask.hpp"
+
+namespace grb {
+namespace detail {
+
+template <typename Z, typename Op, typename U, typename V, bool UnionMode>
+Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
+  check_same_size(u.size(), v.size(), "eWise: dimension mismatch");
+  const Index n = u.size();
+  std::vector<Index> idx;
+  std::vector<Z> val;
+
+  const bool dense_walk = u.format() == Vector<U>::Format::bitmap ||
+                          v.format() == Vector<V>::Format::bitmap;
+  auto combine = [&](Index i, const U *x, const V *y) {
+    if (x != nullptr && y != nullptr) {
+      idx.push_back(i);
+      val.push_back(
+          static_cast<Z>(op(static_cast<Z>(*x), static_cast<Z>(*y))));
+    } else if constexpr (UnionMode) {
+      if (x != nullptr) {
+        idx.push_back(i);
+        val.push_back(static_cast<Z>(*x));
+      } else if (y != nullptr) {
+        idx.push_back(i);
+        val.push_back(static_cast<Z>(*y));
+      }
+    }
+  };
+
+  if constexpr (!UnionMode) {
+    // Intersection with one sparse and one bitmap side: walk the sparse
+    // entries and probe the bitmap — O(nnz(sparse)), not O(n).
+    const bool u_sparse = u.format() == Vector<U>::Format::sparse;
+    const bool v_sparse = v.format() == Vector<V>::Format::sparse;
+    if (u_sparse != v_sparse) {
+      if (u_sparse) {
+        const std::uint8_t *vp = v.bitmap_present();
+        const V *vv = v.bitmap_values();
+        u.for_each([&](Index i, const U &x) {
+          if (vp[i]) combine(i, &x, &vv[i]);
+        });
+      } else {
+        const std::uint8_t *up = u.bitmap_present();
+        const U *uv = u.bitmap_values();
+        v.for_each([&](Index i, const V &x) {
+          if (up[i]) combine(i, &uv[i], &x);
+        });
+      }
+      Vector<Z> t0(n);
+      t0.adopt_sparse(std::move(idx), std::move(val));
+      return t0;
+    }
+  }
+  if (dense_walk) {
+    // Hot path (e.g. SSSP's t = min∪(t, tReq) every relaxation round): walk
+    // the raw bitmap arrays rather than paying a bounds-checked get() per
+    // position.
+    u.to_bitmap();
+    v.to_bitmap();
+    const std::uint8_t *up = u.bitmap_present();
+    const U *uv = u.bitmap_values();
+    const std::uint8_t *vp = v.bitmap_present();
+    const V *vv = v.bitmap_values();
+    idx.reserve(u.nvals() + v.nvals());
+    val.reserve(u.nvals() + v.nvals());
+    for (Index i = 0; i < n; ++i) {
+      const bool hu = up[i] != 0;
+      const bool hv = vp[i] != 0;
+      if (!hu && !hv) continue;
+      combine(i, hu ? &uv[i] : nullptr, hv ? &vv[i] : nullptr);
+    }
+  } else {
+    auto ui = u.sparse_indices();
+    auto uv = u.sparse_values();
+    auto vi = v.sparse_indices();
+    auto vv = v.sparse_values();
+    std::size_t p = 0;
+    std::size_t q = 0;
+    while (p < ui.size() || q < vi.size()) {
+      if (q >= vi.size() || (p < ui.size() && ui[p] < vi[q])) {
+        combine(ui[p], &uv[p], nullptr);
+        ++p;
+      } else if (p >= ui.size() || vi[q] < ui[p]) {
+        combine(vi[q], nullptr, &vv[q]);
+        ++q;
+      } else {
+        combine(ui[p], &uv[p], &vv[q]);
+        ++p;
+        ++q;
+      }
+    }
+  }
+  Vector<Z> t(n);
+  t.adopt_sparse(std::move(idx), std::move(val));
+  return t;
+}
+
+template <typename Z, typename Op, typename U, typename V, bool UnionMode>
+Matrix<Z> ewise_mat(Op op, const Matrix<U> &u, const Matrix<V> &v) {
+  check_same_size(u.nrows(), v.nrows(), "eWise: row dimension mismatch");
+  check_same_size(u.ncols(), v.ncols(), "eWise: column dimension mismatch");
+  const Index m = u.nrows();
+  u.ensure_sorted();
+  v.ensure_sorted();
+  std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> ci;
+  std::vector<Z> cv;
+  std::vector<std::pair<Index, U>> urow;
+  std::vector<std::pair<Index, V>> vrow;
+  for (Index i = 0; i < m; ++i) {
+    urow.clear();
+    vrow.clear();
+    u.for_each_in_row(i, [&](Index j, const U &x) { urow.emplace_back(j, x); });
+    v.for_each_in_row(i, [&](Index j, const V &x) { vrow.emplace_back(j, x); });
+    std::size_t p = 0;
+    std::size_t q = 0;
+    auto emit = [&](Index j, const Z &x) {
+      ci.push_back(j);
+      cv.push_back(x);
+    };
+    while (p < urow.size() || q < vrow.size()) {
+      if (q >= vrow.size() ||
+          (p < urow.size() && urow[p].first < vrow[q].first)) {
+        if constexpr (UnionMode) emit(urow[p].first, static_cast<Z>(urow[p].second));
+        ++p;
+      } else if (p >= urow.size() || vrow[q].first < urow[p].first) {
+        if constexpr (UnionMode) emit(vrow[q].first, static_cast<Z>(vrow[q].second));
+        ++q;
+      } else {
+        emit(urow[p].first,
+             static_cast<Z>(op(static_cast<Z>(urow[p].second),
+                               static_cast<Z>(vrow[q].second))));
+        ++p;
+        ++q;
+      }
+    }
+    rp[i + 1] = static_cast<Index>(ci.size());
+  }
+  Matrix<Z> t(m, u.ncols());
+  t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  return t;
+}
+
+}  // namespace detail
+
+/// w⟨m⟩ ⊙= u op∪ v
+template <typename W, typename MaskT, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseAdd(Vector<W> &w, const MaskT &mask, Accum accum, Op op,
+              const Vector<U> &u, const Vector<V> &v,
+              const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(w.size(), u.size(), "eWiseAdd: output size mismatch");
+  auto t = detail::ewise_vec<W, Op, U, V, true>(op, u, v);
+  detail::write_result(w, std::move(t), mask, accum, d);
+}
+
+/// w⟨m⟩ ⊙= u op∩ v
+template <typename W, typename MaskT, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseMult(Vector<W> &w, const MaskT &mask, Accum accum, Op op,
+               const Vector<U> &u, const Vector<V> &v,
+               const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(w.size(), u.size(), "eWiseMult: output size mismatch");
+  auto t = detail::ewise_vec<W, Op, U, V, false>(op, u, v);
+  detail::write_result(w, std::move(t), mask, accum, d);
+}
+
+/// C⟨M⟩ ⊙= A op∪ B
+template <typename W, typename MaskT, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseAdd(Matrix<W> &c, const MaskT &mask, Accum accum, Op op,
+              const Matrix<U> &a, const Matrix<V> &b,
+              const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(c.nrows(), a.nrows(), "eWiseAdd: output shape");
+  detail::check_same_size(c.ncols(), a.ncols(), "eWiseAdd: output shape");
+  auto t = detail::ewise_mat<W, Op, U, V, true>(op, a, b);
+  detail::write_result(c, std::move(t), mask, accum, d);
+}
+
+/// C⟨M⟩ ⊙= A op∩ B
+template <typename W, typename MaskT, typename Accum, typename Op, typename U,
+          typename V>
+void eWiseMult(Matrix<W> &c, const MaskT &mask, Accum accum, Op op,
+               const Matrix<U> &a, const Matrix<V> &b,
+               const Descriptor &d = desc::DEFAULT) {
+  detail::check_same_size(c.nrows(), a.nrows(), "eWiseMult: output shape");
+  detail::check_same_size(c.ncols(), a.ncols(), "eWiseMult: output shape");
+  auto t = detail::ewise_mat<W, Op, U, V, false>(op, a, b);
+  detail::write_result(c, std::move(t), mask, accum, d);
+}
+
+}  // namespace grb

@@ -1,0 +1,26 @@
+// grb/grb.hpp — umbrella header for the grb GraphBLAS substrate.
+//
+// Everything in Table I of the LAGraph paper is available from this one
+// include: containers (Vector, Matrix), operators and semirings (Table II),
+// descriptors, and the operations mxm, mxv, vxm, eWiseAdd, eWiseMult,
+// extract, assign, apply, select, reduce, transpose, plus the container
+// methods dup (copy construction), build, extractTuples, setElement, and
+// extractElement.
+#pragma once
+
+#include "grb/apply.hpp"
+#include "grb/assign.hpp"
+#include "grb/config.hpp"
+#include "grb/descriptor.hpp"
+#include "grb/ewise.hpp"
+#include "grb/kronecker.hpp"
+#include "grb/mask.hpp"
+#include "grb/matrix.hpp"
+#include "grb/mxm.hpp"
+#include "grb/mxv.hpp"
+#include "grb/ops.hpp"
+#include "grb/reduce.hpp"
+#include "grb/semiring.hpp"
+#include "grb/transpose.hpp"
+#include "grb/types.hpp"
+#include "grb/vector.hpp"

@@ -1,0 +1,605 @@
+// grb/matrix.hpp — sparse matrix with CSR, bitmap, and full formats.
+//
+// The CSR ("sparse") format is the workhorse, held by row as in
+// SuiteSparse:GraphBLAS. Three pieces of deferred ("non-blocking mode")
+// state reproduce the mechanisms the paper describes in §VI-A:
+//   - pending tuples: set_element appends to an unsorted side list instead of
+//     rewriting the CSR arrays; finish() merges them in one pass;
+//   - zombies: remove_element marks the entry dead on a side list rather
+//     than compacting the CSR arrays; finish() buries them in the same pass;
+//   - lazy sort: kernels that naturally emit a row's entries out of column
+//     order (saxpy-style mxm) may leave the matrix "jumbled"; the sort runs
+//     only when some consumer actually needs sorted rows (dot products,
+//     element-wise merges). If no consumer needs it, the sort never happens.
+// The bitmap and full formats store an m×n dense layout; bitmap adds a
+// byte-per-slot presence array. They serve dense-ish intermediates such as
+// the ns×n frontier matrices in betweenness centrality.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "grb/config.hpp"
+#include "grb/ops.hpp"
+#include "grb/types.hpp"
+
+namespace grb {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  enum class Format : std::uint8_t { csr, hypersparse, bitmap, full };
+
+  Matrix() : m_(0), n_(0) { rowptr_.assign(1, 0); }
+
+  /// An empty m×n matrix in CSR format.
+  Matrix(Index m, Index n) : m_(m), n_(n) {
+    rowptr_.assign(static_cast<std::size_t>(m) + 1, 0);
+  }
+
+  /// An m×n matrix with every entry present and equal to `fill` ("full").
+  static Matrix full_matrix(Index m, Index n, const T &fill) {
+    Matrix a(m, n);
+    a.fmt_ = Format::full;
+    a.rowptr_.clear();
+    a.dense_.assign(static_cast<std::size_t>(m) * n, fill);
+    return a;
+  }
+
+  [[nodiscard]] Index nrows() const noexcept { return m_; }
+  [[nodiscard]] Index ncols() const noexcept { return n_; }
+  [[nodiscard]] Format format() const noexcept { return fmt_; }
+
+  [[nodiscard]] Index nvals() const {
+    finish();
+    switch (fmt_) {
+      case Format::csr:
+      case Format::hypersparse: return static_cast<Index>(colidx_.size());
+      case Format::bitmap: return bitmap_nvals_;
+      case Format::full: return m_ * n_;
+    }
+    return 0;
+  }
+
+  void clear() {
+    rowptr_.assign(static_cast<std::size_t>(m_) + 1, 0);
+    colidx_.clear();
+    vals_.clear();
+    present_.clear();
+    dense_.clear();
+    pend_i_.clear();
+    pend_j_.clear();
+    pend_v_.clear();
+    pend_del_.clear();
+    hrows_.clear();
+    hrowptr_.clear();
+    bitmap_nvals_ = 0;
+    jumbled_ = false;
+    fmt_ = Format::csr;
+  }
+
+  // -- element access ---------------------------------------------------------
+
+  /// C(i,j) = x. In CSR format the update lands on the pending-tuple list;
+  /// it is merged on the next finish(). Later writes win over earlier ones.
+  void set_element(Index i, Index j, const T &x) {
+    check_indices(i, j);
+    if (fmt_ == Format::hypersparse) to_csr();
+    if (fmt_ != Format::csr) {
+      auto p = static_cast<std::size_t>(i) * n_ + j;
+      if (fmt_ == Format::bitmap && !present_[p]) {
+        present_[p] = 1;
+        ++bitmap_nvals_;
+      }
+      dense_[p] = x;
+      return;
+    }
+    pend_i_.push_back(i);
+    pend_j_.push_back(j);
+    pend_v_.push_back(x);
+    pend_del_.push_back(0);
+  }
+
+  /// Delete the entry at (i,j) if present. In CSR format this creates a
+  /// "zombie": the deletion is recorded on a side list and applied on the
+  /// next finish(), so no CSR compaction happens per call.
+  void remove_element(Index i, Index j) {
+    check_indices(i, j);
+    if (fmt_ == Format::hypersparse) to_csr();
+    if (fmt_ != Format::csr) {
+      auto p = static_cast<std::size_t>(i) * n_ + j;
+      if (fmt_ == Format::bitmap && present_[p]) {
+        present_[p] = 0;
+        --bitmap_nvals_;
+      } else if (fmt_ == Format::full) {
+        // A full matrix has no "missing" state: demote to bitmap first.
+        to_bitmap();
+        remove_element(i, j);
+      }
+      return;
+    }
+    pend_i_.push_back(i);
+    pend_j_.push_back(j);
+    pend_v_.push_back(T{});
+    pend_del_.push_back(1);
+  }
+
+  [[nodiscard]] std::optional<T> get(Index i, Index j) const {
+    check_indices(i, j);
+    finish();
+    if (fmt_ == Format::full) {
+      return dense_[static_cast<std::size_t>(i) * n_ + j];
+    }
+    if (fmt_ == Format::bitmap) {
+      auto p = static_cast<std::size_t>(i) * n_ + j;
+      if (!present_[p]) return std::nullopt;
+      return dense_[p];
+    }
+    if (fmt_ == Format::hypersparse) {
+      ensure_sorted();
+      auto it = std::lower_bound(hrows_.begin(), hrows_.end(), i);
+      if (it == hrows_.end() || *it != i) return std::nullopt;
+      auto h = static_cast<std::size_t>(it - hrows_.begin());
+      auto lo = colidx_.begin() + static_cast<std::ptrdiff_t>(hrowptr_[h]);
+      auto hi = colidx_.begin() + static_cast<std::ptrdiff_t>(hrowptr_[h + 1]);
+      auto jt = std::lower_bound(lo, hi, j);
+      if (jt == hi || *jt != j) return std::nullopt;
+      return vals_[static_cast<std::size_t>(jt - colidx_.begin())];
+    }
+    ensure_sorted();
+    auto lo = colidx_.begin() + static_cast<std::ptrdiff_t>(rowptr_[i]);
+    auto hi = colidx_.begin() + static_cast<std::ptrdiff_t>(rowptr_[i + 1]);
+    auto it = std::lower_bound(lo, hi, j);
+    if (it == hi || *it != j) return std::nullopt;
+    return vals_[static_cast<std::size_t>(it - colidx_.begin())];
+  }
+
+  [[nodiscard]] bool has(Index i, Index j) const { return get(i, j).has_value(); }
+
+  // -- build / extractTuples ----------------------------------------------------
+
+  /// C ↤ {i, j, x}: build from tuples, combining duplicates with `dup`.
+  template <typename Dup = Plus>
+  void build(std::span<const Index> rows, std::span<const Index> cols,
+             std::span<const T> values, Dup dup = {}) {
+    detail::require(rows.size() == cols.size() && rows.size() == values.size(),
+                    Info::invalid_value, "build: array length mismatch");
+    clear();
+    const std::size_t nz = rows.size();
+    // counting sort by row, then per-row sort by column
+    std::vector<Index> count(static_cast<std::size_t>(m_) + 1, 0);
+    for (std::size_t p = 0; p < nz; ++p) {
+      detail::require(rows[p] < m_ && cols[p] < n_, Info::index_out_of_bounds,
+                      "build: tuple out of bounds");
+      ++count[rows[p] + 1];
+    }
+    std::partial_sum(count.begin(), count.end(), count.begin());
+    std::vector<std::size_t> order(nz);
+    {
+      std::vector<Index> next(count.begin(), count.end() - 1);
+      for (std::size_t p = 0; p < nz; ++p) order[next[rows[p]]++] = p;
+    }
+    for (Index i = 0; i < m_; ++i) {
+      auto lo = order.begin() + static_cast<std::ptrdiff_t>(count[i]);
+      auto hi = order.begin() + static_cast<std::ptrdiff_t>(count[i + 1]);
+      std::stable_sort(lo, hi, [&](std::size_t a, std::size_t b) {
+        return cols[a] < cols[b];
+      });
+    }
+    rowptr_.assign(static_cast<std::size_t>(m_) + 1, 0);
+    colidx_.reserve(nz);
+    vals_.reserve(nz);
+    Index row = 0;
+    for (std::size_t q = 0; q < nz; ++q) {
+      std::size_t p = order[q];
+      while (row < rows[p]) rowptr_[++row] = static_cast<Index>(colidx_.size());
+      if (!colidx_.empty() &&
+          static_cast<Index>(colidx_.size()) > rowptr_[row] &&
+          colidx_.back() == cols[p]) {
+        vals_.back() = dup(vals_.back(), values[p]);
+      } else {
+        colidx_.push_back(cols[p]);
+        vals_.push_back(values[p]);
+      }
+    }
+    while (row < m_) rowptr_[++row] = static_cast<Index>(colidx_.size());
+    jumbled_ = false;
+  }
+
+  /// {i, j, x} ↤ C, in row-major (and within-row ascending column) order.
+  void extract_tuples(std::vector<Index> &rows, std::vector<Index> &cols,
+                      std::vector<T> &values) const {
+    finish();
+    ensure_sorted();
+    rows.clear();
+    cols.clear();
+    values.clear();
+    rows.reserve(nvals());
+    cols.reserve(nvals());
+    values.reserve(nvals());
+    for_each([&](Index i, Index j, const T &x) {
+      rows.push_back(i);
+      cols.push_back(j);
+      values.push_back(x);
+    });
+  }
+
+  // -- iteration ----------------------------------------------------------------
+
+  /// Visit each entry of row i as f(column, value). CSR rows may be jumbled
+  /// (unsorted) unless ensure_sorted() was called.
+  template <typename F>
+  void for_each_in_row(Index i, F &&f) const {
+    finish();
+    if (fmt_ == Format::csr) {
+      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) f(colidx_[p], vals_[p]);
+    } else if (fmt_ == Format::hypersparse) {
+      auto it = std::lower_bound(hrows_.begin(), hrows_.end(), i);
+      if (it == hrows_.end() || *it != i) return;
+      auto h = static_cast<std::size_t>(it - hrows_.begin());
+      for (Index p = hrowptr_[h]; p < hrowptr_[h + 1]; ++p) {
+        f(colidx_[p], vals_[p]);
+      }
+    } else if (fmt_ == Format::bitmap) {
+      auto base = static_cast<std::size_t>(i) * n_;
+      for (Index j = 0; j < n_; ++j) {
+        if (present_[base + j]) f(j, dense_[base + j]);
+      }
+    } else {
+      auto base = static_cast<std::size_t>(i) * n_;
+      for (Index j = 0; j < n_; ++j) f(j, dense_[base + j]);
+    }
+  }
+
+  /// Visit every entry in row-major order as f(row, column, value).
+  template <typename F>
+  void for_each(F &&f) const {
+    finish();
+    if (fmt_ == Format::hypersparse) {
+      // only the non-empty rows, without the binary search per row
+      for (std::size_t h = 0; h < hrows_.size(); ++h) {
+        for (Index p = hrowptr_[h]; p < hrowptr_[h + 1]; ++p) {
+          f(hrows_[h], colidx_[p], vals_[p]);
+        }
+      }
+      return;
+    }
+    for (Index i = 0; i < m_; ++i) {
+      for_each_in_row(i, [&](Index j, const T &x) { f(i, j, x); });
+    }
+  }
+
+  [[nodiscard]] Index row_nvals(Index i) const {
+    finish();
+    if (fmt_ == Format::csr) return rowptr_[i + 1] - rowptr_[i];
+    if (fmt_ == Format::hypersparse) {
+      auto it = std::lower_bound(hrows_.begin(), hrows_.end(), i);
+      if (it == hrows_.end() || *it != i) return 0;
+      auto h = static_cast<std::size_t>(it - hrows_.begin());
+      return hrowptr_[h + 1] - hrowptr_[h];
+    }
+    if (fmt_ == Format::full) return n_;
+    Index c = 0;
+    auto base = static_cast<std::size_t>(i) * n_;
+    for (Index j = 0; j < n_; ++j) c += present_[base + j];
+    return c;
+  }
+
+  // -- mask semantics -------------------------------------------------------------
+
+  [[nodiscard]] bool mask_test(Index i, Index j, bool structural) const {
+    auto v = get(i, j);
+    if (!v) return false;
+    return structural || *v != T(0);
+  }
+
+  // -- deferred work ----------------------------------------------------------------
+
+  [[nodiscard]] bool jumbled() const noexcept { return jumbled_; }
+  [[nodiscard]] bool has_pending() const noexcept { return !pend_i_.empty(); }
+
+  /// Merge pending tuples into the CSR structure. Logically const: the
+  /// matrix's mathematical content does not change.
+  void finish() const {
+    if (pend_i_.empty()) return;
+    auto &self = const_cast<Matrix &>(*this);
+    self.merge_pending();
+  }
+
+  /// Sort every CSR row by column index if the matrix is jumbled.
+  void ensure_sorted() const {
+    finish();
+    if (!jumbled_) return;
+    if (fmt_ == Format::hypersparse) to_csr();
+    if (fmt_ != Format::csr) return;
+    auto &self = const_cast<Matrix &>(*this);
+    self.sort_rows();
+    stats().row_sorts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// GrB_wait equivalent: complete all deferred work.
+  void wait() const {
+    finish();
+    ensure_sorted();
+  }
+
+  // -- format management ---------------------------------------------------------------
+
+  void to_csr() const {
+    finish();
+    if (fmt_ == Format::csr) return;
+    auto &self = const_cast<Matrix &>(*this);
+    if (fmt_ == Format::hypersparse) {
+      // expand the compressed row list into a full row-pointer array
+      std::vector<Index> rp(static_cast<std::size_t>(m_) + 1, 0);
+      for (std::size_t h = 0; h < hrows_.size(); ++h) {
+        rp[hrows_[h] + 1] = hrowptr_[h + 1] - hrowptr_[h];
+      }
+      for (Index i = 0; i < m_; ++i) rp[i + 1] += rp[i];
+      self.rowptr_ = std::move(rp);
+      self.hrows_.clear();
+      self.hrows_.shrink_to_fit();
+      self.hrowptr_.clear();
+      self.hrowptr_.shrink_to_fit();
+      self.fmt_ = Format::csr;
+      stats().format_switches.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<Index> rp(static_cast<std::size_t>(m_) + 1, 0);
+    std::vector<Index> ci;
+    std::vector<T> vx;
+    ci.reserve(nvals());
+    vx.reserve(nvals());
+    for (Index i = 0; i < m_; ++i) {
+      for_each_in_row(i, [&](Index j, const T &x) {
+        ci.push_back(j);
+        vx.push_back(x);
+      });
+      rp[i + 1] = static_cast<Index>(ci.size());
+    }
+    self.present_.clear();
+    self.present_.shrink_to_fit();
+    self.dense_.clear();
+    self.dense_.shrink_to_fit();
+    self.rowptr_ = std::move(rp);
+    self.colidx_ = std::move(ci);
+    self.vals_ = std::move(vx);
+    self.bitmap_nvals_ = 0;
+    self.jumbled_ = false;
+    self.fmt_ = Format::csr;
+    stats().format_switches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void to_bitmap() const {
+    finish();
+    if (fmt_ == Format::bitmap) return;
+    auto &self = const_cast<Matrix &>(*this);
+    std::vector<std::uint8_t> pr(static_cast<std::size_t>(m_) * n_, 0);
+    std::vector<T> dn(static_cast<std::size_t>(m_) * n_, T{});
+    Index nz = 0;
+    for_each([&](Index i, Index j, const T &x) {
+      pr[static_cast<std::size_t>(i) * n_ + j] = 1;
+      dn[static_cast<std::size_t>(i) * n_ + j] = x;
+      ++nz;
+    });
+    self.rowptr_.clear();
+    self.colidx_.clear();
+    self.colidx_.shrink_to_fit();
+    self.vals_.clear();
+    self.vals_.shrink_to_fit();
+    self.present_ = std::move(pr);
+    self.dense_ = std::move(dn);
+    self.bitmap_nvals_ = nz;
+    self.jumbled_ = false;
+    self.fmt_ = Format::bitmap;
+    stats().format_switches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Convert to the hypersparse format (Buluç & Gilbert [8] in the paper):
+  /// only the non-empty rows carry a row pointer, so a matrix with m ≫
+  /// nnz rows costs O(nnz) instead of O(m) — the format SuiteSparse pairs
+  /// with CSR as its two primary sparse structures (§VI-A).
+  void to_hypersparse() const {
+    wait();  // hypersparse rows are kept sorted and merged
+    if (fmt_ == Format::hypersparse) return;
+    to_csr();
+    auto &self = const_cast<Matrix &>(*this);
+    std::vector<Index> hr;
+    std::vector<Index> hp;
+    hp.push_back(0);
+    for (Index i = 0; i < m_; ++i) {
+      if (rowptr_[i + 1] > rowptr_[i]) {
+        hr.push_back(i);
+        hp.push_back(rowptr_[i + 1]);
+      }
+    }
+    self.hrows_ = std::move(hr);
+    self.hrowptr_ = std::move(hp);
+    self.rowptr_.clear();
+    self.rowptr_.shrink_to_fit();
+    self.fmt_ = Format::hypersparse;
+    stats().format_switches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Number of non-empty rows (hypersparse row-list length).
+  [[nodiscard]] Index nrows_nonempty() const {
+    finish();
+    if (fmt_ == Format::hypersparse) return static_cast<Index>(hrows_.size());
+    Index c = 0;
+    for (Index i = 0; i < m_; ++i) c += row_nvals(i) > 0 ? 1 : 0;
+    return c;
+  }
+
+  // -- raw access for kernels -------------------------------------------------------------
+
+  [[nodiscard]] std::span<const Index> rowptr() const {
+    finish();
+    if (fmt_ == Format::hypersparse) to_csr();
+    return {rowptr_.data(), rowptr_.size()};
+  }
+  [[nodiscard]] std::span<const Index> colidx() const {
+    finish();
+    return {colidx_.data(), colidx_.size()};
+  }
+  [[nodiscard]] std::span<const T> values() const {
+    finish();
+    return {vals_.data(), vals_.size()};
+  }
+  [[nodiscard]] const std::uint8_t *bitmap_present() const {
+    return present_.data();
+  }
+  [[nodiscard]] const T *dense_values() const { return dense_.data(); }
+
+  /// Adopt CSR storage built by a kernel. `jumbled` marks rows whose column
+  /// order is unspecified (lazy sort). If lazy sort is disabled in Config the
+  /// rows are sorted immediately.
+  void adopt_csr(std::vector<Index> &&rowptr, std::vector<Index> &&colidx,
+                 std::vector<T> &&values, bool jumbled = false) {
+    detail::require(rowptr.size() == static_cast<std::size_t>(m_) + 1 &&
+                        colidx.size() == values.size(),
+                    Info::invalid_value, "adopt_csr: shape mismatch");
+    clear();
+    rowptr_ = std::move(rowptr);
+    colidx_ = std::move(colidx);
+    vals_ = std::move(values);
+    jumbled_ = jumbled;
+    if (jumbled_ && !config().lazy_sort) {
+      sort_rows();
+      stats().eager_sorts.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  friend bool operator==(const Matrix &a, const Matrix &b) {
+    if (a.m_ != b.m_ || a.n_ != b.n_ || a.nvals() != b.nvals()) return false;
+    bool eq = true;
+    a.for_each([&](Index i, Index j, const T &x) {
+      auto y = b.get(i, j);
+      if (!y || !(*y == x)) eq = false;
+    });
+    return eq;
+  }
+
+ private:
+  void check_indices(Index i, Index j) const {
+    detail::require(i < m_ && j < n_, Info::index_out_of_bounds,
+                    "matrix index out of bounds");
+  }
+
+  void merge_pending() {
+    stats().pending_flushes.fetch_add(1, std::memory_order_relaxed);
+    std::vector<Index> pi;
+    std::vector<Index> pj;
+    std::vector<T> pv;
+    std::vector<std::uint8_t> pd;
+    pi.swap(pend_i_);
+    pj.swap(pend_j_);
+    pv.swap(pend_v_);
+    pd.swap(pend_del_);
+    // pending lists are detached, so these cannot re-enter merge_pending
+    if (fmt_ == Format::hypersparse) to_csr();
+    ensure_sorted();
+    // Collect existing tuples, then pending ops in arrival order; for each
+    // position the LAST op wins — an insertion overwrites, a zombie buries
+    // the entry (GraphBLAS setElement/removeElement semantics).
+    std::vector<Index> ri;
+    std::vector<Index> rj;
+    std::vector<T> rv;
+    std::vector<std::uint8_t> rd;
+    const std::size_t total = colidx_.size() + pi.size();
+    ri.reserve(total);
+    rj.reserve(total);
+    rv.reserve(total);
+    rd.reserve(total);
+    for (Index i = 0; i < m_; ++i) {
+      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) {
+        ri.push_back(i);
+        rj.push_back(colidx_[p]);
+        rv.push_back(vals_[p]);
+        rd.push_back(0);
+      }
+    }
+    ri.insert(ri.end(), pi.begin(), pi.end());
+    rj.insert(rj.end(), pj.begin(), pj.end());
+    rv.insert(rv.end(), pv.begin(), pv.end());
+    rd.insert(rd.end(), pd.begin(), pd.end());
+    std::vector<std::size_t> order(ri.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (ri[a] != ri[b]) return ri[a] < ri[b];
+                       return rj[a] < rj[b];
+                     });
+    std::vector<Index> fi;
+    std::vector<Index> fj;
+    std::vector<T> fv;
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      // advance to the last op for this (i, j)
+      while (q + 1 < order.size() && ri[order[q + 1]] == ri[order[q]] &&
+             rj[order[q + 1]] == rj[order[q]]) {
+        ++q;
+      }
+      std::size_t p = order[q];
+      if (rd[p]) continue;  // the zombie is buried here
+      fi.push_back(ri[p]);
+      fj.push_back(rj[p]);
+      fv.push_back(rv[p]);
+    }
+    build(std::span<const Index>(fi), std::span<const Index>(fj),
+          std::span<const T>(fv), Second{});
+  }
+
+  void sort_rows() {
+    std::vector<std::pair<Index, T>> row;
+    for (Index i = 0; i < m_; ++i) {
+      Index lo = rowptr_[i];
+      Index hi = rowptr_[i + 1];
+      if (hi - lo < 2) continue;
+      bool sorted = true;
+      for (Index p = lo + 1; p < hi; ++p) {
+        if (colidx_[p - 1] > colidx_[p]) {
+          sorted = false;
+          break;
+        }
+      }
+      if (sorted) continue;
+      row.clear();
+      row.reserve(hi - lo);
+      for (Index p = lo; p < hi; ++p) row.emplace_back(colidx_[p], vals_[p]);
+      std::sort(row.begin(), row.end(),
+                [](const auto &a, const auto &b) { return a.first < b.first; });
+      for (Index p = lo; p < hi; ++p) {
+        colidx_[p] = row[p - lo].first;
+        vals_[p] = row[p - lo].second;
+      }
+    }
+    jumbled_ = false;
+  }
+
+  Index m_;
+  Index n_;
+  mutable Format fmt_ = Format::csr;
+  mutable std::vector<Index> rowptr_;
+  mutable std::vector<Index> colidx_;
+  mutable std::vector<T> vals_;
+  mutable bool jumbled_ = false;
+  // pending ops (deferred set_element / remove_element "zombies")
+  mutable std::vector<Index> pend_i_;
+  mutable std::vector<Index> pend_j_;
+  mutable std::vector<T> pend_v_;
+  mutable std::vector<std::uint8_t> pend_del_;
+  // hypersparse storage (non-empty row ids + their row pointers)
+  mutable std::vector<Index> hrows_;
+  mutable std::vector<Index> hrowptr_;
+  // bitmap / full storage
+  mutable std::vector<std::uint8_t> present_;
+  mutable std::vector<T> dense_;
+  mutable Index bitmap_nvals_ = 0;
+};
+
+}  // namespace grb

@@ -1,0 +1,348 @@
+// grb/mxm.hpp — matrix-matrix multiplication.
+//
+// Two kernels, chosen the way SuiteSparse does for the paper's algorithms:
+//   - Gustavson (saxpy) kernel for C⟨M⟩ = A ⊕.⊗ B: row-at-a-time scatter into
+//     a dense workspace. Its rows come out in first-touch order, so the
+//     result is "jumbled" and the sort is deferred (lazy sort, §VI-A).
+//   - dot kernel for C⟨M⟩ = A ⊕.⊗ Bᵀ (transposed descriptor on B): each
+//     C(i,j) is a sparse dot product of row i of A and row j of B. With a
+//     non-complemented mask only the mask's entries are computed — exactly
+//     the triangle-counting step C⟨s(L)⟩ = L plus.pair Uᵀ; with a
+//     complemented mask all surviving (i,j) pairs are computed — the
+//     "pull" step of betweenness centrality.
+// mxm_reduce_scalar is the fused mxm+reduce kernel the paper's §VI-B wishes
+// for ("All that GraphBLAS needs is a fused kernel that does not explicitly
+// instantiate the temporary matrix C") — used by the TC fusion ablation.
+#pragma once
+
+#include <vector>
+
+#include "grb/mask.hpp"
+#include "grb/semiring.hpp"
+#include "grb/transpose.hpp"
+
+namespace grb {
+namespace detail {
+
+template <typename Z, typename SR, typename TA, typename TB, typename Pred>
+Matrix<Z> mxm_gustavson(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
+                        Pred &&allowed) {
+  const Index m = a.nrows();
+  const Index n = b.ncols();
+  using AddM = typename SR::add_monoid;
+
+  std::vector<Z> work(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> mark(static_cast<std::size_t>(n), 0);
+  std::vector<Index> touched;
+
+  std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> ci;
+  std::vector<Z> cv;
+
+  for (Index i = 0; i < m; ++i) {
+    touched.clear();
+    a.for_each_in_row(i, [&](Index k, const TA &aik) {
+      b.for_each_in_row(k, [&](Index j, const TB &bkj) {
+        if (!allowed(i, j)) return;
+        if (mark[j]) {
+          if constexpr (AddM::has_terminal) {
+            if (AddM::is_terminal(work[j])) return;
+          }
+          work[j] = sr.add(work[j], sr.multiply(aik, bkj, i, k, j));
+        } else {
+          mark[j] = 1;
+          work[j] = sr.multiply(aik, bkj, i, k, j);
+          touched.push_back(j);
+        }
+      });
+    });
+    for (Index j : touched) {
+      ci.push_back(j);
+      cv.push_back(work[j]);
+      mark[j] = 0;
+    }
+    rp[i + 1] = static_cast<Index>(ci.size());
+  }
+  Matrix<Z> t(m, n);
+  // First-touch order is not column order: the result is jumbled and the
+  // sort is left pending (Matrix::adopt_csr sorts eagerly if lazy sort is
+  // disabled in Config).
+  t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), /*jumbled=*/true);
+  return t;
+}
+
+/// Sorted-sparse-row dot product: ⊕_k combine(a(i,k), b(j,k)).
+template <typename Z, typename SR, typename TA, typename TB>
+bool row_dot(SR sr, std::span<const Index> acol, std::span<const TA> aval,
+             std::span<const Index> bcol, std::span<const TB> bval, Index i,
+             Index j, Z &out) {
+  using AddM = typename SR::add_monoid;
+  std::size_t p = 0;
+  std::size_t q = 0;
+  bool found = false;
+  Z acc{};
+  while (p < acol.size() && q < bcol.size()) {
+    if (acol[p] < bcol[q]) {
+      ++p;
+    } else if (bcol[q] < acol[p]) {
+      ++q;
+    } else {
+      Z prod = sr.multiply(aval[p], bval[q], i, acol[p], j);
+      if (!found) {
+        found = true;
+        acc = prod;
+      } else {
+        acc = sr.add(acc, prod);
+      }
+      if constexpr (AddM::has_terminal) {
+        if (AddM::is_terminal(acc)) break;
+      }
+      ++p;
+      ++q;
+    }
+  }
+  if (found) out = acc;
+  return found;
+}
+
+/// Dot kernel for C = A ⊕.⊗ Bᵀ: candidate (i,j) pairs come from the mask
+/// (non-complemented) or from the full cross product filtered by the mask.
+template <typename Z, typename SR, typename TA, typename TB, typename MaskT>
+Matrix<Z> mxm_dot(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
+                  const MaskT &mask, const Descriptor &d) {
+  const Index m = a.nrows();
+  const Index n = b.nrows();  // logical Bᵀ has b.nrows() columns
+  using AddM = typename SR::add_monoid;
+
+  // When the first operand's rows are dense (the BC frontier during a pull),
+  // merging two sorted rows costs O(row length of A) per dot; the bitmap
+  // format reduces each dot to O(|B row|) probes — the §VI-A effect.
+  // A and B may alias (e.g. C⟨s(A)⟩ = A plus.pair Aᵀ in k-truss): then the
+  // two operands must share one format, so the bitmap path is disabled.
+  bool aliased = false;
+  if constexpr (std::is_same_v<TA, TB>) {
+    aliased = static_cast<const void *>(&a) == static_cast<const void *>(&b);
+  }
+  const double acells =
+      static_cast<double>(a.nrows()) * static_cast<double>(a.ncols());
+  const bool a_bitmap =
+      !aliased && config().bitmap_switch_density <= 1.0 && acells > 0 &&
+      static_cast<double>(a.nvals()) >
+          acells * std::max(0.125, config().bitmap_switch_density);
+  if (a_bitmap) {
+    a.to_bitmap();
+  } else {
+    a.ensure_sorted();
+    a.to_csr();
+  }
+  b.ensure_sorted();
+  b.to_csr();
+  auto arp = a_bitmap ? std::span<const Index>{} : a.rowptr();
+  auto acx = a_bitmap ? std::span<const Index>{} : a.colidx();
+  auto avx = a_bitmap ? std::span<const TA>{} : a.values();
+  const std::uint8_t *apres = a_bitmap ? a.bitmap_present() : nullptr;
+  const TA *avals = a_bitmap ? a.dense_values() : nullptr;
+  auto brp = b.rowptr();
+  auto bcx = b.colidx();
+  auto bvx = b.values();
+  auto arow_c = [&](Index i) {
+    return acx.subspan(arp[i], arp[i + 1] - arp[i]);
+  };
+  auto arow_v = [&](Index i) {
+    return avx.subspan(arp[i], arp[i + 1] - arp[i]);
+  };
+  auto brow_c = [&](Index j) {
+    return bcx.subspan(brp[j], brp[j + 1] - brp[j]);
+  };
+  auto brow_v = [&](Index j) {
+    return bvx.subspan(brp[j], brp[j + 1] - brp[j]);
+  };
+
+  // Each output row is independent: rows fill their own buffer in parallel
+  // and are concatenated into CSR afterwards.
+  std::vector<std::vector<std::pair<Index, Z>>> rows(
+      static_cast<std::size_t>(m));
+
+  auto try_pair = [&](std::vector<std::pair<Index, Z>> &rowbuf, Index i,
+                      Index j) {
+    Z out{};
+    bool found = false;
+    if (a_bitmap) {
+      const std::size_t base = static_cast<std::size_t>(i) * a.ncols();
+      auto bc = brow_c(j);
+      auto bv = brow_v(j);
+      Z acc{};
+      for (std::size_t p = 0; p < bc.size(); ++p) {
+        const Index k = bc[p];
+        if (!apres[base + k]) continue;
+        Z prod = sr.multiply(avals[base + k], bv[p], i, k, j);
+        if (!found) {
+          found = true;
+          acc = prod;
+        } else {
+          acc = sr.add(acc, prod);
+        }
+        if constexpr (AddM::has_terminal) {
+          if (AddM::is_terminal(acc)) break;
+        }
+      }
+      out = acc;
+    } else {
+      found = row_dot<Z>(sr, arow_c(i), arow_v(i), brow_c(j), brow_v(j), i, j,
+                         out);
+    }
+    if (found) rowbuf.emplace_back(j, out);
+  };
+
+  bool masked_candidates = false;
+  if constexpr (has_mask_v<MaskT>) {
+    masked_candidates = !d.mask_complement;
+    // Complete any deferred work before the parallel region: probing a
+    // jumbled/pending mask would otherwise race on its lazy mutation.
+    mask.wait();
+  }
+  if (masked_candidates) {
+    if constexpr (has_mask_v<MaskT>) {
+      // Candidates are exactly the mask's entries (row-major sorted).
+      mask.ensure_sorted();
+      mask.finish();
+#pragma omp parallel for schedule(dynamic, 64)
+      for (Index i = 0; i < m; ++i) {
+        mask.for_each_in_row(i, [&](Index j, const auto &mv) {
+          if (!d.mask_structural && mv == 0) return;
+          try_pair(rows[i], i, j);
+        });
+      }
+    }
+  } else {
+    // Complemented mask (or none): all surviving pairs — the bottom-up shape.
+#pragma omp parallel for schedule(dynamic, 64)
+    for (Index i = 0; i < m; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        if (!mmask_test(mask, i, j, d)) continue;
+        try_pair(rows[i], i, j);
+      }
+    }
+  }
+
+  std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> ci;
+  std::vector<Z> cv;
+  for (Index i = 0; i < m; ++i) {
+    for (const auto &[j, x] : rows[i]) {
+      ci.push_back(j);
+      cv.push_back(x);
+    }
+    rp[i + 1] = static_cast<Index>(ci.size());
+  }
+  Matrix<Z> t(m, n);
+  t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  return t;
+}
+
+}  // namespace detail
+
+/// C⟨M⟩ ⊙= A ⊕.⊗ B (with optional transposed inputs via the descriptor).
+template <typename W, typename MaskT, typename Accum, typename SR, typename TA,
+          typename TB>
+void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
+         const Matrix<TA> &a, const Matrix<TB> &b,
+         const Descriptor &d = desc::DEFAULT) {
+  using Z = typename SR::value_type;
+  if (d.transpose_a) {
+    Matrix<TA> at = transposed(a);
+    Descriptor d2 = d;
+    d2.transpose_a = false;
+    mxm(c, mask, accum, sr, at, b, d2);
+    return;
+  }
+  const Index inner = d.transpose_b ? b.ncols() : b.nrows();
+  const Index n = d.transpose_b ? b.nrows() : b.ncols();
+  detail::check_same_size(a.ncols(), inner, "mxm: inner dimension mismatch");
+  detail::check_same_size(c.nrows(), a.nrows(), "mxm: output row mismatch");
+  detail::check_same_size(c.ncols(), n, "mxm: output column mismatch");
+  detail::check_matrix_mask(mask, c.nrows(), c.ncols());
+
+  // Dense masks are probed per candidate product; pay one conversion for
+  // O(1) tests (the BC mask ¬s(P) grows dense as the traversal proceeds).
+  if constexpr (has_mask_v<MaskT>) {
+    const double cells = static_cast<double>(mask.nrows()) *
+                         static_cast<double>(mask.ncols());
+    if (cells > 0 && (d.mask_complement ||
+                      static_cast<double>(mask.nvals()) >
+                          cells * config().bitmap_switch_density)) {
+      mask.to_bitmap();
+    }
+  }
+
+  Matrix<Z> t(0, 0);
+  if (d.transpose_b) {
+    if constexpr (has_mask_v<MaskT>) {
+      t = detail::mxm_dot<Z>(sr, a, b, mask, d);
+    } else {
+      // No mask: materializing Bᵀ and running Gustavson beats n² dots.
+      Matrix<TB> bt = transposed(b);
+      t = detail::mxm_gustavson<Z>(sr, a, bt,
+                                   [](Index, Index) { return true; });
+    }
+  } else {
+    t = detail::mxm_gustavson<Z>(sr, a, b, [&](Index i, Index j) {
+      return detail::mmask_test(mask, i, j, d);
+    });
+  }
+  detail::write_result(c, std::move(t), mask, accum, d, /*t_is_masked=*/true);
+}
+
+/// Fused C⟨M⟩ = A ⊕.⊗ Bᵀ followed by reduce(C) to a scalar, without
+/// materializing C (§VI-B's missing fused kernel for triangle counting).
+template <typename S, typename ReduceMonoid, typename MaskT, typename SR,
+          typename TA, typename TB>
+S mxm_reduce_scalar(ReduceMonoid rm, const MaskT &mask, SR sr,
+                    const Matrix<TA> &a, const Matrix<TB> &b,
+                    const Descriptor &d = desc::DEFAULT) {
+  using Z = typename SR::value_type;
+  detail::require(d.transpose_b, Info::not_implemented,
+                  "mxm_reduce_scalar: only the dot (transposed B) form");
+  a.ensure_sorted();
+  b.ensure_sorted();
+  a.to_csr();
+  b.to_csr();
+  auto arp = a.rowptr();
+  auto acx = a.colidx();
+  auto avx = a.values();
+  auto brp = b.rowptr();
+  auto bcx = b.colidx();
+  auto bvx = b.values();
+  S total = static_cast<S>(ReduceMonoid::identity());
+  auto do_pair = [&](Index i, Index j) {
+    Z out{};
+    if (detail::row_dot<Z>(sr, acx.subspan(arp[i], arp[i + 1] - arp[i]),
+                           avx.subspan(arp[i], arp[i + 1] - arp[i]),
+                           bcx.subspan(brp[j], brp[j + 1] - brp[j]),
+                           bvx.subspan(brp[j], brp[j + 1] - brp[j]), i, j,
+                           out)) {
+      total = static_cast<S>(rm(total, static_cast<S>(out)));
+    }
+  };
+  if constexpr (has_mask_v<MaskT>) {
+    if (!d.mask_complement) {
+      mask.ensure_sorted();
+      for (Index i = 0; i < a.nrows(); ++i) {
+        mask.for_each_in_row(i, [&](Index j, const auto &mv) {
+          if (!d.mask_structural && mv == 0) return;
+          do_pair(i, j);
+        });
+      }
+      return total;
+    }
+  }
+  for (Index i = 0; i < a.nrows(); ++i) {
+    for (Index j = 0; j < b.nrows(); ++j) {
+      if (!detail::mmask_test(mask, i, j, d)) continue;
+      do_pair(i, j);
+    }
+  }
+  return total;
+}
+
+}  // namespace grb

@@ -1,0 +1,227 @@
+// grb/mxv.hpp — matrix-vector and vector-matrix multiplication.
+//
+// These two operations are the push/pull pair of the paper (§IV-A):
+//   - vxm (w = uᵀ ⊕.⊗ A) iterates the entries of u and scatters along the
+//     rows of A — a "push" step, cheap when the frontier u is small;
+//   - mxv (w = A ⊕.⊗ u) iterates rows of A and computes sparse dot products
+//     against u — a "pull" step, cheap when the mask prunes most rows and
+//     the `any` monoid allows the dot product to stop at the first hit.
+// A transposed descriptor swaps the kernels (uᵀAᵀ is a pull, Aᵀu is a push),
+// so LAGraph's direction-optimizing BFS simply chooses between vxm(u, A) and
+// mxv(Aᵀ, u) on the explicitly cached transpose.
+//
+// Masks are pushed down into both kernels (output positions outside the
+// effective mask are never computed) and then the common output step in
+// mask.hpp applies the full mask/accumulator/replace semantics.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "grb/mask.hpp"
+#include "grb/semiring.hpp"
+
+namespace grb {
+namespace detail {
+
+/// Push kernel: for each entry u(k), scatter along row k of A into the
+/// workspace. `combine(aval, uval, jout, k) -> Z` evaluates the semiring
+/// multiply with the caller's operand order and coordinate convention.
+template <typename Z, typename SR, typename AT, typename U, typename Pred,
+          typename Combine>
+Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
+                      Pred &&allowed, Combine &&combine, Index out_size) {
+  std::vector<Z> work(static_cast<std::size_t>(out_size));
+  std::vector<std::uint8_t> mark(static_cast<std::size_t>(out_size), 0);
+  std::vector<Index> touched;
+  using AddM = typename SR::add_monoid;
+  u.for_each([&](Index k, const U &uk) {
+    a.for_each_in_row(k, [&](Index j, const AT &akj) {
+      if (!allowed(j)) return;
+      if (mark[j]) {
+        if constexpr (AddM::has_terminal) {
+          if (AddM::is_terminal(work[j])) return;
+        }
+        work[j] = sr.add(work[j], combine(akj, uk, j, k));
+      } else {
+        mark[j] = 1;
+        work[j] = combine(akj, uk, j, k);
+        touched.push_back(j);
+      }
+    });
+  });
+  std::sort(touched.begin(), touched.end());
+  std::vector<Index> idx;
+  std::vector<Z> val;
+  idx.reserve(touched.size());
+  val.reserve(touched.size());
+  for (Index j : touched) {
+    idx.push_back(j);
+    val.push_back(work[j]);
+  }
+  Vector<Z> t(out_size);
+  t.adopt_sparse(std::move(idx), std::move(val));
+  return t;
+}
+
+/// Dot kernel: for each row i of A passing `row_allowed`, reduce
+/// combine(a(i,k), u(k), i, k) over the entries shared with u. With an
+/// all-terminal (`any`) monoid this stops at the first shared entry — the
+/// bottom-up BFS early exit.
+template <typename Z, typename SR, typename AT, typename U, typename Pred,
+          typename Combine>
+Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
+                     Pred &&row_allowed, Combine &&combine) {
+  const Index m = a.nrows();
+  // The bitmap format gives O(1) probes into u, making each dot product
+  // proportional to the row length — "particularly important for the 'pull'
+  // phase" (§VI-A). With the bitmap disabled in Config (the format
+  // ablation), probes fall back to binary search on the sorted sparse u.
+  const bool use_bitmap = config().bitmap_switch_density <= 1.0;
+  if (use_bitmap) {
+    u.to_bitmap();
+  } else {
+    u.to_sparse();
+  }
+  const std::uint8_t *up = use_bitmap ? u.bitmap_present() : nullptr;
+  const U *uv = use_bitmap ? u.bitmap_values() : nullptr;
+  auto us_idx = use_bitmap ? std::span<const Index>{} : u.sparse_indices();
+  auto us_val = use_bitmap ? std::span<const U>{} : u.sparse_values();
+  auto probe = [&](Index k) -> const U * {
+    if (use_bitmap) return up[k] ? &uv[k] : nullptr;
+    auto it = std::lower_bound(us_idx.begin(), us_idx.end(), k);
+    if (it == us_idx.end() || *it != k) return nullptr;
+    return &us_val[static_cast<std::size_t>(it - us_idx.begin())];
+  };
+  using AddM = typename SR::add_monoid;
+
+  a.finish();
+  const bool csr = a.format() == Matrix<AT>::Format::csr;
+  auto rp = csr ? a.rowptr() : std::span<const Index>{};
+  auto cx = csr ? a.colidx() : std::span<const Index>{};
+  auto vx = csr ? a.values() : std::span<const AT>{};
+
+  // Rows are independent dot products: embarrassingly parallel. Results
+  // land in per-row slots (no shared push_back) and are packed afterwards.
+  std::vector<std::uint8_t> found(static_cast<std::size_t>(m), 0);
+  std::vector<Z> out(static_cast<std::size_t>(m));
+#pragma omp parallel for schedule(dynamic, 256)
+  for (Index i = 0; i < m; ++i) {
+    if (!row_allowed(i)) continue;
+    bool hit = false;
+    Z acc{};
+    auto step = [&](Index k, const AT &aik) -> bool {
+      const U *ukp = probe(k);
+      if (ukp == nullptr) return false;
+      Z prod = combine(aik, *ukp, i, k);
+      if (!hit) {
+        hit = true;
+        acc = prod;
+      } else {
+        acc = sr.add(acc, prod);
+      }
+      if constexpr (AddM::has_terminal) {
+        return AddM::is_terminal(acc);
+      }
+      return false;
+    };
+    if (csr) {
+      for (Index p = rp[i]; p < rp[i + 1]; ++p) {
+        if (step(cx[p], vx[p])) break;
+      }
+    } else {
+      // bitmap/full rows: for_each_in_row cannot break, so saturate instead.
+      bool done = false;
+      a.for_each_in_row(i, [&](Index k, const AT &aik) {
+        if (done) return;
+        done = step(k, aik);
+      });
+    }
+    if (hit) {
+      found[i] = 1;
+      out[i] = acc;
+    }
+  }
+  std::vector<Index> idx;
+  std::vector<Z> val;
+  for (Index i = 0; i < m; ++i) {
+    if (found[i]) {
+      idx.push_back(i);
+      val.push_back(out[i]);
+    }
+  }
+  Vector<Z> t(m);
+  t.adopt_sparse(std::move(idx), std::move(val));
+  return t;
+}
+
+}  // namespace detail
+
+/// w⟨m⟩ ⊙= uᵀ ⊕.⊗ A  (push; with desc.transpose_a: uᵀ ⊕.⊗ Aᵀ, a pull).
+template <typename W, typename MaskT, typename Accum, typename SR, typename U,
+          typename AT>
+void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
+         const Vector<U> &u, const Matrix<AT> &a,
+         const Descriptor &d = desc::DEFAULT) {
+  using Z = typename SR::value_type;
+  auto allowed = [&](Index j) { return detail::vmask_test(mask, j, d); };
+  Vector<Z> t(0);
+  if (!d.transpose_a) {
+    detail::check_same_size(u.size(), a.nrows(), "vxm: u/A dimension mismatch");
+    detail::check_vector_mask(mask, a.ncols());
+    detail::check_same_size(w.size(), a.ncols(), "vxm: w/A dimension mismatch");
+    // w(j) = ⊕_k u(k) ⊗ a(k,j): first operand u (row vector, coords (0,k)),
+    // second operand a(k,j).
+    t = detail::push_kernel<Z>(
+        sr, a, u, allowed,
+        [&](const AT &aval, const U &uval, Index j, Index k) {
+          return sr.multiply(uval, aval, Index{0}, k, j);
+        },
+        a.ncols());
+  } else {
+    detail::check_same_size(u.size(), a.ncols(), "vxm: u/Aᵀ dimension mismatch");
+    detail::check_vector_mask(mask, a.nrows());
+    detail::check_same_size(w.size(), a.nrows(), "vxm: w/Aᵀ dimension mismatch");
+    // w(i) = ⊕_k u(k) ⊗ aᵀ(k,i) = ⊕_k u(k) ⊗ a(i,k): dot products over rows.
+    t = detail::dot_kernel<Z>(
+        sr, a, u, allowed, [&](const AT &aval, const U &uval, Index i, Index k) {
+          return sr.multiply(uval, aval, Index{0}, k, i);
+        });
+  }
+  detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
+}
+
+/// w⟨m⟩ ⊙= A ⊕.⊗ u  (pull; with desc.transpose_a: Aᵀ ⊕.⊗ u, a push).
+template <typename W, typename MaskT, typename Accum, typename SR, typename AT,
+          typename U>
+void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
+         const Matrix<AT> &a, const Vector<U> &u,
+         const Descriptor &d = desc::DEFAULT) {
+  using Z = typename SR::value_type;
+  auto allowed = [&](Index i) { return detail::vmask_test(mask, i, d); };
+  Vector<Z> t(0);
+  if (!d.transpose_a) {
+    detail::check_same_size(u.size(), a.ncols(), "mxv: u/A dimension mismatch");
+    detail::check_vector_mask(mask, a.nrows());
+    detail::check_same_size(w.size(), a.nrows(), "mxv: w/A dimension mismatch");
+    // w(i) = ⊕_k a(i,k) ⊗ u(k): first operand is the matrix element.
+    t = detail::dot_kernel<Z>(
+        sr, a, u, allowed, [&](const AT &aval, const U &uval, Index i, Index k) {
+          return sr.multiply(aval, uval, i, k, Index{0});
+        });
+  } else {
+    detail::check_same_size(u.size(), a.nrows(), "mxv: u/Aᵀ dimension mismatch");
+    detail::check_vector_mask(mask, a.ncols());
+    detail::check_same_size(w.size(), a.ncols(), "mxv: w/Aᵀ dimension mismatch");
+    // w(j) = ⊕_k aᵀ(j,k) ⊗ u(k) = ⊕_k a(k,j) ⊗ u(k): scatter along rows of A.
+    t = detail::push_kernel<Z>(
+        sr, a, u, allowed,
+        [&](const AT &aval, const U &uval, Index j, Index k) {
+          return sr.multiply(aval, uval, j, k, Index{0});
+        },
+        a.ncols());
+  }
+  detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
+}
+
+}  // namespace grb

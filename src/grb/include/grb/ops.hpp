@@ -1,0 +1,345 @@
+// grb/ops.hpp — unary, binary, positional, and index-unary operators.
+//
+// Operators are stateless functor types (empty structs) so that kernels
+// instantiate to tight inner loops. Positional operators (firsti/firstj/
+// secondi/secondj) do not look at values at all: in a multiply C = A ⊕.⊗ B
+// they receive the coordinate triple (i, k, j) of the product a(i,k)·b(k,j)
+// and return one of the coordinates. They are what makes the BFS parent
+// computation a single vxm with the any.secondi semiring (paper §IV-A).
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <type_traits>
+
+#include "grb/types.hpp"
+
+namespace grb {
+
+// ---------------------------------------------------------------------------
+// Unary operators (for apply)
+// ---------------------------------------------------------------------------
+
+struct Identity {
+  template <typename T>
+  T operator()(const T &x) const {
+    return x;
+  }
+};
+
+struct AInv {  // additive inverse
+  template <typename T>
+  T operator()(const T &x) const {
+    return static_cast<T>(-x);
+  }
+};
+
+struct MInv {  // multiplicative inverse
+  template <typename T>
+  T operator()(const T &x) const {
+    return static_cast<T>(T(1) / x);
+  }
+};
+
+struct Abs {
+  template <typename T>
+  T operator()(const T &x) const {
+    if constexpr (std::is_unsigned_v<T>) {
+      return x;
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return std::fabs(x);
+    } else {
+      return static_cast<T>(x < 0 ? -x : x);
+    }
+  }
+};
+
+struct One {  // constant one, ignores its input
+  template <typename T>
+  T operator()(const T &) const {
+    return T(1);
+  }
+};
+
+struct LNot {
+  template <typename T>
+  bool operator()(const T &x) const {
+    return !static_cast<bool>(x);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Binary operators
+// ---------------------------------------------------------------------------
+
+struct Plus {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x + y);
+  }
+};
+
+struct Minus {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x - y);
+  }
+};
+
+struct Times {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x * y);
+  }
+};
+
+struct Div {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x / y);
+  }
+};
+
+struct Min {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return y < x ? y : x;
+  }
+};
+
+struct Max {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return x < y ? y : x;
+  }
+};
+
+struct First {  // first(x, y) = x
+  template <typename T>
+  T operator()(const T &x, const T &) const {
+    return x;
+  }
+};
+
+struct Second {  // second(x, y) = y
+  template <typename T>
+  T operator()(const T &, const T &y) const {
+    return y;
+  }
+};
+
+struct Pair {  // pair(x, y) = 1 — structural multiply, ignores values
+  template <typename T>
+  T operator()(const T &, const T &) const {
+    return T(1);
+  }
+};
+
+struct LAnd {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(static_cast<bool>(x) && static_cast<bool>(y));
+  }
+};
+
+struct LOr {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(static_cast<bool>(x) || static_cast<bool>(y));
+  }
+};
+
+struct LXor {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(static_cast<bool>(x) != static_cast<bool>(y));
+  }
+};
+
+// Comparison operators return the same type T so they compose with semirings;
+// boolean results are represented as T(0)/T(1).
+struct Eq {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x == y);
+  }
+};
+
+struct Ne {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x != y);
+  }
+};
+
+struct Lt {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x < y);
+  }
+};
+
+struct Gt {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x > y);
+  }
+};
+
+struct Le {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x <= y);
+  }
+};
+
+struct Ge {
+  template <typename T>
+  T operator()(const T &x, const T &y) const {
+    return static_cast<T>(x >= y);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Positional binary operators (GxB_FIRSTI et al.). In C = A ⊕.⊗ B the
+// multiply combines a(i,k) with b(k,j); a positional op returns one of the
+// indices instead of a value. secondi — the row index of the second operand,
+// i.e. k — is the parent id in the BFS (paper §IV-A, §VI-A).
+// ---------------------------------------------------------------------------
+
+struct positional_tag {};
+
+template <typename Op>
+inline constexpr bool is_positional_v = std::is_base_of_v<positional_tag, Op>;
+
+struct FirstI : positional_tag {  // row index of a(i,k): i
+  template <typename T>
+  T operator()(Index i, Index /*k*/, Index /*j*/) const {
+    return static_cast<T>(i);
+  }
+};
+
+struct FirstJ : positional_tag {  // column index of a(i,k): k
+  template <typename T>
+  T operator()(Index /*i*/, Index k, Index /*j*/) const {
+    return static_cast<T>(k);
+  }
+};
+
+struct SecondI : positional_tag {  // row index of b(k,j): k
+  template <typename T>
+  T operator()(Index /*i*/, Index k, Index /*j*/) const {
+    return static_cast<T>(k);
+  }
+};
+
+struct SecondJ : positional_tag {  // column index of b(k,j): j
+  template <typename T>
+  T operator()(Index /*i*/, Index /*k*/, Index j) const {
+    return static_cast<T>(j);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Index-unary operators (for select and indexed apply). Each receives the
+// element value, its coordinates, and a caller-supplied thunk.
+// ---------------------------------------------------------------------------
+
+struct Tril {  // keep entries on or below the j = i + thunk diagonal
+  template <typename T>
+  bool operator()(const T &, Index i, Index j, const T &thunk) const {
+    return static_cast<std::int64_t>(j) <=
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct Triu {  // keep entries on or above the j = i + thunk diagonal
+  template <typename T>
+  bool operator()(const T &, Index i, Index j, const T &thunk) const {
+    return static_cast<std::int64_t>(j) >=
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct Diag {
+  template <typename T>
+  bool operator()(const T &, Index i, Index j, const T &thunk) const {
+    return static_cast<std::int64_t>(j) ==
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct OffDiag {
+  template <typename T>
+  bool operator()(const T &, Index i, Index j, const T &thunk) const {
+    return static_cast<std::int64_t>(j) !=
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct ValueEq {
+  template <typename T>
+  bool operator()(const T &x, Index, Index, const T &thunk) const {
+    return x == thunk;
+  }
+};
+
+struct ValueNe {
+  template <typename T>
+  bool operator()(const T &x, Index, Index, const T &thunk) const {
+    return x != thunk;
+  }
+};
+
+struct ValueLt {
+  template <typename T>
+  bool operator()(const T &x, Index, Index, const T &thunk) const {
+    return x < thunk;
+  }
+};
+
+struct ValueLe {
+  template <typename T>
+  bool operator()(const T &x, Index, Index, const T &thunk) const {
+    return x <= thunk;
+  }
+};
+
+struct ValueGt {
+  template <typename T>
+  bool operator()(const T &x, Index, Index, const T &thunk) const {
+    return x > thunk;
+  }
+};
+
+struct ValueGe {
+  template <typename T>
+  bool operator()(const T &x, Index, Index, const T &thunk) const {
+    return x >= thunk;
+  }
+};
+
+struct RowIndexLt {  // keep entries with row index < thunk
+  template <typename T>
+  bool operator()(const T &, Index i, Index, const T &thunk) const {
+    return i < static_cast<Index>(thunk);
+  }
+};
+
+struct ColIndexLt {  // keep entries with column index < thunk
+  template <typename T>
+  bool operator()(const T &, Index, Index j, const T &thunk) const {
+    return j < static_cast<Index>(thunk);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// "No accumulator" tag: w = t rather than w ⊙= t.
+// ---------------------------------------------------------------------------
+
+struct NoAccum {};
+
+template <typename A>
+inline constexpr bool is_accum_v = !std::is_same_v<A, NoAccum>;
+
+}  // namespace grb

@@ -1,0 +1,93 @@
+// grb/reduce.hpp — reductions (paper §III-B g).
+//
+// Row-wise matrix→vector reduction (column-wise under a transposed
+// descriptor), matrix→scalar, and vector→scalar. Scalar reductions of empty
+// objects yield the monoid identity.
+#pragma once
+
+#include <vector>
+
+#include "grb/mask.hpp"
+#include "grb/semiring.hpp"
+#include "grb/transpose.hpp"
+
+namespace grb {
+
+/// w⟨m⟩ ⊙= [⊕_j A(:,j)] — row-wise reduce to a column vector.
+template <typename W, typename MaskT, typename Accum, typename M, typename A>
+void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
+            const Matrix<A> &a, const Descriptor &d = desc::DEFAULT) {
+  using Z = typename M::value_type;
+  const Matrix<A> *src = &a;
+  Matrix<A> at;
+  if (d.transpose_a) {
+    at = transposed(a);
+    src = &at;
+  }
+  detail::check_same_size(w.size(), src->nrows(), "reduce: size mismatch");
+  src->finish();
+  const Index m = src->nrows();
+  std::vector<std::uint8_t> found(static_cast<std::size_t>(m), 0);
+  std::vector<Z> out(static_cast<std::size_t>(m));
+  // Row reductions are independent; per-row slots keep the loop parallel.
+#pragma omp parallel for schedule(static)
+  for (Index i = 0; i < m; ++i) {
+    bool hit = false;
+    Z acc{};
+    src->for_each_in_row(i, [&](Index, const A &x) {
+      if (!hit) {
+        hit = true;
+        acc = static_cast<Z>(x);
+      } else {
+        acc = monoid(acc, static_cast<Z>(x));
+      }
+    });
+    if (hit) {
+      found[i] = 1;
+      out[i] = acc;
+    }
+  }
+  std::vector<Index> idx;
+  std::vector<Z> val;
+  for (Index i = 0; i < m; ++i) {
+    if (found[i]) {
+      idx.push_back(i);
+      val.push_back(out[i]);
+    }
+  }
+  Vector<Z> t(src->nrows());
+  t.adopt_sparse(std::move(idx), std::move(val));
+  detail::write_result(w, std::move(t), mask, accum, d);
+}
+
+/// s ⊙= [⊕_{i,j} A(i,j)] — reduce a matrix to a scalar.
+template <typename S, typename Accum, typename M, typename A>
+void reduce(S &s, Accum accum, M monoid, const Matrix<A> &a) {
+  using Z = typename M::value_type;
+  Z acc = M::identity();
+  a.for_each([&](Index, Index, const A &x) {
+    acc = monoid(acc, static_cast<Z>(x));
+  });
+  if constexpr (is_accum_v<Accum>) {
+    s = static_cast<S>(accum(static_cast<Z>(s), acc));
+  } else {
+    (void)accum;
+    s = static_cast<S>(acc);
+  }
+}
+
+/// s ⊙= [⊕_i u(i)] — reduce a vector to a scalar.
+template <typename S, typename Accum, typename M, typename U>
+void reduce(S &s, Accum accum, M monoid, const Vector<U> &u) {
+  using Z = typename M::value_type;
+  Z acc = M::identity();
+  u.for_each([&](Index, const U &x) { acc = monoid(acc, static_cast<Z>(x)); });
+  if constexpr (is_accum_v<Accum>) {
+    s = static_cast<S>(accum(static_cast<Z>(s), acc));
+  } else {
+    (void)accum;
+    s = static_cast<S>(acc);
+  }
+}
+
+}  // namespace grb

@@ -1,0 +1,179 @@
+// grb/semiring.hpp — monoids and semirings (paper Table II).
+//
+// A Monoid is a binary operator with an identity and, optionally, a terminal
+// ("annihilator") value that permits early exit: once a reduction reaches the
+// terminal, no further input can change the result. The `any` monoid is all
+// terminal: it keeps the first value it sees and stops. This is the
+// sequential analogue of the benign race the paper describes for the GAP BFS
+// (any valid parent is acceptable).
+//
+// A Semiring pairs an additive monoid ⊕ with a multiplicative binary op ⊗
+// (which may be positional, see ops.hpp).
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+#include "grb/ops.hpp"
+#include "grb/types.hpp"
+
+namespace grb {
+
+// ---------------------------------------------------------------------------
+// Monoids
+// ---------------------------------------------------------------------------
+
+template <typename Op, typename T>
+struct Monoid {
+  using value_type = T;
+  using op_type = Op;
+
+  Op op{};
+
+  T operator()(const T &x, const T &y) const { return op(x, y); }
+
+  static constexpr bool has_terminal = false;
+
+  static constexpr T identity() {
+    if constexpr (std::is_same_v<Op, Plus> || std::is_same_v<Op, LOr> ||
+                  std::is_same_v<Op, LXor>) {
+      return T(0);
+    } else if constexpr (std::is_same_v<Op, Times> || std::is_same_v<Op, LAnd>) {
+      return T(1);
+    } else if constexpr (std::is_same_v<Op, Min>) {
+      if constexpr (std::is_floating_point_v<T>) {
+        return std::numeric_limits<T>::infinity();
+      } else {
+        return std::numeric_limits<T>::max();
+      }
+    } else if constexpr (std::is_same_v<Op, Max>) {
+      if constexpr (std::is_floating_point_v<T>) {
+        return -std::numeric_limits<T>::infinity();
+      } else {
+        return std::numeric_limits<T>::lowest();
+      }
+    } else {
+      static_assert(std::is_same_v<Op, Plus>, "no identity known for this op");
+    }
+  }
+
+  static constexpr bool is_terminal(const T &) { return false; }
+};
+
+/// Monoids with a terminal value allow reductions and dot products to stop
+/// early (min reaching -inf, lor reaching true, ...).
+template <typename Op, typename T, typename Base = Monoid<Op, T>>
+struct TerminalMonoid : Base {
+  static constexpr bool has_terminal = true;
+
+  static constexpr T terminal() {
+    if constexpr (std::is_same_v<Op, Min>) {
+      if constexpr (std::is_floating_point_v<T>) {
+        return -std::numeric_limits<T>::infinity();
+      } else {
+        return std::numeric_limits<T>::lowest();
+      }
+    } else if constexpr (std::is_same_v<Op, Max>) {
+      if constexpr (std::is_floating_point_v<T>) {
+        return std::numeric_limits<T>::infinity();
+      } else {
+        return std::numeric_limits<T>::max();
+      }
+    } else if constexpr (std::is_same_v<Op, LOr>) {
+      return T(1);
+    } else if constexpr (std::is_same_v<Op, LAnd>) {
+      return T(0);
+    } else if constexpr (std::is_same_v<Op, Times>) {
+      return T(0);
+    } else {
+      static_assert(std::is_same_v<Op, Min>, "no terminal known for this op");
+    }
+  }
+
+  static constexpr bool is_terminal(const T &x) { return x == terminal(); }
+};
+
+/// The `any` monoid: keeps the first value it sees; every value is terminal.
+/// GraphBLAS leaves the choice nondeterministic; a sequential reduction
+/// deterministically keeps the first, which is a valid instance.
+template <typename T>
+struct AnyMonoid {
+  using value_type = T;
+
+  T operator()(const T &x, const T &) const { return x; }
+
+  static constexpr bool has_terminal = true;
+  static constexpr T identity() { return T(0); }
+  static constexpr bool is_terminal(const T &) { return true; }
+};
+
+template <typename T>
+using PlusMonoid = Monoid<Plus, T>;
+template <typename T>
+using TimesMonoid = TerminalMonoid<Times, T>;
+template <typename T>
+using MinMonoid = TerminalMonoid<Min, T>;
+template <typename T>
+using MaxMonoid = TerminalMonoid<Max, T>;
+template <typename T>
+using LOrMonoid = TerminalMonoid<LOr, T>;
+template <typename T>
+using LAndMonoid = TerminalMonoid<LAnd, T>;
+
+// ---------------------------------------------------------------------------
+// Semirings
+// ---------------------------------------------------------------------------
+
+/// Semiring ⊕.⊗ over element type T. MultOp may be positional; the kernels
+/// dispatch on is_positional_v<MultOp> and pass coordinates instead of
+/// values.
+template <typename AddMonoid, typename MultOp>
+struct Semiring {
+  using add_monoid = AddMonoid;
+  using mult_op = MultOp;
+  using value_type = typename AddMonoid::value_type;
+
+  AddMonoid add{};
+  MultOp mult{};
+
+  /// Multiply a(i,k) ⊗ b(k,j), where positional ops use the coordinates.
+  template <typename TA, typename TB>
+  value_type multiply(const TA &a, const TB &b, Index i, Index k,
+                      Index j) const {
+    if constexpr (is_positional_v<MultOp>) {
+      (void)a;
+      (void)b;
+      return mult.template operator()<value_type>(i, k, j);
+    } else {
+      return mult(static_cast<value_type>(a), static_cast<value_type>(b));
+    }
+  }
+};
+
+// Semirings of Table II (and min.second, used by FastSV).
+template <typename T>
+using PlusTimes = Semiring<PlusMonoid<T>, Times>;  // "conventional"
+template <typename T>
+using AnySecondI = Semiring<AnyMonoid<T>, SecondI>;
+template <typename T>
+using AnyFirstI = Semiring<AnyMonoid<T>, FirstI>;
+template <typename T>
+using MinPlus = Semiring<MinMonoid<T>, Plus>;
+template <typename T>
+using PlusFirst = Semiring<PlusMonoid<T>, First>;
+template <typename T>
+using PlusSecond = Semiring<PlusMonoid<T>, Second>;
+template <typename T>
+using PlusPair = Semiring<PlusMonoid<T>, Pair>;
+template <typename T>
+using MinSecond = Semiring<MinMonoid<T>, Second>;
+template <typename T>
+using MinFirst = Semiring<MinMonoid<T>, First>;
+template <typename T>
+using LOrLAnd = Semiring<LOrMonoid<T>, LAnd>;
+template <typename T>
+using AnyPair = Semiring<AnyMonoid<T>, Pair>;
+template <typename T>
+using AnySecond = Semiring<AnyMonoid<T>, Second>;
+
+}  // namespace grb

@@ -1,0 +1,63 @@
+// grb/transpose.hpp — matrix transposition.
+//
+// The internal helper produces the explicit transpose in CSR with naturally
+// sorted rows in O(m + n + nnz): scanning A in row-major order appends to
+// each output row in ascending source-row order.
+#pragma once
+
+#include <vector>
+
+#include "grb/mask.hpp"
+
+namespace grb {
+namespace detail {
+
+template <typename T>
+Matrix<T> transpose_impl(const Matrix<T> &a) {
+  const Index m = a.nrows();
+  const Index n = a.ncols();
+  std::vector<Index> rp(static_cast<std::size_t>(n) + 1, 0);
+  a.for_each([&](Index, Index j, const T &) { ++rp[j + 1]; });
+  for (Index j = 0; j < n; ++j) rp[j + 1] += rp[j];
+  std::vector<Index> next(rp.begin(), rp.end() - 1);
+  std::vector<Index> ci(a.nvals());
+  std::vector<T> cv(a.nvals());
+  a.for_each([&](Index i, Index j, const T &x) {
+    ci[next[j]] = i;
+    cv[next[j]] = x;
+    ++next[j];
+  });
+  Matrix<T> at(n, m);
+  at.adopt_csr(std::move(rp), std::move(ci), std::move(cv), /*jumbled=*/false);
+  return at;
+}
+
+}  // namespace detail
+
+/// C⟨M⟩ ⊙= Aᵀ (or A itself under desc.transpose_a, matching the C API where
+/// GrB_transpose with INP0 transposed is a masked copy).
+template <typename W, typename MaskT, typename Accum, typename A>
+void transpose(Matrix<W> &c, const MaskT &mask, Accum accum, const Matrix<A> &a,
+               const Descriptor &d = desc::DEFAULT) {
+  Matrix<A> t = d.transpose_a ? a : detail::transpose_impl(a);
+  if constexpr (std::is_same_v<A, W>) {
+    detail::write_result(c, std::move(t), mask, accum, d);
+  } else {
+    Matrix<W> tw(t.nrows(), t.ncols());
+    std::vector<Index> rp(t.rowptr().begin(), t.rowptr().end());
+    std::vector<Index> ci(t.colidx().begin(), t.colidx().end());
+    std::vector<W> cv;
+    cv.reserve(t.nvals());
+    for (const A &x : t.values()) cv.push_back(static_cast<W>(x));
+    tw.adopt_csr(std::move(rp), std::move(ci), std::move(cv), t.jumbled());
+    detail::write_result(c, std::move(tw), mask, accum, d);
+  }
+}
+
+/// Convenience: return Aᵀ directly.
+template <typename T>
+Matrix<T> transposed(const Matrix<T> &a) {
+  return detail::transpose_impl(a);
+}
+
+}  // namespace grb

@@ -1,0 +1,116 @@
+// grb/types.hpp — fundamental types, status codes, and the exception type for
+// the grb GraphBLAS substrate.
+//
+// grb is a from-scratch C++20 implementation of the GraphBLAS operation set
+// (mxm/mxv/vxm, element-wise ops, extract/assign, apply/select, reduce,
+// transpose, build/extractTuples) over arbitrary semirings, with masks
+// (valued/structural, complemented), accumulators, and replace/merge output
+// semantics. It plays the role SuiteSparse:GraphBLAS plays in the LAGraph
+// paper: the substrate on which the LAGraph algorithms are written.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace grb {
+
+/// Index type for rows, columns, and vector positions. GraphBLAS mandates
+/// 64-bit indices (the paper cites this as one source of the gap vs the
+/// 32-bit GAP benchmark), so we use 64-bit throughout.
+using Index = std::uint64_t;
+
+/// Sentinel meaning "all indices" in assign/extract, mirroring GrB_ALL.
+inline constexpr Index ALL = std::numeric_limits<Index>::max();
+
+/// Boolean element type (GrB_BOOL). `bool` itself is rejected as a container
+/// element because std::vector<bool> is a packed bitset whose elements cannot
+/// be exposed through spans/pointers; use grb::Bool instead.
+using Bool = std::uint8_t;
+
+/// Status codes, modelled on GrB_Info. Negative values are errors; positive
+/// values are informational (no_value); zero is success.
+enum class Info : int {
+  success = 0,
+  no_value = 1,
+
+  uninitialized_object = -1,
+  null_pointer = -2,
+  invalid_value = -3,
+  invalid_index = -4,
+  domain_mismatch = -5,
+  dimension_mismatch = -6,
+  output_not_empty = -7,
+  not_implemented = -8,
+  panic = -9,
+  out_of_memory = -10,
+  insufficient_space = -11,
+  index_out_of_bounds = -12,
+  empty_object = -13,
+};
+
+/// Human-readable name for a status code.
+inline const char *info_name(Info info) noexcept {
+  switch (info) {
+    case Info::success: return "success";
+    case Info::no_value: return "no_value";
+    case Info::uninitialized_object: return "uninitialized_object";
+    case Info::null_pointer: return "null_pointer";
+    case Info::invalid_value: return "invalid_value";
+    case Info::invalid_index: return "invalid_index";
+    case Info::domain_mismatch: return "domain_mismatch";
+    case Info::dimension_mismatch: return "dimension_mismatch";
+    case Info::output_not_empty: return "output_not_empty";
+    case Info::not_implemented: return "not_implemented";
+    case Info::panic: return "panic";
+    case Info::out_of_memory: return "out_of_memory";
+    case Info::insufficient_space: return "insufficient_space";
+    case Info::index_out_of_bounds: return "index_out_of_bounds";
+    case Info::empty_object: return "empty_object";
+  }
+  return "unknown";
+}
+
+/// Exception carrying a GraphBLAS status code. The grb layer reports errors
+/// by throwing; the lagraph layer converts exceptions into the paper's
+/// int-status + message-buffer convention at its public boundary.
+class Exception : public std::runtime_error {
+ public:
+  Exception(Info info, const std::string &what)
+      : std::runtime_error(std::string(info_name(info)) + ": " + what),
+        info_(info) {}
+
+  [[nodiscard]] Info info() const noexcept { return info_; }
+
+ private:
+  Info info_;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(Info info, const std::string &what) {
+  throw Exception(info, what);
+}
+
+inline void require(bool ok, Info info, const char *what) {
+  if (!ok) fail(info, what);
+}
+
+inline void check_same_size(Index a, Index b, const char *what) {
+  if (a != b) fail(Info::dimension_mismatch, what);
+}
+
+}  // namespace detail
+
+/// Library version information (see src/grb.cpp).
+struct Version {
+  int major;
+  int minor;
+  int patch;
+};
+
+Version version() noexcept;
+const char *version_string() noexcept;
+
+}  // namespace grb

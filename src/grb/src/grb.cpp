@@ -1,0 +1,9 @@
+#include "grb/grb.hpp"
+
+namespace grb {
+
+Version version() noexcept { return Version{1, 0, 0}; }
+
+const char *version_string() noexcept { return "grb 1.0.0 (lagraph-repro)"; }
+
+}  // namespace grb

@@ -1,0 +1,121 @@
+// lagraph/algorithms/cc.hpp — connected components, FastSV (paper §IV-F,
+// Alg. 7; Zhang, Azad, Buluç).
+//
+// The algorithm maintains a forest in a parent vector f and repeats:
+//   1. stochastic hooking:  mngf(i) = min over i's neighbours of their
+//      grandparent (one mxv with the min.second semiring, accumulated with
+//      min), then f(f(i)) min= mngf(i) — a scatter through the parent ids
+//      with a min accumulator;
+//   2. aggressive hooking:  f = min(f, mngf);
+//   3. shortcutting:        f = min(f, gf);
+//   4. grandparents:        gf = f(f) — a gather;
+//   5. terminate when gf stops changing.
+// The scatter in step 1 relies on grb::assign's documented duplicate-index
+// semantics (duplicates combine through the accumulator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace advanced {
+
+/// FastSV on a graph whose pattern is already known symmetric. Produces the
+/// component label of each node (the minimum node id in its component).
+template <typename T>
+int connected_components_fastsv(grb::Vector<grb::Index> *component,
+                                const Graph<T> &g, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (component == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "connected_components: output is null");
+    }
+    if (g.kind != Kind::adjacency_undirected &&
+        g.a_pattern_is_symmetric != BooleanProperty::yes) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "connected_components_fastsv: needs an undirected graph or a "
+          "cached symmetric-pattern property");
+    }
+    const grb::Index n = g.nodes();
+    using VI = grb::Vector<grb::Index>;
+
+    // f = 0..n-1
+    VI f(n);
+    {
+      std::vector<grb::Index> idx(n);
+      std::vector<grb::Index> val(n);
+      for (grb::Index i = 0; i < n; ++i) {
+        idx[i] = i;
+        val[i] = i;
+      }
+      f.build(std::span<const grb::Index>(idx),
+              std::span<const grb::Index>(val));
+    }
+    VI gf = f;     // grandparent
+    VI mngf = f;   // minimum neighbour grandparent
+    VI dup = gf;   // previous gf, for the termination test
+
+    grb::MinSecond<grb::Index> min_second;
+    std::vector<grb::Index> fidx;
+    std::vector<grb::Index> fval;
+    f.extract_tuples(fidx, fval);
+
+    while (true) {
+      // Step 1a: mngf(i) min= min_{k ∈ N(i)} gf(k)
+      grb::mxv(mngf, grb::no_mask, grb::Min{}, min_second, g.a, gf);
+      // Step 1b: stochastic hooking — scatter-min through the parent ids:
+      // f(f(i)) min= mngf(i)
+      grb::assign(f, grb::no_mask, grb::Min{}, mngf, grb::Indices(fval));
+      // Step 2: aggressive hooking — f = min(f, mngf)
+      grb::eWiseAdd(f, grb::no_mask, grb::NoAccum{}, grb::Min{}, f, mngf);
+      // Step 3: shortcutting — f = min(f, gf)
+      grb::eWiseAdd(f, grb::no_mask, grb::NoAccum{}, grb::Min{}, f, gf);
+      // Step 4: grandparents — gf = f(f)
+      f.extract_tuples(fidx, fval);
+      grb::extract(gf, grb::no_mask, grb::NoAccum{}, f, grb::Indices(fval));
+      // Step 5: termination — any change in gf?
+      grb::Vector<grb::Index> diff(n);
+      grb::eWiseMult(diff, grb::no_mask, grb::NoAccum{}, grb::Ne{}, dup, gf);
+      grb::Index changed = 0;
+      grb::reduce(changed, grb::NoAccum{}, grb::PlusMonoid<grb::Index>{},
+                  diff);
+      dup = gf;
+      mngf = gf;
+      if (changed == 0) break;
+    }
+    *component = std::move(f);
+    return LAGRAPH_OK;
+  });
+}
+
+}  // namespace advanced
+
+/// Basic-mode connected components: for a directed graph, first builds the
+/// symmetrized pattern A ∨ Aᵀ (weak connectivity), then runs FastSV.
+template <typename T>
+int connected_components(grb::Vector<grb::Index> *component, Graph<T> &g,
+                         char *msg = nullptr) {
+  if (g.kind == Kind::adjacency_undirected) {
+    return advanced::connected_components_fastsv(component, g, msg);
+  }
+  int status = property_symmetric_pattern(g, msg);
+  if (status < 0) return status;
+  if (g.a_pattern_is_symmetric == BooleanProperty::yes) {
+    return advanced::connected_components_fastsv(component, g, msg);
+  }
+  return detail::guarded(msg, [&]() {
+    // S = pattern(A) ∨ pattern(Aᵀ)
+    grb::Matrix<grb::Bool> s(g.nodes(), g.nodes());
+    grb::Matrix<grb::Bool> p(g.nodes(), g.nodes());
+    grb::apply(p, grb::no_mask, grb::NoAccum{}, grb::One{}, g.a);
+    auto pt = grb::transposed(p);
+    grb::eWiseAdd(s, grb::no_mask, grb::NoAccum{}, grb::LOr{}, p, pt);
+    Graph<grb::Bool> sym(std::move(s), Kind::adjacency_undirected);
+    return advanced::connected_components_fastsv(component, sym, msg);
+  });
+}
+
+}  // namespace lagraph

@@ -1,0 +1,182 @@
+// lagraph/algorithms/pagerank.hpp — PageRank (paper §IV-C, Alg. 4).
+//
+// Two variants, as in the paper:
+//   - pagerank_gap: the iteration exactly as the GAP benchmark specifies it
+//     (plus.second pull over Aᵀ, teleport base, L1-norm stopping test). It
+//     deliberately does NOT handle dangling vertices — their rank leaks —
+//     because pr.cc does not.
+//   - pagerank_graphalytics: the LDBC Graphalytics formulation, which
+//     redistributes the rank of dangling vertices uniformly each iteration,
+//     avoiding that defect.
+#pragma once
+
+#include <cstdint>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace advanced {
+
+/// GAP-variant PageRank (Alg. 4). Advanced mode: requires the cached
+/// transpose (directed graphs) and cached row degrees; never mutates g.
+/// On return *iters holds the number of iterations taken. Returns
+/// LAGRAPH_WARN_CONVERGENCE if itermax was reached first.
+template <typename T>
+int pagerank_gap(grb::Vector<double> *r_out, int *iters, const Graph<T> &g,
+                 double damping, double tol, int itermax, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (r_out == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "pagerank: r is null");
+    }
+    const grb::Matrix<T> *at = g.transpose_view();
+    if (at == nullptr) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "pagerank_gap: needs the cached transpose (property_at)");
+    }
+    if (!g.row_degree.has_value()) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "pagerank_gap: needs cached row degrees (property_row_degree)");
+    }
+    const grb::Index n = g.nodes();
+    const double teleport = (1.0 - damping) / static_cast<double>(n);
+
+    // d = d_out / damping — prescaling folds the damping factor into the
+    // division w = t ./ d (Alg. 4 line 5).
+    grb::Vector<double> d(n);
+    grb::apply2nd(d, grb::no_mask, grb::NoAccum{}, grb::Div{}, *g.row_degree,
+                  damping);
+
+    auto r = grb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+    grb::Vector<double> t(n);
+    grb::Vector<double> w(n);
+    grb::PlusSecond<double> plus_second;
+
+    int k = 0;
+    for (k = 0; k < itermax; ++k) {
+      std::swap(t, r);  // t is now the prior rank
+      // w = t ./ d  (dangling nodes have no degree entry and drop out,
+      // reproducing the GAP rank leak)
+      grb::eWiseMult(w, grb::no_mask, grb::NoAccum{}, grb::Div{}, t, d);
+      // r(:) = teleport
+      grb::assign(r, grb::no_mask, grb::NoAccum{}, teleport,
+                  grb::Indices::all());
+      // r += Aᵀ plus.second w
+      grb::mxv(r, grb::no_mask, grb::Plus{}, plus_second, *at, w);
+      // t = |t - r|; stop when the 1-norm of the change is below tol
+      grb::eWiseAdd(t, grb::no_mask, grb::NoAccum{}, grb::Minus{}, t, r);
+      grb::apply(t, grb::no_mask, grb::NoAccum{}, grb::Abs{}, t);
+      double norm = 0;
+      grb::reduce(norm, grb::NoAccum{}, grb::PlusMonoid<double>{}, t);
+      if (norm < tol) {
+        ++k;
+        break;
+      }
+    }
+    if (iters != nullptr) *iters = k;
+    *r_out = std::move(r);
+    return k >= itermax ? LAGRAPH_WARN_CONVERGENCE : LAGRAPH_OK;
+  });
+}
+
+/// Graphalytics-variant PageRank: identical iteration, plus the dangling
+/// correction — the rank mass sitting on zero-out-degree vertices is
+/// redistributed uniformly (paper §IV-C; [14] in the paper).
+template <typename T>
+int pagerank_graphalytics(grb::Vector<double> *r_out, int *iters,
+                          const Graph<T> &g, double damping, double tol,
+                          int itermax, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (r_out == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "pagerank: r is null");
+    }
+    const grb::Matrix<T> *at = g.transpose_view();
+    if (at == nullptr || !g.row_degree.has_value()) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "pagerank_graphalytics: needs cached transpose and row degrees");
+    }
+    const grb::Index n = g.nodes();
+    const double dn = static_cast<double>(n);
+    const double teleport = (1.0 - damping) / dn;
+
+    grb::Vector<double> d(n);
+    grb::apply2nd(d, grb::no_mask, grb::NoAccum{}, grb::Div{}, *g.row_degree,
+                  damping);
+
+    // dangling = nodes with no out-edges = complement of row_degree pattern
+    grb::Vector<grb::Bool> dangling(n);
+    {
+      auto ones = grb::Vector<grb::Bool>::full(n, 1);
+      grb::apply(dangling, *g.row_degree, grb::NoAccum{}, grb::Identity{},
+                 ones, grb::desc::RSC);
+    }
+
+    auto r = grb::Vector<double>::full(n, 1.0 / dn);
+    grb::Vector<double> t(n);
+    grb::Vector<double> w(n);
+    grb::Vector<double> dang_rank(n);
+    grb::PlusSecond<double> plus_second;
+
+    int k = 0;
+    for (k = 0; k < itermax; ++k) {
+      std::swap(t, r);
+      // rank mass stuck on dangling vertices this iteration
+      double dmass = 0;
+      if (dangling.nvals() != 0) {
+        grb::apply(dang_rank, dangling, grb::NoAccum{}, grb::Identity{}, t,
+                   grb::desc::RS);
+        grb::reduce(dmass, grb::NoAccum{}, grb::PlusMonoid<double>{},
+                    dang_rank);
+      }
+      grb::eWiseMult(w, grb::no_mask, grb::NoAccum{}, grb::Div{}, t, d);
+      grb::assign(r, grb::no_mask, grb::NoAccum{},
+                  teleport + damping * dmass / dn, grb::Indices::all());
+      grb::mxv(r, grb::no_mask, grb::Plus{}, plus_second, *at, w);
+      grb::eWiseAdd(t, grb::no_mask, grb::NoAccum{}, grb::Minus{}, t, r);
+      grb::apply(t, grb::no_mask, grb::NoAccum{}, grb::Abs{}, t);
+      double norm = 0;
+      grb::reduce(norm, grb::NoAccum{}, grb::PlusMonoid<double>{}, t);
+      if (norm < tol) {
+        ++k;
+        break;
+      }
+    }
+    if (iters != nullptr) *iters = k;
+    *r_out = std::move(r);
+    return k >= itermax ? LAGRAPH_WARN_CONVERGENCE : LAGRAPH_OK;
+  });
+}
+
+}  // namespace advanced
+
+/// Basic-mode PageRank (GAP variant): computes and caches the transpose and
+/// row degrees, then runs the Advanced algorithm.
+template <typename T>
+int pagerank(grb::Vector<double> *r, int *iters, Graph<T> &g,
+             double damping = 0.85, double tol = 1e-4, int itermax = 100,
+             char *msg = nullptr) {
+  int status = property_at(g, msg);
+  if (status < 0) return status;
+  status = property_row_degree(g, msg);
+  if (status < 0) return status;
+  return advanced::pagerank_gap(r, iters, g, damping, tol, itermax, msg);
+}
+
+/// Basic-mode dangling-aware PageRank (Graphalytics variant).
+template <typename T>
+int pagerank_dangling_aware(grb::Vector<double> *r, int *iters, Graph<T> &g,
+                            double damping = 0.85, double tol = 1e-4,
+                            int itermax = 100, char *msg = nullptr) {
+  int status = property_at(g, msg);
+  if (status < 0) return status;
+  status = property_row_degree(g, msg);
+  if (status < 0) return status;
+  return advanced::pagerank_graphalytics(r, iters, g, damping, tol, itermax,
+                                         msg);
+}
+
+}  // namespace lagraph

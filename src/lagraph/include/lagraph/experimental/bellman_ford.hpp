@@ -1,0 +1,58 @@
+// lagraph/experimental/bellman_ford.hpp — Bellman-Ford SSSP (experimental).
+//
+// The classic min.plus fixed-point iteration: d ← min∪(d, dᵀ min.plus A),
+// repeated until d stops changing (at most |V|−1 rounds). Unlike the
+// delta-stepping algorithm it tolerates negative edge weights and detects
+// negative cycles, at the cost of relaxing every reached edge each round —
+// the original LAGraph ships it in the experimental folder as "BF".
+#pragma once
+
+#include <cstdint>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace experimental {
+
+/// Bellman-Ford distances from `source`. Unreached nodes have no entry.
+/// Returns LAGRAPH_INVALID_VALUE with a "negative cycle" message if one is
+/// reachable from the source.
+template <typename T>
+int bellman_ford(grb::Vector<double> *dist, const Graph<T> &g,
+                 grb::Index source, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (dist == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "bellman_ford: dist is null");
+    }
+    const grb::Index n = g.nodes();
+    if (source >= n) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                      "bellman_ford: source out of range");
+    }
+    grb::Vector<double> d(n);
+    d.set_element(source, 0.0);
+    grb::MinPlus<double> min_plus;
+    grb::Vector<double> relaxed(n);
+
+    for (grb::Index round = 0; round < n; ++round) {
+      // relaxed = dᵀ min.plus A  (push from every reached node)
+      grb::vxm(relaxed, grb::no_mask, grb::NoAccum{}, min_plus, d, g.a);
+      // next = min∪(d, relaxed)
+      grb::Vector<double> next(n);
+      grb::eWiseAdd(next, grb::no_mask, grb::NoAccum{}, grb::Min{}, d,
+                    relaxed);
+      if (next == d) {
+        *dist = std::move(d);
+        return LAGRAPH_OK;
+      }
+      d = std::move(next);
+    }
+    return lagraph::detail::set_msg(
+        msg, LAGRAPH_INVALID_VALUE,
+        "bellman_ford: negative cycle reachable from the source");
+  });
+}
+
+}  // namespace experimental
+}  // namespace lagraph

@@ -1,0 +1,17 @@
+// lagraph/experimental — the experimental algorithm tier (paper §II-E).
+//
+// "New algorithms or modifications of existing algorithms will first be
+// added to the experimental folder. The release schedule … will generally be
+// much faster than the stable release, and there is no expectation of a
+// bug-free experience." These algorithms follow the same calling
+// conventions as the stable tier but carry no stability promise.
+#pragma once
+
+#include "lagraph/experimental/bellman_ford.hpp"
+#include "lagraph/experimental/cdlp.hpp"
+#include "lagraph/experimental/kcore.hpp"
+#include "lagraph/experimental/ktruss.hpp"
+#include "lagraph/experimental/lcc.hpp"
+#include "lagraph/experimental/mis.hpp"
+#include "lagraph/experimental/msbfs.hpp"
+#include "lagraph/experimental/ppr.hpp"

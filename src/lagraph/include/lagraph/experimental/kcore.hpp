@@ -1,0 +1,92 @@
+// lagraph/experimental/kcore.hpp — k-core decomposition (experimental).
+//
+// The k-core is the maximal subgraph in which every node has degree ≥ k.
+// The GraphBLAS peeling formulation (a LAGraph experimental algorithm):
+// repeatedly compute degrees inside the surviving subgraph (one plus.pair
+// mxv over a membership vector) and drop the nodes below k.
+#pragma once
+
+#include <cstdint>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace experimental {
+
+/// Membership vector of the k-core of an undirected graph: alive(v) = 1 for
+/// nodes in the core (entries exist only for members). Also usable to peel
+/// iteratively for the full coreness decomposition (see `coreness`).
+template <typename T>
+int k_core(grb::Vector<grb::Bool> *core, const Graph<T> &g, std::int64_t k,
+           char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (core == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "k_core: output is null");
+    }
+    if (k < 1) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                      "k_core: k must be positive");
+    }
+    if (g.kind != Kind::adjacency_undirected &&
+        g.a_pattern_is_symmetric != BooleanProperty::yes) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "k_core: needs an undirected graph or cached symmetric pattern");
+    }
+    const grb::Index n = g.nodes();
+    auto alive = grb::Vector<grb::Bool>::full(n, 1);
+    grb::Vector<std::int64_t> deg(n);
+    grb::PlusPair<std::int64_t> plus_pair;
+
+    while (true) {
+      // deg(v) = |N(v) ∩ alive| for alive v
+      grb::mxv(deg, alive, grb::NoAccum{}, plus_pair, g.a, alive,
+               grb::desc::RS);
+      // survivors have deg >= k
+      grb::Vector<std::int64_t> enough(n);
+      grb::select(enough, grb::no_mask, grb::NoAccum{}, grb::ValueGe{}, deg,
+                  k);
+      grb::Vector<grb::Bool> next(n);
+      grb::apply(next, grb::no_mask, grb::NoAccum{}, grb::One{}, enough);
+      if (next.nvals() == alive.nvals()) {
+        *core = std::move(next);
+        return LAGRAPH_OK;
+      }
+      alive = std::move(next);
+      if (alive.nvals() == 0) {
+        *core = std::move(alive);
+        return LAGRAPH_OK;
+      }
+    }
+  });
+}
+
+/// Full coreness decomposition: coreness(v) = the largest k such that v is
+/// in the k-core. Dense output (isolated nodes have coreness 0).
+template <typename T>
+int coreness(grb::Vector<std::int64_t> *out, const Graph<T> &g, char *msg) {
+  int status = LAGRAPH_OK;
+  if (out == nullptr) {
+    return detail::set_msg(msg, LAGRAPH_NULL_POINTER, "coreness: null");
+  }
+  auto result = grb::Vector<std::int64_t>::full(g.nodes(), 0);
+  for (std::int64_t k = 1;; ++k) {
+    grb::Vector<grb::Bool> core;
+    status = k_core(&core, g, k, msg);
+    if (status < 0) return status;
+    if (core.nvals() == 0) break;
+    // members of the k-core have coreness at least k
+    status = detail::guarded(msg, [&]() {
+      grb::assign(result, core, grb::NoAccum{}, k, grb::Indices::all(),
+                  grb::desc::S);
+      return LAGRAPH_OK;
+    });
+    if (status < 0) return status;
+  }
+  *out = std::move(result);
+  return LAGRAPH_OK;
+}
+
+}  // namespace experimental
+}  // namespace lagraph

@@ -1,0 +1,75 @@
+// lagraph/experimental/ktruss.hpp — k-truss decomposition (experimental).
+//
+// The paper (§II-E) sets up two algorithm tiers: a stable folder (the GAP
+// six) and an experimental folder with a faster release cadence "to push the
+// boundary of what is possible with the GraphBLAS". K-truss is one of the
+// original LAGraph experimental algorithms: the k-truss of an undirected
+// graph is the maximal subgraph in which every edge participates in at least
+// k−2 triangles. The GraphBLAS formulation iterates
+//   C⟨s(A)⟩ = A plus.pair Aᵀ   (support = triangles per edge)
+//   A = C⟨C ≥ k−2⟩             (drop under-supported edges)
+// until the edge set stops changing.
+#pragma once
+
+#include <cstdint>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace experimental {
+
+/// Compute the k-truss subgraph of an undirected graph. On success, `truss`
+/// holds the surviving adjacency matrix with each entry valued by its edge
+/// support (number of triangles through that edge). Self-loops must be
+/// absent. Returns the number of pruning iterations through *iters.
+template <typename T>
+int k_truss(grb::Matrix<std::uint32_t> *truss, int *iters, const Graph<T> &g,
+            std::uint32_t k, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (truss == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "k_truss: output is null");
+    }
+    if (k < 3) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                      "k_truss: k must be >= 3");
+    }
+    if (g.kind != Kind::adjacency_undirected &&
+        g.a_pattern_is_symmetric != BooleanProperty::yes) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "k_truss: needs an undirected graph or cached symmetric pattern");
+    }
+    const grb::Index n = g.nodes();
+    const std::uint32_t support = k - 2;
+
+    // C = structure of A as uint32 ones
+    grb::Matrix<std::uint32_t> c(n, n);
+    grb::apply(c, grb::no_mask, grb::NoAccum{}, grb::One{}, g.a);
+
+    int it = 0;
+    while (true) {
+      ++it;
+      grb::Index before = c.nvals();
+      // support(e) for every surviving edge: C⟨s(C)⟩ = C plus.pair Cᵀ.
+      // The graph is symmetric so Cᵀ = C; the transposed descriptor routes
+      // this through the masked dot kernel.
+      grb::Matrix<std::uint32_t> s(n, n);
+      grb::mxm(s, c, grb::NoAccum{}, grb::PlusPair<std::uint32_t>{}, c, c,
+               grb::Descriptor{}.T1().S());
+      // keep edges with enough support
+      grb::Matrix<std::uint32_t> kept(n, n);
+      grb::select(kept, grb::no_mask, grb::NoAccum{}, grb::ValueGe{}, s,
+                  support);
+      c = std::move(kept);
+      if (c.nvals() == before) break;
+      if (c.nvals() == 0) break;
+    }
+    if (iters != nullptr) *iters = it;
+    *truss = std::move(c);
+    return LAGRAPH_OK;
+  });
+}
+
+}  // namespace experimental
+}  // namespace lagraph

@@ -1,0 +1,119 @@
+// lagraph/experimental/mis.hpp — maximal independent set (experimental).
+//
+// Luby's classic parallel MIS, one of the original GraphBLAS demo
+// algorithms (and a LAGraph experimental entry): every live node draws a
+// score; nodes whose score beats every live neighbour's join the set; their
+// neighbours leave the candidate pool; repeat. Each round is one
+// max.second mxv plus element-wise comparisons — no sequential dependence.
+#pragma once
+
+#include <cstdint>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace experimental {
+
+/// Maximal independent set of an undirected graph with no self-loops.
+/// On success, set(v) = 1 for members (entries exist only for members).
+/// The result is maximal (no node can be added) and independent (no two
+/// members adjacent); it is NOT maximum — Luby's algorithm is randomized,
+/// seeded deterministically here.
+template <typename T>
+int maximal_independent_set(grb::Vector<grb::Bool> *set, const Graph<T> &g,
+                            std::uint64_t seed, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (set == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "mis: output is null");
+    }
+    if (g.kind != Kind::adjacency_undirected &&
+        g.a_pattern_is_symmetric != BooleanProperty::yes) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "mis: needs an undirected graph or cached symmetric pattern");
+    }
+    const grb::Index n = g.nodes();
+
+    // candidates(v) = 1 while v is still undecided
+    auto candidates = grb::Vector<grb::Bool>::full(n, 1);
+    grb::Vector<grb::Bool> members(n);
+    grb::Vector<double> score(n);
+    grb::Vector<double> nbr_max(n);
+    grb::MaxMonoid<double> max_monoid;
+    grb::Semiring<grb::MaxMonoid<double>, grb::Second> max_second;
+
+    std::uint64_t state = seed | 1;
+    auto splitmix = [&state]() {
+      state += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+
+    while (candidates.nvals() != 0) {
+      // score candidates: deterministic hash per (round, node), scaled by
+      // degree so hubs defer to leaves (Luby's degree-weighted variant)
+      {
+        std::vector<grb::Index> idx;
+        std::vector<grb::Bool> cv;
+        candidates.extract_tuples(idx, cv);
+        std::vector<double> sv(idx.size());
+        const std::uint64_t round_salt = splitmix();
+        for (std::size_t p = 0; p < idx.size(); ++p) {
+          std::uint64_t h = round_salt ^ (idx[p] * 0x9e3779b97f4a7c15ULL);
+          h ^= h >> 33;
+          h *= 0xff51afd7ed558ccdULL;
+          h ^= h >> 33;
+          sv[p] = static_cast<double>(h % 0xfffffffULL) + 1.0;
+        }
+        score = grb::Vector<double>(n);
+        score.adopt_sparse(std::move(idx), std::move(sv));
+      }
+      // nbr_max(v) = max score among v's candidate neighbours
+      grb::mxv(nbr_max, candidates, grb::NoAccum{}, max_second, g.a, score,
+               grb::desc::RS);
+      // winners: candidates whose score beats every candidate neighbour
+      // (nodes with no candidate neighbours win automatically)
+      grb::Vector<double> cmp(n);
+      grb::eWiseMult(cmp, grb::no_mask, grb::NoAccum{}, grb::Gt{}, score,
+                     nbr_max);
+      grb::Vector<double> winners(n);
+      grb::select(winners, grb::no_mask, grb::NoAccum{}, grb::ValueGt{}, cmp,
+                  0.0);
+      grb::Vector<double> lonely(n);
+      grb::apply(lonely, nbr_max, grb::NoAccum{}, grb::Identity{}, score,
+                 grb::desc::RSC);  // candidates not adjacent to any candidate
+      grb::eWiseAdd(winners, grb::no_mask, grb::NoAccum{}, grb::First{},
+                    winners, lonely);
+      if (winners.nvals() == 0) {
+        // Extremely unlikely (score ties); re-roll the round.
+        continue;
+      }
+      // members ∪= winners
+      grb::Vector<grb::Bool> wflag(n);
+      grb::apply(wflag, grb::no_mask, grb::NoAccum{}, grb::One{}, winners);
+      grb::eWiseAdd(members, grb::no_mask, grb::NoAccum{}, grb::LOr{},
+                    members, wflag);
+      // neighbours of winners drop out of the pool
+      grb::Vector<grb::Bool> losers(n);
+      grb::Semiring<grb::LOrMonoid<grb::Bool>, grb::Pair> lor_pair;
+      grb::mxv(losers, candidates, grb::NoAccum{}, lor_pair, g.a, wflag,
+               grb::desc::RS);
+      // candidates = candidates \ (winners ∪ losers)
+      grb::Vector<grb::Bool> gone(n);
+      grb::eWiseAdd(gone, grb::no_mask, grb::NoAccum{}, grb::LOr{}, wflag,
+                    losers);
+      grb::Vector<grb::Bool> next(n);
+      grb::apply(next, gone, grb::NoAccum{}, grb::Identity{}, candidates,
+                 grb::desc::RSC);
+      candidates = std::move(next);
+    }
+    *set = std::move(members);
+    return LAGRAPH_OK;
+  });
+}
+
+}  // namespace experimental
+}  // namespace lagraph

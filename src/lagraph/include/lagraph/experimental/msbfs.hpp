@@ -1,0 +1,67 @@
+// lagraph/experimental/msbfs.hpp — multi-source batched BFS (experimental).
+//
+// Runs a batch of BFS traversals as one computation on an ns×n level matrix
+// (the same batching trick as the betweenness-centrality forward phase):
+// the frontier F is an ns×n boolean matrix, one row per source, advanced by
+//   F⟨¬s(Seen), r⟩ = F any.pair A
+// with the level recorded into L at every step. Useful for all-pairs-ish
+// workloads (closeness centrality estimation, graph diameter probes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace experimental {
+
+/// Batched BFS levels: on success level(i, v) = hops from sources[i] to v
+/// (no entry if unreachable).
+template <typename T>
+int msbfs_levels(grb::Matrix<std::int64_t> *level, const Graph<T> &g,
+                 std::span<const grb::Index> sources, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (level == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "msbfs: output is null");
+    }
+    const grb::Index n = g.nodes();
+    const grb::Index ns = static_cast<grb::Index>(sources.size());
+    if (ns == 0) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                      "msbfs: empty source batch");
+    }
+    grb::Matrix<grb::Bool> frontier(ns, n);
+    grb::Matrix<std::int64_t> lv(ns, n);
+    for (grb::Index i = 0; i < ns; ++i) {
+      if (sources[i] >= n) {
+        return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                        "msbfs: source out of range");
+      }
+      frontier.set_element(i, sources[i], grb::Bool(1));
+      lv.set_element(i, sources[i], 0);
+    }
+    grb::AnyPair<grb::Bool> any_pair;
+    std::int64_t depth = 0;
+    while (frontier.nvals() != 0) {
+      ++depth;
+      // F⟨¬s(L), r⟩ = F any.pair A — advance every row one hop, skipping
+      // anything any source has already seen in its own row.
+      grb::Matrix<grb::Bool> next(ns, n);
+      grb::mxm(next, lv, grb::NoAccum{}, any_pair, frontier, g.a,
+               grb::desc::RSC);
+      frontier = std::move(next);
+      if (frontier.nvals() == 0) break;
+      // L⟨s(F)⟩ = depth
+      grb::assign(lv, frontier, grb::NoAccum{},
+                  static_cast<std::int64_t>(depth), grb::Indices::all(),
+                  grb::Indices::all(), grb::desc::S);
+    }
+    *level = std::move(lv);
+    return LAGRAPH_OK;
+  });
+}
+
+}  // namespace experimental
+}  // namespace lagraph

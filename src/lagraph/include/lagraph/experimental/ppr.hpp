@@ -1,0 +1,102 @@
+// lagraph/experimental/ppr.hpp — personalized PageRank (experimental).
+//
+// Identical iteration to the stable pagerank, but the teleport mass returns
+// to a caller-chosen distribution (typically a single seed node or a small
+// seed set) instead of uniformly to all nodes — the standard tool for
+// "importance relative to X" queries (recommendations, similarity search).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+namespace experimental {
+
+/// Personalized PageRank with teleport to `seeds` (uniformly across the
+/// seed set). Advanced-style requirements: cached transpose and row
+/// degrees. Dangling rank is also returned to the seed set, so the result
+/// is a proper distribution (sums to 1).
+template <typename T>
+int personalized_pagerank(grb::Vector<double> *r_out, int *iters,
+                          const Graph<T> &g,
+                          std::span<const grb::Index> seeds, double damping,
+                          double tol, int itermax, char *msg) {
+  return lagraph::detail::guarded(msg, [&]() {
+    if (r_out == nullptr) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_NULL_POINTER,
+                                      "ppr: r is null");
+    }
+    if (seeds.empty()) {
+      return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                      "ppr: empty seed set");
+    }
+    const grb::Matrix<T> *at = g.transpose_view();
+    if (at == nullptr || !g.row_degree.has_value()) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_PROPERTY_MISSING,
+          "ppr: needs cached transpose and row degrees");
+    }
+    const grb::Index n = g.nodes();
+    for (grb::Index s : seeds) {
+      if (s >= n) {
+        return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                        "ppr: seed out of range");
+      }
+    }
+    const double per_seed = 1.0 / static_cast<double>(seeds.size());
+
+    grb::Vector<double> d(n);
+    grb::apply2nd(d, grb::no_mask, grb::NoAccum{}, grb::Div{}, *g.row_degree,
+                  damping);
+    grb::Vector<grb::Bool> dangling(n);
+    {
+      auto ones = grb::Vector<grb::Bool>::full(n, 1);
+      grb::apply(dangling, *g.row_degree, grb::NoAccum{}, grb::Identity{},
+                 ones, grb::desc::RSC);
+    }
+
+    // start from the teleport distribution itself
+    auto r = grb::Vector<double>::full(n, 0.0);
+    for (grb::Index s : seeds) r.set_element(s, per_seed);
+    grb::Vector<double> t(n);
+    grb::Vector<double> w(n);
+    grb::Vector<double> dang_rank(n);
+    grb::PlusSecond<double> plus_second;
+
+    int k = 0;
+    for (k = 0; k < itermax; ++k) {
+      std::swap(t, r);
+      double dmass = 0;
+      if (dangling.nvals() != 0) {
+        grb::apply(dang_rank, dangling, grb::NoAccum{}, grb::Identity{}, t,
+                   grb::desc::RS);
+        grb::reduce(dmass, grb::NoAccum{}, grb::PlusMonoid<double>{},
+                    dang_rank);
+      }
+      grb::eWiseMult(w, grb::no_mask, grb::NoAccum{}, grb::Div{}, t, d);
+      // teleport mass (plus recovered dangling mass) back to the seeds only
+      grb::assign(r, grb::no_mask, grb::NoAccum{}, 0.0, grb::Indices::all());
+      const double back = (1.0 - damping) + damping * dmass;
+      for (grb::Index s : seeds) {
+        r.set_element(s, back * per_seed);
+      }
+      grb::mxv(r, grb::no_mask, grb::Plus{}, plus_second, *at, w);
+      grb::eWiseAdd(t, grb::no_mask, grb::NoAccum{}, grb::Minus{}, t, r);
+      grb::apply(t, grb::no_mask, grb::NoAccum{}, grb::Abs{}, t);
+      double norm = 0;
+      grb::reduce(norm, grb::NoAccum{}, grb::PlusMonoid<double>{}, t);
+      if (norm < tol) {
+        ++k;
+        break;
+      }
+    }
+    if (iters != nullptr) *iters = k;
+    *r_out = std::move(r);
+    return k >= itermax ? LAGRAPH_WARN_CONVERGENCE : LAGRAPH_OK;
+  });
+}
+
+}  // namespace experimental
+}  // namespace lagraph

@@ -1,0 +1,23 @@
+// lagraph/lagraph.hpp — umbrella header for the LAGraph library.
+//
+// LAGraph is a library of high-level graph algorithms built on the grb
+// GraphBLAS substrate, reproducing the design described in "LAGraph: Linear
+// Algebra, Network Analysis Libraries, and the Study of Graph Algorithms"
+// (IPDPS GrAPL 2021): a non-opaque Graph object with cached properties,
+// Basic and Advanced user modes, int-status + message-buffer calling
+// conventions, TRY/CATCH error handling, the GAP algorithm suite (BFS, BC,
+// PR, SSSP, TC, CC), and the §V utility functions.
+#pragma once
+
+#include "lagraph/algorithms/bc.hpp"
+#include "lagraph/experimental/experimental.hpp"
+#include "lagraph/algorithms/bfs.hpp"
+#include "lagraph/algorithms/cc.hpp"
+#include "lagraph/algorithms/pagerank.hpp"
+#include "lagraph/algorithms/sssp.hpp"
+#include "lagraph/algorithms/tc.hpp"
+#include "lagraph/graph.hpp"
+#include "lagraph/io.hpp"
+#include "lagraph/io_graphalytics.hpp"
+#include "lagraph/status.hpp"
+#include "lagraph/utils.hpp"

@@ -1,0 +1,111 @@
+// lagraph/status.hpp — the paper's calling conventions (§II-C) and error
+// handling (§II-D).
+//
+// Every LAGraph algorithm returns an int:
+//   = 0  success,
+//   < 0  error,
+//   > 0  warning,
+// and takes a trailing `char *msg` of LAGRAPH_MSG_LEN bytes that receives a
+// human-readable message on error/warning (cleared on success). Passing
+// nullptr suppresses the message.
+//
+// LAGRAPH_TRY / GRB_TRY give a try/catch-like flow in caller code: define
+// LAGraph_CATCH (resp. GrB_CATCH) before use. Internally the grb substrate
+// throws grb::Exception; the detail::guarded() wrapper converts exceptions
+// into this status convention at the public API boundary.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "grb/types.hpp"
+
+// -- status codes --------------------------------------------------------------
+
+inline constexpr int LAGRAPH_OK = 0;
+
+// errors
+inline constexpr int LAGRAPH_INVALID_GRAPH = -1;
+inline constexpr int LAGRAPH_PROPERTY_MISSING = -2;  // advanced mode only
+inline constexpr int LAGRAPH_NULL_POINTER = -3;
+inline constexpr int LAGRAPH_INVALID_VALUE = -4;
+inline constexpr int LAGRAPH_IO_ERROR = -5;
+inline constexpr int LAGRAPH_NOT_IMPLEMENTED = -6;
+inline constexpr int LAGRAPH_GRB_ERROR = -10;        // substrate exception
+inline constexpr int LAGRAPH_INTERNAL_ERROR = -100;
+
+// warnings
+inline constexpr int LAGRAPH_WARN_CONVERGENCE = 1;   // iteration limit hit
+inline constexpr int LAGRAPH_WARN_CACHE_STALE = 2;
+
+inline constexpr int LAGRAPH_MSG_LEN = 256;
+
+// -- TRY/CATCH macros (paper §II-D) -----------------------------------------------
+
+#define LAGRAPH_TRY(LAGraph_method)          \
+  {                                          \
+    int LAGraph_status = (LAGraph_method);   \
+    if (LAGraph_status < 0) {                \
+      LAGraph_CATCH(LAGraph_status);         \
+    }                                        \
+  }
+
+// In this C++ reproduction grb calls throw instead of returning GrB_Info, so
+// GRB_TRY guards an expression against grb::Exception.
+#define GRB_TRY(GrB_expression)              \
+  try {                                      \
+    GrB_expression;                          \
+  } catch (const grb::Exception &e) {        \
+    GrB_CATCH(static_cast<int>(e.info()));   \
+  }
+
+namespace lagraph {
+namespace detail {
+
+inline void clear_msg(char *msg) {
+  if (msg != nullptr) msg[0] = '\0';
+}
+
+inline int set_msg(char *msg, int code, const char *text) {
+  if (msg != nullptr) {
+    std::snprintf(msg, LAGRAPH_MSG_LEN, "%s", text);
+  }
+  return code;
+}
+
+/// Run an algorithm body under the status-code convention: clears msg,
+/// converts grb/std exceptions into error codes with messages.
+template <typename F>
+int guarded(char *msg, F &&body) {
+  clear_msg(msg);
+  try {
+    return body();
+  } catch (const grb::Exception &e) {
+    return set_msg(msg, LAGRAPH_GRB_ERROR, e.what());
+  } catch (const std::exception &e) {
+    return set_msg(msg, LAGRAPH_INTERNAL_ERROR, e.what());
+  }
+}
+
+}  // namespace detail
+
+/// Human-readable name for a LAGraph status code.
+inline const char *status_name(int status) {
+  switch (status) {
+    case LAGRAPH_OK: return "ok";
+    case LAGRAPH_INVALID_GRAPH: return "invalid graph";
+    case LAGRAPH_PROPERTY_MISSING: return "required cached property missing";
+    case LAGRAPH_NULL_POINTER: return "null pointer";
+    case LAGRAPH_INVALID_VALUE: return "invalid value";
+    case LAGRAPH_IO_ERROR: return "I/O error";
+    case LAGRAPH_NOT_IMPLEMENTED: return "not implemented";
+    case LAGRAPH_GRB_ERROR: return "GraphBLAS error";
+    case LAGRAPH_INTERNAL_ERROR: return "internal error";
+    case LAGRAPH_WARN_CONVERGENCE: return "warning: did not converge";
+    case LAGRAPH_WARN_CACHE_STALE: return "warning: stale cached property";
+  }
+  return status < 0 ? "unknown error" : "unknown warning";
+}
+
+}  // namespace lagraph

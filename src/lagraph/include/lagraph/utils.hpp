@@ -1,0 +1,180 @@
+// lagraph/utils.hpp — the utility functions of paper §V: matrix operations
+// (Pattern, IsEqual, IsAll), degree operations (SortByDegree, SampleDegree),
+// naming helpers (TypeName, KindName), the portable timer (Tic/Toc), the
+// 1/2/3-array integer sorts, and the pluggable memory-manager wrappers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+
+// -- matrix operations ------------------------------------------------------------
+
+/// LAGraph_Pattern: boolean matrix with the structure of A.
+template <typename T>
+int pattern(grb::Matrix<grb::Bool> &p, const grb::Matrix<T> &a, char *msg) {
+  return detail::guarded(msg, [&]() {
+    p = grb::Matrix<grb::Bool>(a.nrows(), a.ncols());
+    grb::apply(p, grb::no_mask, grb::NoAccum{}, grb::One{}, a);
+    return LAGRAPH_OK;
+  });
+}
+
+/// LAGraph_IsAll: true iff A and B have identical patterns and `op`
+/// returns true for every pair of matched entries.
+template <typename T, typename Cmp>
+int is_all(bool *result, const grb::Matrix<T> &a, const grb::Matrix<T> &b,
+           Cmp op, char *msg) {
+  return detail::guarded(msg, [&]() {
+    if (result == nullptr) {
+      return detail::set_msg(msg, LAGRAPH_NULL_POINTER, "result is null");
+    }
+    *result = false;
+    if (a.nrows() != b.nrows() || a.ncols() != b.ncols() ||
+        a.nvals() != b.nvals()) {
+      return LAGRAPH_OK;
+    }
+    bool ok = true;
+    a.for_each([&](grb::Index i, grb::Index j, const T &x) {
+      auto y = b.get(i, j);
+      if (!y || !static_cast<bool>(op(x, *y))) ok = false;
+    });
+    *result = ok;
+    return LAGRAPH_OK;
+  });
+}
+
+/// LAGraph_IsEqual: IsAll with the equality operator of the matrix type.
+template <typename T>
+int is_equal(bool *result, const grb::Matrix<T> &a, const grb::Matrix<T> &b,
+             char *msg) {
+  return is_all(result, a, b, [](const T &x, const T &y) { return x == y; },
+                msg);
+}
+
+// -- degree operations -------------------------------------------------------------
+
+/// LAGraph_SortByDegree: permutation ordering the nodes by row (or column)
+/// degree, ascending or descending; ties broken by node id so the result is
+/// deterministic. perm[rank] = node id.
+template <typename T>
+int sort_by_degree(std::vector<grb::Index> &perm, const Graph<T> &g,
+                   bool byrow, bool ascending, char *msg) {
+  return detail::guarded(msg, [&]() {
+    const auto &deg = byrow ? g.row_degree : g.col_degree;
+    if (!deg.has_value()) {
+      return detail::set_msg(msg, LAGRAPH_PROPERTY_MISSING,
+                             "sort_by_degree requires cached degrees");
+    }
+    const grb::Index n = deg->size();
+    std::vector<std::int64_t> d(n, 0);
+    deg->for_each([&](grb::Index i, const std::int64_t &x) { d[i] = x; });
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), grb::Index{0});
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](grb::Index x, grb::Index y) {
+                       return ascending ? d[x] < d[y] : d[x] > d[y];
+                     });
+    return LAGRAPH_OK;
+  });
+}
+
+/// LAGraph_SampleDegree: quick estimate of the mean and median row/column
+/// degree from `nsamples` deterministic samples.
+template <typename T>
+int sample_degree(double *mean, double *median, const Graph<T> &g, bool byrow,
+                  std::int64_t nsamples, std::uint64_t seed, char *msg) {
+  return detail::guarded(msg, [&]() {
+    const auto &deg = byrow ? g.row_degree : g.col_degree;
+    if (!deg.has_value()) {
+      return detail::set_msg(msg, LAGRAPH_PROPERTY_MISSING,
+                             "sample_degree requires cached degrees");
+    }
+    const grb::Index n = deg->size();
+    if (n == 0) {
+      return detail::set_msg(msg, LAGRAPH_INVALID_VALUE, "empty graph");
+    }
+    nsamples = std::max<std::int64_t>(1, std::min<std::int64_t>(nsamples, n));
+    std::vector<std::int64_t> samples(nsamples);
+    std::uint64_t state = seed | 1;
+    for (std::int64_t s = 0; s < nsamples; ++s) {
+      // xorshift64*: cheap deterministic sampling
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      grb::Index i = (state * 0x2545F4914F6CDD1DULL) % n;
+      auto d = deg->get(i);
+      samples[s] = d ? *d : 0;
+    }
+    double sum = 0;
+    for (auto d : samples) sum += static_cast<double>(d);
+    if (mean != nullptr) *mean = sum / static_cast<double>(nsamples);
+    auto mid = samples.begin() + nsamples / 2;
+    std::nth_element(samples.begin(), mid, samples.end());
+    if (median != nullptr) *median = static_cast<double>(*mid);
+    return LAGRAPH_OK;
+  });
+}
+
+// -- names ----------------------------------------------------------------------------
+
+/// LAGraph_TypeName: printable name of a GraphBLAS element type.
+template <typename T>
+const char *type_name() {
+  if constexpr (std::is_same_v<T, grb::Bool>) return "bool";
+  else if constexpr (std::is_same_v<T, std::int8_t>) return "int8";
+  else if constexpr (std::is_same_v<T, std::int16_t>) return "int16";
+  else if constexpr (std::is_same_v<T, std::int32_t>) return "int32";
+  else if constexpr (std::is_same_v<T, std::int64_t>) return "int64";
+  else if constexpr (std::is_same_v<T, std::uint16_t>) return "uint16";
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return "uint32";
+  else if constexpr (std::is_same_v<T, std::uint64_t>) return "uint64";
+  else if constexpr (std::is_same_v<T, float>) return "fp32";
+  else if constexpr (std::is_same_v<T, double>) return "fp64";
+  else return "user-defined";
+}
+
+// -- timer (LAGraph_Tic / LAGraph_Toc) ----------------------------------------------------
+
+struct Timer {
+  double start_seconds = 0;
+};
+
+void tic(Timer &t) noexcept;
+/// Seconds since the matching tic().
+double toc(const Timer &t) noexcept;
+
+// -- integer array sorts (LAGraph_Sort1/2/3) -------------------------------------------------
+
+/// Sort one array ascending.
+void sort1(std::span<std::int64_t> a);
+/// Sort (a, b) pairs by (a, b) lexicographic order.
+void sort2(std::span<std::int64_t> a, std::span<std::int64_t> b);
+/// Sort (a, b, c) triples by (a, b, c) lexicographic order.
+void sort3(std::span<std::int64_t> a, std::span<std::int64_t> b,
+           std::span<std::int64_t> c);
+
+// -- memory management wrappers (paper §V) -------------------------------------------------------
+
+/// User-selectable memory manager, defaulting to the C library functions.
+struct MemoryFunctions {
+  void *(*malloc_fn)(std::size_t) = nullptr;
+  void *(*calloc_fn)(std::size_t, std::size_t) = nullptr;
+  void *(*realloc_fn)(void *, std::size_t) = nullptr;
+  void (*free_fn)(void *) = nullptr;
+};
+
+int set_memory_functions(const MemoryFunctions &fns, char *msg);
+void *lagraph_malloc(std::size_t bytes);
+void *lagraph_calloc(std::size_t count, std::size_t size);
+void *lagraph_realloc(void *p, std::size_t bytes);
+void lagraph_free(void *p);
+
+}  // namespace lagraph

@@ -1,0 +1,121 @@
+// Non-template pieces of the lagraph library: timer, array sorts, and the
+// pluggable memory manager.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+
+#include "lagraph/utils.hpp"
+
+namespace lagraph {
+
+// -- timer ----------------------------------------------------------------------
+
+void tic(Timer &t) noexcept {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  t.start_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+}
+
+double toc(const Timer &t) noexcept {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  double s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+  return s - t.start_seconds;
+}
+
+// -- integer array sorts ----------------------------------------------------------
+
+void sort1(std::span<std::int64_t> a) { std::sort(a.begin(), a.end()); }
+
+namespace {
+
+template <typename Less>
+void permute_sort(std::size_t n, Less less,
+                  std::span<std::span<std::int64_t>> arrays) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), less);
+  std::vector<std::int64_t> tmp(n);
+  for (auto &arr : arrays) {
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = arr[order[i]];
+    std::copy(tmp.begin(), tmp.end(), arr.begin());
+  }
+}
+
+}  // namespace
+
+void sort2(std::span<std::int64_t> a, std::span<std::int64_t> b) {
+  const std::size_t n = a.size();
+  std::span<std::int64_t> arrays[] = {a, b};
+  permute_sort(
+      n,
+      [&](std::size_t x, std::size_t y) {
+        if (a[x] != a[y]) return a[x] < a[y];
+        return b[x] < b[y];
+      },
+      arrays);
+}
+
+void sort3(std::span<std::int64_t> a, std::span<std::int64_t> b,
+           std::span<std::int64_t> c) {
+  const std::size_t n = a.size();
+  std::span<std::int64_t> arrays[] = {a, b, c};
+  permute_sort(
+      n,
+      [&](std::size_t x, std::size_t y) {
+        if (a[x] != a[y]) return a[x] < a[y];
+        if (b[x] != b[y]) return b[x] < b[y];
+        return c[x] < c[y];
+      },
+      arrays);
+}
+
+// -- memory manager ------------------------------------------------------------------
+
+namespace {
+MemoryFunctions g_mem{};
+}
+
+int set_memory_functions(const MemoryFunctions &fns, char *msg) {
+  detail::clear_msg(msg);
+  // All four must be provided together, or all reset to the defaults.
+  const bool all = fns.malloc_fn && fns.calloc_fn && fns.realloc_fn &&
+                   fns.free_fn;
+  const bool none = !fns.malloc_fn && !fns.calloc_fn && !fns.realloc_fn &&
+                    !fns.free_fn;
+  if (!all && !none) {
+    return detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                           "provide all four memory functions or none");
+  }
+  g_mem = fns;
+  return LAGRAPH_OK;
+}
+
+void *lagraph_malloc(std::size_t bytes) {
+  return g_mem.malloc_fn ? g_mem.malloc_fn(bytes) : std::malloc(bytes);
+}
+
+void *lagraph_calloc(std::size_t count, std::size_t size) {
+  return g_mem.calloc_fn ? g_mem.calloc_fn(count, size)
+                         : std::calloc(count, size);
+}
+
+void *lagraph_realloc(void *p, std::size_t bytes) {
+  return g_mem.realloc_fn ? g_mem.realloc_fn(p, bytes)
+                          : std::realloc(p, bytes);
+}
+
+void lagraph_free(void *p) {
+  if (g_mem.free_fn) {
+    g_mem.free_fn(p);
+  } else {
+    std::free(p);
+  }
+}
+
+}  // namespace lagraph
+
+// Pull in the umbrella header once in a TU so template-independent errors
+// surface at library build time.
+#include "lagraph/lagraph.hpp"

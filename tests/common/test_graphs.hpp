@@ -1,0 +1,128 @@
+// Shared fixtures for the algorithm tests: small hand-built graphs plus
+// generated random graphs, each available both as a lagraph::Graph and as a
+// gapbs::Graph so LAGraph results can be validated against the direct
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gapbs/graph.hpp"
+#include "gen/generators.hpp"
+#include "lagraph/lagraph.hpp"
+
+namespace testutil {
+
+using grb::Index;
+
+struct TestGraph {
+  std::string name;
+  bool directed;
+  gen::EdgeList edges;           // deduplicated by gapbs/lagraph builders
+  gapbs::Graph ref;              // direct CSR form
+  lagraph::Graph<double> lg;     // LAGraph form (weights as values)
+
+  static TestGraph from_edges(std::string name, gen::EdgeList el,
+                              bool directed) {
+    TestGraph t;
+    t.name = std::move(name);
+    t.directed = directed;
+    if (!el.weighted()) {
+      gen::add_uniform_weights(el, 1, 9, 42);
+    }
+    t.ref = gapbs::Graph::build(el, directed);
+    auto m = gen::to_matrix<double>(el);
+    char msg[LAGRAPH_MSG_LEN];
+    lagraph::make_graph(t.lg, std::move(m),
+                        directed ? lagraph::Kind::adjacency_directed
+                                 : lagraph::Kind::adjacency_undirected,
+                        msg);
+    t.edges = std::move(el);
+    return t;
+  }
+};
+
+/// A connected 8-node directed graph with a few cross edges.
+inline TestGraph tiny_directed() {
+  gen::EdgeList el;
+  el.n = 8;
+  const Index edges[][2] = {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4},
+                            {4, 5}, {5, 0}, {2, 6}, {6, 7}, {7, 4},
+                            {1, 6}, {5, 7}};
+  for (auto &e : edges) el.push(e[0], e[1]);
+  return TestGraph::from_edges("tiny_directed", std::move(el), true);
+}
+
+/// A small undirected graph with two triangles and a pendant path.
+inline TestGraph tiny_undirected() {
+  gen::EdgeList el;
+  el.n = 7;
+  const Index edges[][2] = {{0, 1}, {0, 2}, {1, 2}, {2, 3},
+                            {3, 4}, {3, 5}, {4, 5}, {5, 6}};
+  for (auto &e : edges) el.push(e[0], e[1]);
+  gen::symmetrize(el);
+  return TestGraph::from_edges("tiny_undirected", std::move(el), false);
+}
+
+/// Two components: a 4-cycle and a 3-path (undirected).
+inline TestGraph two_components() {
+  gen::EdgeList el;
+  el.n = 7;
+  const Index edges[][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}};
+  for (auto &e : edges) el.push(e[0], e[1]);
+  gen::symmetrize(el);
+  return TestGraph::from_edges("two_components", std::move(el), false);
+}
+
+/// Generated graphs for parameterized sweeps.
+inline TestGraph random_undirected(int scale, int ef, std::uint64_t seed) {
+  auto el = gen::uniform_random(scale, ef, seed);
+  gen::remove_self_loops(el);
+  return TestGraph::from_edges("urand", std::move(el), false);
+}
+
+inline TestGraph random_kron(int scale, int ef, std::uint64_t seed) {
+  auto el = gen::kronecker(scale, ef, seed);
+  return TestGraph::from_edges("kron", std::move(el), false);
+}
+
+inline TestGraph random_directed(int scale, int ef, std::uint64_t seed) {
+  auto el = gen::twitter_like(scale, ef, seed);
+  return TestGraph::from_edges("twitter", std::move(el), true);
+}
+
+inline TestGraph small_road(Index side, std::uint64_t seed) {
+  auto el = gen::road_grid(side, side, seed);
+  return TestGraph::from_edges("road", std::move(el), true);
+}
+
+/// Check a parent vector is a valid BFS tree (GAP's BFSVerifier logic):
+/// reachable nodes agree with reference levels; parents are one level up
+/// and connected by an edge.
+inline void expect_valid_bfs_parents(const TestGraph &t,
+                                     const grb::Vector<std::int64_t> &parent,
+                                     gapbs::NodeId source) {
+  auto levels = gapbs::bfs_levels_reference(t.ref, source);
+  const Index n = t.ref.num_nodes();
+  for (Index v = 0; v < n; ++v) {
+    auto p = parent.get(v);
+    if (levels[v] < 0) {
+      EXPECT_FALSE(p.has_value()) << "unreachable node " << v << " has parent";
+      continue;
+    }
+    ASSERT_TRUE(p.has_value()) << "reachable node " << v << " lacks parent";
+    if (static_cast<gapbs::NodeId>(v) == source) {
+      EXPECT_EQ(*p, source);
+      continue;
+    }
+    auto pu = static_cast<Index>(*p);
+    EXPECT_EQ(levels[pu] + 1, levels[v]) << "parent not one level up at " << v;
+    bool has_edge = false;
+    for (auto w : t.ref.out_neigh(static_cast<gapbs::NodeId>(pu))) {
+      if (static_cast<Index>(w) == v) has_edge = true;
+    }
+    EXPECT_TRUE(has_edge) << "no edge " << pu << "->" << v;
+  }
+}
+
+}  // namespace testutil

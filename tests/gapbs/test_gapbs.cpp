@@ -1,0 +1,175 @@
+// Tests for the gapbs baseline kernels: each fast kernel is validated
+// against its slow oracle on hand-built and generated graphs, so the
+// baselines used in the Table III harness are themselves trustworthy.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/test_graphs.hpp"
+
+using gapbs::NodeId;
+using grb::Index;
+
+namespace {
+
+testutil::TestGraph kron(int scale, int ef, std::uint64_t seed) {
+  return testutil::random_kron(scale, ef, seed);
+}
+
+}  // namespace
+
+TEST(GapbsGraph, CsrBuild) {
+  gen::EdgeList el;
+  el.n = 4;
+  el.push(0, 1);
+  el.push(0, 2);
+  el.push(3, 0);
+  auto g = gapbs::Graph::build(el, /*directed=*/true);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_arcs(), 3);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(0), 1);
+  EXPECT_EQ(g.out_neigh(3)[0], 0);
+  EXPECT_EQ(g.in_neigh(2)[0], 0);
+}
+
+TEST(GapbsGraph, UndirectedSharesAdjacency) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.push(0, 1);
+  gen::symmetrize(el);
+  auto g = gapbs::Graph::build(el, /*directed=*/false);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(0), 1);
+}
+
+TEST(GapbsBfs, ParentsValidOnGenerated) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    auto t = kron(7, 8, seed);
+    auto levels = gapbs::bfs_levels_reference(t.ref, 0);
+    for (auto *fn : {&gapbs::bfs_push}) {
+      auto parent = (*fn)(t.ref, 0);
+      for (NodeId v = 0; v < t.ref.num_nodes(); ++v) {
+        if (levels[v] < 0) {
+          EXPECT_EQ(parent[v], -1);
+        } else if (v == 0) {
+          EXPECT_EQ(parent[v], 0);
+        } else {
+          ASSERT_GE(parent[v], 0);
+          EXPECT_EQ(levels[parent[v]] + 1, levels[v]);
+        }
+      }
+    }
+    // direction-optimizing agrees on reachability and levels
+    auto parent = gapbs::bfs(t.ref, 0);
+    for (NodeId v = 0; v < t.ref.num_nodes(); ++v) {
+      EXPECT_EQ(parent[v] >= 0, levels[v] >= 0) << v;
+      if (parent[v] >= 0 && v != 0) {
+        EXPECT_EQ(levels[parent[v]] + 1, levels[v]) << v;
+      }
+    }
+  }
+}
+
+TEST(GapbsBfs, DirectedGraphBottomUpUsesInEdges) {
+  auto t = testutil::random_directed(8, 10, 3);
+  auto levels = gapbs::bfs_levels_reference(t.ref, 1);
+  auto parent = gapbs::bfs(t.ref, 1, /*alpha=*/1, /*beta=*/1024);  // force pull
+  for (NodeId v = 0; v < t.ref.num_nodes(); ++v) {
+    EXPECT_EQ(parent[v] >= 0, levels[v] >= 0) << v;
+  }
+}
+
+TEST(GapbsBc, MatchesReference) {
+  auto t = kron(6, 6, 5);
+  const NodeId srcs[] = {0, 3, 9};
+  auto got = gapbs::bc(t.ref, srcs);
+  auto want = gapbs::bc_reference(t.ref, srcs);
+  for (NodeId v = 0; v < t.ref.num_nodes(); ++v) {
+    EXPECT_NEAR(got[v], want[v], 1e-9) << v;
+  }
+}
+
+TEST(GapbsSssp, MatchesDijkstra) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto t = kron(6, 6, seed);
+    auto got = gapbs::sssp(t.ref, 0, 2.0);
+    auto want = gapbs::dijkstra(t.ref, 0);
+    for (NodeId v = 0; v < t.ref.num_nodes(); ++v) {
+      if (std::isinf(want[v])) {
+        EXPECT_TRUE(std::isinf(got[v]));
+      } else {
+        EXPECT_DOUBLE_EQ(got[v], want[v]) << v;
+      }
+    }
+  }
+}
+
+TEST(GapbsSssp, DeltaInsensitive) {
+  auto t = kron(6, 8, 7);
+  auto ref = gapbs::dijkstra(t.ref, 2);
+  for (double delta : {1.0, 8.0, 64.0, 1e6}) {
+    auto got = gapbs::sssp(t.ref, 2, delta);
+    for (NodeId v = 0; v < t.ref.num_nodes(); ++v) {
+      if (!std::isinf(ref[v])) EXPECT_DOUBLE_EQ(got[v], ref[v]);
+    }
+  }
+}
+
+TEST(GapbsTc, MatchesReference) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto t = kron(7, 6, seed);
+    EXPECT_EQ(gapbs::tc(t.ref), gapbs::tc_reference(t.ref)) << seed;
+  }
+}
+
+TEST(GapbsTc, SkewTriggersRelabelPathAndStaysCorrect) {
+  auto t = kron(8, 10, 4);  // heavily skewed: relabelling kicks in
+  EXPECT_EQ(gapbs::tc(t.ref), gapbs::tc_reference(t.ref));
+}
+
+TEST(GapbsCc, MatchesReferencePartition) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    auto t = testutil::random_undirected(7, 1, seed);
+    auto got = gapbs::cc(t.ref);
+    auto want = gapbs::cc_reference(t.ref);
+    std::map<NodeId, NodeId> m1, m2;
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      auto [i1, ins1] = m1.try_emplace(want[v], got[v]);
+      EXPECT_EQ(i1->second, got[v]);
+      auto [i2, ins2] = m2.try_emplace(got[v], want[v]);
+      EXPECT_EQ(i2->second, want[v]);
+    }
+  }
+}
+
+TEST(GapbsPr, RanksSumToOneWithoutDanglingNodes) {
+  // A cycle has no dangling nodes, so no rank mass can leak. (Kron graphs
+  // are unsuitable here: their isolated vertices are dangling.)
+  gen::EdgeList el;
+  el.n = 64;
+  for (Index i = 0; i < 64; ++i) el.push(i, (i + 1) % 64);
+  auto g = gapbs::Graph::build(el, true);
+  auto r = gapbs::pagerank(g, 0.85, 1e-10, 500);
+  double sum = 0;
+  for (auto x : r) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(GapbsPr, HubsOutrankLeaves) {
+  // star graph: the centre collects rank
+  gen::EdgeList el;
+  el.n = 6;
+  for (Index i = 1; i < 6; ++i) el.push(i, 0);
+  el.push(0, 1);
+  auto g = gapbs::Graph::build(el, true);
+  auto r = gapbs::pagerank(g, 0.85, 1e-10, 500);
+  for (int i = 2; i < 6; ++i) EXPECT_GT(r[0], r[i]);
+}
+
+TEST(GapbsOracles, DijkstraUnreachable) {
+  auto t = testutil::two_components();
+  auto d = gapbs::dijkstra(t.ref, 0);
+  EXPECT_TRUE(std::isinf(d[5]));
+  EXPECT_FALSE(std::isinf(d[2]));
+}

@@ -1,0 +1,192 @@
+// Tests for the synthetic graph generators: determinism, shape properties
+// (degree skew, diameter), and the edge-list transformations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "gen/generators.hpp"
+
+using gen::EdgeList;
+using grb::Index;
+
+namespace {
+
+std::vector<Index> out_degrees(const EdgeList &el) {
+  std::vector<Index> deg(el.n, 0);
+  for (auto s : el.src) ++deg[s];
+  return deg;
+}
+
+double mean_of(const std::vector<Index> &v) {
+  double s = 0;
+  for (auto x : v) s += double(x);
+  return s / double(v.size());
+}
+
+double median_of(std::vector<Index> v) {
+  auto mid = v.begin() + v.size() / 2;
+  std::nth_element(v.begin(), mid, v.end());
+  return double(*mid);
+}
+
+}  // namespace
+
+TEST(Gen, KroneckerDeterministicPerSeed) {
+  auto a = gen::kronecker(8, 8, 42);
+  auto b = gen::kronecker(8, 8, 42);
+  auto c = gen::kronecker(8, 8, 43);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_NE(a.src, c.src);
+}
+
+TEST(Gen, KroneckerShape) {
+  auto el = gen::kronecker(9, 8, 1);
+  EXPECT_EQ(el.n, 512u);
+  // symmetrized: every edge has its reverse
+  std::set<std::pair<Index, Index>> edges;
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    edges.emplace(el.src[e], el.dst[e]);
+  }
+  for (auto &[s, d] : edges) {
+    EXPECT_TRUE(edges.count({d, s})) << s << "->" << d;
+  }
+  // heavy-tailed: mean well above median (the Alg. 6 sort heuristic fires)
+  auto deg = out_degrees(el);
+  EXPECT_GT(mean_of(deg), 2.0 * median_of(deg));
+  // no self loops
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    EXPECT_NE(el.src[e], el.dst[e]);
+  }
+}
+
+TEST(Gen, UniformRandomIsNotSkewed) {
+  auto el = gen::uniform_random(9, 8, 1);
+  auto deg = out_degrees(el);
+  EXPECT_LT(mean_of(deg), 2.0 * median_of(deg));
+}
+
+TEST(Gen, TwitterLikeIsDirectedAndSkewed) {
+  auto el = gen::twitter_like(9, 8, 1);
+  auto deg = out_degrees(el);
+  EXPECT_GT(mean_of(deg), 1.5 * median_of(deg));
+}
+
+TEST(Gen, WebLikeHasLocality) {
+  auto el = gen::web_like(9, 8, 1);
+  // most edges span a short id distance
+  std::size_t local = 0;
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    auto d = el.src[e] > el.dst[e] ? el.src[e] - el.dst[e]
+                                   : el.dst[e] - el.src[e];
+    if (d < el.n / 8) ++local;
+  }
+  EXPECT_GT(double(local), 0.4 * double(el.size()));
+}
+
+TEST(Gen, RoadGridShape) {
+  auto el = gen::road_grid(10, 10, 1);
+  EXPECT_EQ(el.n, 100u);
+  auto deg = out_degrees(el);
+  // grid degrees are 2..4 plus a few shortcuts
+  for (auto d : deg) EXPECT_LE(d, 6u);
+  // both directions present for every edge
+  std::set<std::pair<Index, Index>> edges;
+  for (std::size_t e = 0; e < el.size(); ++e)
+    edges.emplace(el.src[e], el.dst[e]);
+  for (auto &[s, d] : edges) EXPECT_TRUE(edges.count({d, s}));
+}
+
+TEST(Gen, RemoveSelfLoops) {
+  EdgeList el;
+  el.n = 3;
+  el.push(0, 0);
+  el.push(0, 1);
+  el.push(2, 2);
+  gen::remove_self_loops(el);
+  EXPECT_EQ(el.size(), 1u);
+  EXPECT_EQ(el.src[0], 0u);
+  EXPECT_EQ(el.dst[0], 1u);
+}
+
+TEST(Gen, SymmetrizeDoublesEdges) {
+  EdgeList el;
+  el.n = 3;
+  el.push(0, 1);
+  el.push(1, 2);
+  gen::symmetrize(el);
+  EXPECT_EQ(el.size(), 4u);
+}
+
+TEST(Gen, WeightsSymmetricAndInRange) {
+  auto el = gen::kronecker(7, 4, 3);
+  gen::add_uniform_weights(el, 1, 255, 99);
+  ASSERT_TRUE(el.weighted());
+  std::map<std::pair<Index, Index>, double> w;
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    EXPECT_GE(el.weight[e], 1.0);
+    EXPECT_LE(el.weight[e], 255.0);
+    w[{el.src[e], el.dst[e]}] = el.weight[e];
+  }
+  for (auto &[k, x] : w) {
+    auto rev = w.find({k.second, k.first});
+    ASSERT_NE(rev, w.end());
+    EXPECT_EQ(rev->second, x) << "asymmetric weight";
+  }
+}
+
+TEST(Gen, ToMatrixDeduplicates) {
+  EdgeList el;
+  el.n = 2;
+  el.push(0, 1);
+  el.push(0, 1);
+  el.push(1, 0);
+  auto a = gen::to_matrix<double>(el);
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_EQ(a.get(0, 1), 1.0);
+}
+
+TEST(Gen, GapSuiteMatchesTableIVShape) {
+  auto suite = gen::make_default_suite(7, 8, 1);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "Kron");
+  EXPECT_FALSE(suite[0].directed);
+  EXPECT_EQ(suite[1].name, "Urand");
+  EXPECT_FALSE(suite[1].directed);
+  EXPECT_EQ(suite[2].name, "Twitter");
+  EXPECT_TRUE(suite[2].directed);
+  EXPECT_EQ(suite[3].name, "Web");
+  EXPECT_TRUE(suite[3].directed);
+  EXPECT_EQ(suite[4].name, "Road");
+  EXPECT_TRUE(suite[4].directed);
+  for (auto &g : suite) {
+    EXPECT_GT(g.nodes(), 0u);
+    EXPECT_GT(g.edges.size(), 0u);
+    EXPECT_TRUE(g.edges.weighted());
+  }
+}
+
+TEST(Gen, PlantedPartitionStructure) {
+  auto el = gen::planted_partition(4, 32, 6, 0.9, 3);
+  EXPECT_EQ(el.n, 128u);
+  // most edges stay within their community
+  std::size_t within = 0;
+  for (std::size_t e = 0; e < el.size(); ++e) {
+    if (el.src[e] / 32 == el.dst[e] / 32) ++within;
+  }
+  EXPECT_GT(double(within), 0.75 * double(el.size()));
+  // symmetric
+  std::set<std::pair<Index, Index>> edges;
+  for (std::size_t e = 0; e < el.size(); ++e)
+    edges.emplace(el.src[e], el.dst[e]);
+  for (auto &[s, d] : edges) EXPECT_TRUE(edges.count({d, s}));
+}
+
+TEST(Gen, PlantedPartitionDeterministic) {
+  auto a = gen::planted_partition(3, 10, 4, 0.8, 11);
+  auto b = gen::planted_partition(3, 10, 4, 0.8, 11);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+}

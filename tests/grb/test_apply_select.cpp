@@ -1,0 +1,158 @@
+// Tests for apply (unary, bound binary) and select (index-unary predicates).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using grb::no_mask;
+
+TEST(Apply, UnaryAbs) {
+  Vector<double> u(4);
+  u.set_element(0, -2.0);
+  u.set_element(2, 3.0);
+  Vector<double> w(4);
+  grb::apply(w, no_mask, grb::NoAccum{}, grb::Abs{}, u);
+  EXPECT_EQ(w.get(0), 2.0);
+  EXPECT_EQ(w.get(2), 3.0);
+}
+
+TEST(Apply, PreservesStructure) {
+  Vector<int> u(10);
+  u.set_element(3, 7);
+  Vector<int> w(10);
+  grb::apply(w, no_mask, grb::NoAccum{}, grb::One{}, u);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(3), 1);
+}
+
+TEST(Apply, Bind2ndDivScalesVector) {
+  // PR's prescale: d = d_out / damping.
+  Vector<double> u(3);
+  u.set_element(0, 4.0);
+  u.set_element(1, 8.0);
+  Vector<double> w(3);
+  grb::apply2nd(w, no_mask, grb::NoAccum{}, grb::Div{}, u, 2.0);
+  EXPECT_EQ(w.get(0), 2.0);
+  EXPECT_EQ(w.get(1), 4.0);
+}
+
+TEST(Apply, Bind1st) {
+  Vector<double> u(3);
+  u.set_element(0, 4.0);
+  Vector<double> w(3);
+  grb::apply1st(w, no_mask, grb::NoAccum{}, grb::Minus{}, 10.0, u);
+  EXPECT_EQ(w.get(0), 6.0);
+}
+
+TEST(Apply, MatrixUnaryOneGivesPattern) {
+  Matrix<double> a(2, 2);
+  a.set_element(0, 1, 3.5);
+  a.set_element(1, 0, -2.0);
+  Matrix<grb::Bool> p(2, 2);
+  grb::apply(p, no_mask, grb::NoAccum{}, grb::One{}, a);
+  EXPECT_EQ(p.nvals(), 2u);
+  EXPECT_EQ(p.get(0, 1), true);
+  EXPECT_EQ(p.get(1, 0), true);
+}
+
+TEST(Apply, WithMaskAndAccum) {
+  Vector<double> u(3);
+  u.set_element(0, 1.0);
+  u.set_element(1, 2.0);
+  Vector<grb::Bool> m(3);
+  m.set_element(1, true);
+  Vector<double> w(3);
+  w.set_element(1, 10.0);
+  grb::apply(w, m, grb::Plus{}, grb::Identity{}, u);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(1), 12.0);
+}
+
+TEST(Select, ValueThresholds) {
+  Vector<double> u(5);
+  for (Index i = 0; i < 5; ++i) u.set_element(i, double(i));
+  Vector<double> w(5);
+  grb::select(w, no_mask, grb::NoAccum{}, grb::ValueGe{}, u, 3.0);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_TRUE(w.has(3));
+  EXPECT_TRUE(w.has(4));
+  grb::select(w, no_mask, grb::NoAccum{}, grb::ValueLt{}, u, 2.0);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_TRUE(w.has(0));
+  EXPECT_TRUE(w.has(1));
+}
+
+TEST(Select, SsspBucketSelection) {
+  // tB = t⟨iΔ ≤ t < (i+1)Δ⟩ via two chained selects.
+  Vector<double> t(6);
+  t.set_element(0, 0.0);
+  t.set_element(1, 1.5);
+  t.set_element(2, 2.0);
+  t.set_element(3, 3.7);
+  const double delta = 2.0;
+  const double lo = 1 * delta;
+  Vector<double> tb(6);
+  grb::select(tb, no_mask, grb::NoAccum{}, grb::ValueGe{}, t, lo);
+  grb::select(tb, no_mask, grb::NoAccum{}, grb::ValueLt{}, tb, lo + delta);
+  EXPECT_EQ(tb.nvals(), 2u);
+  EXPECT_TRUE(tb.has(2));
+  EXPECT_TRUE(tb.has(3));
+}
+
+TEST(Select, TrilTriuSplit) {
+  // The TC preprocessing: L = tril(A), U = triu(A), diagonal excluded.
+  Matrix<int> a(3, 3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) a.set_element(i, j, 1);
+  }
+  Matrix<int> l(3, 3);
+  Matrix<int> u(3, 3);
+  grb::select(l, no_mask, grb::NoAccum{}, grb::Tril{}, a, -1);
+  grb::select(u, no_mask, grb::NoAccum{}, grb::Triu{}, a, 1);
+  EXPECT_EQ(l.nvals(), 3u);  // strictly lower
+  EXPECT_EQ(u.nvals(), 3u);  // strictly upper
+  EXPECT_TRUE(l.get(2, 0).has_value());
+  EXPECT_FALSE(l.get(0, 0).has_value());
+  EXPECT_TRUE(u.get(0, 2).has_value());
+}
+
+TEST(Select, DiagAndOffDiag) {
+  Matrix<int> a(3, 3);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 3; ++j) a.set_element(i, j, 1);
+  Matrix<int> diag(3, 3);
+  Matrix<int> off(3, 3);
+  grb::select(diag, no_mask, grb::NoAccum{}, grb::Diag{}, a, 0);
+  grb::select(off, no_mask, grb::NoAccum{}, grb::OffDiag{}, a, 0);
+  EXPECT_EQ(diag.nvals(), 3u);
+  EXPECT_EQ(off.nvals(), 6u);
+}
+
+TEST(Select, MatrixValueSplitForSSSP) {
+  // A_L = A⟨0 < A ≤ Δ⟩ and A_H = A⟨Δ < A⟩.
+  Matrix<double> a(2, 2);
+  a.set_element(0, 0, 1.0);
+  a.set_element(0, 1, 5.0);
+  a.set_element(1, 0, 2.0);
+  a.set_element(1, 1, 9.0);
+  const double delta = 3.0;
+  Matrix<double> al(2, 2);
+  Matrix<double> ah(2, 2);
+  grb::select(al, no_mask, grb::NoAccum{}, grb::ValueLe{}, a, delta);
+  grb::select(ah, no_mask, grb::NoAccum{}, grb::ValueGt{}, a, delta);
+  EXPECT_EQ(al.nvals(), 2u);
+  EXPECT_EQ(ah.nvals(), 2u);
+  EXPECT_EQ(al.nvals() + ah.nvals(), a.nvals());
+}
+
+TEST(Select, EmptyResultIsValid) {
+  Vector<int> u(3);
+  u.set_element(0, 1);
+  Vector<int> w(3);
+  grb::select(w, no_mask, grb::NoAccum{}, grb::ValueGt{}, u, 100);
+  EXPECT_EQ(w.nvals(), 0u);
+}

@@ -1,0 +1,226 @@
+// Tests for assign and extract, including the scatter/gather forms FastSV
+// depends on and the GrB_assign region semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+using grb::Indices;
+using grb::Matrix;
+using grb::Vector;
+using grb::no_mask;
+
+TEST(Extract, SubvectorByList) {
+  Vector<int> u(6);
+  for (Index i = 0; i < 6; ++i) u.set_element(i, int(i) * 10);
+  std::vector<Index> picks = {4, 0, 2};
+  Vector<int> w(3);
+  grb::extract(w, no_mask, grb::NoAccum{}, u, Indices(picks));
+  EXPECT_EQ(w.get(0), 40);
+  EXPECT_EQ(w.get(1), 0);
+  EXPECT_EQ(w.get(2), 20);
+}
+
+TEST(Extract, GatherThroughParentVector) {
+  // FastSV grandparent step: gf = f(f), gathering f at indices f.
+  Vector<Index> f(5);
+  std::vector<Index> parent = {1, 2, 2, 4, 4};
+  for (Index i = 0; i < 5; ++i) f.set_element(i, parent[i]);
+  std::vector<Index> fidx;
+  std::vector<Index> fval;
+  f.extract_tuples(fidx, fval);
+  Vector<Index> gf(5);
+  grb::extract(gf, no_mask, grb::NoAccum{}, f, Indices(fval));
+  EXPECT_EQ(gf.get(0), 2u);  // f(f(0)) = f(1) = 2
+  EXPECT_EQ(gf.get(1), 2u);
+  EXPECT_EQ(gf.get(3), 4u);
+}
+
+TEST(Extract, MissingEntriesStayMissing) {
+  Vector<int> u(5);
+  u.set_element(1, 11);
+  std::vector<Index> picks = {0, 1};
+  Vector<int> w(2);
+  grb::extract(w, no_mask, grb::NoAccum{}, u, Indices(picks));
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(1), 11);
+}
+
+TEST(Extract, SubmatrixInducedSubgraph) {
+  Matrix<int> a(4, 4);
+  a.set_element(0, 1, 1);
+  a.set_element(1, 2, 2);
+  a.set_element(2, 3, 3);
+  a.set_element(3, 0, 4);
+  std::vector<Index> rows = {1, 2};
+  std::vector<Index> cols = {2, 3};
+  Matrix<int> c(2, 2);
+  grb::extract(c, no_mask, grb::NoAccum{}, a, Indices(rows), Indices(cols));
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_EQ(c.get(0, 0), 2);  // a(1,2)
+  EXPECT_EQ(c.get(1, 1), 3);  // a(2,3)
+}
+
+TEST(Extract, PermutationReordersGraph) {
+  // The TC degree-sort: A(p, p).
+  Matrix<int> a(3, 3);
+  a.set_element(0, 1, 1);
+  a.set_element(1, 2, 2);
+  std::vector<Index> p = {2, 1, 0};
+  Matrix<int> c(3, 3);
+  grb::extract(c, no_mask, grb::NoAccum{}, a, Indices(p), Indices(p));
+  EXPECT_EQ(c.get(2, 1), 1);  // old (0,1) lands at (2,1)
+  EXPECT_EQ(c.get(1, 0), 2);  // old (1,2) lands at (1,0)
+}
+
+TEST(Extract, ColumnVector) {
+  Matrix<int> a(3, 3);
+  a.set_element(0, 1, 5);
+  a.set_element(2, 1, 7);
+  Vector<int> w(3);
+  grb::extract_col(w, no_mask, grb::NoAccum{}, a, 1);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.get(0), 5);
+  EXPECT_EQ(w.get(2), 7);
+}
+
+TEST(Assign, ScalarToAll) {
+  Vector<double> w(4);
+  w.set_element(1, 9.0);
+  grb::assign(w, no_mask, grb::NoAccum{}, 0.25, Indices::all());
+  EXPECT_EQ(w.nvals(), 4u);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(w.get(i), 0.25);
+}
+
+TEST(Assign, ScalarToSubset) {
+  Vector<int> w(5);
+  std::vector<Index> region = {1, 3};
+  grb::assign(w, no_mask, grb::NoAccum{}, 7, Indices(region));
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.get(1), 7);
+  EXPECT_EQ(w.get(3), 7);
+}
+
+TEST(Assign, VectorWithStructuralMaskUpdatesParents) {
+  // BFS parent update: p⟨s(q)⟩ = q.
+  Vector<Index> p(5);
+  p.set_element(0, 0);
+  Vector<Index> q(5);
+  q.set_element(1, 0);
+  q.set_element(2, 0);
+  grb::assign(p, q, grb::NoAccum{}, q, Indices::all(), grb::desc::S);
+  EXPECT_EQ(p.nvals(), 3u);
+  EXPECT_EQ(p.get(0), 0u);
+  EXPECT_EQ(p.get(1), 0u);
+  EXPECT_EQ(p.get(2), 0u);
+}
+
+TEST(Assign, ScatterMinWithDuplicateIndices) {
+  // FastSV stochastic hooking: f(x) min= mngf where x has duplicates;
+  // duplicates combine through the accumulator.
+  Vector<Index> f(4);
+  for (Index i = 0; i < 4; ++i) f.set_element(i, i);
+  Vector<Index> mngf(4);
+  mngf.set_element(0, 3);
+  mngf.set_element(1, 1);
+  mngf.set_element(2, 0);
+  mngf.set_element(3, 2);
+  std::vector<Index> x = {2, 2, 2, 2};  // all scatter to position 2
+  grb::assign(f, no_mask, grb::Min{}, mngf, Indices(x));
+  EXPECT_EQ(f.get(2), 0u);  // min(f(2)=2, min(3,1,0,2)=0)
+  EXPECT_EQ(f.get(0), 0u);  // untouched positions keep old values
+  EXPECT_EQ(f.get(1), 1u);
+  EXPECT_EQ(f.get(3), 3u);
+}
+
+TEST(Assign, NoAccumDeletesMissingEntriesInRegion) {
+  Vector<int> w(4);
+  for (Index i = 0; i < 4; ++i) w.set_element(i, int(i) + 1);
+  Vector<int> u(2);
+  u.set_element(0, 100);  // u(1) missing
+  std::vector<Index> region = {1, 2};
+  grb::assign(w, no_mask, grb::NoAccum{}, u, Indices(region));
+  EXPECT_EQ(w.get(1), 100);
+  EXPECT_FALSE(w.has(2));  // deleted: region position with no source entry
+  EXPECT_EQ(w.get(0), 1);
+  EXPECT_EQ(w.get(3), 4);
+}
+
+TEST(Assign, AccumKeepsEntriesMissingFromSource) {
+  Vector<int> w(3);
+  w.set_element(0, 1);
+  w.set_element(1, 2);
+  Vector<int> u(3);
+  u.set_element(0, 10);
+  grb::assign(w, no_mask, grb::Plus{}, u, Indices::all());
+  EXPECT_EQ(w.get(0), 11);
+  EXPECT_EQ(w.get(1), 2);
+}
+
+TEST(Assign, ReplaceClearsOutsideMask) {
+  Vector<int> w(4);
+  for (Index i = 0; i < 4; ++i) w.set_element(i, 1);
+  Vector<grb::Bool> m(4);
+  m.set_element(0, true);
+  grb::assign(w, m, grb::NoAccum{}, 5, Indices::all(), grb::desc::R);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(0), 5);
+}
+
+TEST(Assign, MatrixScalarWithMaskFastPath) {
+  // BC: S[d]⟨s(F)⟩ = 1 on a fresh matrix takes the pattern of F.
+  Matrix<double> f(2, 4);
+  f.set_element(0, 1, 3.0);
+  f.set_element(1, 2, 0.0);  // explicit zero: structural mask still selects
+  Matrix<grb::Bool> s(2, 4);
+  grb::assign(s, f, grb::NoAccum{}, true, Indices::all(), Indices::all(),
+              grb::desc::S);
+  EXPECT_EQ(s.nvals(), 2u);
+  EXPECT_EQ(s.get(0, 1), true);
+  EXPECT_EQ(s.get(1, 2), true);
+}
+
+TEST(Assign, MatrixScalarColumnRegion) {
+  // BC init: P(:, s) = 1 for the batch's source column.
+  Matrix<double> p(3, 5);
+  std::vector<Index> col = {2};
+  grb::assign(p, no_mask, grb::NoAccum{}, 1.0, Indices::all(), Indices(col));
+  EXPECT_EQ(p.nvals(), 3u);
+  for (Index i = 0; i < 3; ++i) EXPECT_EQ(p.get(i, 2), 1.0);
+}
+
+TEST(Assign, MatrixToSubmatrix) {
+  Matrix<int> c(3, 3);
+  c.set_element(0, 0, 9);
+  Matrix<int> a(2, 2);
+  a.set_element(0, 0, 1);
+  a.set_element(1, 1, 2);
+  std::vector<Index> rows = {1, 2};
+  std::vector<Index> cols = {1, 2};
+  grb::assign(c, no_mask, grb::NoAccum{}, a, Indices(rows), Indices(cols));
+  EXPECT_EQ(c.get(0, 0), 9);  // outside region: untouched
+  EXPECT_EQ(c.get(1, 1), 1);
+  EXPECT_EQ(c.get(2, 2), 2);
+}
+
+TEST(Assign, MatrixAccumAddsEverywhereInRegion) {
+  // BC: P += F.
+  Matrix<double> p(2, 3);
+  p.set_element(0, 0, 1.0);
+  Matrix<double> f(2, 3);
+  f.set_element(0, 0, 2.0);
+  f.set_element(1, 2, 5.0);
+  grb::assign(p, no_mask, grb::Plus{}, f, Indices::all(), Indices::all());
+  EXPECT_EQ(p.get(0, 0), 3.0);
+  EXPECT_EQ(p.get(1, 2), 5.0);
+}
+
+TEST(Assign, OutOfBoundsIndexThrows) {
+  Vector<int> w(3);
+  std::vector<Index> bad = {5};
+  EXPECT_THROW(grb::assign(w, no_mask, grb::NoAccum{}, 1, Indices(bad)),
+               grb::Exception);
+}

@@ -1,0 +1,134 @@
+// Tests for eWiseAdd (union) and eWiseMult (intersection) on vectors and
+// matrices.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using grb::no_mask;
+
+namespace {
+
+Vector<double> vec(std::vector<std::pair<Index, double>> entries, Index n) {
+  Vector<double> v(n);
+  for (auto &[i, x] : entries) v.set_element(i, x);
+  return v;
+}
+
+}  // namespace
+
+TEST(EWise, AddUnionSemantics) {
+  auto u = vec({{0, 1.0}, {2, 3.0}}, 5);
+  auto v = vec({{2, 10.0}, {4, 5.0}}, 5);
+  Vector<double> w(5);
+  grb::eWiseAdd(w, no_mask, grb::NoAccum{}, grb::Plus{}, u, v);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_EQ(w.get(0), 1.0);   // only in u: passes through
+  EXPECT_EQ(w.get(2), 13.0);  // in both: op applied
+  EXPECT_EQ(w.get(4), 5.0);   // only in v: passes through
+}
+
+TEST(EWise, MultIntersectionSemantics) {
+  auto u = vec({{0, 1.0}, {2, 3.0}}, 5);
+  auto v = vec({{2, 10.0}, {4, 5.0}}, 5);
+  Vector<double> w(5);
+  grb::eWiseMult(w, no_mask, grb::NoAccum{}, grb::Times{}, u, v);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(2), 30.0);
+}
+
+TEST(EWise, AddWithNonCommutativeOpUsesUnionPassThrough) {
+  // min∪ is how SSSP merges tentative distances.
+  auto u = vec({{0, 5.0}, {1, 2.0}}, 3);
+  auto v = vec({{0, 3.0}, {2, 7.0}}, 3);
+  Vector<double> w(3);
+  grb::eWiseAdd(w, no_mask, grb::NoAccum{}, grb::Min{}, u, v);
+  EXPECT_EQ(w.get(0), 3.0);
+  EXPECT_EQ(w.get(1), 2.0);
+  EXPECT_EQ(w.get(2), 7.0);
+}
+
+TEST(EWise, DivIntersectionForBCBacktrack) {
+  // W⟨s(S)⟩ = B div∩ P from the BC backtrack phase.
+  auto b = vec({{0, 6.0}, {1, 8.0}}, 3);
+  auto p = vec({{0, 2.0}, {1, 4.0}, {2, 5.0}}, 3);
+  Vector<double> w(3);
+  grb::eWiseMult(w, no_mask, grb::NoAccum{}, grb::Div{}, b, p);
+  EXPECT_EQ(w.get(0), 3.0);
+  EXPECT_EQ(w.get(1), 2.0);
+  EXPECT_FALSE(w.get(2).has_value());
+}
+
+TEST(EWise, MixedFormatsAgree) {
+  auto u = vec({{0, 1.0}, {2, 3.0}, {3, 4.0}}, 4);
+  auto v = vec({{1, 2.0}, {2, 10.0}}, 4);
+  Vector<double> w_ss(4);
+  grb::eWiseAdd(w_ss, no_mask, grb::NoAccum{}, grb::Plus{}, u, v);
+  u.to_bitmap();
+  Vector<double> w_bs(4);
+  grb::eWiseAdd(w_bs, no_mask, grb::NoAccum{}, grb::Plus{}, u, v);
+  v.to_bitmap();
+  Vector<double> w_bb(4);
+  grb::eWiseAdd(w_bb, no_mask, grb::NoAccum{}, grb::Plus{}, u, v);
+  EXPECT_EQ(w_ss, w_bs);
+  EXPECT_EQ(w_ss, w_bb);
+}
+
+TEST(EWise, MatrixAddAndMult) {
+  Matrix<int> a(2, 2);
+  Matrix<int> b(2, 2);
+  a.set_element(0, 0, 1);
+  a.set_element(0, 1, 2);
+  b.set_element(0, 1, 10);
+  b.set_element(1, 1, 20);
+  Matrix<int> add(2, 2);
+  grb::eWiseAdd(add, no_mask, grb::NoAccum{}, grb::Plus{}, a, b);
+  EXPECT_EQ(add.nvals(), 3u);
+  EXPECT_EQ(add.get(0, 0), 1);
+  EXPECT_EQ(add.get(0, 1), 12);
+  EXPECT_EQ(add.get(1, 1), 20);
+  Matrix<int> mult(2, 2);
+  grb::eWiseMult(mult, no_mask, grb::NoAccum{}, grb::Times{}, a, b);
+  EXPECT_EQ(mult.nvals(), 1u);
+  EXPECT_EQ(mult.get(0, 1), 20);
+}
+
+TEST(EWise, MatrixMaskAndAccum) {
+  Matrix<int> a(2, 2);
+  Matrix<int> b(2, 2);
+  a.set_element(0, 0, 1);
+  a.set_element(1, 1, 2);
+  b.set_element(0, 0, 10);
+  b.set_element(1, 1, 20);
+  Matrix<grb::Bool> m(2, 2);
+  m.set_element(0, 0, true);
+  Matrix<int> c(2, 2);
+  c.set_element(0, 0, 100);
+  c.set_element(1, 1, 200);
+  grb::eWiseAdd(c, m, grb::Plus{}, grb::Plus{}, a, b);
+  EXPECT_EQ(c.get(0, 0), 111);  // inside mask: accumulated
+  EXPECT_EQ(c.get(1, 1), 200);  // outside mask: untouched (merge semantics)
+}
+
+TEST(EWise, VectorDimensionMismatchThrows) {
+  Vector<double> u(3);
+  Vector<double> v(4);
+  Vector<double> w(3);
+  EXPECT_THROW(grb::eWiseAdd(w, no_mask, grb::NoAccum{}, grb::Plus{}, u, v),
+               grb::Exception);
+}
+
+TEST(EWise, NeForTerminationCheck) {
+  // FastSV termination: diff = dup ≠ gf, then reduce with plus.
+  auto u = vec({{0, 1.0}, {1, 2.0}, {2, 3.0}}, 3);
+  auto v = vec({{0, 1.0}, {1, 5.0}, {2, 3.0}}, 3);
+  Vector<double> diff(3);
+  grb::eWiseMult(diff, no_mask, grb::NoAccum{}, grb::Ne{}, u, v);
+  double sum = 0;
+  grb::reduce(sum, grb::NoAccum{}, grb::PlusMonoid<double>{}, diff);
+  EXPECT_EQ(sum, 1.0);
+}

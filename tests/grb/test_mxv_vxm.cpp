@@ -1,0 +1,210 @@
+// Tests for mxv (pull) and vxm (push), including transposed descriptors,
+// masks pushed into the kernels, and the BFS step with any.secondi.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using grb::no_mask;
+
+namespace {
+
+// Directed graph:
+// 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0
+Matrix<double> path_graph() {
+  Matrix<double> a(4, 4);
+  std::vector<Index> ri = {0, 0, 1, 2, 3};
+  std::vector<Index> ci = {1, 2, 2, 3, 0};
+  std::vector<double> vx = {1.0, 2.0, 3.0, 4.0, 5.0};
+  a.build(ri, ci, vx);
+  return a;
+}
+
+}  // namespace
+
+TEST(Vxm, PlusTimesBasic) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  u.set_element(0, 1.0);
+  u.set_element(1, 10.0);
+  Vector<double> w(4);
+  grb::vxm(w, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+  // w(j) = sum_k u(k) * a(k,j): w(1)=1*1, w(2)=1*2+10*3, others empty
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.get(1), 1.0);
+  EXPECT_EQ(w.get(2), 32.0);
+}
+
+TEST(Mxv, PlusTimesBasic) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  u.set_element(2, 1.0);
+  u.set_element(3, 1.0);
+  Vector<double> w(4);
+  grb::mxv(w, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, a, u);
+  // w(i) = sum_k a(i,k) u(k): w(0)=a(0,2)=2, w(1)=a(1,2)=3, w(2)=a(2,3)=4
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_EQ(w.get(0), 2.0);
+  EXPECT_EQ(w.get(1), 3.0);
+  EXPECT_EQ(w.get(2), 4.0);
+}
+
+TEST(MxvVxm, TransposeDescriptorEquivalence) {
+  auto a = path_graph();
+  auto at = grb::transposed(a);
+  Vector<double> u(4);
+  u.set_element(0, 2.0);
+  u.set_element(2, 5.0);
+
+  // mxv(Aᵀ, u) computed two ways: explicit transpose vs descriptor.
+  Vector<double> w1(4);
+  Vector<double> w2(4);
+  grb::mxv(w1, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, at, u);
+  grb::mxv(w2, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, a, u,
+           grb::desc::T0);
+  EXPECT_EQ(w1, w2);
+
+  // vxm(u, Aᵀ) likewise.
+  Vector<double> w3(4);
+  Vector<double> w4(4);
+  grb::vxm(w3, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, at);
+  grb::vxm(w4, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a,
+           grb::desc::T0);
+  EXPECT_EQ(w3, w4);
+}
+
+TEST(MxvVxm, PushPullAgree) {
+  // vxm(u, A) == mxv(A, u) under transposition: uᵀA == (Aᵀu)ᵀ.
+  auto a = path_graph();
+  auto at = grb::transposed(a);
+  Vector<double> u(4);
+  u.set_element(1, 3.0);
+  u.set_element(3, 7.0);
+  Vector<double> push(4);
+  Vector<double> pull(4);
+  grb::vxm(push, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+  grb::mxv(pull, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, at, u);
+  EXPECT_EQ(push, pull);
+}
+
+TEST(Vxm, MaskRestrictsOutput) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  u.set_element(0, 1.0);
+  Vector<grb::Bool> m(4);
+  m.set_element(2, true);
+  Vector<double> w(4);
+  grb::vxm(w, m, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(2), 2.0);
+}
+
+TEST(Vxm, ComplementedStructuralMaskWithReplace) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  u.set_element(0, 1.0);
+  Vector<grb::Bool> visited(4);
+  visited.set_element(2, false);  // structural: presence matters, not value
+  Vector<double> w(4);
+  w.set_element(3, 99.0);  // stale content, replace must clear it
+  grb::vxm(w, visited, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a,
+           grb::desc::RSC);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.get(1), 1.0);  // 2 masked out, 3 replaced away
+}
+
+TEST(Vxm, AccumulatorMergesWithOldContent) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  u.set_element(0, 1.0);
+  Vector<double> w(4);
+  w.set_element(1, 100.0);
+  w.set_element(3, 50.0);
+  grb::vxm(w, no_mask, grb::Plus{}, grb::PlusTimes<double>{}, u, a);
+  EXPECT_EQ(w.get(1), 101.0);  // accumulated
+  EXPECT_EQ(w.get(2), 2.0);    // new entry
+  EXPECT_EQ(w.get(3), 50.0);   // untouched
+}
+
+TEST(Vxm, BfsStepAnySecondIGivesParents) {
+  // frontier at node 0; push step finds children 1, 2 with parent id 0.
+  auto a = path_graph();
+  Vector<std::uint64_t> q(4);
+  q.set_element(0, 0);
+  Vector<std::uint64_t> p(4);
+  p.set_element(0, 0);  // root's parent is itself
+  grb::vxm(q, p, grb::NoAccum{}, grb::AnySecondI<std::uint64_t>{}, q, a,
+           grb::desc::RSC);
+  EXPECT_EQ(q.nvals(), 2u);
+  EXPECT_EQ(q.get(1), 0u);
+  EXPECT_EQ(q.get(2), 0u);
+}
+
+TEST(Mxv, BfsPullStepAnySecondI) {
+  // Pull step: q⟨¬s(p), r⟩ = Aᵀ any.secondi q over the explicit transpose.
+  auto a = path_graph();
+  auto at = grb::transposed(a);
+  Vector<std::uint64_t> q(4);
+  q.set_element(0, 0);
+  Vector<std::uint64_t> p(4);
+  p.set_element(0, 0);
+  grb::mxv(q, p, grb::NoAccum{}, grb::AnySecondI<std::uint64_t>{}, at, q,
+           grb::desc::RSC);
+  EXPECT_EQ(q.nvals(), 2u);
+  EXPECT_EQ(q.get(1), 0u);
+  EXPECT_EQ(q.get(2), 0u);
+}
+
+TEST(Mxv, MinPlusRelaxation) {
+  auto a = path_graph();
+  auto at = grb::transposed(a);
+  Vector<double> dist(4);
+  dist.set_element(0, 0.0);
+  Vector<double> w(4);
+  grb::mxv(w, no_mask, grb::NoAccum{}, grb::MinPlus<double>{}, at, dist);
+  // relax out-edges of 0: dist 1 = 1, dist 2 = 2 (via min over in-edges)
+  EXPECT_EQ(w.get(1), 1.0);
+  EXPECT_EQ(w.get(2), 2.0);
+}
+
+TEST(MxvVxm, DimensionMismatchThrows) {
+  auto a = path_graph();
+  Vector<double> u(5);
+  Vector<double> w(4);
+  EXPECT_THROW(grb::vxm(w, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{},
+                        u, a),
+               grb::Exception);
+  Vector<double> u4(4);
+  Vector<double> w5(5);
+  EXPECT_THROW(grb::mxv(w5, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{},
+                        a, u4),
+               grb::Exception);
+}
+
+TEST(Vxm, EmptyFrontierYieldsEmptyResult) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  Vector<double> w(4);
+  w.set_element(0, 5.0);
+  grb::vxm(w, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+  EXPECT_EQ(w.nvals(), 0u);  // no accumulator: w is overwritten by empty t
+}
+
+TEST(Vxm, BitmapFrontierMatchesSparse) {
+  auto a = path_graph();
+  Vector<double> u(4);
+  u.set_element(0, 1.0);
+  u.set_element(1, 1.0);
+  u.set_element(3, 1.0);
+  Vector<double> w_sparse(4);
+  grb::vxm(w_sparse, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+  u.to_bitmap();
+  Vector<double> w_bitmap(4);
+  grb::vxm(w_bitmap, no_mask, grb::NoAccum{}, grb::PlusTimes<double>{}, u, a);
+  EXPECT_EQ(w_sparse, w_bitmap);
+}

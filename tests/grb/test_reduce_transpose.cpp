@@ -1,0 +1,149 @@
+// Tests for reduce (row-wise, to-scalar) and transpose.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+using grb::no_mask;
+
+namespace {
+
+Matrix<double> sample() {
+  // [ 1 2 . ]
+  // [ . 3 . ]
+  // [ 4 . 5 ]
+  Matrix<double> a(3, 3);
+  std::vector<Index> ri = {0, 0, 1, 2, 2};
+  std::vector<Index> ci = {0, 1, 1, 0, 2};
+  std::vector<double> vx = {1, 2, 3, 4, 5};
+  a.build(ri, ci, vx);
+  return a;
+}
+
+}  // namespace
+
+TEST(Reduce, RowWiseToVector) {
+  auto a = sample();
+  Vector<double> w(3);
+  grb::reduce(w, no_mask, grb::NoAccum{}, grb::PlusMonoid<double>{}, a);
+  EXPECT_EQ(w.get(0), 3.0);
+  EXPECT_EQ(w.get(1), 3.0);
+  EXPECT_EQ(w.get(2), 9.0);
+}
+
+TEST(Reduce, ColumnWiseViaTransposeDescriptor) {
+  auto a = sample();
+  Vector<double> w(3);
+  grb::reduce(w, no_mask, grb::NoAccum{}, grb::PlusMonoid<double>{}, a,
+              grb::desc::T0);
+  EXPECT_EQ(w.get(0), 5.0);
+  EXPECT_EQ(w.get(1), 5.0);
+  EXPECT_EQ(w.get(2), 5.0);
+}
+
+TEST(Reduce, RowDegreesWithPlusPairSemantics) {
+  // Degrees = row-wise reduce of the pattern (count entries).
+  auto a = sample();
+  Matrix<std::uint64_t> pat(3, 3);
+  grb::apply(pat, no_mask, grb::NoAccum{}, grb::One{}, a);
+  Vector<std::uint64_t> deg(3);
+  grb::reduce(deg, no_mask, grb::NoAccum{}, grb::PlusMonoid<std::uint64_t>{},
+              pat);
+  EXPECT_EQ(deg.get(0), 2u);
+  EXPECT_EQ(deg.get(1), 1u);
+  EXPECT_EQ(deg.get(2), 2u);
+}
+
+TEST(Reduce, MatrixToScalar) {
+  auto a = sample();
+  double s = 0;
+  grb::reduce(s, grb::NoAccum{}, grb::PlusMonoid<double>{}, a);
+  EXPECT_EQ(s, 15.0);
+}
+
+TEST(Reduce, VectorToScalarMinMax) {
+  Vector<double> u(5);
+  u.set_element(1, 4.0);
+  u.set_element(3, -2.0);
+  double mn = 0;
+  double mx = 0;
+  grb::reduce(mn, grb::NoAccum{}, grb::MinMonoid<double>{}, u);
+  grb::reduce(mx, grb::NoAccum{}, grb::MaxMonoid<double>{}, u);
+  EXPECT_EQ(mn, -2.0);
+  EXPECT_EQ(mx, 4.0);
+}
+
+TEST(Reduce, EmptyYieldsIdentity) {
+  Vector<double> u(5);
+  double s = 99;
+  grb::reduce(s, grb::NoAccum{}, grb::PlusMonoid<double>{}, u);
+  EXPECT_EQ(s, 0.0);
+}
+
+TEST(Reduce, ScalarAccumulates) {
+  Vector<double> u(2);
+  u.set_element(0, 5.0);
+  double s = 10.0;
+  grb::reduce(s, grb::Plus{}, grb::PlusMonoid<double>{}, u);
+  EXPECT_EQ(s, 15.0);
+}
+
+TEST(Reduce, RowReduceSkipsEmptyRows) {
+  Matrix<double> a(3, 3);
+  a.set_element(0, 0, 1.0);
+  Vector<double> w(3);
+  grb::reduce(w, no_mask, grb::NoAccum{}, grb::PlusMonoid<double>{}, a);
+  EXPECT_EQ(w.nvals(), 1u);
+}
+
+TEST(Transpose, Basic) {
+  auto a = sample();
+  Matrix<double> at(3, 3);
+  grb::transpose(at, no_mask, grb::NoAccum{}, a);
+  EXPECT_EQ(at.nvals(), a.nvals());
+  a.for_each([&](Index i, Index j, const double &x) {
+    EXPECT_EQ(at.get(j, i), x);
+  });
+}
+
+TEST(Transpose, InvolutionIsIdentity) {
+  auto a = sample();
+  auto att = grb::transposed(grb::transposed(a));
+  EXPECT_EQ(a, att);
+}
+
+TEST(Transpose, RectangularShape) {
+  Matrix<int> a(2, 5);
+  a.set_element(0, 4, 7);
+  auto at = grb::transposed(a);
+  EXPECT_EQ(at.nrows(), 5u);
+  EXPECT_EQ(at.ncols(), 2u);
+  EXPECT_EQ(at.get(4, 0), 7);
+}
+
+TEST(Transpose, JumbledInputHandled) {
+  grb::config().lazy_sort = true;
+  Matrix<int> a(1, 4);
+  std::vector<Index> rp = {0, 3};
+  std::vector<Index> ci = {2, 0, 3};
+  std::vector<int> vx = {20, 0, 30};
+  a.adopt_csr(std::move(rp), std::move(ci), std::move(vx), true);
+  auto at = grb::transposed(a);
+  EXPECT_EQ(at.get(0, 0), 0);
+  EXPECT_EQ(at.get(2, 0), 20);
+  EXPECT_EQ(at.get(3, 0), 30);
+}
+
+TEST(Transpose, WithMaskKeepsOnlyMaskedEntries) {
+  auto a = sample();
+  Matrix<grb::Bool> m(3, 3);
+  m.set_element(1, 0, true);  // aᵀ(1,0) = a(0,1) = 2
+  Matrix<double> at(3, 3);
+  grb::transpose(at, m, grb::NoAccum{}, a);
+  EXPECT_EQ(at.nvals(), 1u);
+  EXPECT_EQ(at.get(1, 0), 2.0);
+}

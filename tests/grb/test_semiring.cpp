@@ -1,0 +1,118 @@
+// Tests for the operator/monoid/semiring layer — each row of the paper's
+// Table II has its semantics asserted here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+
+TEST(Ops, BinaryBasics) {
+  EXPECT_EQ(grb::Plus{}(2, 3), 5);
+  EXPECT_EQ(grb::Minus{}(2, 3), -1);
+  EXPECT_EQ(grb::Times{}(2, 3), 6);
+  EXPECT_EQ(grb::Div{}(6.0, 3.0), 2.0);
+  EXPECT_EQ(grb::Min{}(2, 3), 2);
+  EXPECT_EQ(grb::Max{}(2, 3), 3);
+  EXPECT_EQ(grb::First{}(2, 3), 2);
+  EXPECT_EQ(grb::Second{}(2, 3), 3);
+  EXPECT_EQ(grb::Pair{}(17, 99), 1);  // pair(x,y) = 1, values ignored
+}
+
+TEST(Ops, Comparisons) {
+  EXPECT_EQ(grb::Eq{}(3, 3), 1);
+  EXPECT_EQ(grb::Ne{}(3, 3), 0);
+  EXPECT_EQ(grb::Lt{}(2, 3), 1);
+  EXPECT_EQ(grb::Ge{}(2, 3), 0);
+}
+
+TEST(Ops, UnaryBasics) {
+  EXPECT_EQ(grb::Identity{}(5), 5);
+  EXPECT_EQ(grb::AInv{}(5), -5);
+  EXPECT_EQ(grb::Abs{}(-5), 5);
+  EXPECT_EQ(grb::Abs{}(5u), 5u);
+  EXPECT_EQ(grb::One{}(42), 1);
+  EXPECT_EQ(grb::MInv{}(4.0), 0.25);
+}
+
+TEST(Ops, PositionalOps) {
+  // In C = A ⊕.⊗ B the product a(i,k)·b(k,j) carries coordinates (i,k,j).
+  EXPECT_EQ((grb::FirstI{}.operator()<Index>(7, 8, 9)), 7u);
+  EXPECT_EQ((grb::FirstJ{}.operator()<Index>(7, 8, 9)), 8u);
+  EXPECT_EQ((grb::SecondI{}.operator()<Index>(7, 8, 9)), 8u);
+  EXPECT_EQ((grb::SecondJ{}.operator()<Index>(7, 8, 9)), 9u);
+  static_assert(grb::is_positional_v<grb::SecondI>);
+  static_assert(!grb::is_positional_v<grb::Second>);
+}
+
+TEST(Monoid, Identities) {
+  EXPECT_EQ((grb::PlusMonoid<int>::identity()), 0);
+  EXPECT_EQ((grb::TimesMonoid<int>::identity()), 1);
+  EXPECT_EQ((grb::MinMonoid<int>::identity()), std::numeric_limits<int>::max());
+  EXPECT_EQ((grb::MinMonoid<double>::identity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ((grb::MaxMonoid<double>::identity()),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ((grb::LOrMonoid<bool>::identity()), false);
+}
+
+TEST(Monoid, Terminals) {
+  static_assert(!grb::PlusMonoid<int>::has_terminal);
+  static_assert(grb::MinMonoid<int>::has_terminal);
+  EXPECT_TRUE(grb::MinMonoid<int>::is_terminal(std::numeric_limits<int>::lowest()));
+  EXPECT_FALSE(grb::MinMonoid<int>::is_terminal(0));
+  EXPECT_TRUE(grb::LOrMonoid<int>::is_terminal(1));
+  EXPECT_TRUE(grb::TimesMonoid<int>::is_terminal(0));
+}
+
+TEST(Monoid, AnyKeepsFirstAndIsAllTerminal) {
+  grb::AnyMonoid<int> any;
+  EXPECT_EQ(any(3, 9), 3);
+  EXPECT_TRUE(grb::AnyMonoid<int>::is_terminal(42));
+}
+
+TEST(Semiring, ConventionalPlusTimes) {
+  grb::PlusTimes<std::uint64_t> sr;
+  EXPECT_EQ(sr.multiply(3u, 4u, 0, 0, 0), 12u);
+  EXPECT_EQ(sr.add(3u, 4u), 7u);
+}
+
+TEST(Semiring, MinPlusPathLengths) {
+  grb::MinPlus<double> sr;
+  // ⊗ = plus computes the path length; ⊕ = min keeps the shortest.
+  EXPECT_EQ(sr.multiply(2.0, 3.0, 0, 0, 0), 5.0);
+  EXPECT_EQ(sr.add(5.0, 4.0), 4.0);
+  EXPECT_EQ(grb::MinPlus<double>::add_monoid::identity(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Semiring, PlusFirstCountsPaths) {
+  grb::PlusFirst<std::uint64_t> sr;
+  // first ignores the edge value: path counts propagate unchanged.
+  EXPECT_EQ(sr.multiply(7u, 123u, 0, 0, 0), 7u);
+}
+
+TEST(Semiring, PlusSecondIgnoresEdgeWeightsFromLeft) {
+  grb::PlusSecond<double> sr;
+  EXPECT_EQ(sr.multiply(123.0, 0.5, 0, 0, 0), 0.5);
+}
+
+TEST(Semiring, PlusPairStructural) {
+  grb::PlusPair<std::uint64_t> sr;
+  EXPECT_EQ(sr.multiply(77u, 88u, 0, 0, 0), 1u);
+}
+
+TEST(Semiring, AnySecondIYieldsParentIndex) {
+  grb::AnySecondI<std::uint64_t> sr;
+  // The product of a(i,k)·b(k,j) is k — the id of the parent node.
+  EXPECT_EQ(sr.multiply(1u, 1u, /*i=*/5, /*k=*/17, /*j=*/3), 17u);
+  EXPECT_EQ(sr.add(17u, 99u), 17u);  // any keeps the first parent found
+}
+
+TEST(Semiring, MinSecondForFastSV) {
+  grb::MinSecond<std::uint64_t> sr;
+  EXPECT_EQ(sr.multiply(5u, 3u, 0, 0, 0), 3u);
+  EXPECT_EQ(sr.add(3u, 2u), 2u);
+}

@@ -1,0 +1,183 @@
+// Unit tests for grb::Vector: element access, build/extractTuples, format
+// conversions, and mask semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grb/grb.hpp"
+
+using grb::Index;
+using grb::Vector;
+
+TEST(Vector, EmptyConstruction) {
+  Vector<double> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.has(3));
+  EXPECT_FALSE(v.get(3).has_value());
+}
+
+TEST(Vector, SetGetRemove) {
+  Vector<int> v(8);
+  v.set_element(3, 42);
+  v.set_element(1, 7);
+  v.set_element(3, 43);  // overwrite
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.get(3), 43);
+  EXPECT_EQ(v.get(1), 7);
+  v.remove_element(3);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_FALSE(v.has(3));
+  v.remove_element(3);  // idempotent
+  EXPECT_EQ(v.nvals(), 1u);
+}
+
+TEST(Vector, IndexOutOfBoundsThrows) {
+  Vector<int> v(4);
+  EXPECT_THROW(v.set_element(4, 1), grb::Exception);
+  EXPECT_THROW((void)v.get(100), grb::Exception);
+  try {
+    v.set_element(9, 1);
+    FAIL() << "expected throw";
+  } catch (const grb::Exception &e) {
+    EXPECT_EQ(e.info(), grb::Info::index_out_of_bounds);
+  }
+}
+
+TEST(Vector, BuildSortsAndCombinesDuplicates) {
+  Vector<int> v(10);
+  std::vector<Index> idx = {5, 2, 5, 9, 2};
+  std::vector<int> val = {1, 10, 2, 3, 20};
+  v.build(idx, val, grb::Plus{});
+  EXPECT_EQ(v.nvals(), 3u);
+  EXPECT_EQ(v.get(2), 30);
+  EXPECT_EQ(v.get(5), 3);
+  EXPECT_EQ(v.get(9), 3);
+}
+
+TEST(Vector, BuildDupSecondKeepsLast) {
+  Vector<int> v(4);
+  std::vector<Index> idx = {1, 1, 1};
+  std::vector<int> val = {5, 6, 7};
+  v.build(idx, val, grb::Second{});
+  EXPECT_EQ(v.get(1), 7);
+}
+
+TEST(Vector, BuildOutOfBoundsThrows) {
+  Vector<int> v(4);
+  std::vector<Index> idx = {7};
+  std::vector<int> val = {1};
+  EXPECT_THROW(v.build(idx, val), grb::Exception);
+}
+
+TEST(Vector, ExtractTuplesRoundTrip) {
+  Vector<double> v(100);
+  for (Index i = 0; i < 100; i += 7) v.set_element(i, 0.5 * double(i));
+  std::vector<Index> idx;
+  std::vector<double> val;
+  v.extract_tuples(idx, val);
+  ASSERT_EQ(idx.size(), v.nvals());
+  Vector<double> w(100);
+  w.build(idx, val);
+  EXPECT_EQ(v, w);
+}
+
+TEST(Vector, FormatConversionPreservesContent) {
+  Vector<int> v(32);
+  for (Index i = 0; i < 32; i += 3) v.set_element(i, int(i));
+  Vector<int> orig = v;
+  v.to_bitmap();
+  EXPECT_EQ(v.format(), Vector<int>::Format::bitmap);
+  EXPECT_EQ(v, orig);
+  v.to_sparse();
+  EXPECT_EQ(v.format(), Vector<int>::Format::sparse);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Vector, BitmapSetGet) {
+  Vector<int> v(16);
+  v.to_bitmap();
+  v.set_element(5, 50);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_EQ(v.get(5), 50);
+  v.remove_element(5);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(Vector, FullConstructor) {
+  auto v = Vector<double>::full(6, 2.5);
+  EXPECT_EQ(v.nvals(), 6u);
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(v.get(i), 2.5);
+}
+
+TEST(Vector, ForEachVisitsAscending) {
+  Vector<int> v(50);
+  v.set_element(40, 4);
+  v.set_element(3, 1);
+  v.set_element(17, 2);
+  std::vector<Index> seen;
+  v.for_each([&](Index i, const int &) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<Index>{3, 17, 40}));
+  v.to_bitmap();
+  seen.clear();
+  v.for_each([&](Index i, const int &) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<Index>{3, 17, 40}));
+}
+
+TEST(Vector, MaskTestValuedVsStructural) {
+  Vector<int> v(5);
+  v.set_element(1, 0);  // explicit zero
+  v.set_element(2, 9);
+  // valued: explicit zero is not in the mask
+  EXPECT_FALSE(v.mask_test(1, /*structural=*/false));
+  EXPECT_TRUE(v.mask_test(1, /*structural=*/true));
+  EXPECT_TRUE(v.mask_test(2, false));
+  EXPECT_FALSE(v.mask_test(3, false));
+  EXPECT_FALSE(v.mask_test(3, true));
+  v.to_bitmap();
+  EXPECT_FALSE(v.mask_test(1, false));
+  EXPECT_TRUE(v.mask_test(1, true));
+}
+
+TEST(Vector, ResizeDropsTail) {
+  Vector<int> v(10);
+  v.set_element(2, 1);
+  v.set_element(8, 2);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_TRUE(v.has(2));
+}
+
+TEST(Vector, ClearKeepsSize) {
+  Vector<int> v(10);
+  v.set_element(2, 1);
+  v.clear();
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(Vector, AutoFormatSwitchOnDensity) {
+  grb::config().bitmap_switch_density = 1.0 / 16.0;
+  Vector<int> v(64);
+  std::vector<Index> idx;
+  std::vector<int> val;
+  for (Index i = 0; i < 32; ++i) {
+    idx.push_back(i);
+    val.push_back(1);
+  }
+  v.build(idx, val);  // density 0.5 > 1/16
+  EXPECT_EQ(v.format(), Vector<int>::Format::bitmap);
+}
+
+TEST(Vector, EqualityIgnoresFormat) {
+  Vector<int> a(20);
+  Vector<int> b(20);
+  a.set_element(4, 1);
+  b.set_element(4, 1);
+  b.to_bitmap();
+  EXPECT_EQ(a, b);
+  b.set_element(5, 2);
+  EXPECT_FALSE(a == b);
+}

@@ -1,0 +1,139 @@
+// Betweenness centrality tests: the batched linear-algebra BC against the
+// textbook Brandes oracle, push-only vs direction-optimized, batch
+// composition.
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+
+namespace {
+
+void expect_scores(const testutil::TestGraph &t,
+                   const grb::Vector<double> &got,
+                   std::span<const gapbs::NodeId> sources, double tol) {
+  auto want = gapbs::bc_reference(t.ref, sources);
+  ASSERT_EQ(got.size(), want.size());
+  for (Index v = 0; v < got.size(); ++v) {
+    double g = got.get(v).value_or(0.0);
+    EXPECT_NEAR(g, want[v], tol) << t.name << " node " << v;
+  }
+}
+
+std::vector<grb::Index> to_idx(std::span<const gapbs::NodeId> s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+TEST(Bc, TinyDirectedSingleSource) {
+  auto t = testutil::tiny_directed();
+  const gapbs::NodeId srcs[] = {0};
+  auto idx = to_idx(srcs);
+  grb::Vector<double> c;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::betweenness_centrality(&c, t.lg, idx, msg), LAGRAPH_OK)
+      << msg;
+  expect_scores(t, c, srcs, 1e-9);
+}
+
+TEST(Bc, TinyUndirectedBatch) {
+  auto t = testutil::tiny_undirected();
+  const gapbs::NodeId srcs[] = {0, 3, 6};
+  auto idx = to_idx(srcs);
+  grb::Vector<double> c;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::betweenness_centrality(&c, t.lg, idx, msg), LAGRAPH_OK);
+  expect_scores(t, c, srcs, 1e-9);
+}
+
+TEST(Bc, MatchesBrandesOnGeneratedGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    auto t = testutil::random_directed(6, 6, seed);
+    const gapbs::NodeId srcs[] = {0, 5, 17, 31};
+    auto idx = to_idx(srcs);
+    grb::Vector<double> c;
+    char msg[LAGRAPH_MSG_LEN];
+    ASSERT_EQ(lagraph::betweenness_centrality(&c, t.lg, idx, msg),
+              LAGRAPH_OK);
+    expect_scores(t, c, srcs, 1e-6);
+  }
+}
+
+TEST(Bc, PushOnlyMatchesDirectionOptimized) {
+  auto t = testutil::random_kron(7, 8, 3);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(t.lg, msg);
+  const grb::Index idx[] = {1, 2, 3, 4};
+  grb::Vector<double> c1;
+  grb::Vector<double> c2;
+  ASSERT_EQ(lagraph::advanced::betweenness_centrality(&c1, t.lg, idx, false,
+                                                      msg),
+            LAGRAPH_OK);
+  ASSERT_EQ(lagraph::advanced::betweenness_centrality(&c2, t.lg, idx, true,
+                                                      msg),
+            LAGRAPH_OK);
+  for (Index v = 0; v < c1.size(); ++v) {
+    EXPECT_NEAR(c1.get(v).value_or(0), c2.get(v).value_or(0), 1e-6);
+  }
+}
+
+TEST(Bc, BatchEqualsSumOfSingletons) {
+  auto t = testutil::tiny_undirected();
+  char msg[LAGRAPH_MSG_LEN];
+  const grb::Index batch[] = {1, 4};
+  grb::Vector<double> cb;
+  ASSERT_EQ(lagraph::betweenness_centrality(&cb, t.lg, batch, msg),
+            LAGRAPH_OK);
+  grb::Vector<double> c1;
+  grb::Vector<double> c2;
+  const grb::Index s1[] = {1};
+  const grb::Index s2[] = {4};
+  ASSERT_EQ(lagraph::betweenness_centrality(&c1, t.lg, s1, msg), LAGRAPH_OK);
+  ASSERT_EQ(lagraph::betweenness_centrality(&c2, t.lg, s2, msg), LAGRAPH_OK);
+  for (Index v = 0; v < cb.size(); ++v) {
+    EXPECT_NEAR(cb.get(v).value_or(0),
+                c1.get(v).value_or(0) + c2.get(v).value_or(0), 1e-9);
+  }
+}
+
+TEST(Bc, SourceNodeScoresZeroOnPath) {
+  // On a path 0-1-2-3-4 from source 0, interior nodes get scores, the
+  // endpoints get zero.
+  gen::EdgeList el;
+  el.n = 5;
+  for (Index i = 0; i < 4; ++i) el.push(i, i + 1);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("path", std::move(el), false);
+  const grb::Index srcs[] = {0};
+  grb::Vector<double> c;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::betweenness_centrality(&c, t.lg, srcs, msg), LAGRAPH_OK);
+  EXPECT_NEAR(c.get(0).value_or(0), 0.0, 1e-12);
+  EXPECT_NEAR(c.get(1).value_or(0), 3.0, 1e-12);
+  EXPECT_NEAR(c.get(2).value_or(0), 2.0, 1e-12);
+  EXPECT_NEAR(c.get(3).value_or(0), 1.0, 1e-12);
+  EXPECT_NEAR(c.get(4).value_or(0), 0.0, 1e-12);
+}
+
+TEST(Bc, EmptyBatchIsError) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<double> c;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lagraph::betweenness_centrality(&c, t.lg, {}, msg),
+            LAGRAPH_INVALID_VALUE);
+}
+
+TEST(Bc, AdvancedDirectionOptNeedsTranspose) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<double> c;
+  char msg[LAGRAPH_MSG_LEN];
+  const grb::Index srcs[] = {0};
+  EXPECT_EQ(lagraph::advanced::betweenness_centrality(&c, t.lg, srcs, true,
+                                                      msg),
+            LAGRAPH_PROPERTY_MISSING);
+  // push-only works without
+  EXPECT_EQ(lagraph::advanced::betweenness_centrality(&c, t.lg, srcs, false,
+                                                      msg),
+            LAGRAPH_OK);
+}

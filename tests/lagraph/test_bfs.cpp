@@ -1,0 +1,172 @@
+// BFS tests: levels against the reference BFS, parents validated as a BFS
+// tree (any valid parent is acceptable — the paper's benign race), push vs
+// direction-optimizing agreement, Basic vs Advanced mode behaviour,
+// parameterized over generated graphs.
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+using testutil::TestGraph;
+
+namespace {
+
+void check_levels(const TestGraph &t, const grb::Vector<std::int64_t> &level,
+                  gapbs::NodeId src) {
+  auto want = gapbs::bfs_levels_reference(t.ref, src);
+  for (Index v = 0; v < static_cast<Index>(want.size()); ++v) {
+    auto got = level.get(v);
+    if (want[v] < 0) {
+      EXPECT_FALSE(got.has_value()) << t.name << " node " << v;
+    } else {
+      ASSERT_TRUE(got.has_value()) << t.name << " node " << v;
+      EXPECT_EQ(*got, want[v]) << t.name << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Bfs, TinyDirectedLevelsAndParents) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<std::int64_t> level;
+  grb::Vector<std::int64_t> parent;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::bfs(&level, &parent, t.lg, 0, msg), LAGRAPH_OK) << msg;
+  check_levels(t, level, 0);
+  testutil::expect_valid_bfs_parents(t, parent, 0);
+}
+
+TEST(Bfs, TinyUndirected) {
+  auto t = testutil::tiny_undirected();
+  grb::Vector<std::int64_t> level;
+  grb::Vector<std::int64_t> parent;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::bfs(&level, &parent, t.lg, 3, msg), LAGRAPH_OK) << msg;
+  check_levels(t, level, 3);
+  testutil::expect_valid_bfs_parents(t, parent, 3);
+}
+
+TEST(Bfs, DisconnectedNodesHaveNoEntries) {
+  auto t = testutil::two_components();
+  grb::Vector<std::int64_t> level;
+  grb::Vector<std::int64_t> parent;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::bfs(&level, &parent, t.lg, 0, msg), LAGRAPH_OK);
+  EXPECT_EQ(level.nvals(), 4u);  // the 4-cycle only
+  EXPECT_FALSE(parent.has(5));
+}
+
+TEST(Bfs, LevelOnlyAndParentOnly) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<std::int64_t> level;
+  grb::Vector<std::int64_t> parent;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::bfs(&level, nullptr, t.lg, 0, msg), LAGRAPH_OK);
+  check_levels(t, level, 0);
+  ASSERT_EQ(lagraph::bfs(nullptr, &parent, t.lg, 0, msg), LAGRAPH_OK);
+  testutil::expect_valid_bfs_parents(t, parent, 0);
+}
+
+TEST(Bfs, NoOutputsIsAnError) {
+  auto t = testutil::tiny_directed();
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_LT(lagraph::bfs<double>(nullptr, nullptr, t.lg, 0, msg), 0);
+}
+
+TEST(Bfs, SourceOutOfRangeFails) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<std::int64_t> level;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_LT(lagraph::bfs(&level, nullptr, t.lg, 100, msg), 0);
+}
+
+TEST(Bfs, AdvancedDoRequiresCachedTranspose) {
+  // Advanced mode never computes properties behind the caller's back
+  // (paper §II-B): a directed graph without AT must error.
+  auto t = testutil::tiny_directed();
+  grb::Vector<std::int64_t> level;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_FALSE(t.lg.at.has_value());
+  EXPECT_EQ(lagraph::advanced::bfs_do(&level, nullptr, t.lg, 0, msg),
+            LAGRAPH_PROPERTY_MISSING);
+  // and it must NOT have cached anything as a side effect
+  EXPECT_FALSE(t.lg.at.has_value());
+  // Basic mode computes the property and succeeds
+  ASSERT_EQ(lagraph::bfs(&level, nullptr, t.lg, 0, msg), LAGRAPH_OK);
+  EXPECT_TRUE(t.lg.at.has_value());
+}
+
+TEST(Bfs, PushOnlyMatchesDirectionOptimizing) {
+  auto t = testutil::random_kron(8, 8, 7);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(t.lg, msg);
+  grb::Vector<std::int64_t> level_push;
+  grb::Vector<std::int64_t> level_do;
+  ASSERT_EQ(lagraph::advanced::bfs_push(&level_push, nullptr, t.lg, 1, msg),
+            LAGRAPH_OK);
+  ASSERT_EQ(lagraph::advanced::bfs_do(&level_do, nullptr, t.lg, 1, msg),
+            LAGRAPH_OK);
+  EXPECT_EQ(level_push, level_do);
+}
+
+struct BfsSweep {
+  int scale;
+  int ef;
+  std::uint64_t seed;
+  bool directed;
+};
+
+class BfsParam : public ::testing::TestWithParam<BfsSweep> {};
+
+TEST_P(BfsParam, MatchesReferenceOnGeneratedGraphs) {
+  auto p = GetParam();
+  auto t = p.directed ? testutil::random_directed(p.scale, p.ef, p.seed)
+                      : testutil::random_undirected(p.scale, p.ef, p.seed);
+  char msg[LAGRAPH_MSG_LEN];
+  for (Index src : {Index(0), Index(3), Index((1u << p.scale) - 1)}) {
+    grb::Vector<std::int64_t> level;
+    grb::Vector<std::int64_t> parent;
+    ASSERT_EQ(lagraph::bfs(&level, &parent, t.lg, src, msg), LAGRAPH_OK)
+        << msg;
+    auto want = gapbs::bfs_levels_reference(t.ref, static_cast<gapbs::NodeId>(src));
+    for (Index v = 0; v < t.lg.nodes(); ++v) {
+      auto got = level.get(v);
+      if (want[v] < 0) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, want[v]);
+      }
+    }
+    testutil::expect_valid_bfs_parents(t, parent, static_cast<gapbs::NodeId>(src));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BfsParam,
+    ::testing::Values(BfsSweep{5, 4, 1, false}, BfsSweep{6, 8, 2, false},
+                      BfsSweep{7, 4, 3, true}, BfsSweep{8, 6, 4, true},
+                      BfsSweep{8, 16, 5, false}),
+    [](const ::testing::TestParamInfo<BfsSweep> &info) {
+      return "s" + std::to_string(info.param.scale) + "_e" +
+             std::to_string(info.param.ef) + "_seed" +
+             std::to_string(info.param.seed) +
+             (info.param.directed ? "_dir" : "_und");
+    });
+
+TEST(Bfs, HighDiameterRoadGraph) {
+  auto t = testutil::small_road(24, 11);
+  char msg[LAGRAPH_MSG_LEN];
+  grb::Vector<std::int64_t> level;
+  ASSERT_EQ(lagraph::bfs(&level, nullptr, t.lg, 0, msg), LAGRAPH_OK);
+  auto want = gapbs::bfs_levels_reference(t.ref, 0);
+  std::int64_t maxlvl = 0;
+  for (auto l : want) maxlvl = std::max(maxlvl, l);
+  EXPECT_GE(maxlvl, 24);  // the grid really is high-diameter
+  for (Index v = 0; v < t.lg.nodes(); ++v) {
+    auto got = level.get(v);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want[v]);
+  }
+}

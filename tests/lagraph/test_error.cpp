@@ -1,0 +1,121 @@
+// Tests for the calling conventions and error handling of §II-C/D: status
+// codes, message buffers, and the LAGRAPH_TRY / GRB_TRY macros.
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+
+TEST(Error, SuccessClearsMessage) {
+  auto t = testutil::tiny_directed();
+  char msg[LAGRAPH_MSG_LEN];
+  std::snprintf(msg, sizeof(msg), "stale text from a previous call");
+  grb::Vector<std::int64_t> level;
+  ASSERT_EQ(lagraph::bfs(&level, nullptr, t.lg, 0, msg), LAGRAPH_OK);
+  EXPECT_EQ(msg[0], '\0');  // "fill the message array with an empty string"
+}
+
+TEST(Error, FailureSetsMessage) {
+  auto t = testutil::tiny_directed();
+  char msg[LAGRAPH_MSG_LEN];
+  grb::Vector<std::int64_t> level;
+  EXPECT_LT(lagraph::bfs(&level, nullptr, t.lg, 9999, msg), 0);
+  EXPECT_GT(std::strlen(msg), 0u);
+}
+
+TEST(Error, NullMsgIsAllowed) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<std::int64_t> level;
+  EXPECT_EQ(lagraph::bfs(&level, nullptr, t.lg, 0, nullptr), LAGRAPH_OK);
+  EXPECT_LT(lagraph::bfs(&level, nullptr, t.lg, 9999, nullptr), 0);
+}
+
+TEST(Error, StatusNames) {
+  EXPECT_STREQ(lagraph::status_name(LAGRAPH_OK), "ok");
+  EXPECT_STREQ(lagraph::status_name(LAGRAPH_PROPERTY_MISSING),
+               "required cached property missing");
+  EXPECT_STREQ(lagraph::status_name(LAGRAPH_WARN_CONVERGENCE),
+               "warning: did not converge");
+}
+
+TEST(Error, WarningsArePositive) {
+  auto t = testutil::random_directed(5, 4, 1);
+  grb::Vector<double> r;
+  char msg[LAGRAPH_MSG_LEN];
+  int status = lagraph::pagerank(&r, nullptr, t.lg, 0.85, 1e-15, 2, msg);
+  EXPECT_GT(status, 0);  // warning, not error: the result is still usable
+  EXPECT_EQ(r.size(), t.lg.nodes());
+}
+
+// -- LAGRAPH_TRY / GRB_TRY ----------------------------------------------------
+
+namespace {
+
+int try_macro_demo(testutil::TestGraph &t, Index source, char *msg,
+                   bool *caught) {
+  *caught = false;
+  grb::Vector<std::int64_t> level;
+  // The paper's idiom: define LAGraph_CATCH, then wrap calls in LAGRAPH_TRY.
+#define LAGraph_CATCH(status)   \
+  {                             \
+    *caught = true;             \
+    return status;              \
+  }
+  LAGRAPH_TRY(lagraph::bfs(&level, nullptr, t.lg, source, msg));
+  LAGRAPH_TRY(lagraph::bfs(&level, nullptr, t.lg, source + 1, msg));
+#undef LAGraph_CATCH
+  return LAGRAPH_OK;
+}
+
+int grb_try_demo(bool *caught) {
+  *caught = false;
+#define GrB_CATCH(info)      \
+  {                          \
+    *caught = true;          \
+    return info;             \
+  }
+  grb::Vector<int> v(4);
+  GRB_TRY(v.set_element(1, 10));   // fine
+  GRB_TRY(v.set_element(99, 10));  // throws -> caught -> returns info
+#undef GrB_CATCH
+  return 0;
+}
+
+}  // namespace
+
+TEST(Error, LagraphTryInvokesCatchOnError) {
+  auto t = testutil::tiny_directed();
+  char msg[LAGRAPH_MSG_LEN];
+  bool caught = false;
+  EXPECT_EQ(try_macro_demo(t, 0, msg, &caught), LAGRAPH_OK);
+  EXPECT_FALSE(caught);
+  EXPECT_LT(try_macro_demo(t, 9999, msg, &caught), 0);
+  EXPECT_TRUE(caught);
+}
+
+TEST(Error, GrbTryInvokesCatchOnException) {
+  bool caught = false;
+  int status = grb_try_demo(&caught);
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(status, static_cast<int>(grb::Info::index_out_of_bounds));
+}
+
+TEST(Error, GrbExceptionCarriesInfo) {
+  grb::Vector<int> v(4);
+  try {
+    v.set_element(100, 1);
+    FAIL() << "expected exception";
+  } catch (const grb::Exception &e) {
+    EXPECT_EQ(e.info(), grb::Info::index_out_of_bounds);
+    EXPECT_NE(std::string(e.what()).find("index_out_of_bounds"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, ReturnConventionDocumented) {
+  // =0 success, <0 error, >0 warning (paper §II-C).
+  static_assert(LAGRAPH_OK == 0);
+  static_assert(LAGRAPH_INVALID_GRAPH < 0);
+  static_assert(LAGRAPH_PROPERTY_MISSING < 0);
+  static_assert(LAGRAPH_WARN_CONVERGENCE > 0);
+}

@@ -1,0 +1,270 @@
+// Tests for the experimental algorithm tier (§II-E): k-truss, local
+// clustering coefficient, Bellman-Ford, and multi-source BFS.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+namespace lx = lagraph::experimental;
+
+// -- k-truss ---------------------------------------------------------------------
+
+TEST(KTruss, TriangleSurvives3Truss) {
+  auto t = testutil::tiny_undirected();  // two triangles + pendant path
+  grb::Matrix<std::uint32_t> truss(0, 0);
+  int iters = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::k_truss(&truss, &iters, t.lg, 3, msg), LAGRAPH_OK) << msg;
+  // the two triangles survive (6 undirected edges = 12 entries); the
+  // pendant edges 2-3 and 5-6 are pruned
+  EXPECT_EQ(truss.nvals(), 12u);
+  EXPECT_TRUE(truss.has(0, 1));
+  EXPECT_TRUE(truss.has(3, 4));
+  EXPECT_FALSE(truss.has(5, 6));
+  EXPECT_FALSE(truss.has(2, 3));
+  EXPECT_GE(iters, 1);
+}
+
+TEST(KTruss, K4CliqueIs4Truss) {
+  gen::EdgeList el;
+  el.n = 5;
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = i + 1; j < 4; ++j) el.push(i, j);
+  }
+  el.push(3, 4);  // pendant
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("k4", std::move(el), false);
+  grb::Matrix<std::uint32_t> truss(0, 0);
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::k_truss(&truss, nullptr, t.lg, 4, msg), LAGRAPH_OK);
+  EXPECT_EQ(truss.nvals(), 12u);  // K4 only
+  // every surviving edge has support exactly 2 (k-2)
+  truss.for_each([](Index, Index, const std::uint32_t &s) {
+    EXPECT_EQ(s, 2u);
+  });
+  // 5-truss of a K4 is empty
+  ASSERT_EQ(lx::k_truss(&truss, nullptr, t.lg, 5, msg), LAGRAPH_OK);
+  EXPECT_EQ(truss.nvals(), 0u);
+}
+
+TEST(KTruss, InvalidArguments) {
+  auto t = testutil::tiny_undirected();
+  grb::Matrix<std::uint32_t> truss(0, 0);
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lx::k_truss(&truss, nullptr, t.lg, 2, msg),
+            LAGRAPH_INVALID_VALUE);
+  auto d = testutil::tiny_directed();
+  EXPECT_EQ(lx::k_truss(&truss, nullptr, d.lg, 3, msg),
+            LAGRAPH_PROPERTY_MISSING);
+}
+
+// -- local clustering coefficient ---------------------------------------------------
+
+TEST(Lcc, TriangleHasCoefficientOne) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(0, 2);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("tri", std::move(el), false);
+  grb::Vector<double> lcc;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::local_clustering_coefficient(&lcc, t.lg, msg), LAGRAPH_OK);
+  for (Index v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(*lcc.get(v), 1.0);
+}
+
+TEST(Lcc, PathHasCoefficientZero) {
+  gen::EdgeList el;
+  el.n = 4;
+  for (Index i = 0; i < 3; ++i) el.push(i, i + 1);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("path", std::move(el), false);
+  grb::Vector<double> lcc;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::local_clustering_coefficient(&lcc, t.lg, msg), LAGRAPH_OK);
+  EXPECT_EQ(lcc.nvals(), 4u);  // dense output
+  for (Index v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(*lcc.get(v), 0.0);
+}
+
+TEST(Lcc, MatchesBruteForceOnGenerated) {
+  auto t = testutil::random_kron(6, 6, 3);
+  grb::Vector<double> lcc;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::local_clustering_coefficient(&lcc, t.lg, msg), LAGRAPH_OK);
+  // brute force from the reference CSR
+  const auto n = t.ref.num_nodes();
+  for (gapbs::NodeId v = 0; v < n; ++v) {
+    auto neigh = t.ref.out_neigh(v);
+    double closed = 0;
+    for (auto a : neigh) {
+      for (auto b : neigh) {
+        if (a == b) continue;
+        for (auto c : t.ref.out_neigh(a)) {
+          if (c == b) closed += 1;
+        }
+      }
+    }
+    double deg = static_cast<double>(neigh.size());
+    double want = deg >= 2 ? closed / (deg * (deg - 1.0)) : 0.0;
+    EXPECT_NEAR(lcc.get(static_cast<Index>(v)).value_or(-1), want, 1e-9)
+        << "node " << v;
+  }
+}
+
+// -- Bellman-Ford ----------------------------------------------------------------------
+
+TEST(BellmanFord, MatchesDijkstraOnPositiveWeights) {
+  auto t = testutil::random_directed(6, 6, 2);
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::bellman_ford(&dist, t.lg, 0, msg), LAGRAPH_OK);
+  auto want = gapbs::dijkstra(t.ref, 0);
+  for (Index v = 0; v < dist.size(); ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_FALSE(dist.has(v));
+    } else {
+      EXPECT_DOUBLE_EQ(*dist.get(v), want[v]);
+    }
+  }
+}
+
+TEST(BellmanFord, HandlesNegativeEdges) {
+  gen::EdgeList el;
+  el.n = 4;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(0, 2);
+  el.push(2, 3);
+  el.weight = {5.0, -3.0, 4.0, 1.0};
+  auto t = testutil::TestGraph::from_edges("neg", std::move(el), true);
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::bellman_ford(&dist, t.lg, 0, msg), LAGRAPH_OK);
+  EXPECT_DOUBLE_EQ(*dist.get(2), 2.0);  // 0->1->2 beats 0->2
+  EXPECT_DOUBLE_EQ(*dist.get(3), 3.0);
+}
+
+TEST(BellmanFord, DetectsNegativeCycle) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(2, 0);
+  el.weight = {1.0, -3.0, 1.0};
+  auto t = testutil::TestGraph::from_edges("negcycle", std::move(el), true);
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lx::bellman_ford(&dist, t.lg, 0, msg), LAGRAPH_INVALID_VALUE);
+  EXPECT_NE(std::string(msg).find("negative cycle"), std::string::npos);
+}
+
+// -- multi-source BFS --------------------------------------------------------------------
+
+TEST(Msbfs, MatchesSingleSourceBfs) {
+  auto t = testutil::random_kron(6, 6, 4);
+  const grb::Index sources[] = {0, 7, 33};
+  grb::Matrix<std::int64_t> level(0, 0);
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::msbfs_levels(&level, t.lg, sources, msg), LAGRAPH_OK) << msg;
+  ASSERT_EQ(level.nrows(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto want = gapbs::bfs_levels_reference(
+        t.ref, static_cast<gapbs::NodeId>(sources[i]));
+    for (Index v = 0; v < t.lg.nodes(); ++v) {
+      auto got = level.get(i, v);
+      if (want[v] < 0) {
+        EXPECT_FALSE(got.has_value()) << "row " << i << " node " << v;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "row " << i << " node " << v;
+        EXPECT_EQ(*got, want[v]) << "row " << i << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(Msbfs, EmptyBatchIsError) {
+  auto t = testutil::tiny_directed();
+  grb::Matrix<std::int64_t> level(0, 0);
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lx::msbfs_levels(&level, t.lg, {}, msg), LAGRAPH_INVALID_VALUE);
+}
+
+// -- CDLP --------------------------------------------------------------------------
+
+TEST(Cdlp, RecoversTwoCliques) {
+  // Two 5-cliques joined by one bridge edge: labels must split 5/5.
+  gen::EdgeList el;
+  el.n = 10;
+  for (Index a = 0; a < 5; ++a) {
+    for (Index b = a + 1; b < 5; ++b) {
+      el.push(a, b);
+      el.push(a + 5, b + 5);
+    }
+  }
+  el.push(0, 5);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("cliques", std::move(el), false);
+  grb::Vector<grb::Index> labels;
+  int rounds = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::cdlp(&labels, &rounds, t.lg, 20, msg), LAGRAPH_OK) << msg;
+  EXPECT_EQ(labels.nvals(), 10u);
+  // within each clique, all labels agree
+  auto l0 = *labels.get(1);
+  auto l5 = *labels.get(6);
+  for (Index v = 1; v < 5; ++v) EXPECT_EQ(*labels.get(v), l0) << v;
+  for (Index v = 6; v < 10; ++v) EXPECT_EQ(*labels.get(v), l5) << v;
+  EXPECT_NE(l0, l5);
+  EXPECT_GE(rounds, 1);
+}
+
+TEST(Cdlp, IsolatedNodesKeepOwnLabel) {
+  // A triangle (converges to one label under synchronous propagation — a
+  // lone edge would oscillate, the classic LPA two-cycle) plus two isolated
+  // nodes that must keep their own labels.
+  gen::EdgeList el;
+  el.n = 5;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(0, 2);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("iso", std::move(el), false);
+  grb::Vector<grb::Index> labels;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::cdlp(&labels, nullptr, t.lg, 10, msg), LAGRAPH_OK);
+  EXPECT_EQ(*labels.get(3), 3u);
+  EXPECT_EQ(*labels.get(4), 4u);
+  EXPECT_EQ(*labels.get(0), *labels.get(1));
+  EXPECT_EQ(*labels.get(1), *labels.get(2));
+}
+
+TEST(Cdlp, PlantedPartitionRecovery) {
+  auto el = gen::planted_partition(4, 16, 8, 0.95, 7);
+  gen::remove_self_loops(el);
+  auto t = testutil::TestGraph::from_edges("sbm", std::move(el), false);
+  grb::Vector<grb::Index> labels;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::cdlp(&labels, nullptr, t.lg, 50, msg), LAGRAPH_OK);
+  // majority agreement within each planted community
+  std::size_t agree = 0;
+  for (Index c = 0; c < 4; ++c) {
+    std::map<grb::Index, std::size_t> votes;
+    for (Index v = c * 16; v < (c + 1) * 16; ++v) ++votes[*labels.get(v)];
+    std::size_t best = 0;
+    for (auto &[l, n] : votes) best = std::max(best, n);
+    agree += best;
+  }
+  EXPECT_GT(agree, 48u);  // > 75% purity on a strongly-separated SBM
+}
+
+TEST(Cdlp, InvalidArguments) {
+  auto t = testutil::tiny_undirected();
+  grb::Vector<grb::Index> labels;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lx::cdlp(&labels, nullptr, t.lg, 0, msg), LAGRAPH_INVALID_VALUE);
+  EXPECT_EQ(lx::cdlp<double>(nullptr, nullptr, t.lg, 5, msg),
+            LAGRAPH_NULL_POINTER);
+}

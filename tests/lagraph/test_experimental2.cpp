@@ -1,0 +1,235 @@
+// Tests for the second batch of experimental algorithms: maximal
+// independent set, k-core / coreness, and personalized PageRank.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+namespace lx = lagraph::experimental;
+
+// -- maximal independent set ---------------------------------------------------
+
+namespace {
+
+void expect_valid_mis(const testutil::TestGraph &t,
+                      const grb::Vector<grb::Bool> &set) {
+  // independent: no two members adjacent
+  set.for_each([&](Index v, const grb::Bool &) {
+    for (auto w : t.ref.out_neigh(static_cast<gapbs::NodeId>(v))) {
+      EXPECT_FALSE(set.has(static_cast<Index>(w)))
+          << "members " << v << " and " << w << " are adjacent";
+    }
+  });
+  // maximal: every non-member has a member neighbour
+  for (Index v = 0; v < t.lg.nodes(); ++v) {
+    if (set.has(v)) continue;
+    bool covered = false;
+    for (auto w : t.ref.out_neigh(static_cast<gapbs::NodeId>(v))) {
+      if (set.has(static_cast<Index>(w))) covered = true;
+    }
+    EXPECT_TRUE(covered) << "node " << v << " could be added";
+  }
+}
+
+}  // namespace
+
+TEST(Mis, ValidOnTinyGraph) {
+  auto t = testutil::tiny_undirected();
+  grb::Vector<grb::Bool> set;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::maximal_independent_set(&set, t.lg, 42, msg), LAGRAPH_OK)
+      << msg;
+  EXPECT_GT(set.nvals(), 0u);
+  expect_valid_mis(t, set);
+}
+
+TEST(Mis, ValidOnGeneratedGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto t = testutil::random_kron(7, 4, seed);
+    grb::Vector<grb::Bool> set;
+    char msg[LAGRAPH_MSG_LEN];
+    ASSERT_EQ(lx::maximal_independent_set(&set, t.lg, seed * 7, msg),
+              LAGRAPH_OK);
+    expect_valid_mis(t, set);
+  }
+}
+
+TEST(Mis, EdgelessGraphTakesEverything) {
+  gen::EdgeList el;
+  el.n = 5;
+  auto t = testutil::TestGraph::from_edges("empty", std::move(el), false);
+  grb::Vector<grb::Bool> set;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::maximal_independent_set(&set, t.lg, 1, msg), LAGRAPH_OK);
+  EXPECT_EQ(set.nvals(), 5u);
+}
+
+TEST(Mis, DirectedGraphRejected) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<grb::Bool> set;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lx::maximal_independent_set(&set, t.lg, 1, msg),
+            LAGRAPH_PROPERTY_MISSING);
+}
+
+// -- k-core -----------------------------------------------------------------------
+
+TEST(KCore, TriangleWithTailPeelsToTriangle) {
+  // triangle 0-1-2 plus path 2-3-4: the 2-core is the triangle.
+  gen::EdgeList el;
+  el.n = 5;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(0, 2);
+  el.push(2, 3);
+  el.push(3, 4);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("tri_tail", std::move(el), false);
+  grb::Vector<grb::Bool> core;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::k_core(&core, t.lg, 2, msg), LAGRAPH_OK) << msg;
+  EXPECT_EQ(core.nvals(), 3u);
+  EXPECT_TRUE(core.has(0));
+  EXPECT_TRUE(core.has(1));
+  EXPECT_TRUE(core.has(2));
+  // 3-core is empty
+  ASSERT_EQ(lx::k_core(&core, t.lg, 3, msg), LAGRAPH_OK);
+  EXPECT_EQ(core.nvals(), 0u);
+}
+
+TEST(KCore, CorenessDecomposition) {
+  // K4 (coreness 3) + pendant (coreness 1) + isolated (coreness 0)
+  gen::EdgeList el;
+  el.n = 6;
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = i + 1; j < 4; ++j) el.push(i, j);
+  }
+  el.push(3, 4);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("k4p", std::move(el), false);
+  grb::Vector<std::int64_t> c;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lx::coreness(&c, t.lg, msg), LAGRAPH_OK);
+  EXPECT_EQ(*c.get(0), 3);
+  EXPECT_EQ(*c.get(3), 3);
+  EXPECT_EQ(*c.get(4), 1);
+  EXPECT_EQ(*c.get(5), 0);
+}
+
+TEST(KCore, MatchesBruteForceOnGenerated) {
+  auto t = testutil::random_kron(6, 4, 9);
+  char msg[LAGRAPH_MSG_LEN];
+  grb::Vector<grb::Bool> core;
+  ASSERT_EQ(lx::k_core(&core, t.lg, 3, msg), LAGRAPH_OK);
+  // brute force peel on the reference CSR
+  const auto n = t.ref.num_nodes();
+  std::vector<bool> alive(n, true);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (gapbs::NodeId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      int deg = 0;
+      for (auto w : t.ref.out_neigh(v)) {
+        if (alive[w]) ++deg;
+      }
+      if (deg < 3) {
+        alive[v] = false;
+        changed = true;
+      }
+    }
+  }
+  for (gapbs::NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(core.has(static_cast<Index>(v)), alive[v]) << "node " << v;
+  }
+}
+
+TEST(KCore, InvalidK) {
+  auto t = testutil::tiny_undirected();
+  grb::Vector<grb::Bool> core;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lx::k_core(&core, t.lg, 0, msg), LAGRAPH_INVALID_VALUE);
+}
+
+// -- personalized PageRank ------------------------------------------------------------
+
+TEST(Ppr, ConcentratesNearTheSeed) {
+  auto t = testutil::random_kron(8, 8, 2);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(t.lg, msg);
+  lagraph::property_row_degree(t.lg, msg);
+  const grb::Index seeds[] = {5};
+  grb::Vector<double> r;
+  ASSERT_EQ(lx::personalized_pagerank(&r, nullptr, t.lg, seeds, 0.85, 1e-10,
+                                      500, msg),
+            LAGRAPH_OK)
+      << msg;
+  // proper distribution
+  double sum = 0;
+  grb::reduce(sum, grb::NoAccum{}, grb::PlusMonoid<double>{}, r);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // the seed outranks the global-PageRank ordering of a far-away node: the
+  // seed itself must hold a large share
+  EXPECT_GT(r.get(5).value_or(0), 0.1);
+}
+
+TEST(Ppr, SeedSetSplitsTeleport) {
+  auto t = testutil::tiny_undirected();
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(t.lg, msg);
+  lagraph::property_row_degree(t.lg, msg);
+  const grb::Index seeds[] = {0, 6};
+  grb::Vector<double> r;
+  ASSERT_EQ(lx::personalized_pagerank(&r, nullptr, t.lg, seeds, 0.85, 1e-10,
+                                      500, msg),
+            LAGRAPH_OK);
+  double sum = 0;
+  grb::reduce(sum, grb::NoAccum{}, grb::PlusMonoid<double>{}, r);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(r.get(0).value_or(0), r.get(3).value_or(0));
+}
+
+TEST(Ppr, UniformSeedsOverAllNodesEqualsGlobalPagerank) {
+  // Teleporting to every node uniformly IS ordinary (dangling-aware)
+  // PageRank.
+  auto t = testutil::random_directed(6, 6, 4);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_at(t.lg, msg);
+  lagraph::property_row_degree(t.lg, msg);
+  std::vector<grb::Index> all(t.lg.nodes());
+  for (grb::Index i = 0; i < t.lg.nodes(); ++i) all[i] = i;
+  grb::Vector<double> ppr;
+  ASSERT_EQ(lx::personalized_pagerank(&ppr, nullptr, t.lg, all, 0.85, 1e-12,
+                                      800, msg),
+            LAGRAPH_OK);
+  grb::Vector<double> global;
+  ASSERT_EQ(lagraph::pagerank_dangling_aware(&global, nullptr, t.lg, 0.85,
+                                             1e-12, 800, msg),
+            LAGRAPH_OK);
+  for (grb::Index v = 0; v < t.lg.nodes(); ++v) {
+    EXPECT_NEAR(ppr.get(v).value_or(0), global.get(v).value_or(0), 1e-7)
+        << "node " << v;
+  }
+}
+
+TEST(Ppr, InvalidArguments) {
+  auto t = testutil::tiny_directed();
+  char msg[LAGRAPH_MSG_LEN];
+  grb::Vector<double> r;
+  const grb::Index seeds[] = {0};
+  // missing properties
+  EXPECT_EQ(lx::personalized_pagerank(&r, nullptr, t.lg, seeds, 0.85, 1e-6,
+                                      100, msg),
+            LAGRAPH_PROPERTY_MISSING);
+  lagraph::property_at(t.lg, msg);
+  lagraph::property_row_degree(t.lg, msg);
+  EXPECT_EQ(lx::personalized_pagerank(&r, nullptr, t.lg, {}, 0.85, 1e-6, 100,
+                                      msg),
+            LAGRAPH_INVALID_VALUE);
+  const grb::Index bad[] = {999};
+  EXPECT_EQ(lx::personalized_pagerank(&r, nullptr, t.lg, bad, 0.85, 1e-6,
+                                      100, msg),
+            LAGRAPH_INVALID_VALUE);
+}

@@ -1,0 +1,130 @@
+// SSSP tests: delta-stepping distances against Dijkstra, over several delta
+// values, weight ranges, and generated graphs.
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+
+namespace {
+
+void expect_distances(const testutil::TestGraph &t,
+                      const grb::Vector<double> &dist, gapbs::NodeId src) {
+  auto want = gapbs::dijkstra(t.ref, src);
+  for (Index v = 0; v < static_cast<Index>(want.size()); ++v) {
+    auto got = dist.get(v);
+    if (std::isinf(want[v])) {
+      EXPECT_FALSE(got.has_value()) << "unreachable " << v << " has distance";
+    } else {
+      ASSERT_TRUE(got.has_value()) << "reachable " << v << " missing";
+      EXPECT_DOUBLE_EQ(*got, want[v]) << "node " << v;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Sssp, TinyDirected) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::sssp(&dist, t.lg, 0, 3.0, msg), LAGRAPH_OK) << msg;
+  expect_distances(t, dist, 0);
+}
+
+TEST(Sssp, DeltaSweepGivesSameAnswer) {
+  auto t = testutil::random_directed(7, 6, 9);
+  char msg[LAGRAPH_MSG_LEN];
+  grb::Vector<double> ref;
+  ASSERT_EQ(lagraph::sssp(&ref, t.lg, 2, 2.0, msg), LAGRAPH_OK);
+  for (double delta : {1.0, 4.0, 16.0, 64.0, 1000.0}) {
+    grb::Vector<double> dist;
+    ASSERT_EQ(lagraph::sssp(&dist, t.lg, 2, delta, msg), LAGRAPH_OK)
+        << "delta=" << delta;
+    EXPECT_EQ(dist, ref) << "delta=" << delta;
+  }
+  expect_distances(t, ref, 2);
+}
+
+TEST(Sssp, MatchesDijkstraOnGeneratedGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto t = testutil::random_undirected(6, 5, seed);
+    grb::Vector<double> dist;
+    char msg[LAGRAPH_MSG_LEN];
+    ASSERT_EQ(lagraph::sssp(&dist, t.lg, 0, 3.0, msg), LAGRAPH_OK);
+    expect_distances(t, dist, 0);
+  }
+}
+
+TEST(Sssp, RoadGridWithLargeWeights) {
+  auto el = gen::road_grid(12, 12, 5);
+  gen::add_uniform_weights(el, 1, 255, 77);
+  auto t = testutil::TestGraph::from_edges("road", std::move(el), true);
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::sssp(&dist, t.lg, 0, 0.0, msg), LAGRAPH_OK);  // auto Δ
+  expect_distances(t, dist, 0);
+}
+
+TEST(Sssp, DisconnectedTargetsHaveNoEntry) {
+  auto t = testutil::two_components();
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::sssp(&dist, t.lg, 0, 2.0, msg), LAGRAPH_OK);
+  EXPECT_FALSE(dist.has(4));
+  EXPECT_FALSE(dist.has(6));
+  EXPECT_EQ(dist.get(0), 0.0);
+}
+
+TEST(Sssp, SourceItselfIsZero) {
+  auto t = testutil::tiny_undirected();
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::sssp(&dist, t.lg, 5, 2.0, msg), LAGRAPH_OK);
+  EXPECT_EQ(dist.get(5), 0.0);
+}
+
+TEST(Sssp, InvalidArgumentsFail) {
+  auto t = testutil::tiny_directed();
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lagraph::advanced::sssp_delta_stepping(&dist, t.lg, 0, -1.0, msg),
+            LAGRAPH_INVALID_VALUE);
+  EXPECT_EQ(lagraph::advanced::sssp_delta_stepping(&dist, t.lg, 999, 2.0, msg),
+            LAGRAPH_INVALID_VALUE);
+  EXPECT_EQ(lagraph::advanced::sssp_delta_stepping<double>(nullptr, t.lg, 0,
+                                                           2.0, msg),
+            LAGRAPH_NULL_POINTER);
+}
+
+TEST(Sssp, HeavyEdgesOnly) {
+  // All weights above delta: every relaxation goes through the heavy phase.
+  gen::EdgeList el;
+  el.n = 4;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(2, 3);
+  el.weight = {10.0, 20.0, 30.0};
+  auto t = testutil::TestGraph::from_edges("heavy", std::move(el), true);
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::sssp(&dist, t.lg, 0, 2.0, msg), LAGRAPH_OK);
+  EXPECT_EQ(dist.get(1), 10.0);
+  EXPECT_EQ(dist.get(2), 30.0);
+  EXPECT_EQ(dist.get(3), 60.0);
+}
+
+TEST(Sssp, ShortcutViaLongerHopCount) {
+  // A two-hop path that is cheaper than the direct edge.
+  gen::EdgeList el;
+  el.n = 3;
+  el.push(0, 2);
+  el.push(0, 1);
+  el.push(1, 2);
+  el.weight = {10.0, 1.0, 1.0};
+  auto t = testutil::TestGraph::from_edges("short", std::move(el), true);
+  grb::Vector<double> dist;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::sssp(&dist, t.lg, 0, 5.0, msg), LAGRAPH_OK);
+  EXPECT_EQ(dist.get(2), 2.0);
+}

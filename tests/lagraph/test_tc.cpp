@@ -1,0 +1,121 @@
+// Triangle counting tests: against the brute-force oracle and the gapbs
+// kernel, with and without the degree presort, fused and unfused.
+#include <gtest/gtest.h>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+using lagraph::TcPresort;
+
+TEST(Tc, TinyUndirectedHasTwoTriangles) {
+  auto t = testutil::tiny_undirected();
+  std::uint64_t count = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::triangle_count(&count, t.lg, msg), LAGRAPH_OK) << msg;
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(gapbs::tc_reference(t.ref), 2u);
+}
+
+TEST(Tc, CliqueCounts) {
+  // K5 has C(5,3) = 10 triangles.
+  gen::EdgeList el;
+  el.n = 5;
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = i + 1; j < 5; ++j) el.push(i, j);
+  }
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("k5", std::move(el), false);
+  std::uint64_t count = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::triangle_count(&count, t.lg, msg), LAGRAPH_OK);
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(Tc, TriangleFreeGraph) {
+  // A 6-cycle has no triangles.
+  gen::EdgeList el;
+  el.n = 6;
+  for (Index i = 0; i < 6; ++i) el.push(i, (i + 1) % 6);
+  gen::symmetrize(el);
+  auto t = testutil::TestGraph::from_edges("c6", std::move(el), false);
+  std::uint64_t count = 99;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::triangle_count(&count, t.lg, msg), LAGRAPH_OK);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(Tc, MatchesOraclesOnGeneratedGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto t = testutil::random_kron(7, 6, seed);
+    std::uint64_t count = 0;
+    char msg[LAGRAPH_MSG_LEN];
+    ASSERT_EQ(lagraph::triangle_count(&count, t.lg, msg), LAGRAPH_OK) << msg;
+    EXPECT_EQ(count, gapbs::tc_reference(t.ref)) << "seed " << seed;
+    EXPECT_EQ(count, gapbs::tc(t.ref)) << "seed " << seed;
+  }
+}
+
+TEST(Tc, PresortOnOffAndFusedAllAgree) {
+  auto t = testutil::random_kron(8, 8, 4);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_row_degree(t.lg, msg);
+  lagraph::property_ndiag(t.lg, msg);
+  lagraph::property_symmetric_pattern(t.lg, msg);
+  std::uint64_t want = gapbs::tc_reference(t.ref);
+  for (auto presort : {TcPresort::automatic, TcPresort::yes, TcPresort::no}) {
+    for (bool fused : {false, true}) {
+      std::uint64_t count = 0;
+      ASSERT_EQ(lagraph::advanced::triangle_count(&count, t.lg, presort,
+                                                  fused, msg),
+                LAGRAPH_OK)
+          << msg;
+      EXPECT_EQ(count, want) << "presort=" << int(presort)
+                             << " fused=" << fused;
+    }
+  }
+}
+
+TEST(Tc, BasicModeStripsSelfLoops) {
+  gen::EdgeList el;
+  el.n = 3;
+  el.push(0, 1);
+  el.push(1, 2);
+  el.push(0, 2);
+  gen::symmetrize(el);
+  el.push(1, 1);  // self loop
+  auto t = testutil::TestGraph::from_edges("loop", std::move(el), false);
+  std::uint64_t count = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::triangle_count(&count, t.lg, msg), LAGRAPH_OK) << msg;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Tc, DirectedGraphIsRejected) {
+  auto t = testutil::tiny_directed();
+  std::uint64_t count = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lagraph::triangle_count(&count, t.lg, msg),
+            LAGRAPH_INVALID_GRAPH);
+}
+
+TEST(Tc, AdvancedModeRequiresProperties) {
+  auto t = testutil::tiny_undirected();
+  std::uint64_t count = 0;
+  char msg[LAGRAPH_MSG_LEN];
+  // ndiag unknown -> property missing
+  EXPECT_EQ(lagraph::advanced::triangle_count(&count, t.lg,
+                                              TcPresort::automatic, false,
+                                              msg),
+            LAGRAPH_PROPERTY_MISSING);
+  lagraph::property_ndiag(t.lg, msg);
+  // degrees missing for the automatic heuristic
+  EXPECT_EQ(lagraph::advanced::triangle_count(&count, t.lg,
+                                              TcPresort::automatic, false,
+                                              msg),
+            LAGRAPH_PROPERTY_MISSING);
+  // presort=no works without degrees
+  EXPECT_EQ(lagraph::advanced::triangle_count(&count, t.lg, TcPresort::no,
+                                              false, msg),
+            LAGRAPH_OK);
+  EXPECT_EQ(count, 2u);
+}

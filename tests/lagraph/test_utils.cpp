@@ -1,0 +1,173 @@
+// Tests for the §V utility functions: Pattern, IsEqual/IsAll, SortByDegree,
+// SampleDegree, TypeName/KindName, Tic/Toc, Sort1/2/3, memory wrappers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/test_graphs.hpp"
+
+using grb::Index;
+
+TEST(Utils, Pattern) {
+  grb::Matrix<double> a(2, 2);
+  a.set_element(0, 1, 3.25);
+  a.set_element(1, 0, -1.0);
+  grb::Matrix<grb::Bool> p(0, 0);
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::pattern(p, a, msg), LAGRAPH_OK);
+  EXPECT_EQ(p.nvals(), 2u);
+  EXPECT_EQ(p.get(0, 1), grb::Bool(1));
+}
+
+TEST(Utils, IsEqual) {
+  grb::Matrix<double> a(2, 2);
+  a.set_element(0, 0, 1.0);
+  grb::Matrix<double> b = a;
+  bool eq = false;
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::is_equal(&eq, a, b, msg), LAGRAPH_OK);
+  EXPECT_TRUE(eq);
+  b.set_element(0, 0, 2.0);
+  ASSERT_EQ(lagraph::is_equal(&eq, a, b, msg), LAGRAPH_OK);
+  EXPECT_FALSE(eq);
+  // different pattern
+  grb::Matrix<double> c(2, 2);
+  c.set_element(1, 1, 1.0);
+  ASSERT_EQ(lagraph::is_equal(&eq, a, c, msg), LAGRAPH_OK);
+  EXPECT_FALSE(eq);
+}
+
+TEST(Utils, IsAllWithCustomComparator) {
+  grb::Matrix<double> a(1, 2);
+  a.set_element(0, 0, 1.0);
+  a.set_element(0, 1, 5.0);
+  grb::Matrix<double> b(1, 2);
+  b.set_element(0, 0, 1.1);
+  b.set_element(0, 1, 5.05);
+  bool close = false;
+  char msg[LAGRAPH_MSG_LEN];
+  auto near = [](double x, double y) { return std::fabs(x - y) < 0.2; };
+  ASSERT_EQ(lagraph::is_all(&close, a, b, near, msg), LAGRAPH_OK);
+  EXPECT_TRUE(close);
+}
+
+TEST(Utils, SortByDegree) {
+  auto t = testutil::tiny_undirected();
+  char msg[LAGRAPH_MSG_LEN];
+  // advanced-style: degrees must be cached first
+  std::vector<Index> perm;
+  EXPECT_EQ(lagraph::sort_by_degree(perm, t.lg, true, true, msg),
+            LAGRAPH_PROPERTY_MISSING);
+  lagraph::property_row_degree(t.lg, msg);
+  ASSERT_EQ(lagraph::sort_by_degree(perm, t.lg, true, true, msg), LAGRAPH_OK);
+  ASSERT_EQ(perm.size(), t.lg.nodes());
+  // ascending degrees
+  auto degree_of = [&](Index v) {
+    return t.lg.row_degree->get(v).value_or(0);
+  };
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(degree_of(perm[i - 1]), degree_of(perm[i]));
+  }
+  // descending
+  ASSERT_EQ(lagraph::sort_by_degree(perm, t.lg, true, false, msg),
+            LAGRAPH_OK);
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_GE(degree_of(perm[i - 1]), degree_of(perm[i]));
+  }
+}
+
+TEST(Utils, SampleDegree) {
+  auto t = testutil::random_kron(8, 8, 2);
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::property_row_degree(t.lg, msg);
+  double mean = 0;
+  double median = 0;
+  ASSERT_EQ(lagraph::sample_degree(&mean, &median, t.lg, true, 200, 7, msg),
+            LAGRAPH_OK);
+  EXPECT_GT(mean, 0.0);
+  EXPECT_GE(median, 0.0);
+  // Kronecker graphs are skewed: mean well above median.
+  EXPECT_GT(mean, median);
+}
+
+TEST(Utils, TypeNames) {
+  EXPECT_STREQ(lagraph::type_name<double>(), "fp64");
+  EXPECT_STREQ(lagraph::type_name<float>(), "fp32");
+  EXPECT_STREQ(lagraph::type_name<std::int64_t>(), "int64");
+  EXPECT_STREQ(lagraph::type_name<std::uint64_t>(), "uint64");
+  EXPECT_STREQ(lagraph::type_name<grb::Bool>(), "bool");
+}
+
+TEST(Utils, KindNames) {
+  EXPECT_STREQ(lagraph::kind_name(lagraph::Kind::adjacency_directed),
+               "directed");
+  EXPECT_STREQ(lagraph::kind_name(lagraph::Kind::adjacency_undirected),
+               "undirected");
+}
+
+TEST(Utils, TicTocMeasuresTime) {
+  lagraph::Timer t;
+  lagraph::tic(t);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  double elapsed = lagraph::toc(t);
+  EXPECT_GE(elapsed, 0.010);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Utils, Sort1) {
+  std::vector<std::int64_t> a = {5, 1, 4, 1, 3};
+  lagraph::sort1(a);
+  EXPECT_EQ(a, (std::vector<std::int64_t>{1, 1, 3, 4, 5}));
+}
+
+TEST(Utils, Sort2KeepsPairsTogether) {
+  std::vector<std::int64_t> a = {3, 1, 2, 1};
+  std::vector<std::int64_t> b = {30, 11, 20, 10};
+  lagraph::sort2(a, b);
+  EXPECT_EQ(a, (std::vector<std::int64_t>{1, 1, 2, 3}));
+  EXPECT_EQ(b, (std::vector<std::int64_t>{10, 11, 20, 30}));
+}
+
+TEST(Utils, Sort3LexicographicTriples) {
+  std::vector<std::int64_t> a = {2, 1, 2, 1};
+  std::vector<std::int64_t> b = {1, 2, 1, 2};
+  std::vector<std::int64_t> c = {9, 8, 7, 6};
+  lagraph::sort3(a, b, c);
+  EXPECT_EQ(a, (std::vector<std::int64_t>{1, 1, 2, 2}));
+  EXPECT_EQ(b, (std::vector<std::int64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(c, (std::vector<std::int64_t>{6, 8, 7, 9}));
+}
+
+namespace {
+int g_malloc_calls = 0;
+void *counting_malloc(std::size_t n) {
+  ++g_malloc_calls;
+  return std::malloc(n);
+}
+void *counting_calloc(std::size_t c, std::size_t s) {
+  return std::calloc(c, s);
+}
+void *counting_realloc(void *p, std::size_t n) { return std::realloc(p, n); }
+void counting_free(void *p) { std::free(p); }
+}  // namespace
+
+TEST(Utils, MemoryManagerHooks) {
+  char msg[LAGRAPH_MSG_LEN];
+  lagraph::MemoryFunctions fns{counting_malloc, counting_calloc,
+                               counting_realloc, counting_free};
+  ASSERT_EQ(lagraph::set_memory_functions(fns, msg), LAGRAPH_OK);
+  void *p = lagraph::lagraph_malloc(64);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(g_malloc_calls, 1);
+  p = lagraph::lagraph_realloc(p, 128);
+  lagraph::lagraph_free(p);
+  // partial registration rejected
+  lagraph::MemoryFunctions bad{counting_malloc, nullptr, nullptr, nullptr};
+  EXPECT_EQ(lagraph::set_memory_functions(bad, msg), LAGRAPH_INVALID_VALUE);
+  // reset to defaults
+  ASSERT_EQ(lagraph::set_memory_functions({}, msg), LAGRAPH_OK);
+  p = lagraph::lagraph_calloc(4, 8);
+  EXPECT_NE(p, nullptr);
+  lagraph::lagraph_free(p);
+  EXPECT_EQ(g_malloc_calls, 1);
+}

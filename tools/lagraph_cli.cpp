@@ -1,0 +1,269 @@
+// lagraph_cli — command-line driver for the library: load a graph from a
+// Matrix Market file (or generate a synthetic one), run a chosen algorithm,
+// print the result. The adoption path for users who do not want to write
+// C++ at all.
+//
+//   lagraph_cli <algorithm> [options]
+//
+// Algorithms: bfs, pagerank, pagerank-dangling, sssp, tc, cc, bc, ktruss,
+//             lcc, cdlp, msbfs, stats
+// Options:
+//   --mtx FILE           load a Matrix Market file
+//   --graphalytics V E   load Graphalytics vertex+edge files
+//   --gen KIND SCALE     generate: kron|urand|twitter|web|road (default
+//                        kron 12)
+//   --undirected         treat the graph as undirected
+//   --source N           source vertex (bfs/sssp/bc/msbfs; default 0)
+//   --delta X            SSSP delta (default 2)
+//   --k N                k for ktruss (default 3)
+//   --top N              print the top-N entries of vector results (def. 10)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "lagraph/lagraph.hpp"
+
+namespace {
+
+struct Options {
+  std::string algorithm;
+  std::string mtx;
+  std::string ga_vertices;
+  std::string ga_edges;
+  std::string gen_kind = "kron";
+  int gen_scale = 12;
+  bool undirected = false;
+  grb::Index source = 0;
+  double delta = 2.0;
+  std::uint32_t k = 3;
+  int top = 10;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
+      "ktruss|lcc|cdlp|msbfs|stats> [options]\n"
+      "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
+      "  --undirected --source N --delta X --k N --top N\n");
+  return 2;
+}
+
+bool parse_args(int argc, char **argv, Options &opt) {
+  if (argc < 2) return false;
+  opt.algorithm = argv[1];
+  const char *known[] = {"bfs",    "pagerank", "pagerank-dangling", "sssp",
+                         "tc",     "cc",       "bc",                "ktruss",
+                         "lcc",    "cdlp",     "msbfs",             "stats"};
+  bool ok = false;
+  for (const char *k : known) ok = ok || opt.algorithm == k;
+  if (!ok) {
+    std::fprintf(stderr, "unknown algorithm: %s\n", opt.algorithm.c_str());
+    return false;
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](int count) { return i + count < argc; };
+    if (a == "--mtx" && need(1)) {
+      opt.mtx = argv[++i];
+    } else if (a == "--graphalytics" && need(2)) {
+      opt.ga_vertices = argv[++i];
+      opt.ga_edges = argv[++i];
+    } else if (a == "--gen" && need(2)) {
+      opt.gen_kind = argv[++i];
+      opt.gen_scale = std::atoi(argv[++i]);
+    } else if (a == "--undirected") {
+      opt.undirected = true;
+    } else if (a == "--source" && need(1)) {
+      opt.source = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--delta" && need(1)) {
+      opt.delta = std::atof(argv[++i]);
+    } else if (a == "--k" && need(1)) {
+      opt.k = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--top" && need(1)) {
+      opt.top = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int load_graph(lagraph::Graph<double> &g, const Options &opt, char *msg) {
+  if (!opt.mtx.empty()) {
+    grb::Matrix<double> a(0, 0);
+    int status = lagraph::mm_read(a, opt.mtx, msg);
+    if (status < 0) return status;
+    return lagraph::make_graph(g, std::move(a),
+                               opt.undirected
+                                   ? lagraph::Kind::adjacency_undirected
+                                   : lagraph::Kind::adjacency_directed,
+                               msg);
+  }
+  if (!opt.ga_vertices.empty()) {
+    return lagraph::graphalytics_read(g, nullptr, opt.ga_vertices,
+                                      opt.ga_edges, !opt.undirected, msg);
+  }
+  gen::EdgeList el;
+  bool directed = !opt.undirected;
+  if (opt.gen_kind == "kron") {
+    el = gen::kronecker(opt.gen_scale, 8, 42);
+    directed = false;
+  } else if (opt.gen_kind == "urand") {
+    el = gen::uniform_random(opt.gen_scale, 8, 42);
+    directed = false;
+  } else if (opt.gen_kind == "twitter") {
+    el = gen::twitter_like(opt.gen_scale, 8, 42);
+  } else if (opt.gen_kind == "web") {
+    el = gen::web_like(opt.gen_scale, 8, 42);
+  } else if (opt.gen_kind == "road") {
+    grb::Index side = grb::Index{1} << (opt.gen_scale / 2);
+    el = gen::road_grid(side, side, 42);
+  } else {
+    return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                    "unknown --gen kind");
+  }
+  gen::add_uniform_weights(el, 1, 255, 7);
+  return lagraph::make_graph(g, gen::to_matrix<double>(el),
+                             directed ? lagraph::Kind::adjacency_directed
+                                      : lagraph::Kind::adjacency_undirected,
+                             msg);
+}
+
+void print_top(const grb::Vector<double> &v, int top, const char *what) {
+  std::vector<std::pair<double, grb::Index>> entries;
+  v.for_each([&](grb::Index i, const double &x) { entries.emplace_back(x, i); });
+  auto k = std::min<std::size_t>(static_cast<std::size_t>(top), entries.size());
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<std::ptrdiff_t>(k),
+                    entries.end(), std::greater<>());
+  std::printf("top %zu by %s:\n", k, what);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::printf("  node %-10llu %.6g\n",
+                static_cast<unsigned long long>(entries[i].second),
+                entries[i].first);
+  }
+}
+
+}  // namespace
+
+#define LAGraph_CATCH(status)                                          \
+  {                                                                    \
+    std::fprintf(stderr, "error %d (%s): %s\n", status,                \
+                 lagraph::status_name(status), msg);                   \
+    return 1;                                                          \
+  }
+
+int main(int argc, char **argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  char msg[LAGRAPH_MSG_LEN];
+
+  lagraph::Graph<double> g;
+  LAGRAPH_TRY(load_graph(g, opt, msg));
+  std::printf("graph: %llu nodes, %llu entries, %s\n",
+              static_cast<unsigned long long>(g.nodes()),
+              static_cast<unsigned long long>(g.entries()),
+              lagraph::kind_name(g.kind));
+
+  lagraph::Timer timer;
+  lagraph::tic(timer);
+
+  if (opt.algorithm == "stats") {
+    LAGRAPH_TRY(lagraph::property_row_degree(g, msg));
+    LAGRAPH_TRY(lagraph::property_ndiag(g, msg));
+    LAGRAPH_TRY(lagraph::property_symmetric_pattern(g, msg));
+    double mean = 0;
+    double median = 0;
+    LAGRAPH_TRY(lagraph::sample_degree(&mean, &median, g, true, 1000, 1, msg));
+    LAGRAPH_TRY(lagraph::display_graph(g, std::cout, msg));
+    std::printf("degree: mean %.2f, median %.1f\n", mean, median);
+  } else if (opt.algorithm == "bfs") {
+    grb::Vector<std::int64_t> level;
+    grb::Vector<std::int64_t> parent;
+    LAGRAPH_TRY(lagraph::bfs(&level, &parent, g, opt.source, msg));
+    std::int64_t maxd = 0;
+    level.for_each([&](grb::Index, const std::int64_t &l) {
+      maxd = std::max(maxd, l);
+    });
+    std::printf("reached %llu nodes, max depth %lld\n",
+                static_cast<unsigned long long>(level.nvals()),
+                static_cast<long long>(maxd));
+  } else if (opt.algorithm == "pagerank" ||
+             opt.algorithm == "pagerank-dangling") {
+    grb::Vector<double> r;
+    int iters = 0;
+    if (opt.algorithm == "pagerank") {
+      LAGRAPH_TRY(lagraph::pagerank(&r, &iters, g, 0.85, 1e-7, 200, msg));
+    } else {
+      LAGRAPH_TRY(lagraph::pagerank_dangling_aware(&r, &iters, g, 0.85, 1e-7,
+                                                   200, msg));
+    }
+    std::printf("converged in %d iterations\n", iters);
+    print_top(r, opt.top, "rank");
+  } else if (opt.algorithm == "sssp") {
+    grb::Vector<double> dist;
+    LAGRAPH_TRY(lagraph::sssp(&dist, g, opt.source, opt.delta, msg));
+    std::printf("reached %llu nodes from %llu\n",
+                static_cast<unsigned long long>(dist.nvals()),
+                static_cast<unsigned long long>(opt.source));
+  } else if (opt.algorithm == "tc") {
+    std::uint64_t count = 0;
+    LAGRAPH_TRY(lagraph::triangle_count(&count, g, msg));
+    std::printf("%llu triangles\n", static_cast<unsigned long long>(count));
+  } else if (opt.algorithm == "cc") {
+    grb::Vector<grb::Index> comp;
+    LAGRAPH_TRY(lagraph::connected_components(&comp, g, msg));
+    std::vector<grb::Index> roots;
+    comp.for_each([&](grb::Index v, const grb::Index &c) {
+      if (v == c) roots.push_back(c);
+    });
+    std::printf("%zu components\n", roots.size());
+  } else if (opt.algorithm == "bc") {
+    std::vector<grb::Index> sources = {opt.source, (opt.source + 1) % g.nodes(),
+                                       (opt.source + 2) % g.nodes(),
+                                       (opt.source + 3) % g.nodes()};
+    grb::Vector<double> c;
+    LAGRAPH_TRY(lagraph::betweenness_centrality(&c, g, sources, msg));
+    print_top(c, opt.top, "betweenness");
+  } else if (opt.algorithm == "ktruss") {
+    grb::Matrix<std::uint32_t> truss(0, 0);
+    int iters = 0;
+    LAGRAPH_TRY(lagraph::experimental::k_truss(&truss, &iters, g, opt.k, msg));
+    std::printf("%u-truss: %llu surviving entries after %d rounds\n", opt.k,
+                static_cast<unsigned long long>(truss.nvals()), iters);
+  } else if (opt.algorithm == "lcc") {
+    grb::Vector<double> lcc;
+    LAGRAPH_TRY(
+        lagraph::experimental::local_clustering_coefficient(&lcc, g, msg));
+    print_top(lcc, opt.top, "clustering coefficient");
+  } else if (opt.algorithm == "cdlp") {
+    grb::Vector<grb::Index> labels;
+    int rounds = 0;
+    LAGRAPH_TRY(lagraph::experimental::cdlp(&labels, &rounds, g, 20, msg));
+    std::vector<grb::Index> groups;
+    labels.for_each([&](grb::Index, const grb::Index &l) {
+      groups.push_back(l);
+    });
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    std::printf("%zu communities after %d rounds\n", groups.size(), rounds);
+  } else if (opt.algorithm == "msbfs") {
+    std::vector<grb::Index> sources = {opt.source, (opt.source + 1) % g.nodes(),
+                                       (opt.source + 2) % g.nodes(),
+                                       (opt.source + 3) % g.nodes()};
+    grb::Matrix<std::int64_t> level(0, 0);
+    LAGRAPH_TRY(lagraph::experimental::msbfs_levels(&level, g, sources, msg));
+    std::printf("batched BFS: %llu (source, node) pairs reached\n",
+                static_cast<unsigned long long>(level.nvals()));
+  } else {
+    return usage();
+  }
+
+  std::printf("elapsed: %.3fs\n", lagraph::toc(timer));
+  return 0;
+}
