@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_diameter.dir/ablation_diameter.cpp.o"
+  "CMakeFiles/ablation_diameter.dir/ablation_diameter.cpp.o.d"
+  "ablation_diameter"
+  "ablation_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

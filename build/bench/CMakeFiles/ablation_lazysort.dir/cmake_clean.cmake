@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazysort.dir/ablation_lazysort.cpp.o"
+  "CMakeFiles/ablation_lazysort.dir/ablation_lazysort.cpp.o.d"
+  "ablation_lazysort"
+  "ablation_lazysort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazysort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pushpull.dir/ablation_pushpull.cpp.o"
+  "CMakeFiles/ablation_pushpull.dir/ablation_pushpull.cpp.o.d"
+  "ablation_pushpull"
+  "ablation_pushpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pushpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

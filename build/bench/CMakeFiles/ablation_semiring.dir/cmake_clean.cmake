@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_semiring.dir/ablation_semiring.cpp.o"
+  "CMakeFiles/ablation_semiring.dir/ablation_semiring.cpp.o.d"
+  "ablation_semiring"
+  "ablation_semiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_semiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tc_fused.cpp" "bench/CMakeFiles/ablation_tc_fused.dir/ablation_tc_fused.cpp.o" "gcc" "bench/CMakeFiles/ablation_tc_fused.dir/ablation_tc_fused.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lagraph/CMakeFiles/lagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gapbs/CMakeFiles/gapbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/grb/CMakeFiles/grb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tc_fused.dir/ablation_tc_fused.cpp.o"
+  "CMakeFiles/ablation_tc_fused.dir/ablation_tc_fused.cpp.o.d"
+  "ablation_tc_fused"
+  "ablation_tc_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tc_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grb_ops.dir/bench_grb_ops.cpp.o"
+  "CMakeFiles/bench_grb_ops.dir/bench_grb_ops.cpp.o.d"
+  "bench_grb_ops"
+  "bench_grb_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grb_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphalytics_workflow.dir/graphalytics_workflow.cpp.o"
+  "CMakeFiles/graphalytics_workflow.dir/graphalytics_workflow.cpp.o.d"
+  "graphalytics_workflow"
+  "graphalytics_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphalytics_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

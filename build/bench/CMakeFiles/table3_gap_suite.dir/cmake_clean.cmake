@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gap_suite.dir/table3_gap_suite.cpp.o"
+  "CMakeFiles/table3_gap_suite.dir/table3_gap_suite.cpp.o.d"
+  "table3_gap_suite"
+  "table3_gap_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gap_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_graphs.dir/table4_graphs.cpp.o"
+  "CMakeFiles/table4_graphs.dir/table4_graphs.cpp.o.d"
+  "table4_graphs"
+  "table4_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_routing.dir/road_routing.cpp.o"
+  "CMakeFiles/road_routing.dir/road_routing.cpp.o.d"
+  "road_routing"
+  "road_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

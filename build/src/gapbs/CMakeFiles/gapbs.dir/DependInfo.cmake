@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gapbs/src/bc.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/bc.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/bc.cpp.o.d"
+  "/root/repo/src/gapbs/src/bfs.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/bfs.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/bfs.cpp.o.d"
+  "/root/repo/src/gapbs/src/cc.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/cc.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/cc.cpp.o.d"
+  "/root/repo/src/gapbs/src/graph.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/graph.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/graph.cpp.o.d"
+  "/root/repo/src/gapbs/src/oracles.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/oracles.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/oracles.cpp.o.d"
+  "/root/repo/src/gapbs/src/pagerank.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/pagerank.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/pagerank.cpp.o.d"
+  "/root/repo/src/gapbs/src/sssp.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/sssp.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/sssp.cpp.o.d"
+  "/root/repo/src/gapbs/src/tc.cpp" "src/gapbs/CMakeFiles/gapbs.dir/src/tc.cpp.o" "gcc" "src/gapbs/CMakeFiles/gapbs.dir/src/tc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/grb/CMakeFiles/grb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapbs.dir/src/bc.cpp.o"
+  "CMakeFiles/gapbs.dir/src/bc.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/bfs.cpp.o"
+  "CMakeFiles/gapbs.dir/src/bfs.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/cc.cpp.o"
+  "CMakeFiles/gapbs.dir/src/cc.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/graph.cpp.o"
+  "CMakeFiles/gapbs.dir/src/graph.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/oracles.cpp.o"
+  "CMakeFiles/gapbs.dir/src/oracles.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/pagerank.cpp.o"
+  "CMakeFiles/gapbs.dir/src/pagerank.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/sssp.cpp.o"
+  "CMakeFiles/gapbs.dir/src/sssp.cpp.o.d"
+  "CMakeFiles/gapbs.dir/src/tc.cpp.o"
+  "CMakeFiles/gapbs.dir/src/tc.cpp.o.d"
+  "libgapbs.a"
+  "libgapbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

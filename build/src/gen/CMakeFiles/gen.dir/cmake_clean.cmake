@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen.dir/src/generators.cpp.o"
+  "CMakeFiles/gen.dir/src/generators.cpp.o.d"
+  "libgen.a"
+  "libgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

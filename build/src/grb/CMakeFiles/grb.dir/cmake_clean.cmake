@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb.dir/src/grb.cpp.o"
+  "CMakeFiles/grb.dir/src/grb.cpp.o.d"
+  "libgrb.a"
+  "libgrb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagraph.dir/src/lagraph.cpp.o"
+  "CMakeFiles/lagraph.dir/src/lagraph.cpp.o.d"
+  "liblagraph.a"
+  "liblagraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_gapbs.dir/test_gapbs.cpp.o"
+  "CMakeFiles/tests_gapbs.dir/test_gapbs.cpp.o.d"
+  "tests_gapbs"
+  "tests_gapbs.pdb"
+  "tests_gapbs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_gapbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

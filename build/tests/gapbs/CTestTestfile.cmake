@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gapbs
+# Build directory: /root/repo/build/tests/gapbs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gapbs/tests_gapbs[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_gen.dir/test_generators.cpp.o"
+  "CMakeFiles/tests_gen.dir/test_generators.cpp.o.d"
+  "tests_gen"
+  "tests_gen.pdb"
+  "tests_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grb/test_apply_select.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_apply_select.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_apply_select.cpp.o.d"
+  "/root/repo/tests/grb/test_assign_extract.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_assign_extract.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_assign_extract.cpp.o.d"
+  "/root/repo/tests/grb/test_ewise.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_ewise.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_ewise.cpp.o.d"
+  "/root/repo/tests/grb/test_fastpaths.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_fastpaths.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_fastpaths.cpp.o.d"
+  "/root/repo/tests/grb/test_mask_semantics.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_mask_semantics.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_mask_semantics.cpp.o.d"
+  "/root/repo/tests/grb/test_matrix.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_matrix.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/grb/test_mxm.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_mxm.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_mxm.cpp.o.d"
+  "/root/repo/tests/grb/test_mxv_vxm.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_mxv_vxm.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_mxv_vxm.cpp.o.d"
+  "/root/repo/tests/grb/test_property_reference.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_property_reference.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_property_reference.cpp.o.d"
+  "/root/repo/tests/grb/test_reduce_transpose.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_reduce_transpose.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_reduce_transpose.cpp.o.d"
+  "/root/repo/tests/grb/test_semiring.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_semiring.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_semiring.cpp.o.d"
+  "/root/repo/tests/grb/test_vector.cpp" "tests/grb/CMakeFiles/tests_grb.dir/test_vector.cpp.o" "gcc" "tests/grb/CMakeFiles/tests_grb.dir/test_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grb/CMakeFiles/grb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_grb.dir/test_apply_select.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_apply_select.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_assign_extract.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_assign_extract.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_ewise.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_ewise.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_fastpaths.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_fastpaths.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_mask_semantics.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_mask_semantics.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_matrix.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_mxm.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_mxm.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_mxv_vxm.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_mxv_vxm.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_property_reference.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_property_reference.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_reduce_transpose.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_reduce_transpose.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_semiring.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_semiring.cpp.o.d"
+  "CMakeFiles/tests_grb.dir/test_vector.cpp.o"
+  "CMakeFiles/tests_grb.dir/test_vector.cpp.o.d"
+  "tests_grb"
+  "tests_grb.pdb"
+  "tests_grb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_grb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lagraph/test_bc.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_bc.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_bc.cpp.o.d"
+  "/root/repo/tests/lagraph/test_bfs.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_bfs.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/lagraph/test_cc.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_cc.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_cc.cpp.o.d"
+  "/root/repo/tests/lagraph/test_error.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_error.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_error.cpp.o.d"
+  "/root/repo/tests/lagraph/test_experimental.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_experimental.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_experimental.cpp.o.d"
+  "/root/repo/tests/lagraph/test_experimental2.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_experimental2.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_experimental2.cpp.o.d"
+  "/root/repo/tests/lagraph/test_graph.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_graph.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/lagraph/test_integration.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_integration.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/lagraph/test_io.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_io.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_io.cpp.o.d"
+  "/root/repo/tests/lagraph/test_pagerank.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_pagerank.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_pagerank.cpp.o.d"
+  "/root/repo/tests/lagraph/test_sssp.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_sssp.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_sssp.cpp.o.d"
+  "/root/repo/tests/lagraph/test_tc.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_tc.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_tc.cpp.o.d"
+  "/root/repo/tests/lagraph/test_utils.cpp" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_utils.cpp.o" "gcc" "tests/lagraph/CMakeFiles/tests_lagraph.dir/test_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lagraph/CMakeFiles/lagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gapbs/CMakeFiles/gapbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/grb/CMakeFiles/grb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_lagraph.dir/test_bc.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_bc.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_bfs.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_bfs.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_cc.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_cc.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_error.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_error.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_experimental.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_experimental.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_experimental2.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_experimental2.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_graph.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_graph.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_integration.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_integration.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_io.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_io.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_pagerank.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_pagerank.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_sssp.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_sssp.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_tc.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_tc.cpp.o.d"
+  "CMakeFiles/tests_lagraph.dir/test_utils.cpp.o"
+  "CMakeFiles/tests_lagraph.dir/test_utils.cpp.o.d"
+  "tests_lagraph"
+  "tests_lagraph.pdb"
+  "tests_lagraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_lagraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

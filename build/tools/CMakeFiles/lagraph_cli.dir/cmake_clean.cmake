@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagraph_cli.dir/lagraph_cli.cpp.o"
+  "CMakeFiles/lagraph_cli.dir/lagraph_cli.cpp.o.d"
+  "lagraph_cli"
+  "lagraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
