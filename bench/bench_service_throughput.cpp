@@ -1,0 +1,128 @@
+// bench_service_throughput — the lagraph::service headline number: adaptive
+// BFS batching vs one-query-at-a-time serving.
+//
+// A burst of 64 BFS queries against a power-law (Kronecker) graph of at
+// least 2^16 nodes is pushed through two Engine configurations:
+//
+//   solo:    1 worker, batching disabled — every query runs its own
+//            direction-optimized BFS (the classic request-loop server);
+//   batched: 1 worker, batching enabled — queued queries coalesce into
+//            word-parallel msbfs sweeps of up to 64 sources.
+//
+// Both sides use a single worker on purpose: the speedup reported is pure
+// batching efficiency (one adjacency sweep amortized across the batch), not
+// thread parallelism. Target: >= 3x queries/sec.
+//
+// LAGRAPH_BENCH_SCALE raises the graph size (floored at 16 here),
+// LAGRAPH_BENCH_TRIALS the trial count (best of N is reported).
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "common.hpp"
+#include "service/engine.hpp"
+
+namespace {
+
+using lagraph::service::Engine;
+using lagraph::service::EngineConfig;
+using lagraph::service::QueryKind;
+using lagraph::service::QueryResult;
+using lagraph::service::Request;
+using lagraph::service::SnapshotPtr;
+
+constexpr int kSources = 64;
+
+std::vector<grb::Index> pick_sources(grb::Index n) {
+  std::vector<grb::Index> s;
+  for (int i = 0; i < kSources; ++i)
+    s.push_back(static_cast<grb::Index>(i * 2654435761ull) % n);
+  return s;
+}
+
+// Push one burst through an engine; returns wall seconds, counts successes.
+double run_burst(Engine &engine, const std::vector<grb::Index> &sources,
+                 std::size_t *ok, std::size_t *batched) {
+  std::vector<std::future<QueryResult>> futs;
+  futs.reserve(sources.size());
+  lagraph::Timer t;
+  lagraph::tic(t);
+  for (auto s : sources) {
+    Request r;
+    r.kind = QueryKind::bfs;
+    r.source = s;
+    futs.push_back(engine.submit(r));
+  }
+  for (auto &f : futs) {
+    auto res = f.get();
+    if (res.status >= 0) ++*ok;
+    if (res.batched) ++*batched;
+  }
+  return lagraph::toc(t);
+}
+
+}  // namespace
+
+int main() {
+  const int scale = std::max(16, bench::suite_scale());
+  const int trials = std::max(1, bench::suite_trials());
+  char msg[LAGRAPH_MSG_LEN];
+
+  auto el = gen::kronecker(scale, bench::suite_edgefactor(), 42);
+  lagraph::Graph<double> g;
+  lagraph::make_graph(g, gen::to_matrix<double>(el),
+                      lagraph::Kind::adjacency_undirected, msg);
+  std::printf("graph: kron scale %d, %llu nodes, %llu entries\n", scale,
+              static_cast<unsigned long long>(g.nodes()),
+              static_cast<unsigned long long>(g.entries()));
+
+  SnapshotPtr snap;
+  if (lagraph::service::make_snapshot(&snap, std::move(g), msg) < 0) {
+    std::fprintf(stderr, "make_snapshot failed: %s\n", msg);
+    return 1;
+  }
+  const auto sources = pick_sources(snap->nodes());
+
+  auto best_of = [&](const EngineConfig &cfg, const char *label) {
+    double best = 1e30;
+    std::size_t ok = 0;
+    std::size_t batched = 0;
+    for (int t = 0; t < trials; ++t) {
+      Engine engine(snap, cfg);
+      ok = batched = 0;
+      best = std::min(best, run_burst(engine, sources, &ok, &batched));
+      engine.stop();
+    }
+    std::printf("%-8s %2d worker(s): %3zu ok (%3zu batched), best %.3fs "
+                "=> %8.1f queries/s\n",
+                label, cfg.threads, ok, batched, best, kSources / best);
+    return best;
+  };
+
+  EngineConfig solo;
+  solo.threads = 1;
+  solo.enable_batching = false;
+
+  EngineConfig batch;
+  batch.threads = 1;
+  batch.enable_batching = true;
+  batch.max_batch = kSources;
+
+  const double t_solo = best_of(solo, "solo");
+  const double t_batch = best_of(batch, "batched");
+
+  const double speedup = t_solo / t_batch;
+  const auto &st = grb::stats();
+  std::printf("grb stats: %llu batch sweeps, %llu batched queries, "
+              "%llu solo queries, %llu snapshot builds, "
+              "%llu finalize calls\n",
+              static_cast<unsigned long long>(st.batch_sweeps.load()),
+              static_cast<unsigned long long>(st.batched_queries.load()),
+              static_cast<unsigned long long>(st.solo_queries.load()),
+              static_cast<unsigned long long>(st.snapshot_builds.load()),
+              static_cast<unsigned long long>(st.finalize_calls.load()));
+  std::printf("batched vs solo: %.2fx (target >= 3.0x) %s\n", speedup,
+              speedup >= 3.0 ? "PASS" : "FAIL");
+  return speedup >= 3.0 ? 0 : 1;
+}

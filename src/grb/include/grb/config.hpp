@@ -40,11 +40,26 @@ struct Stats {
   std::atomic<std::uint64_t> pending_flushes{0};  // pending-tuple merges
   std::atomic<std::uint64_t> format_switches{0};  // vector format conversions
 
+  // Service-layer counters (lagraph::service): how often containers are
+  // frozen for concurrent sharing and how effective query batching is. The
+  // throughput benchmark reports batching effectiveness straight from these,
+  // with no external profiler.
+  std::atomic<std::uint64_t> finalize_calls{0};   // Matrix/Vector finalize()
+  std::atomic<std::uint64_t> snapshot_builds{0};  // GraphSnapshot::build
+  std::atomic<std::uint64_t> batched_queries{0};  // queries merged into a batch
+  std::atomic<std::uint64_t> solo_queries{0};     // queries run one-at-a-time
+  std::atomic<std::uint64_t> batch_sweeps{0};     // msbfs sweeps issued
+
   void reset() noexcept {
     row_sorts = 0;
     eager_sorts = 0;
     pending_flushes = 0;
     format_switches = 0;
+    finalize_calls = 0;
+    snapshot_builds = 0;
+    batched_queries = 0;
+    solo_queries = 0;
+    batch_sweeps = 0;
   }
 };
 

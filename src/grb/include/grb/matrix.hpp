@@ -14,9 +14,26 @@
 // The bitmap and full formats store an m×n dense layout; bitmap adds a
 // byte-per-slot presence array. They serve dense-ish intermediates such as
 // the ns×n frontier matrices in betweenness centrality.
+//
+// Threading contract ("single writer OR finalized"):
+//   The deferred-work machinery above is *logically* const — finish(),
+//   ensure_sorted(), and the to_*() format switches mutate internal state
+//   behind const methods. That is undefined behavior if two threads touch
+//   the same matrix concurrently, even if both only "read". A matrix may
+//   therefore be used from exactly one thread at a time, UNLESS it has been
+//   finalized: finalize() drains every deferred path (pending tuples,
+//   zombies, lazy sort, hypersparse row list) up front, after which all
+//   const member functions are genuinely read-only and any number of
+//   threads may share the matrix. In debug builds the lazy paths assert
+//   that they are never reached on a finalized matrix; any non-const
+//   mutation (set_element, build, clear, adopt_csr, ...) returns the
+//   matrix to single-writer mode by clearing the finalized flag.
+//   lagraph::service::GraphSnapshot is the intended consumer: it finalizes
+//   a graph's containers once, then serves it to a worker pool.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <numeric>
 #include <optional>
@@ -68,6 +85,7 @@ class Matrix {
   }
 
   void clear() {
+    finalized_ = false;
     rowptr_.assign(static_cast<std::size_t>(m_) + 1, 0);
     colidx_.clear();
     vals_.clear();
@@ -90,6 +108,7 @@ class Matrix {
   /// it is merged on the next finish(). Later writes win over earlier ones.
   void set_element(Index i, Index j, const T &x) {
     check_indices(i, j);
+    finalized_ = false;
     if (fmt_ == Format::hypersparse) to_csr();
     if (fmt_ != Format::csr) {
       auto p = static_cast<std::size_t>(i) * n_ + j;
@@ -111,6 +130,7 @@ class Matrix {
   /// next finish(), so no CSR compaction happens per call.
   void remove_element(Index i, Index j) {
     check_indices(i, j);
+    finalized_ = false;
     if (fmt_ == Format::hypersparse) to_csr();
     if (fmt_ != Format::csr) {
       auto p = static_cast<std::size_t>(i) * n_ + j;
@@ -170,7 +190,7 @@ class Matrix {
              std::span<const T> values, Dup dup = {}) {
     detail::require(rows.size() == cols.size() && rows.size() == values.size(),
                     Info::invalid_value, "build: array length mismatch");
-    clear();
+    clear();  // also drops the finalized flag: back to single-writer mode
     const std::size_t nz = rows.size();
     // counting sort by row, then per-row sort by column
     std::vector<Index> count(static_cast<std::size_t>(m_) + 1, 0);
@@ -308,6 +328,7 @@ class Matrix {
   /// matrix's mathematical content does not change.
   void finish() const {
     if (pend_i_.empty()) return;
+    assert_lazy_path_allowed("finish");
     auto &self = const_cast<Matrix &>(*this);
     self.merge_pending();
   }
@@ -316,6 +337,7 @@ class Matrix {
   void ensure_sorted() const {
     finish();
     if (!jumbled_) return;
+    assert_lazy_path_allowed("ensure_sorted");
     if (fmt_ == Format::hypersparse) to_csr();
     if (fmt_ != Format::csr) return;
     auto &self = const_cast<Matrix &>(*this);
@@ -329,11 +351,29 @@ class Matrix {
     ensure_sorted();
   }
 
+  /// Freeze for concurrent sharing (see the threading contract above).
+  /// Drains every deferred path: pending tuples and zombies are merged,
+  /// jumbled rows sorted, and hypersparse storage expanded to CSR (the
+  /// kernels' raw-access entry points silently convert hypersparse, which
+  /// would be a write). After finalize() all const member functions are
+  /// genuinely read-only; debug builds assert if a lazy path is ever
+  /// reached. Any later non-const mutation clears the flag.
+  void finalize() const {
+    wait();
+    if (fmt_ == Format::hypersparse) to_csr();
+    finalized_ = true;
+    stats().finalize_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// True while the matrix is frozen for concurrent readers.
+  [[nodiscard]] bool is_finalized() const noexcept { return finalized_; }
+
   // -- format management ---------------------------------------------------------------
 
   void to_csr() const {
     finish();
     if (fmt_ == Format::csr) return;
+    assert_lazy_path_allowed("to_csr");
     auto &self = const_cast<Matrix &>(*this);
     if (fmt_ == Format::hypersparse) {
       // expand the compressed row list into a full row-pointer array
@@ -379,6 +419,7 @@ class Matrix {
   void to_bitmap() const {
     finish();
     if (fmt_ == Format::bitmap) return;
+    assert_lazy_path_allowed("to_bitmap");
     auto &self = const_cast<Matrix &>(*this);
     std::vector<std::uint8_t> pr(static_cast<std::size_t>(m_) * n_, 0);
     std::vector<T> dn(static_cast<std::size_t>(m_) * n_, T{});
@@ -408,6 +449,7 @@ class Matrix {
   void to_hypersparse() const {
     wait();  // hypersparse rows are kept sorted and merged
     if (fmt_ == Format::hypersparse) return;
+    assert_lazy_path_allowed("to_hypersparse");
     to_csr();
     auto &self = const_cast<Matrix &>(*this);
     std::vector<Index> hr;
@@ -464,7 +506,7 @@ class Matrix {
     detail::require(rowptr.size() == static_cast<std::size_t>(m_) + 1 &&
                         colidx.size() == values.size(),
                     Info::invalid_value, "adopt_csr: shape mismatch");
-    clear();
+    clear();  // also drops the finalized flag: back to single-writer mode
     rowptr_ = std::move(rowptr);
     colidx_ = std::move(colidx);
     vals_ = std::move(values);
@@ -489,6 +531,14 @@ class Matrix {
   void check_indices(Index i, Index j) const {
     detail::require(i < m_ && j < n_, Info::index_out_of_bounds,
                     "matrix index out of bounds");
+  }
+
+  // Debug tripwire for the threading contract: a finalized matrix must never
+  // reach a logically-const mutation (see the header comment).
+  void assert_lazy_path_allowed([[maybe_unused]] const char *what) const {
+    assert(!finalized_ &&
+           "grb::Matrix: deferred mutation on a finalized matrix — the "
+           "single-writer-or-finalized threading contract was violated");
   }
 
   void merge_pending() {
@@ -583,6 +633,7 @@ class Matrix {
 
   Index m_;
   Index n_;
+  mutable bool finalized_ = false;  // frozen for concurrent readers
   mutable Format fmt_ = Format::csr;
   mutable std::vector<Index> rowptr_;
   mutable std::vector<Index> colidx_;

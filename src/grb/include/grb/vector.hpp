@@ -9,9 +9,16 @@
 //     for large frontiers, i.e. "pull", where random access must be O(1)).
 // Conversions are automatic based on density (see Config), and kernels may
 // request a specific format.
+//
+// Threading contract: format conversions are logically const (mutable
+// storage), so a vector follows the same "single writer OR finalized" rule
+// as grb::Matrix — finalize() pins the current format, after which const
+// members are genuinely read-only and the vector may be shared across
+// threads. See the contract write-up in grb/matrix.hpp.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <numeric>
 #include <optional>
@@ -55,6 +62,7 @@ class Vector {
 
   /// Remove all entries (size is unchanged).
   void clear() {
+    finalized_ = false;
     idx_.clear();
     val_.clear();
     present_.clear();
@@ -66,6 +74,7 @@ class Vector {
   /// Change the dimension; entries at indices >= n are dropped.
   void resize(Index n) {
     if (n == n_) return;
+    finalized_ = false;
     to_sparse();
     while (!idx_.empty() && idx_.back() >= n) {
       idx_.pop_back();
@@ -98,6 +107,7 @@ class Vector {
   /// w(i) = x, inserting or overwriting.
   void set_element(Index i, const T &x) {
     check_index(i);
+    finalized_ = false;
     if (fmt_ == Format::bitmap) {
       if (!present_[i]) {
         present_[i] = 1;
@@ -119,6 +129,7 @@ class Vector {
   /// Delete the entry at i if present.
   void remove_element(Index i) {
     check_index(i);
+    finalized_ = false;
     if (fmt_ == Format::bitmap) {
       if (present_[i]) {
         present_[i] = 0;
@@ -210,6 +221,9 @@ class Vector {
 
   void to_sparse() const {
     if (fmt_ == Format::sparse) return;
+    assert(!finalized_ &&
+           "grb::Vector: format conversion on a finalized vector — the "
+           "single-writer-or-finalized threading contract was violated");
     auto &self = const_cast<Vector &>(*this);
     self.idx_.clear();
     self.val_.clear();
@@ -232,6 +246,9 @@ class Vector {
 
   void to_bitmap() const {
     if (fmt_ == Format::bitmap) return;
+    assert(!finalized_ &&
+           "grb::Vector: format conversion on a finalized vector — the "
+           "single-writer-or-finalized threading contract was violated");
     auto &self = const_cast<Vector &>(*this);
     self.present_.assign(static_cast<std::size_t>(n_), 0);
     self.dense_.resize(static_cast<std::size_t>(n_));
@@ -277,8 +294,14 @@ class Vector {
   // Mutable bitmap access for in-place kernels (assign fast paths). The
   // caller owns the invariant: after inserting/removing entries through
   // these pointers it must fix the count via set_bitmap_nvals.
-  [[nodiscard]] std::uint8_t *bitmap_present_mut() { return present_.data(); }
-  [[nodiscard]] T *bitmap_values_mut() { return dense_.data(); }
+  [[nodiscard]] std::uint8_t *bitmap_present_mut() {
+    finalized_ = false;
+    return present_.data();
+  }
+  [[nodiscard]] T *bitmap_values_mut() {
+    finalized_ = false;
+    return dense_.data();
+  }
   void set_bitmap_nvals(Index nv) { nvals_ = nv; }
 
   /// Adopt sparse storage directly (indices must be sorted and unique).
@@ -303,6 +326,17 @@ class Vector {
     fmt_ = Format::bitmap;
   }
 
+  /// Freeze for concurrent sharing (same contract as grb::Matrix): pins the
+  /// current storage format, after which const members are genuinely
+  /// read-only. Cleared by any non-const mutation.
+  void finalize() const {
+    finalized_ = true;
+    stats().finalize_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// True while the vector is frozen for concurrent readers.
+  [[nodiscard]] bool is_finalized() const noexcept { return finalized_; }
+
   friend bool operator==(const Vector &a, const Vector &b) {
     if (a.n_ != b.n_ || a.nvals() != b.nvals()) return false;
     bool eq = true;
@@ -320,6 +354,7 @@ class Vector {
   }
 
   Index n_;
+  mutable bool finalized_ = false;  // frozen for concurrent readers
   // Formats are logically interchangeable, so conversion is const-qualified
   // (same convention SuiteSparse uses for its internal format changes).
   mutable Format fmt_ = Format::sparse;

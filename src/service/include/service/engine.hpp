@@ -1,0 +1,162 @@
+// service/engine.hpp — concurrent graph-query engine (the serving layer).
+//
+// An Engine owns a fixed-size worker pool and a request queue. Clients
+// submit bfs / sssp / pagerank / tc queries with optional per-request
+// deadlines and get std::futures back. Every request is bound at submit
+// time to the snapshot then installed — install_snapshot() swaps graphs
+// atomically under live traffic, and in-flight queries finish against the
+// version they started with (snapshot isolation).
+//
+// The headline optimization is adaptive BFS batching: BFS requests that are
+// queued together against the same snapshot are merged into one
+// experimental msbfs sweep (the ns×n frontier trick the paper uses for BC,
+// executed by the word-parallel MS-BFS kernel) and demuxed back into
+// individual responses — k queued traversals for roughly the price of one
+// sweep. A worker that pops a lone BFS may additionally linger for a short
+// coalescing window (EngineConfig::batch_window) to let concurrent
+// submitters catch up; the wait is adaptive — an EWMA of recent batch sizes
+// decides whether lingering has been paying off, so a solo-query workload
+// degrades to zero added latency.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lagraph/lagraph.hpp"
+#include "service/snapshot.hpp"
+
+// Service-layer status codes, extending the lagraph convention (< 0 error).
+inline constexpr int LAGRAPH_SERVICE_DEADLINE = -31;     // expired in queue
+inline constexpr int LAGRAPH_SERVICE_STOPPED = -32;      // engine shut down
+inline constexpr int LAGRAPH_SERVICE_QUEUE_FULL = -33;   // bounded queue hit
+inline constexpr int LAGRAPH_SERVICE_NO_SNAPSHOT = -34;  // nothing installed
+
+namespace lagraph {
+namespace service {
+
+enum class QueryKind : std::uint8_t { bfs, sssp, pagerank, tc };
+
+const char *query_kind_name(QueryKind k);
+
+struct Request {
+  QueryKind kind = QueryKind::bfs;
+  grb::Index source = 0;  ///< bfs / sssp start vertex
+  double delta = 2.0;     ///< sssp bucket width
+  double damping = 0.85;  ///< pagerank
+  double tol = 1e-7;      ///< pagerank convergence threshold
+  int itermax = 100;      ///< pagerank iteration cap
+  /// Optional deadline; a request still queued past it is failed with
+  /// LAGRAPH_SERVICE_DEADLINE instead of executed. Default (epoch) = none.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+struct QueryResult {
+  int status = LAGRAPH_OK;  ///< lagraph status (plus the service codes above)
+  std::string error;        ///< message buffer contents when status < 0
+  QueryKind kind = QueryKind::bfs;
+  std::uint64_t snapshot_id = 0;  ///< which graph version answered
+  bool batched = false;           ///< answered by a merged msbfs sweep
+  std::uint32_t batch_size = 1;   ///< sweep width (1 = solo)
+  double queue_seconds = 0;       ///< submit → execution start
+  double exec_seconds = 0;        ///< execution only
+
+  // One of these is populated according to `kind`.
+  grb::Vector<std::int64_t> level;  ///< bfs
+  grb::Vector<double> dist;         ///< sssp
+  grb::Vector<double> ranks;        ///< pagerank
+  std::uint64_t triangles = 0;      ///< tc
+  int iterations = 0;               ///< pagerank iterations taken
+};
+
+struct EngineConfig {
+  int threads = 2;  ///< worker pool size (clamped to >= 1)
+  /// How long a worker holding a lone BFS lingers for companions. 0
+  /// disables lingering (only already-queued requests are merged).
+  std::chrono::microseconds batch_window{200};
+  std::uint32_t max_batch = 64;  ///< max sources per msbfs sweep
+  bool enable_batching = true;   ///< false = strictly one query at a time
+  std::size_t max_queue = 0;     ///< queued-request cap; 0 = unbounded
+};
+
+/// Monotonic totals since construction (snapshot under the engine lock).
+struct EngineCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;         // includes warnings
+  std::uint64_t failed = 0;            // status < 0 (any reason)
+  std::uint64_t deadline_expired = 0;  // subset of failed
+  std::uint64_t queue_rejected = 0;    // subset of failed
+  std::uint64_t bfs_sweeps = 0;        // msbfs calls issued
+  std::uint64_t batched_bfs = 0;       // bfs answered in a sweep of >= 2
+  std::uint64_t solo_queries = 0;      // everything else
+  std::uint64_t snapshot_installs = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = {});
+  Engine(SnapshotPtr snapshot, EngineConfig cfg = {});
+  ~Engine();  // stop()s
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Swap the serving graph. Queries already submitted (queued or running)
+  /// keep the snapshot they were bound to.
+  void install_snapshot(SnapshotPtr snapshot);
+
+  /// The snapshot new submissions will be bound to (may be null).
+  [[nodiscard]] SnapshotPtr snapshot() const;
+
+  /// Enqueue a query. The future always becomes ready — check
+  /// QueryResult::status, never expect a broken promise.
+  std::future<QueryResult> submit(Request req);
+
+  /// Block until every submitted request has completed.
+  void drain();
+
+  /// Drain, then join the workers. Subsequent submits fail with
+  /// LAGRAPH_SERVICE_STOPPED. Idempotent.
+  void stop();
+
+  [[nodiscard]] const EngineConfig &config() const noexcept { return cfg_; }
+  [[nodiscard]] EngineCounters counters() const;
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<QueryResult> promise;
+    SnapshotPtr snap;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  // Move every queued BFS bound to the same snapshot into `batch` (expired
+  // ones are failed in place). Caller holds mu_.
+  void scoop_bfs_locked(std::vector<Pending> &batch);
+  void run_bfs_sweep(std::vector<Pending> batch);
+  void run_solo(Pending p);
+  void fail_locked(Pending &&p, int status, const char *what);
+
+  EngineConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // queue activity / shutdown
+  std::condition_variable cv_idle_;  // completion events (drain)
+  std::deque<Pending> queue_;
+  SnapshotPtr snap_;
+  EngineCounters counters_;
+  double ewma_batch_;  // recent sweep width; decides whether lingering pays
+  int in_flight_ = 0;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace lagraph

@@ -1,0 +1,57 @@
+// service/snapshot.hpp — immutable graph snapshots for concurrent serving.
+//
+// A GraphSnapshot owns a lagraph::Graph<double> that has been fully
+// finalized: pending tuples merged, zombies buried, rows sorted, hypersparse
+// storage expanded, and every property the query kernels consult (transpose,
+// row degrees, symmetric pattern, diagonal count) computed up front. After
+// construction nothing about the snapshot ever changes, so any number of
+// worker threads may run queries against it without synchronization — the
+// "finalized" half of the grb threading contract (see grb/matrix.hpp).
+//
+// Snapshots are handed around as shared_ptr<const GraphSnapshot>: the
+// Engine's install_snapshot swaps the pointer atomically while queries
+// already bound to the old snapshot keep it alive until they finish —
+// snapshot isolation by reference counting, the same discipline RedisGraph
+// applies to its in-flight queries during a graph swap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+namespace service {
+
+class GraphSnapshot;
+using SnapshotPtr = std::shared_ptr<const GraphSnapshot>;
+
+class GraphSnapshot {
+ public:
+  /// The wrapped graph. Everything reachable from it is finalized;
+  /// treat it as deeply immutable.
+  [[nodiscard]] const Graph<double> &graph() const noexcept { return g_; }
+
+  [[nodiscard]] grb::Index nodes() const noexcept { return g_.a.nrows(); }
+  [[nodiscard]] grb::Index entries() const { return g_.a.nvals(); }
+  [[nodiscard]] Kind kind() const noexcept { return g_.kind; }
+
+  /// Monotonically increasing build id (process-wide); lets clients tell
+  /// which graph version answered their query.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend int make_snapshot(SnapshotPtr *out, Graph<double> &&g, char *msg);
+  GraphSnapshot() = default;
+
+  Graph<double> g_;
+  std::uint64_t id_ = 0;
+};
+
+/// Build a snapshot from a graph (ownership moves, LAGraph_New style): cache
+/// transpose + row degrees + symmetric pattern + ndiag, drain all deferred
+/// work, freeze every container. On success *out holds the new snapshot.
+int make_snapshot(SnapshotPtr *out, Graph<double> &&g, char *msg);
+
+}  // namespace service
+}  // namespace lagraph

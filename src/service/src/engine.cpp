@@ -1,0 +1,325 @@
+// service/engine.cpp — worker pool, request queue, adaptive BFS batching.
+//
+// Locking discipline: mu_ guards the queue, the current snapshot pointer,
+// the counters, and the batching EWMA. Workers hold it only while popping /
+// scooping / bookkeeping — never while a query kernel runs. Promises are
+// fulfilled outside the lock except for submit-time rejections.
+
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lagraph {
+namespace service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool has_deadline(const Request &r) {
+  return r.deadline.time_since_epoch().count() != 0;
+}
+
+bool expired(const Request &r, Clock::time_point now) {
+  return has_deadline(r) && now > r.deadline;
+}
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Once the average sweep width drops below this, lingering for companions
+// has stopped paying for itself and workers run BFS immediately.
+constexpr double kLingerThreshold = 1.5;
+
+}  // namespace
+
+const char *query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::bfs: return "bfs";
+    case QueryKind::sssp: return "sssp";
+    case QueryKind::pagerank: return "pagerank";
+    case QueryKind::tc: return "tc";
+  }
+  return "?";
+}
+
+Engine::Engine(EngineConfig cfg) : Engine(SnapshotPtr{}, cfg) {}
+
+Engine::Engine(SnapshotPtr snapshot, EngineConfig cfg)
+    : cfg_(cfg), snap_(std::move(snapshot)) {
+  cfg_.threads = std::max(1, cfg_.threads);
+  cfg_.max_batch = std::max<std::uint32_t>(1, cfg_.max_batch);
+  // Optimistic start: assume lingering pays until the workload proves
+  // otherwise, so bursts issued right after startup coalesce.
+  ewma_batch_ = static_cast<double>(cfg_.max_batch);
+  workers_.reserve(static_cast<std::size_t>(cfg_.threads));
+  for (int i = 0; i < cfg_.threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Engine::~Engine() { stop(); }
+
+void Engine::install_snapshot(SnapshotPtr snapshot) {
+  std::lock_guard<std::mutex> lk(mu_);
+  snap_ = std::move(snapshot);
+  ++counters_.snapshot_installs;
+}
+
+SnapshotPtr Engine::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snap_;
+}
+
+EngineCounters Engine::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::future<QueryResult> Engine::submit(Request req) {
+  Pending p;
+  p.req = req;
+  p.enqueued = Clock::now();
+  auto fut = p.promise.get_future();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.submitted;
+  if (stopping_ || stopped_) {
+    fail_locked(std::move(p), LAGRAPH_SERVICE_STOPPED, "engine is stopped");
+    return fut;
+  }
+  if (snap_ == nullptr) {
+    fail_locked(std::move(p), LAGRAPH_SERVICE_NO_SNAPSHOT,
+                "no snapshot installed");
+    return fut;
+  }
+  if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
+    fail_locked(std::move(p), LAGRAPH_SERVICE_QUEUE_FULL, "queue is full");
+    return fut;
+  }
+  p.snap = snap_;
+  queue_.push_back(std::move(p));
+  cv_.notify_one();
+  return fut;
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Engine::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto &w : workers_) w.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  // Workers drain the queue before exiting, but be defensive.
+  while (!queue_.empty()) {
+    fail_locked(std::move(queue_.front()), LAGRAPH_SERVICE_STOPPED,
+                "engine stopped before execution");
+    queue_.pop_front();
+  }
+  stopped_ = true;
+  cv_idle_.notify_all();
+}
+
+void Engine::fail_locked(Pending &&p, int status, const char *what) {
+  QueryResult r;
+  r.status = status;
+  r.error = what != nullptr ? what : "";
+  r.kind = p.req.kind;
+  if (p.snap) r.snapshot_id = p.snap->id();
+  ++counters_.failed;
+  if (status == LAGRAPH_SERVICE_DEADLINE) ++counters_.deadline_expired;
+  if (status == LAGRAPH_SERVICE_QUEUE_FULL) ++counters_.queue_rejected;
+  p.promise.set_value(std::move(r));
+}
+
+void Engine::scoop_bfs_locked(std::vector<Pending> &batch) {
+  const GraphSnapshot *want = batch.front().snap.get();
+  const auto now = Clock::now();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < cfg_.max_batch;) {
+    if (it->req.kind != QueryKind::bfs || it->snap.get() != want) {
+      ++it;
+      continue;
+    }
+    if (expired(it->req, now)) {
+      fail_locked(std::move(*it), LAGRAPH_SERVICE_DEADLINE,
+                  "deadline expired in queue");
+    } else {
+      batch.push_back(std::move(*it));
+      ++in_flight_;
+    }
+    it = queue_.erase(it);
+  }
+}
+
+void Engine::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+
+    if (expired(p.req, Clock::now())) {
+      fail_locked(std::move(p), LAGRAPH_SERVICE_DEADLINE,
+                  "deadline expired in queue");
+      --in_flight_;
+      cv_idle_.notify_all();
+      continue;
+    }
+
+    if (p.req.kind == QueryKind::bfs && cfg_.enable_batching) {
+      std::vector<Pending> batch;
+      batch.push_back(std::move(p));
+      scoop_bfs_locked(batch);
+      // Adaptive linger: hold the batch open for one coalescing window so
+      // concurrent submitters can join — but only while the EWMA says
+      // batches have actually been forming; on a solo-query workload this
+      // gate closes and BFS latency is unaffected.
+      if (batch.size() < cfg_.max_batch &&
+          cfg_.batch_window.count() > 0 &&
+          ewma_batch_ >= kLingerThreshold && !stopping_) {
+        const auto until = Clock::now() + cfg_.batch_window;
+        while (batch.size() < cfg_.max_batch && !stopping_) {
+          if (cv_.wait_until(lk, until) == std::cv_status::timeout) {
+            scoop_bfs_locked(batch);
+            break;
+          }
+          scoop_bfs_locked(batch);
+        }
+      }
+      const auto width = static_cast<double>(batch.size());
+      ewma_batch_ = 0.75 * ewma_batch_ + 0.25 * width;
+      ++counters_.bfs_sweeps;
+      if (batch.size() >= 2) {
+        counters_.batched_bfs += batch.size();
+        grb::stats().batched_queries.fetch_add(batch.size(),
+                                               std::memory_order_relaxed);
+      } else {
+        ++counters_.solo_queries;
+        grb::stats().solo_queries.fetch_add(1, std::memory_order_relaxed);
+      }
+      grb::stats().batch_sweeps.fetch_add(1, std::memory_order_relaxed);
+      const auto count = batch.size();
+      lk.unlock();
+      run_bfs_sweep(std::move(batch));
+      lk.lock();
+      in_flight_ -= static_cast<int>(count);
+      cv_idle_.notify_all();
+    } else {
+      ++counters_.solo_queries;
+      grb::stats().solo_queries.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      run_solo(std::move(p));
+      lk.lock();
+      --in_flight_;
+      cv_idle_.notify_all();
+    }
+  }
+}
+
+void Engine::run_bfs_sweep(std::vector<Pending> batch) {
+  const auto start = Clock::now();
+  std::vector<grb::Index> sources;
+  sources.reserve(batch.size());
+  for (const auto &p : batch) sources.push_back(p.req.source);
+
+  char msg[LAGRAPH_MSG_LEN];
+  std::vector<grb::Vector<std::int64_t>> levels;
+  const int st = experimental::msbfs_levels_demux(
+      &levels, batch.front().snap->graph(), sources, msg);
+  const auto end = Clock::now();
+
+  const auto width = static_cast<std::uint32_t>(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    QueryResult r;
+    r.status = st;
+    r.kind = QueryKind::bfs;
+    r.snapshot_id = batch[i].snap->id();
+    r.batched = width > 1;
+    r.batch_size = width;
+    r.queue_seconds = seconds_between(batch[i].enqueued, start);
+    r.exec_seconds = seconds_between(start, end);
+    if (st < 0) {
+      r.error = msg;
+    } else {
+      r.level = std::move(levels[i]);
+    }
+    batch[i].promise.set_value(std::move(r));
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (st < 0) {
+    counters_.failed += batch.size();
+  } else {
+    counters_.completed += batch.size();
+  }
+}
+
+void Engine::run_solo(Pending p) {
+  const auto start = Clock::now();
+  char msg[LAGRAPH_MSG_LEN];
+  msg[0] = '\0';
+
+  QueryResult r;
+  r.kind = p.req.kind;
+  r.snapshot_id = p.snap->id();
+  const Graph<double> &g = p.snap->graph();
+
+  switch (p.req.kind) {
+    case QueryKind::bfs: {
+      // Same kernel as the batched path, sweep width 1 — one code path to
+      // trust, and the word-parallel core at width 1 is an ordinary
+      // direction-optimized BFS.
+      std::vector<grb::Vector<std::int64_t>> levels;
+      const grb::Index src[1] = {p.req.source};
+      r.status = experimental::msbfs_levels_demux(&levels, g, src, msg);
+      if (r.status >= 0) r.level = std::move(levels[0]);
+      break;
+    }
+    case QueryKind::sssp:
+      r.status = advanced::sssp_delta_stepping(&r.dist, g, p.req.source,
+                                               p.req.delta, msg);
+      break;
+    case QueryKind::pagerank:
+      r.status = advanced::pagerank_gap(&r.ranks, &r.iterations, g,
+                                        p.req.damping, p.req.tol,
+                                        p.req.itermax, msg);
+      break;
+    case QueryKind::tc:
+      r.status = advanced::triangle_count(&r.triangles, g,
+                                          TcPresort::automatic,
+                                          /*fused=*/true, msg);
+      break;
+  }
+
+  const auto end = Clock::now();
+  r.queue_seconds = seconds_between(p.enqueued, start);
+  r.exec_seconds = seconds_between(start, end);
+  if (r.status < 0) r.error = msg;
+  const bool ok = r.status >= 0;
+  p.promise.set_value(std::move(r));
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ok) {
+    ++counters_.completed;
+  } else {
+    ++counters_.failed;
+  }
+}
+
+}  // namespace service
+}  // namespace lagraph

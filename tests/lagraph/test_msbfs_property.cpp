@@ -1,0 +1,164 @@
+// Property test for the multi-source BFS family: on random Erdős–Rényi and
+// power-law graphs, directed and undirected, the batched levels from every
+// msbfs entry point must match the per-source BFS levels exactly:
+//
+//   - msbfs_levels            (word-parallel kernel, ns×n level matrix)
+//   - msbfs_levels_reference  (linear-algebra executable specification)
+//   - msbfs_levels_demux      (word-parallel kernel, per-source vectors)
+//
+// Truth comes from two independent implementations: the gapbs sequential
+// reference and lagraph::bfs. Source batches deliberately exceed 64 so the
+// kernel's word grouping (and the partial last group) is exercised, and
+// directed graphs run both with and without the cached transpose to cover
+// the pull and push-only paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/test_graphs.hpp"
+
+namespace lx = lagraph::experimental;
+using grb::Index;
+
+namespace {
+
+std::vector<Index> pick_sources(Index n, std::size_t count,
+                                std::uint64_t seed) {
+  std::vector<Index> s;
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    s.push_back(static_cast<Index>(x >> 16) % n);
+  }
+  return s;
+}
+
+// Note: runs msbfs first (so a directed graph without a cached transpose
+// exercises the push-only path), then the Basic-mode bfs, which caches the
+// transpose onto the graph as a side effect.
+void expect_all_forms_match(testutil::TestGraph &t,
+                            const std::vector<Index> &sources) {
+  const auto ns = sources.size();
+  const Index n = t.lg.nodes();
+  char msg[LAGRAPH_MSG_LEN];
+
+  grb::Matrix<std::int64_t> fast(0, 0);
+  ASSERT_EQ(lx::msbfs_levels(&fast, t.lg, sources, msg), LAGRAPH_OK) << msg;
+  grb::Matrix<std::int64_t> ref(0, 0);
+  ASSERT_EQ(lx::msbfs_levels_reference(&ref, t.lg, sources, msg), LAGRAPH_OK)
+      << msg;
+  std::vector<grb::Vector<std::int64_t>> demux;
+  ASSERT_EQ(lx::msbfs_levels_demux(&demux, t.lg, sources, msg), LAGRAPH_OK)
+      << msg;
+  ASSERT_EQ(demux.size(), ns);
+
+  for (std::size_t i = 0; i < ns; ++i) {
+    auto want = gapbs::bfs_levels_reference(
+        t.ref, static_cast<gapbs::NodeId>(sources[i]));
+    for (Index v = 0; v < n; ++v) {
+      auto a = fast.get(i, v);
+      auto b = ref.get(i, v);
+      auto c = demux[i].get(v);
+      if (want[v] < 0) {
+        EXPECT_FALSE(a.has_value())
+            << t.name << " fast: row " << i << " node " << v;
+        EXPECT_FALSE(b.has_value())
+            << t.name << " reference: row " << i << " node " << v;
+        EXPECT_FALSE(c.has_value())
+            << t.name << " demux: row " << i << " node " << v;
+      } else {
+        ASSERT_TRUE(a.has_value())
+            << t.name << " fast: row " << i << " node " << v;
+        ASSERT_TRUE(b.has_value())
+            << t.name << " reference: row " << i << " node " << v;
+        ASSERT_TRUE(c.has_value())
+            << t.name << " demux: row " << i << " node " << v;
+        EXPECT_EQ(*a, want[v]) << t.name << " fast: row " << i << " node " << v;
+        EXPECT_EQ(*b, want[v])
+            << t.name << " reference: row " << i << " node " << v;
+        EXPECT_EQ(*c, want[v])
+            << t.name << " demux: row " << i << " node " << v;
+      }
+    }
+    // Belt and braces: the stable-tier single-source BFS agrees too.
+    grb::Vector<std::int64_t> level;
+    ASSERT_EQ(lagraph::bfs(&level,
+                           static_cast<grb::Vector<std::int64_t> *>(nullptr),
+                           t.lg, sources[i], msg),
+              LAGRAPH_OK)
+        << msg;
+    for (Index v = 0; v < n; ++v) {
+      auto d = level.get(v);
+      auto c = demux[i].get(v);
+      EXPECT_EQ(d.has_value(), c.has_value())
+          << t.name << " bfs_level: row " << i << " node " << v;
+      if (d && c) {
+        EXPECT_EQ(*d, *c) << t.name << " bfs_level: row " << i << " node " << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(MsbfsProperty, ErdosRenyiUndirected) {
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    auto t = testutil::random_undirected(8, 4, seed);
+    expect_all_forms_match(t, pick_sources(t.lg.nodes(), 80, seed));
+  }
+}
+
+TEST(MsbfsProperty, ErdosRenyiDirected) {
+  for (std::uint64_t seed : {3ull, 9ull}) {
+    auto el = gen::uniform_random(8, 4, seed);
+    gen::remove_self_loops(el);
+    auto t = testutil::TestGraph::from_edges("er_directed", std::move(el),
+                                             /*directed=*/true);
+    // Push-only first (no cached transpose)...
+    expect_all_forms_match(t, pick_sources(t.lg.nodes(), 70, seed));
+    // ...then with the transpose cached so the pull path runs as well.
+    char msg[LAGRAPH_MSG_LEN];
+    ASSERT_EQ(lagraph::property_at(t.lg, msg), LAGRAPH_OK) << msg;
+    expect_all_forms_match(t, pick_sources(t.lg.nodes(), 70, seed + 1));
+  }
+}
+
+TEST(MsbfsProperty, PowerLawUndirected) {
+  for (std::uint64_t seed : {2ull, 5ull}) {
+    auto t = testutil::random_kron(8, 6, seed);
+    expect_all_forms_match(t, pick_sources(t.lg.nodes(), 80, seed));
+  }
+}
+
+TEST(MsbfsProperty, PowerLawDirected) {
+  for (std::uint64_t seed : {4ull, 8ull}) {
+    auto t = testutil::random_directed(8, 6, seed);
+    expect_all_forms_match(t, pick_sources(t.lg.nodes(), 70, seed));
+    char msg[LAGRAPH_MSG_LEN];
+    ASSERT_EQ(lagraph::property_at(t.lg, msg), LAGRAPH_OK) << msg;
+    expect_all_forms_match(t, pick_sources(t.lg.nodes(), 70, seed + 1));
+  }
+}
+
+TEST(MsbfsProperty, PartialWordGroupAndDuplicates) {
+  // 3 sources (partial group) including a duplicate pair: each row must
+  // still carry its own complete level set.
+  auto t = testutil::tiny_undirected();
+  std::vector<Index> sources = {0, 3, 0};
+  expect_all_forms_match(t, sources);
+}
+
+TEST(MsbfsProperty, FinalizedGraphIsUntouched) {
+  // The service layer runs the kernel against finalized snapshots; the
+  // debug tripwires in grb assert no lazy mutation happens mid-query.
+  auto t = testutil::random_kron(7, 4, 11);
+  char msg[LAGRAPH_MSG_LEN];
+  ASSERT_EQ(lagraph::property_at(t.lg, msg), LAGRAPH_OK) << msg;
+  t.lg.a.finalize();
+  EXPECT_TRUE(t.lg.a.is_finalized());
+  std::vector<grb::Vector<std::int64_t>> demux;
+  auto sources = pick_sources(t.lg.nodes(), 66, 13);
+  ASSERT_EQ(lx::msbfs_levels_demux(&demux, t.lg, sources, msg), LAGRAPH_OK)
+      << msg;
+  EXPECT_TRUE(t.lg.a.is_finalized());
+}

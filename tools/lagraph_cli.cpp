@@ -7,6 +7,11 @@
 //
 // Algorithms: bfs, pagerank, pagerank-dangling, sssp, tc, cc, bc, ktruss,
 //             lcc, cdlp, msbfs, stats
+// Service commands (lagraph::service):
+//   serve                build a snapshot, start an Engine, run a query
+//                        script through the batching worker pool
+//   replay               same script, but one worker and batching off —
+//                        the one-query-at-a-time baseline to compare against
 // Options:
 //   --mtx FILE           load a Matrix Market file
 //   --graphalytics V E   load Graphalytics vertex+edge files
@@ -17,14 +22,26 @@
 //   --delta X            SSSP delta (default 2)
 //   --k N                k for ktruss (default 3)
 //   --top N              print the top-N entries of vector results (def. 10)
+//   --script FILE        serve/replay query script: one query per line —
+//                        `bfs SRC`, `sssp SRC [DELTA]`, `pagerank`, `tc`;
+//                        '#' starts a comment. Without a script, serve runs
+//                        64 BFS queries from hashed sources.
+//   --threads N          serve: worker pool size (default 2)
+//   --window-us U        serve: BFS coalescing window in µs (default 200)
+//   --max-batch B        serve: max sources per msbfs sweep (default 64)
+//   --no-batch           serve: disable batching (still multi-threaded)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gen/generators.hpp"
 #include "lagraph/lagraph.hpp"
+#include "service/engine.hpp"
 
 namespace {
 
@@ -40,15 +57,22 @@ struct Options {
   double delta = 2.0;
   std::uint32_t k = 3;
   int top = 10;
+  std::string script;
+  int threads = 2;
+  long window_us = 200;
+  std::uint32_t max_batch = 64;
+  bool no_batch = false;
 };
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
-      "ktruss|lcc|cdlp|msbfs|stats> [options]\n"
+      "ktruss|lcc|cdlp|msbfs|stats|serve|replay> [options]\n"
       "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
-      "  --undirected --source N --delta X --k N --top N\n");
+      "  --undirected --source N --delta X --k N --top N\n"
+      "  serve/replay: --script FILE --threads N --window-us U "
+      "--max-batch B --no-batch\n");
   return 2;
 }
 
@@ -57,7 +81,8 @@ bool parse_args(int argc, char **argv, Options &opt) {
   opt.algorithm = argv[1];
   const char *known[] = {"bfs",    "pagerank", "pagerank-dangling", "sssp",
                          "tc",     "cc",       "bc",                "ktruss",
-                         "lcc",    "cdlp",     "msbfs",             "stats"};
+                         "lcc",    "cdlp",     "msbfs",             "stats",
+                         "serve",  "replay"};
   bool ok = false;
   for (const char *k : known) ok = ok || opt.algorithm == k;
   if (!ok) {
@@ -85,6 +110,16 @@ bool parse_args(int argc, char **argv, Options &opt) {
       opt.k = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (a == "--top" && need(1)) {
       opt.top = std::atoi(argv[++i]);
+    } else if (a == "--script" && need(1)) {
+      opt.script = argv[++i];
+    } else if (a == "--threads" && need(1)) {
+      opt.threads = std::atoi(argv[++i]);
+    } else if (a == "--window-us" && need(1)) {
+      opt.window_us = std::atol(argv[++i]);
+    } else if (a == "--max-batch" && need(1)) {
+      opt.max_batch = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--no-batch") {
+      opt.no_batch = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete option: %s\n", a.c_str());
       return false;
@@ -132,6 +167,64 @@ int load_graph(lagraph::Graph<double> &g, const Options &opt, char *msg) {
                              directed ? lagraph::Kind::adjacency_directed
                                       : lagraph::Kind::adjacency_undirected,
                              msg);
+}
+
+// Parse a serve/replay query script (one query per line, '#' comments).
+// With no --script, synthesize 64 BFS queries from hashed sources — the
+// workload that shows batching off best.
+int parse_script(std::vector<lagraph::service::Request> &reqs,
+                 const Options &opt, grb::Index n, char *msg) {
+  namespace svc = lagraph::service;
+  if (opt.script.empty()) {
+    for (int i = 0; i < 64; ++i) {
+      svc::Request r;
+      r.kind = svc::QueryKind::bfs;
+      r.source = static_cast<grb::Index>(i * 2654435761ull) % n;
+      reqs.push_back(r);
+    }
+    return LAGRAPH_OK;
+  }
+  std::ifstream in(opt.script);
+  if (!in) {
+    return lagraph::detail::set_msg(msg, LAGRAPH_IO_ERROR,
+                                    "cannot open --script file");
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    svc::Request r;
+    r.delta = opt.delta;
+    if (kind == "bfs" || kind == "sssp") {
+      unsigned long long src;
+      if (!(ls >> src)) {
+        return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                        "script: bfs/sssp needs a source");
+      }
+      r.source = static_cast<grb::Index>(src) % n;
+      r.kind = kind == "bfs" ? svc::QueryKind::bfs : svc::QueryKind::sssp;
+      if (kind == "sssp") {
+        double d;
+        if (ls >> d) r.delta = d;
+      }
+    } else if (kind == "pagerank") {
+      r.kind = svc::QueryKind::pagerank;
+    } else if (kind == "tc") {
+      r.kind = svc::QueryKind::tc;
+    } else {
+      return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                      "script: unknown query kind");
+    }
+    reqs.push_back(r);
+  }
+  if (reqs.empty()) {
+    return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                    "script: no queries");
+  }
+  return LAGRAPH_OK;
 }
 
 void print_top(const grb::Vector<double> &v, int top, const char *what) {
@@ -260,6 +353,72 @@ int main(int argc, char **argv) {
     LAGRAPH_TRY(lagraph::experimental::msbfs_levels(&level, g, sources, msg));
     std::printf("batched BFS: %llu (source, node) pairs reached\n",
                 static_cast<unsigned long long>(level.nvals()));
+  } else if (opt.algorithm == "serve" || opt.algorithm == "replay") {
+    namespace svc = lagraph::service;
+    std::vector<svc::Request> reqs;
+    LAGRAPH_TRY(parse_script(reqs, opt, g.nodes(), msg));
+
+    svc::EngineConfig cfg;
+    cfg.threads = opt.threads;
+    cfg.batch_window = std::chrono::microseconds(opt.window_us);
+    cfg.max_batch = opt.max_batch;
+    cfg.enable_batching = !opt.no_batch;
+    if (opt.algorithm == "replay") {
+      // The one-query-at-a-time baseline: a single worker, no coalescing.
+      cfg.threads = 1;
+      cfg.enable_batching = false;
+    }
+
+    svc::SnapshotPtr snap;
+    LAGRAPH_TRY(svc::make_snapshot(&snap, std::move(g), msg));
+    svc::Engine engine(snap, cfg);
+    std::printf("%s: %zu queries on snapshot %llu, %d worker(s), "
+                "batching %s (window %ldus, max batch %u)\n",
+                opt.algorithm.c_str(), reqs.size(),
+                static_cast<unsigned long long>(snap->id()), cfg.threads,
+                cfg.enable_batching ? "on" : "off",
+                static_cast<long>(cfg.batch_window.count()), cfg.max_batch);
+
+    lagraph::Timer qt;
+    lagraph::tic(qt);
+    std::vector<std::future<svc::QueryResult>> futs;
+    futs.reserve(reqs.size());
+    for (const auto &r : reqs) futs.push_back(engine.submit(r));
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t batched = 0;
+    int first_err = 0;
+    std::string first_err_msg;
+    for (auto &f : futs) {
+      auto res = f.get();
+      if (res.status < 0) {
+        ++failed;
+        if (first_err == 0) {
+          first_err = res.status;
+          first_err_msg = res.error;
+        }
+      } else {
+        ++ok;
+        if (res.batched) ++batched;
+      }
+    }
+    double qs = lagraph::toc(qt);
+    engine.stop();
+
+    auto c = engine.counters();
+    std::printf("completed %zu (%zu batched), failed %zu in %.3fs "
+                "=> %.1f queries/s\n",
+                ok, batched, failed, qs,
+                static_cast<double>(reqs.size()) / qs);
+    std::printf("engine: %llu bfs sweeps, %llu batched bfs, "
+                "%llu solo queries\n",
+                static_cast<unsigned long long>(c.bfs_sweeps),
+                static_cast<unsigned long long>(c.batched_bfs),
+                static_cast<unsigned long long>(c.solo_queries));
+    if (failed != 0) {
+      std::fprintf(stderr, "first error %d (%s): %s\n", first_err,
+                   lagraph::status_name(first_err), first_err_msg.c_str());
+    }
   } else {
     return usage();
   }
