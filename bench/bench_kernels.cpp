@@ -1,7 +1,25 @@
-// bench_kernels — google-benchmark per-kernel comparisons of the LAGraph
-// algorithms against the gapbs direct baselines on a Kron graph, swept over
-// scale. Supporting microdata for the Table III harness.
-#include <benchmark/benchmark.h>
+// bench_kernels — per-kernel timings for the parallel grb layer: push (vxm
+// saxpy), pull (mxv dot), eWiseAdd/eWiseMult, apply, reduce, transpose,
+// build, and masked mxm, swept over thread counts on a Kron graph.
+//
+// Emits a Table III-style text table plus machine-readable
+// BENCH_kernels.json (op, graph, threads, reps, median_ms) so the perf
+// trajectory is recorded per commit; tools/bench_diff.py compares two such
+// files and flags regressions.
+//
+// Flags / env:
+//   --smoke                  scale-12 sanity run (used by the perf-smoke
+//                            ctest label); exits nonzero if any kernel
+//                            exceeds a generous wall-clock bound.
+//   LAGRAPH_BENCH_SCALE      kron scale for the full run (default 13)
+//   LAGRAPH_BENCH_THREADS    comma list of thread counts (default "1,2,4,8")
+//   LAGRAPH_BENCH_REPS       reps per (op, threads) cell (default 5, min 5)
+//   LAGRAPH_BENCH_JSON       output path (default BENCH_kernels.json)
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 
@@ -9,152 +27,176 @@ using grb::Index;
 
 namespace {
 
-bench::BenchGraph &kron_graph(int scale) {
-  static std::map<int, bench::BenchGraph> cache;
-  auto it = cache.find(scale);
-  if (it == cache.end()) {
-    gen::GapGraphSpec spec{gen::GapGraphId::kron, scale, 8, 0xabcdULL};
-    it = cache.emplace(scale, bench::make_bench_graph(gen::make_gap_graph(spec)))
-             .first;
-    char msg[LAGRAPH_MSG_LEN];
-    lagraph::property_at(it->second.lg, msg);
-    lagraph::property_row_degree(it->second.lg, msg);
-    lagraph::property_ndiag(it->second.lg, msg);
-    lagraph::property_symmetric_pattern(it->second.lg, msg);
-  }
-  return it->second;
-}
-
-void BM_bfs_lagraph(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  auto sources = bench::pick_sources(g.ref, 4, 1);
-  char msg[LAGRAPH_MSG_LEN];
-  for (auto _ : state) {
-    for (auto s : sources) {
-      grb::Vector<std::int64_t> parent;
-      lagraph::advanced::bfs_do(nullptr, &parent, g.lg, s, msg);
-      benchmark::DoNotOptimize(parent.nvals());
+std::vector<int> parse_threads(const char *spec) {
+  std::vector<int> out;
+  int cur = 0;
+  bool have = false;
+  for (const char *p = spec;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + (*p - '0');
+      have = true;
+    } else {
+      if (have && cur > 0) out.push_back(cur);
+      cur = 0;
+      have = false;
+      if (*p == '\0') break;
     }
   }
+  if (out.empty()) out = {1};
+  return out;
 }
-BENCHMARK(BM_bfs_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_bfs_gap(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  auto sources = bench::pick_sources(g.ref, 4, 1);
-  for (auto _ : state) {
-    for (auto s : sources) {
-      auto parent = gapbs::bfs(g.ref, static_cast<gapbs::NodeId>(s));
-      benchmark::DoNotOptimize(parent.size());
-    }
-  }
-}
-BENCHMARK(BM_bfs_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_pagerank_lagraph(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  char msg[LAGRAPH_MSG_LEN];
-  for (auto _ : state) {
-    grb::Vector<double> r;
-    lagraph::advanced::pagerank_gap(&r, nullptr, g.lg, 0.85, 1e-4, 100, msg);
-    benchmark::DoNotOptimize(r.nvals());
-  }
-}
-BENCHMARK(BM_pagerank_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_pagerank_gap(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto r = gapbs::pagerank(g.ref, 0.85, 1e-4, 100);
-    benchmark::DoNotOptimize(r.size());
-  }
-}
-BENCHMARK(BM_pagerank_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_bc_lagraph(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  auto sources = bench::pick_sources(g.ref, 4, 2);
-  char msg[LAGRAPH_MSG_LEN];
-  for (auto _ : state) {
-    grb::Vector<double> c;
-    lagraph::advanced::betweenness_centrality(&c, g.lg, sources, true, msg);
-    benchmark::DoNotOptimize(c.nvals());
-  }
-}
-BENCHMARK(BM_bc_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_bc_gap(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  auto sources = bench::pick_sources(g.ref, 4, 2);
-  std::vector<gapbs::NodeId> srcs(sources.begin(), sources.end());
-  for (auto _ : state) {
-    auto c = gapbs::bc(g.ref, srcs);
-    benchmark::DoNotOptimize(c.size());
-  }
-}
-BENCHMARK(BM_bc_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_sssp_lagraph(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  char msg[LAGRAPH_MSG_LEN];
-  for (auto _ : state) {
-    grb::Vector<double> dist;
-    lagraph::advanced::sssp_delta_stepping(&dist, g.lg, 0, 2.0, msg);
-    benchmark::DoNotOptimize(dist.nvals());
-  }
-}
-BENCHMARK(BM_sssp_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_sssp_gap(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto dist = gapbs::sssp(g.ref, 0, 2.0);
-    benchmark::DoNotOptimize(dist.size());
-  }
-}
-BENCHMARK(BM_sssp_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_tc_lagraph(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  char msg[LAGRAPH_MSG_LEN];
-  for (auto _ : state) {
-    std::uint64_t count = 0;
-    lagraph::advanced::triangle_count(&count, g.lg,
-                                      lagraph::TcPresort::automatic, false,
-                                      msg);
-    benchmark::DoNotOptimize(count);
-  }
-}
-BENCHMARK(BM_tc_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_tc_gap(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gapbs::tc(g.ref));
-  }
-}
-BENCHMARK(BM_tc_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_cc_lagraph(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  char msg[LAGRAPH_MSG_LEN];
-  for (auto _ : state) {
-    grb::Vector<Index> comp;
-    lagraph::connected_components(&comp, g.lg, msg);
-    benchmark::DoNotOptimize(comp.nvals());
-  }
-}
-BENCHMARK(BM_cc_lagraph)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
-
-void BM_cc_gap(benchmark::State &state) {
-  auto &g = kron_graph(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto comp = gapbs::cc(g.ref);
-    benchmark::DoNotOptimize(comp.size());
-  }
-}
-BENCHMARK(BM_cc_gap)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int scale = smoke ? 12 : bench::suite_scale();
+  const int reps = std::max(5, bench::env_int("LAGRAPH_BENCH_REPS", 5));
+  std::vector<int> threads = parse_threads(
+      std::getenv("LAGRAPH_BENCH_THREADS") != nullptr
+          ? std::getenv("LAGRAPH_BENCH_THREADS")
+          : (smoke ? "1,4" : "1,2,4,8"));
+  const std::string graph_name = "kron" + std::to_string(scale);
+  const std::string json_path =
+      std::getenv("LAGRAPH_BENCH_JSON") != nullptr
+          ? std::getenv("LAGRAPH_BENCH_JSON")
+          : std::string("BENCH_kernels.json");
+
+  // One directed kron graph; integer-valued double weights keep every
+  // accumulation exact, so thread sweeps are bit-comparable.
+  auto el = gen::kronecker(scale, 8, 0xabcdULL);
+  gen::add_uniform_weights(el, 1, 255, 0x5eedULL);
+  grb::Matrix<double> a = gen::to_matrix<double>(el);
+  a.finalize();
+  grb::Matrix<double> at = grb::transposed(a);
+  at.finalize();
+  const Index n = a.nrows();
+
+  // Sparse frontier (~3% of vertices) for the push kernel; a dense vector
+  // for pull/eWise (bitmap format) built from the row degrees.
+  grb::Vector<double> frontier(n);
+  {
+    std::uint64_t state = 0x12345ULL;
+    std::vector<Index> idx;
+    std::vector<double> val;
+    for (Index i = 0; i < n; ++i) {
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      if (state % 32 == 0) {
+        idx.push_back(i);
+        val.push_back(static_cast<double>(1 + state % 100));
+      }
+    }
+    frontier.adopt_sparse(std::move(idx), std::move(val));
+  }
+  grb::Vector<double> dense1(n);
+  grb::Vector<double> dense2(n);
+  {
+    grb::reduce(dense1, grb::no_mask, grb::NoAccum{},
+                grb::PlusMonoid<double>{}, a);
+    grb::reduce(dense2, grb::no_mask, grb::NoAccum{},
+                grb::PlusMonoid<double>{}, at);
+    dense1.to_bitmap();
+    dense2.to_bitmap();
+  }
+  // Tuple arrays for the build benchmark.
+  std::vector<Index> bi;
+  std::vector<Index> bj;
+  std::vector<double> bv;
+  a.extract_tuples(bi, bj, bv);
+
+  struct Op {
+    const char *name;
+    std::function<void()> fn;
+  };
+  std::vector<Op> ops;
+  ops.push_back({"vxm_push", [&] {
+                   grb::Vector<double> w(n);
+                   grb::vxm(w, grb::no_mask, grb::NoAccum{},
+                            grb::PlusTimes<double>{}, frontier, a);
+                 }});
+  ops.push_back({"mxv_pull", [&] {
+                   grb::Vector<double> w(n);
+                   grb::mxv(w, grb::no_mask, grb::NoAccum{},
+                            grb::PlusTimes<double>{}, a, dense1);
+                 }});
+  ops.push_back({"ewise_add", [&] {
+                   grb::Vector<double> w(n);
+                   grb::eWiseAdd(w, grb::no_mask, grb::NoAccum{}, grb::Min{},
+                                 dense1, dense2);
+                 }});
+  ops.push_back({"ewise_mult", [&] {
+                   grb::Vector<double> w(n);
+                   grb::eWiseMult(w, grb::no_mask, grb::NoAccum{},
+                                  grb::Plus{}, dense1, dense2);
+                 }});
+  ops.push_back({"apply", [&] {
+                   grb::Vector<double> w(n);
+                   grb::apply2nd(w, grb::no_mask, grb::NoAccum{}, grb::Times{},
+                                 dense1, 3.0);
+                 }});
+  ops.push_back({"reduce_rows", [&] {
+                   grb::Vector<double> w(n);
+                   grb::reduce(w, grb::no_mask, grb::NoAccum{},
+                               grb::PlusMonoid<double>{}, a);
+                 }});
+  ops.push_back({"transpose", [&] {
+                   auto t = grb::transposed(a);
+                   (void)t.nvals();
+                 }});
+  ops.push_back({"build", [&] {
+                   grb::Matrix<double> t(n, n);
+                   t.build(bi, bj, bv);
+                 }});
+  if (!smoke) {
+    ops.push_back({"mxm_masked", [&] {
+                     grb::Matrix<double> c(n, n);
+                     grb::Descriptor d;
+                     d.transpose_b = true;
+                     d.mask_structural = true;
+                     grb::mxm(c, a, grb::NoAccum{}, grb::PlusPair<double>{}, a,
+                              at, d);
+                   }});
+  }
+
+  std::vector<bench::JsonEntry> entries;
+  std::printf("bench_kernels: graph=%s nnz=%llu reps=%d%s\n",
+              graph_name.c_str(),
+              static_cast<unsigned long long>(a.nvals()), reps,
+              smoke ? " (smoke)" : "");
+  std::printf("%-12s", "op");
+  for (int t : threads) std::printf("  t=%-2d (ms)", t);
+  std::printf("\n");
+
+  // Generous per-op bound for the smoke run: catches order-of-magnitude
+  // slowdowns without flaking on slow CI boxes.
+  const double smoke_bound_ms = 30000.0;
+  bool smoke_ok = true;
+
+  for (auto &op : ops) {
+    std::printf("%-12s", op.name);
+    for (int t : threads) {
+      grb::config().num_threads = t;
+      op.fn();  // warm-up (also primes the workspace pool at this size)
+      const double ms = bench::median_seconds(reps, op.fn) * 1e3;
+      entries.push_back({op.name, graph_name, t, reps, ms});
+      std::printf("  %9.3f", ms);
+      if (smoke && ms > smoke_bound_ms) smoke_ok = false;
+    }
+    std::printf("\n");
+  }
+  grb::config().num_threads = 0;
+
+  bench::write_bench_json(json_path, "kernels", scale, entries);
+  std::printf("wrote %s (%zu entries)\n", json_path.c_str(), entries.size());
+  if (smoke && !smoke_ok) {
+    std::printf("perf-smoke FAILED: a kernel exceeded %.0f ms\n",
+                smoke_bound_ms);
+    return 1;
+  }
+  return 0;
+}

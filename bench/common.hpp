@@ -5,6 +5,7 @@
 // and a Table III-style printer.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -87,6 +88,52 @@ double time_best(int trials, F &&f) {
   double best = 1e300;
   for (int i = 0; i < trials; ++i) best = std::min(best, time_once(f));
   return best;
+}
+
+/// Median wall-clock over `reps` runs of f, in seconds.
+template <typename F>
+double median_seconds(int reps, F &&f) {
+  std::vector<double> t;
+  t.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) t.push_back(time_once(f));
+  std::sort(t.begin(), t.end());
+  const std::size_t k = t.size() / 2;
+  return t.size() % 2 == 1 ? t[k] : 0.5 * (t[k - 1] + t[k]);
+}
+
+// -- machine-readable output (tools/bench_diff.py reads this) ---------------
+
+/// One (op, graph, threads) timing cell of a BENCH_*.json file.
+struct JsonEntry {
+  std::string op;
+  std::string graph;
+  int threads = 1;
+  int reps = 0;
+  double median_ms = 0.0;
+};
+
+/// Write the shared bench JSON schema: {schema, suite, scale, entries: [...]}.
+inline void write_bench_json(const std::string &path, const char *suite,
+                             int scale, const std::vector<JsonEntry> &entries) {
+  std::FILE *out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"schema\": \"lagraph-bench-v1\",\n  \"suite\": \"%s\",\n"
+               "  \"scale\": %d,\n  \"entries\": [\n",
+               suite, scale);
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const JsonEntry &x = entries[e];
+    std::fprintf(out,
+                 "    {\"op\": \"%s\", \"graph\": \"%s\", \"threads\": %d, "
+                 "\"reps\": %d, \"median_ms\": %.6f}%s\n",
+                 x.op.c_str(), x.graph.c_str(), x.threads, x.reps, x.median_ms,
+                 e + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
 }
 
 struct TableRow {

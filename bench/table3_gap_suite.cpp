@@ -13,7 +13,9 @@
 // LAGRAPH_BENCH_TRIALS (paper: 64 sources for BFS/SSSP, 16 for BC); BC batch
 // ns=4; PR damping .85, tol 1e-4, ≤100 iters; SSSP delta 2 on weights
 // [1,255]; TC and CC once each.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "common.hpp"
 
@@ -27,88 +29,86 @@ struct Cell {
   double ss = 0;
 };
 
-Cell bench_bfs(BenchGraph &bg, int trials) {
-  auto sources = bench::pick_sources(bg.ref, trials, 17);
+Cell bench_bfs(BenchGraph &bg, int reps) {
+  auto sources = bench::pick_sources(bg.ref, std::max(reps, 4), 17);
   char msg[LAGRAPH_MSG_LEN];
   lagraph::property_at(bg.lg, msg);
+  const double inv = 1.0 / static_cast<double>(sources.size());
   Cell c;
-  for (Index s : sources) {
-    c.gap += bench::time_once(
-        [&] { gapbs::bfs(bg.ref, static_cast<gapbs::NodeId>(s)); });
-    c.ss += bench::time_once([&] {
+  c.gap = inv * bench::median_seconds(reps, [&] {
+    for (Index s : sources) gapbs::bfs(bg.ref, static_cast<gapbs::NodeId>(s));
+  });
+  c.ss = inv * bench::median_seconds(reps, [&] {
+    for (Index s : sources) {
       grb::Vector<std::int64_t> parent;
       lagraph::advanced::bfs_do(nullptr, &parent, bg.lg, s, msg);
-    });
-  }
-  c.gap /= static_cast<double>(sources.size());
-  c.ss /= static_cast<double>(sources.size());
+    }
+  });
   return c;
 }
 
-Cell bench_bc(BenchGraph &bg, int trials) {
+Cell bench_bc(BenchGraph &bg, int reps) {
   const int ns = 4;  // the paper's typical batch size
   char msg[LAGRAPH_MSG_LEN];
   lagraph::property_at(bg.lg, msg);
+  auto sources = bench::pick_sources(bg.ref, ns, 100);
+  std::vector<gapbs::NodeId> srcs(sources.begin(), sources.end());
   Cell c;
-  for (int t = 0; t < trials; ++t) {
-    auto sources = bench::pick_sources(bg.ref, ns, 100 + t);
-    std::vector<gapbs::NodeId> srcs(sources.begin(), sources.end());
-    c.gap += bench::time_once([&] { gapbs::bc(bg.ref, srcs); });
-    c.ss += bench::time_once([&] {
-      grb::Vector<double> cent;
-      lagraph::advanced::betweenness_centrality(&cent, bg.lg, sources, true,
-                                                msg);
-    });
-  }
-  c.gap /= trials;
-  c.ss /= trials;
+  c.gap = bench::median_seconds(reps, [&] { gapbs::bc(bg.ref, srcs); });
+  c.ss = bench::median_seconds(reps, [&] {
+    grb::Vector<double> cent;
+    lagraph::advanced::betweenness_centrality(&cent, bg.lg, sources, true,
+                                              msg);
+  });
   return c;
 }
 
-Cell bench_pr(BenchGraph &bg, int trials) {
+Cell bench_pr(BenchGraph &bg, int reps) {
   char msg[LAGRAPH_MSG_LEN];
   lagraph::property_at(bg.lg, msg);
   lagraph::property_row_degree(bg.lg, msg);
   Cell c;
-  c.gap = bench::time_best(trials,
-                           [&] { gapbs::pagerank(bg.ref, 0.85, 1e-4, 100); });
-  c.ss = bench::time_best(trials, [&] {
+  c.gap = bench::median_seconds(reps,
+                                [&] { gapbs::pagerank(bg.ref, 0.85, 1e-4, 100); });
+  c.ss = bench::median_seconds(reps, [&] {
     grb::Vector<double> r;
     lagraph::advanced::pagerank_gap(&r, nullptr, bg.lg, 0.85, 1e-4, 100, msg);
   });
   return c;
 }
 
-Cell bench_cc(BenchGraph &bg, int trials) {
+Cell bench_cc(BenchGraph &bg, int reps) {
   char msg[LAGRAPH_MSG_LEN];
   Cell c;
-  c.gap = bench::time_best(trials, [&] { gapbs::cc(bg.ref); });
-  c.ss = bench::time_best(trials, [&] {
+  c.gap = bench::median_seconds(reps, [&] { gapbs::cc(bg.ref); });
+  c.ss = bench::median_seconds(reps, [&] {
     grb::Vector<Index> comp;
     lagraph::connected_components(&comp, bg.lg, msg);
   });
   return c;
 }
 
-Cell bench_sssp(BenchGraph &bg, int trials) {
-  auto sources = bench::pick_sources(bg.ref, trials, 99);
+Cell bench_sssp(BenchGraph &bg, int reps) {
+  auto sources = bench::pick_sources(bg.ref, std::max(reps, 4), 99);
   char msg[LAGRAPH_MSG_LEN];
   const double delta = 2.0;  // the GAP default for [1,255] weights
+  const double inv = 1.0 / static_cast<double>(sources.size());
   Cell c;
-  for (Index s : sources) {
-    c.gap += bench::time_once(
-        [&] { gapbs::sssp(bg.ref, static_cast<gapbs::NodeId>(s), delta); });
-    c.ss += bench::time_once([&] {
+  c.gap = inv * bench::median_seconds(reps, [&] {
+    for (Index s : sources) {
+      gapbs::sssp(bg.ref, static_cast<gapbs::NodeId>(s), delta);
+    }
+  });
+  c.ss = inv * bench::median_seconds(reps, [&] {
+    for (Index s : sources) {
       grb::Vector<double> dist;
       lagraph::advanced::sssp_delta_stepping(&dist, bg.lg, s, delta, msg);
-    });
-  }
-  c.gap /= static_cast<double>(sources.size());
-  c.ss /= static_cast<double>(sources.size());
+    }
+  });
   return c;
 }
 
-Cell bench_tc(BenchGraph &bg, int trials) {
+Cell bench_tc(BenchGraph &bg, int reps) {
   // TC runs on the undirected graphs only (as in GAP, which symmetrizes);
   // for directed graphs we build the symmetrized view once, outside timing.
   char msg[LAGRAPH_MSG_LEN];
@@ -129,8 +129,8 @@ Cell bench_tc(BenchGraph &bg, int trials) {
   lagraph::property_row_degree(*g, msg);
   lagraph::property_ndiag(*g, msg);
   lagraph::property_symmetric_pattern(*g, msg);
-  c.gap = bench::time_best(trials, [&] { gapbs::tc(sym_ref); });
-  c.ss = bench::time_best(trials, [&] {
+  c.gap = bench::median_seconds(reps, [&] { gapbs::tc(sym_ref); });
+  c.ss = bench::median_seconds(reps, [&] {
     std::uint64_t count = 0;
     lagraph::advanced::triangle_count(&count, *g, lagraph::TcPresort::automatic,
                                       false, msg);
@@ -142,10 +142,11 @@ Cell bench_tc(BenchGraph &bg, int trials) {
 
 int main() {
   std::printf("Table III reproduction: GAP vs LAGraph+grb (seconds)\n");
-  std::printf("scale=%d edgefactor=%d trials=%d\n", bench::suite_scale(),
-              bench::suite_edgefactor(), bench::suite_trials());
+  const int reps = std::max(5, bench::suite_trials());
+  std::printf("scale=%d edgefactor=%d reps=%d\n", bench::suite_scale(),
+              bench::suite_edgefactor(), reps);
   auto suite = bench::make_suite();
-  const int trials = bench::suite_trials();
+  const int nthreads = grb::detail::effective_threads();
 
   std::vector<std::string> names;
   for (auto &g : suite) names.push_back(g.spec.name);
@@ -160,15 +161,20 @@ int main() {
   };
 
   std::vector<bench::TableRow> rows;
+  std::vector<bench::JsonEntry> entries;
   for (auto &k : kernels) {
     bench::TableRow gap_row{std::string(k.name) + " : GAP", {}};
     bench::TableRow ss_row{std::string(k.name) + " : SS", {}};
     bench::TableRow ratio{std::string(k.name) + " : ratio", {}};
-    for (auto &g : suite) {
-      Cell c = k.run(g, trials);
+    for (std::size_t gi = 0; gi < suite.size(); ++gi) {
+      Cell c = k.run(suite[gi], reps);
       gap_row.seconds.push_back(c.gap);
       ss_row.seconds.push_back(c.ss);
       ratio.seconds.push_back(c.gap > 0 ? c.ss / c.gap : 0.0);
+      entries.push_back({std::string(k.name) + ":gap", names[gi], nthreads,
+                         reps, c.gap * 1e3});
+      entries.push_back({std::string(k.name) + ":ss", names[gi], nthreads,
+                         reps, c.ss * 1e3});
       std::fflush(stdout);
     }
     rows.push_back(std::move(gap_row));
@@ -176,5 +182,10 @@ int main() {
     rows.push_back(std::move(ratio));
   }
   print_table("Run time of GAP and LAGraph+grb (ratio = SS/GAP)", names, rows);
+  const char *json_env = std::getenv("LAGRAPH_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_table3.json";
+  bench::write_bench_json(json_path, "table3", bench::suite_scale(), entries);
+  std::printf("wrote %s (%zu entries)\n", json_path.c_str(), entries.size());
   return 0;
 }

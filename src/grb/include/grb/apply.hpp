@@ -4,11 +4,17 @@
 // (apply2nd / apply1st) correspond to GrB_apply with a BinaryOp and a bound
 // scalar. select keeps the entries for which an index-unary predicate
 // f(value, i, j, thunk) holds, zeroing out (dropping) the rest.
+//
+// apply is a pure per-entry map (output position = input position), so the
+// parallel form writes each transformed entry straight into its slot; select
+// filters, so chunks emit into their own buffers and concatenate in chunk
+// order (grb/parallel.hpp). Both match the serial walk exactly.
 #pragma once
 
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/parallel.hpp"
 
 namespace grb {
 
@@ -17,15 +23,44 @@ template <typename W, typename MaskT, typename Accum, typename F, typename U>
 void apply(Vector<W> &w, const MaskT &mask, Accum accum, F f,
            const Vector<U> &u, const Descriptor &d = desc::DEFAULT) {
   detail::check_same_size(w.size(), u.size(), "apply: size mismatch");
+  const Index n = u.size();
   std::vector<Index> idx;
   std::vector<W> val;
-  idx.reserve(u.nvals());
-  val.reserve(u.nvals());
-  u.for_each([&](Index i, const U &x) {
-    idx.push_back(i);
-    val.push_back(static_cast<W>(f(static_cast<W>(x))));
-  });
-  Vector<W> t(u.size());
+  const int parts =
+      (detail::effective_threads() > 1 && u.nvals() >= detail::kParallelGrain)
+          ? detail::effective_threads() * 2
+          : 1;
+  if (u.format() == Vector<U>::Format::sparse) {
+    auto ui = u.sparse_indices();
+    auto uv = u.sparse_values();
+    const Index nv = static_cast<Index>(ui.size());
+    idx.resize(nv);
+    val.resize(nv);
+    detail::for_each_chunk(detail::partition_even(nv, parts),
+                           [&](int, Index lo, Index hi) {
+                             for (Index p = lo; p < hi; ++p) {
+                               idx[p] = ui[p];
+                               val[p] = static_cast<W>(
+                                   f(static_cast<W>(uv[p])));
+                             }
+                           });
+  } else {
+    const std::uint8_t *up = u.bitmap_present();
+    const U *uvp = u.bitmap_values();
+    std::vector<std::uint8_t> found(static_cast<std::size_t>(n), 0);
+    std::vector<W> out(static_cast<std::size_t>(n));
+    detail::for_each_chunk(detail::partition_even(n, parts),
+                           [&](int, Index lo, Index hi) {
+                             for (Index i = lo; i < hi; ++i) {
+                               if (!up[i]) continue;
+                               found[i] = 1;
+                               out[i] = static_cast<W>(
+                                   f(static_cast<W>(uvp[i])));
+                             }
+                           });
+    detail::pack_slots(found, out, idx, val);
+  }
+  Vector<W> t(n);
   t.adopt_sparse(std::move(idx), std::move(val));
   detail::write_result(w, std::move(t), mask, accum, d);
 }
@@ -62,14 +97,38 @@ void apply(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
   std::vector<Index> ci;
   std::vector<W> cv;
-  ci.reserve(a.nvals());
-  cv.reserve(a.nvals());
-  for (Index i = 0; i < m; ++i) {
-    a.for_each_in_row(i, [&](Index j, const U &x) {
-      ci.push_back(j);
-      cv.push_back(static_cast<W>(f(static_cast<W>(x))));
-    });
-    rp[i + 1] = static_cast<Index>(ci.size());
+  if (a.format() == Matrix<U>::Format::csr) {
+    // CSR fast path: same structure, transformed values — a flat map over
+    // the nnz positions.
+    auto arp = a.rowptr();
+    auto acx = a.colidx();
+    auto avx = a.values();
+    rp.assign(arp.begin(), arp.end());
+    const Index nz = static_cast<Index>(acx.size());
+    ci.resize(nz);
+    cv.resize(nz);
+    const int parts =
+        (detail::effective_threads() > 1 && nz >= detail::kParallelGrain)
+            ? detail::effective_threads() * 2
+            : 1;
+    detail::for_each_chunk(detail::partition_even(nz, parts),
+                           [&](int, Index lo, Index hi) {
+                             for (Index p = lo; p < hi; ++p) {
+                               ci[p] = acx[p];
+                               cv[p] = static_cast<W>(
+                                   f(static_cast<W>(avx[p])));
+                             }
+                           });
+  } else {
+    ci.reserve(a.nvals());
+    cv.reserve(a.nvals());
+    for (Index i = 0; i < m; ++i) {
+      a.for_each_in_row(i, [&](Index j, const U &x) {
+        ci.push_back(j);
+        cv.push_back(static_cast<W>(f(static_cast<W>(x))));
+      });
+      rp[i + 1] = static_cast<Index>(ci.size());
+    }
   }
   Matrix<W> t(m, a.ncols());
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
@@ -94,16 +153,49 @@ void select(Vector<W> &w, const MaskT &mask, Accum accum, F f,
             const Vector<U> &u, const S &thunk,
             const Descriptor &d = desc::DEFAULT) {
   detail::check_same_size(w.size(), u.size(), "select: size mismatch");
+  const Index n = u.size();
+  const U th = static_cast<U>(thunk);
   std::vector<Index> idx;
   std::vector<W> val;
-  const U th = static_cast<U>(thunk);
-  u.for_each([&](Index i, const U &x) {
-    if (f(x, i, Index{0}, th)) {
-      idx.push_back(i);
-      val.push_back(static_cast<W>(x));
-    }
-  });
-  Vector<W> t(u.size());
+  const int parts =
+      (detail::effective_threads() > 1 && u.nvals() >= detail::kParallelGrain)
+          ? detail::effective_threads() * 2
+          : 1;
+  if (u.format() == Vector<U>::Format::sparse) {
+    auto ui = u.sparse_indices();
+    auto uv = u.sparse_values();
+    const Index nv = static_cast<Index>(ui.size());
+    auto bounds = detail::partition_even(nv, parts);
+    const int nchunks = static_cast<int>(bounds.size()) - 1;
+    std::vector<std::vector<Index>> cidx(static_cast<std::size_t>(nchunks));
+    std::vector<std::vector<W>> cval(static_cast<std::size_t>(nchunks));
+    detail::for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      for (Index p = lo; p < hi; ++p) {
+        if (f(uv[p], ui[p], Index{0}, th)) {
+          cidx[c].push_back(ui[p]);
+          cval[c].push_back(static_cast<W>(uv[p]));
+        }
+      }
+    });
+    detail::concat_chunks(cidx, cval, idx, val);
+  } else {
+    const std::uint8_t *up = u.bitmap_present();
+    const U *uvp = u.bitmap_values();
+    std::vector<std::uint8_t> found(static_cast<std::size_t>(n), 0);
+    std::vector<W> out(static_cast<std::size_t>(n));
+    detail::for_each_chunk(detail::partition_even(n, parts),
+                           [&](int, Index lo, Index hi) {
+                             for (Index i = lo; i < hi; ++i) {
+                               if (!up[i] || !f(uvp[i], i, Index{0}, th)) {
+                                 continue;
+                               }
+                               found[i] = 1;
+                               out[i] = static_cast<W>(uvp[i]);
+                             }
+                           });
+    detail::pack_slots(found, out, idx, val);
+  }
+  Vector<W> t(n);
   t.adopt_sparse(std::move(idx), std::move(val));
   detail::write_result(w, std::move(t), mask, accum, d);
 }
@@ -119,18 +211,54 @@ void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   const Index m = a.nrows();
   a.ensure_sorted();
   const U th = static_cast<U>(thunk);
+
+  // Rows filter independently: chunk by row nnz, emit per-chunk buffers,
+  // stitch the row pointer from per-chunk row lengths (as in ewise_mat).
+  const int parts =
+      (detail::effective_threads() > 1 && a.nvals() >= detail::kParallelGrain)
+          ? detail::effective_threads() * 2
+          : 1;
+  std::vector<Index> bounds =
+      parts > 1 ? detail::partition_rows_by_work(
+                      m, parts, [&](Index i) { return a.row_nvals(i) + 1; })
+                : detail::partition_even(m, 1);
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+  std::vector<std::vector<Index>> crlen(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<Index>> cci(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<W>> ccv(static_cast<std::size_t>(nchunks));
+  detail::for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    auto &rlen = crlen[c];
+    auto &ci = cci[c];
+    auto &cv = ccv[c];
+    rlen.reserve(static_cast<std::size_t>(hi - lo));
+    for (Index i = lo; i < hi; ++i) {
+      const std::size_t before = ci.size();
+      a.for_each_in_row(i, [&](Index j, const U &x) {
+        if (f(x, i, j, th)) {
+          ci.push_back(j);
+          cv.push_back(static_cast<W>(x));
+        }
+      });
+      rlen.push_back(static_cast<Index>(ci.size() - before));
+    }
+  });
+
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  {
+    Index at = 0;
+    Index i = 0;
+    for (int cc = 0; cc < nchunks; ++cc) {
+      for (Index len : crlen[cc]) {
+        rp[i] = at;
+        at += len;
+        ++i;
+      }
+    }
+    rp[m] = at;
+  }
   std::vector<Index> ci;
   std::vector<W> cv;
-  for (Index i = 0; i < m; ++i) {
-    a.for_each_in_row(i, [&](Index j, const U &x) {
-      if (f(x, i, j, th)) {
-        ci.push_back(j);
-        cv.push_back(static_cast<W>(x));
-      }
-    });
-    rp[i + 1] = static_cast<Index>(ci.size());
-  }
+  detail::concat_chunks(cci, ccv, ci, cv);
   Matrix<W> t(m, a.ncols());
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
   detail::write_result(c, std::move(t), mask, accum, d);

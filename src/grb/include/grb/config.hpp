@@ -23,6 +23,12 @@ struct Config {
   /// only when a consumer requires sorted rows. If disabled, producers sort
   /// eagerly.
   bool lazy_sort = true;
+
+  /// Thread-count override for every parallel kernel. 0 = the OpenMP default
+  /// (OMP_NUM_THREADS / hardware); 1 pins the bit-exact serial schedule
+  /// (used by the determinism suite); N > 1 requests exactly N threads.
+  /// See detail::effective_threads() in grb/parallel.hpp.
+  int num_threads = 0;
 };
 
 inline Config &config() {
@@ -50,6 +56,15 @@ struct Stats {
   std::atomic<std::uint64_t> solo_queries{0};     // queries run one-at-a-time
   std::atomic<std::uint64_t> batch_sweeps{0};     // msbfs sweeps issued
 
+  // Parallel-kernel counters (grb/parallel.hpp): push/pull kernel mix, how
+  // many OpenMP regions actually forked, and how many work chunks were
+  // claimed by a thread other than their round-robin home — the
+  // load-imbalance signal of the nnz-balanced scheduler.
+  std::atomic<std::uint64_t> push_calls{0};         // saxpy (vxm-style) kernels
+  std::atomic<std::uint64_t> pull_calls{0};         // dot (mxv-style) kernels
+  std::atomic<std::uint64_t> parallel_regions{0};   // OpenMP teams forked
+  std::atomic<std::uint64_t> work_items_stolen{0};  // chunks run off-home
+
   void reset() noexcept {
     row_sorts = 0;
     eager_sorts = 0;
@@ -60,6 +75,10 @@ struct Stats {
     batched_queries = 0;
     solo_queries = 0;
     batch_sweeps = 0;
+    push_calls = 0;
+    pull_calls = 0;
+    parallel_regions = 0;
+    work_items_stolen = 0;
   }
 };
 

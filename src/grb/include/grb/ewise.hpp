@@ -5,11 +5,18 @@
 // the operator: any binary op may be used. eWiseAdd applies op on the union
 // of the input structures (entries present in only one input pass through
 // unchanged); eWiseMult applies op on the intersection.
+//
+// All paths are parallel (grb/parallel.hpp): the index space is split into
+// contiguous chunks, each chunk emits into its own buffer, and buffers
+// concatenate in chunk order — position-wise ops have no cross-chunk state,
+// so the result is identical to the serial walk for any thread count.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/parallel.hpp"
 
 namespace grb {
 namespace detail {
@@ -23,20 +30,40 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
 
   const bool dense_walk = u.format() == Vector<U>::Format::bitmap ||
                           v.format() == Vector<V>::Format::bitmap;
-  auto combine = [&](Index i, const U *x, const V *y) {
+  auto combine = [&](std::vector<Index> &oi, std::vector<Z> &ov, Index i,
+                     const U *x, const V *y) {
     if (x != nullptr && y != nullptr) {
-      idx.push_back(i);
-      val.push_back(
-          static_cast<Z>(op(static_cast<Z>(*x), static_cast<Z>(*y))));
+      oi.push_back(i);
+      ov.push_back(static_cast<Z>(op(static_cast<Z>(*x), static_cast<Z>(*y))));
     } else if constexpr (UnionMode) {
       if (x != nullptr) {
-        idx.push_back(i);
-        val.push_back(static_cast<Z>(*x));
+        oi.push_back(i);
+        ov.push_back(static_cast<Z>(*x));
       } else if (y != nullptr) {
-        idx.push_back(i);
-        val.push_back(static_cast<Z>(*y));
+        oi.push_back(i);
+        ov.push_back(static_cast<Z>(*y));
       }
     }
+  };
+
+  // Chunked emit: run `body(chunk, lo, hi, oi, ov)` over an even split of
+  // [0, limit) and concatenate the per-chunk buffers in order.
+  auto run_chunked = [&](Index limit, Index work, auto &&body) {
+    const int parts = (effective_threads() > 1 && work >= kParallelGrain)
+                          ? effective_threads() * 2
+                          : 1;
+    auto bounds = partition_even(limit, parts);
+    const int nchunks = static_cast<int>(bounds.size()) - 1;
+    if (nchunks <= 1) {
+      body(bounds[0], bounds.back(), idx, val);
+      return;
+    }
+    std::vector<std::vector<Index>> cidx(static_cast<std::size_t>(nchunks));
+    std::vector<std::vector<Z>> cval(static_cast<std::size_t>(nchunks));
+    for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      body(lo, hi, cidx[c], cval[c]);
+    });
+    concat_chunks(cidx, cval, idx, val);
   };
 
   if constexpr (!UnionMode) {
@@ -48,15 +75,31 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
       if (u_sparse) {
         const std::uint8_t *vp = v.bitmap_present();
         const V *vv = v.bitmap_values();
-        u.for_each([&](Index i, const U &x) {
-          if (vp[i]) combine(i, &x, &vv[i]);
-        });
+        auto ui = u.sparse_indices();
+        auto uv = u.sparse_values();
+        run_chunked(static_cast<Index>(ui.size()),
+                    static_cast<Index>(ui.size()),
+                    [&](Index lo, Index hi, std::vector<Index> &oi,
+                        std::vector<Z> &ov) {
+                      for (Index p = lo; p < hi; ++p) {
+                        const Index i = ui[p];
+                        if (vp[i]) combine(oi, ov, i, &uv[p], &vv[i]);
+                      }
+                    });
       } else {
         const std::uint8_t *up = u.bitmap_present();
         const U *uv = u.bitmap_values();
-        v.for_each([&](Index i, const V &x) {
-          if (up[i]) combine(i, &uv[i], &x);
-        });
+        auto vi = v.sparse_indices();
+        auto vv = v.sparse_values();
+        run_chunked(static_cast<Index>(vi.size()),
+                    static_cast<Index>(vi.size()),
+                    [&](Index lo, Index hi, std::vector<Index> &oi,
+                        std::vector<Z> &ov) {
+                      for (Index q = lo; q < hi; ++q) {
+                        const Index i = vi[q];
+                        if (up[i]) combine(oi, ov, i, &uv[i], &vv[q]);
+                      }
+                    });
       }
       Vector<Z> t0(n);
       t0.adopt_sparse(std::move(idx), std::move(val));
@@ -73,34 +116,50 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
     const U *uv = u.bitmap_values();
     const std::uint8_t *vp = v.bitmap_present();
     const V *vv = v.bitmap_values();
-    idx.reserve(u.nvals() + v.nvals());
-    val.reserve(u.nvals() + v.nvals());
-    for (Index i = 0; i < n; ++i) {
-      const bool hu = up[i] != 0;
-      const bool hv = vp[i] != 0;
-      if (!hu && !hv) continue;
-      combine(i, hu ? &uv[i] : nullptr, hv ? &vv[i] : nullptr);
-    }
+    run_chunked(n, n,
+                [&](Index lo, Index hi, std::vector<Index> &oi,
+                    std::vector<Z> &ov) {
+                  for (Index i = lo; i < hi; ++i) {
+                    const bool hu = up[i] != 0;
+                    const bool hv = vp[i] != 0;
+                    if (!hu && !hv) continue;
+                    combine(oi, ov, i, hu ? &uv[i] : nullptr,
+                            hv ? &vv[i] : nullptr);
+                  }
+                });
   } else {
+    // Sorted sparse-sparse merge, split by *position* ranges of [0, n):
+    // each chunk merges the sub-ranges of u and v that fall in [lo, hi),
+    // located with a binary search — no cross-chunk state.
     auto ui = u.sparse_indices();
     auto uv = u.sparse_values();
     auto vi = v.sparse_indices();
     auto vv = v.sparse_values();
-    std::size_t p = 0;
-    std::size_t q = 0;
-    while (p < ui.size() || q < vi.size()) {
-      if (q >= vi.size() || (p < ui.size() && ui[p] < vi[q])) {
-        combine(ui[p], &uv[p], nullptr);
-        ++p;
-      } else if (p >= ui.size() || vi[q] < ui[p]) {
-        combine(vi[q], nullptr, &vv[q]);
-        ++q;
-      } else {
-        combine(ui[p], &uv[p], &vv[q]);
-        ++p;
-        ++q;
-      }
-    }
+    run_chunked(
+        n, static_cast<Index>(ui.size() + vi.size()),
+        [&](Index lo, Index hi, std::vector<Index> &oi, std::vector<Z> &ov) {
+          std::size_t p = static_cast<std::size_t>(
+              std::lower_bound(ui.begin(), ui.end(), lo) - ui.begin());
+          std::size_t q = static_cast<std::size_t>(
+              std::lower_bound(vi.begin(), vi.end(), lo) - vi.begin());
+          const std::size_t pe = static_cast<std::size_t>(
+              std::lower_bound(ui.begin(), ui.end(), hi) - ui.begin());
+          const std::size_t qe = static_cast<std::size_t>(
+              std::lower_bound(vi.begin(), vi.end(), hi) - vi.begin());
+          while (p < pe || q < qe) {
+            if (q >= qe || (p < pe && ui[p] < vi[q])) {
+              combine(oi, ov, ui[p], &uv[p], nullptr);
+              ++p;
+            } else if (p >= pe || vi[q] < ui[p]) {
+              combine(oi, ov, vi[q], nullptr, &vv[q]);
+              ++q;
+            } else {
+              combine(oi, ov, ui[p], &uv[p], &vv[q]);
+              ++p;
+              ++q;
+            }
+          }
+        });
   }
   Vector<Z> t(n);
   t.adopt_sparse(std::move(idx), std::move(val));
@@ -114,40 +173,86 @@ Matrix<Z> ewise_mat(Op op, const Matrix<U> &u, const Matrix<V> &v) {
   const Index m = u.nrows();
   u.ensure_sorted();
   v.ensure_sorted();
+
+  // Rows are independent merges: chunk them by combined nnz, emit into
+  // per-chunk buffers, stitch the row pointer from per-chunk row lengths.
+  const Index total = u.nvals() + v.nvals();
+  const int parts = (effective_threads() > 1 && total >= kParallelGrain)
+                        ? effective_threads() * 2
+                        : 1;
+  std::vector<Index> bounds =
+      parts > 1 ? partition_rows_by_work(
+                      m, parts,
+                      [&](Index i) {
+                        return u.row_nvals(i) + v.row_nvals(i) + 1;
+                      })
+                : partition_even(m, 1);
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+  std::vector<std::vector<Index>> crlen(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<Index>> cci(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<Z>> ccv(static_cast<std::size_t>(nchunks));
+
+  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    auto &rlen = crlen[c];
+    auto &ci = cci[c];
+    auto &cv = ccv[c];
+    rlen.reserve(static_cast<std::size_t>(hi - lo));
+    std::vector<std::pair<Index, U>> urow;
+    std::vector<std::pair<Index, V>> vrow;
+    for (Index i = lo; i < hi; ++i) {
+      urow.clear();
+      vrow.clear();
+      u.for_each_in_row(i,
+                        [&](Index j, const U &x) { urow.emplace_back(j, x); });
+      v.for_each_in_row(i,
+                        [&](Index j, const V &x) { vrow.emplace_back(j, x); });
+      const std::size_t before = ci.size();
+      std::size_t p = 0;
+      std::size_t q = 0;
+      auto emit = [&](Index j, const Z &x) {
+        ci.push_back(j);
+        cv.push_back(x);
+      };
+      while (p < urow.size() || q < vrow.size()) {
+        if (q >= vrow.size() ||
+            (p < urow.size() && urow[p].first < vrow[q].first)) {
+          if constexpr (UnionMode) {
+            emit(urow[p].first, static_cast<Z>(urow[p].second));
+          }
+          ++p;
+        } else if (p >= urow.size() || vrow[q].first < urow[p].first) {
+          if constexpr (UnionMode) {
+            emit(vrow[q].first, static_cast<Z>(vrow[q].second));
+          }
+          ++q;
+        } else {
+          emit(urow[p].first,
+               static_cast<Z>(op(static_cast<Z>(urow[p].second),
+                                 static_cast<Z>(vrow[q].second))));
+          ++p;
+          ++q;
+        }
+      }
+      rlen.push_back(static_cast<Index>(ci.size() - before));
+    }
+  });
+
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
-  std::vector<Index> ci;
-  std::vector<Z> cv;
-  std::vector<std::pair<Index, U>> urow;
-  std::vector<std::pair<Index, V>> vrow;
-  for (Index i = 0; i < m; ++i) {
-    urow.clear();
-    vrow.clear();
-    u.for_each_in_row(i, [&](Index j, const U &x) { urow.emplace_back(j, x); });
-    v.for_each_in_row(i, [&](Index j, const V &x) { vrow.emplace_back(j, x); });
-    std::size_t p = 0;
-    std::size_t q = 0;
-    auto emit = [&](Index j, const Z &x) {
-      ci.push_back(j);
-      cv.push_back(x);
-    };
-    while (p < urow.size() || q < vrow.size()) {
-      if (q >= vrow.size() ||
-          (p < urow.size() && urow[p].first < vrow[q].first)) {
-        if constexpr (UnionMode) emit(urow[p].first, static_cast<Z>(urow[p].second));
-        ++p;
-      } else if (p >= urow.size() || vrow[q].first < urow[p].first) {
-        if constexpr (UnionMode) emit(vrow[q].first, static_cast<Z>(vrow[q].second));
-        ++q;
-      } else {
-        emit(urow[p].first,
-             static_cast<Z>(op(static_cast<Z>(urow[p].second),
-                               static_cast<Z>(vrow[q].second))));
-        ++p;
-        ++q;
+  {
+    Index at = 0;
+    Index i = 0;
+    for (int c = 0; c < nchunks; ++c) {
+      for (Index len : crlen[c]) {
+        rp[i] = at;
+        at += len;
+        ++i;
       }
     }
-    rp[i + 1] = static_cast<Index>(ci.size());
+    rp[m] = at;
   }
+  std::vector<Index> ci;
+  std::vector<Z> cv;
+  concat_chunks(cci, ccv, ci, cv);
   Matrix<Z> t(m, u.ncols());
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
   return t;

@@ -42,6 +42,7 @@
 
 #include "grb/config.hpp"
 #include "grb/ops.hpp"
+#include "grb/parallel.hpp"
 #include "grb/types.hpp"
 
 namespace grb {
@@ -192,24 +193,96 @@ class Matrix {
                     Info::invalid_value, "build: array length mismatch");
     clear();  // also drops the finalized flag: back to single-writer mode
     const std::size_t nz = rows.size();
-    // counting sort by row, then per-row sort by column
-    std::vector<Index> count(static_cast<std::size_t>(m_) + 1, 0);
-    for (std::size_t p = 0; p < nz; ++p) {
-      detail::require(rows[p] < m_ && cols[p] < n_, Info::index_out_of_bounds,
-                      "build: tuple out of bounds");
-      ++count[rows[p] + 1];
+    // Counting sort by row, then per-row stable sort by column. The parallel
+    // form (grb/parallel.hpp) mirrors the transpose bucket sort: per-chunk
+    // row counts, prefix offsets giving each (chunk, row) pair a disjoint
+    // slice, then a scatter — chunk order preserves ascending tuple position
+    // within a row, and the stable column sort preserves it within equal
+    // columns, so duplicate combining happens in exactly the serial order.
+    int nthreads = detail::effective_threads();
+    if (nz < detail::kParallelGrain ||
+        static_cast<std::size_t>(nthreads) *
+                (static_cast<std::size_t>(m_) + 1) >
+            4 * nz + 1024) {
+      nthreads = 1;
     }
-    std::partial_sum(count.begin(), count.end(), count.begin());
+    std::vector<Index> count(static_cast<std::size_t>(m_) + 1, 0);
     std::vector<std::size_t> order(nz);
-    {
+    if (nthreads <= 1) {
+      for (std::size_t p = 0; p < nz; ++p) {
+        detail::require(rows[p] < m_ && cols[p] < n_, Info::index_out_of_bounds,
+                        "build: tuple out of bounds");
+        ++count[rows[p] + 1];
+      }
+      std::partial_sum(count.begin(), count.end(), count.begin());
       std::vector<Index> next(count.begin(), count.end() - 1);
       for (std::size_t p = 0; p < nz; ++p) order[next[rows[p]]++] = p;
+    } else {
+      auto pbounds =
+          detail::partition_even(static_cast<Index>(nz), nthreads);
+      const int nchunks = static_cast<int>(pbounds.size()) - 1;
+      std::vector<std::vector<Index>> ccount(
+          static_cast<std::size_t>(nchunks),
+          std::vector<Index>(static_cast<std::size_t>(m_), 0));
+      // No exception may escape an OpenMP region: record bad tuples per
+      // chunk and throw after the join.
+      std::vector<std::uint8_t> bad(static_cast<std::size_t>(nchunks), 0);
+      detail::for_each_chunk(pbounds, [&](int c, Index lo, Index hi) {
+        auto &cnt = ccount[c];
+        for (Index p = lo; p < hi; ++p) {
+          if (rows[p] >= m_ || cols[p] >= n_) {
+            bad[c] = 1;
+            continue;
+          }
+          ++cnt[rows[p]];
+        }
+      });
+      for (std::uint8_t b : bad) {
+        detail::require(!b, Info::index_out_of_bounds,
+                        "build: tuple out of bounds");
+      }
+      for (Index i = 0; i < m_; ++i) {
+        Index total = 0;
+        for (int c = 0; c < nchunks; ++c) total += ccount[c][i];
+        count[i + 1] = count[i] + total;
+      }
+      std::vector<std::vector<Index>> off(static_cast<std::size_t>(nchunks));
+      for (int c = 0; c < nchunks; ++c) {
+        off[c].resize(static_cast<std::size_t>(m_));
+      }
+      detail::for_each_chunk(detail::partition_even(m_, nchunks),
+                             [&](int, Index lo, Index hi) {
+                               for (Index i = lo; i < hi; ++i) {
+                                 Index at = count[i];
+                                 for (int c = 0; c < nchunks; ++c) {
+                                   off[c][i] = at;
+                                   at += ccount[c][i];
+                                 }
+                               }
+                             });
+      detail::for_each_chunk(pbounds, [&](int c, Index lo, Index hi) {
+        auto &nx = off[c];
+        for (Index p = lo; p < hi; ++p) {
+          order[nx[rows[p]]++] = static_cast<std::size_t>(p);
+        }
+      });
     }
-    for (Index i = 0; i < m_; ++i) {
-      auto lo = order.begin() + static_cast<std::ptrdiff_t>(count[i]);
-      auto hi = order.begin() + static_cast<std::ptrdiff_t>(count[i + 1]);
-      std::stable_sort(lo, hi, [&](std::size_t a, std::size_t b) {
-        return cols[a] < cols[b];
+    {
+      // Per-row column sorts are independent; chunk rows by their tuple
+      // count so one dense row doesn't serialize the pass.
+      std::vector<Index> rbounds =
+          nthreads > 1
+              ? detail::partition_rows_by_work(std::span<const Index>(count),
+                                               nthreads * 4)
+              : detail::partition_even(m_, 1);
+      detail::for_each_chunk(rbounds, [&](int, Index rlo, Index rhi) {
+        for (Index i = rlo; i < rhi; ++i) {
+          auto lo = order.begin() + static_cast<std::ptrdiff_t>(count[i]);
+          auto hi = order.begin() + static_cast<std::ptrdiff_t>(count[i + 1]);
+          std::stable_sort(lo, hi, [&](std::size_t a, std::size_t b) {
+            return cols[a] < cols[b];
+          });
+        }
       });
     }
     rowptr_.assign(static_cast<std::size_t>(m_) + 1, 0);
@@ -605,29 +678,43 @@ class Matrix {
   }
 
   void sort_rows() {
-    std::vector<std::pair<Index, T>> row;
-    for (Index i = 0; i < m_; ++i) {
-      Index lo = rowptr_[i];
-      Index hi = rowptr_[i + 1];
-      if (hi - lo < 2) continue;
-      bool sorted = true;
-      for (Index p = lo + 1; p < hi; ++p) {
-        if (colidx_[p - 1] > colidx_[p]) {
-          sorted = false;
-          break;
+    // Rows sort independently in place (disjoint CSR slices), so chunk them
+    // by nnz — the row pointer is the work prefix (grb/parallel.hpp).
+    const Index total = rowptr_.empty() ? 0 : rowptr_[m_];
+    const int parts =
+        (detail::effective_threads() > 1 && total >= detail::kParallelGrain)
+            ? detail::effective_threads() * 4
+            : 1;
+    std::vector<Index> bounds =
+        parts > 1 ? detail::partition_rows_by_work(
+                        std::span<const Index>(rowptr_), parts)
+                  : detail::partition_even(m_, 1);
+    detail::for_each_chunk(bounds, [&](int, Index rlo, Index rhi) {
+      std::vector<std::pair<Index, T>> row;
+      for (Index i = rlo; i < rhi; ++i) {
+        Index lo = rowptr_[i];
+        Index hi = rowptr_[i + 1];
+        if (hi - lo < 2) continue;
+        bool sorted = true;
+        for (Index p = lo + 1; p < hi; ++p) {
+          if (colidx_[p - 1] > colidx_[p]) {
+            sorted = false;
+            break;
+          }
+        }
+        if (sorted) continue;
+        row.clear();
+        row.reserve(hi - lo);
+        for (Index p = lo; p < hi; ++p) row.emplace_back(colidx_[p], vals_[p]);
+        std::sort(row.begin(), row.end(), [](const auto &a, const auto &b) {
+          return a.first < b.first;
+        });
+        for (Index p = lo; p < hi; ++p) {
+          colidx_[p] = row[p - lo].first;
+          vals_[p] = row[p - lo].second;
         }
       }
-      if (sorted) continue;
-      row.clear();
-      row.reserve(hi - lo);
-      for (Index p = lo; p < hi; ++p) row.emplace_back(colidx_[p], vals_[p]);
-      std::sort(row.begin(), row.end(),
-                [](const auto &a, const auto &b) { return a.first < b.first; });
-      for (Index p = lo; p < hi; ++p) {
-        colidx_[p] = row[p - lo].first;
-        vals_[p] = row[p - lo].second;
-      }
-    }
+    });
     jumbled_ = false;
   }
 

@@ -18,12 +18,19 @@
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/parallel.hpp"
 #include "grb/semiring.hpp"
 #include "grb/transpose.hpp"
 
 namespace grb {
 namespace detail {
 
+/// Gustavson (row-wise saxpy) kernel. Output rows are independent, so rows
+/// are split into contiguous chunks of ~equal *flops* (Σ over a(i,k) of
+/// |B(k,:)|, the true per-row cost on power-law graphs) and each chunk
+/// scatters into its own pooled workspace. Within a row the scatter order is
+/// exactly the serial order, and chunks concatenate back in row order, so
+/// the result is identical for any thread count.
 template <typename Z, typename SR, typename TA, typename TB, typename Pred>
 Matrix<Z> mxm_gustavson(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
                         Pred &&allowed) {
@@ -31,38 +38,90 @@ Matrix<Z> mxm_gustavson(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
   const Index n = b.ncols();
   using AddM = typename SR::add_monoid;
 
-  std::vector<Z> work(static_cast<std::size_t>(n));
-  std::vector<std::uint8_t> mark(static_cast<std::size_t>(n), 0);
-  std::vector<Index> touched;
+  // Drain deferred work before forking: for_each_in_row is read-only
+  // afterwards (threading contract in matrix.hpp).
+  a.finish();
+  b.finish();
 
+  // Per-row flop prefix (counted in parallel, summed serially).
+  std::vector<Index> flops(static_cast<std::size_t>(m) + 1, 0);
+  {
+    const int cparts = effective_threads() > 1 ? effective_threads() * 4 : 1;
+    for_each_chunk(partition_even(m, cparts), [&](int, Index lo, Index hi) {
+      for (Index i = lo; i < hi; ++i) {
+        Index fl = 1;  // bias so empty rows still cost something
+        a.for_each_in_row(
+            i, [&](Index k, const TA &) { fl += b.row_nvals(k); });
+        flops[i + 1] = fl;
+      }
+    });
+    for (Index i = 0; i < m; ++i) flops[i + 1] += flops[i];
+  }
+
+  const int P = (effective_threads() > 1 && flops[m] >= kParallelGrain)
+                    ? effective_threads()
+                    : 1;
+  std::vector<Index> bounds =
+      partition_rows_by_work(std::span<const Index>(flops), P);
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+
+  std::vector<std::vector<Index>> crlen(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<Index>> cci(static_cast<std::size_t>(nchunks));
+  std::vector<std::vector<Z>> ccv(static_cast<std::size_t>(nchunks));
+
+  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    auto &pool = WorkspacePool<Z>::instance();
+    SaxpyWorkspace<Z> ws = pool.acquire(n);
+    auto &rlen = crlen[c];
+    auto &ci = cci[c];
+    auto &cv = ccv[c];
+    rlen.reserve(static_cast<std::size_t>(hi - lo));
+    for (Index i = lo; i < hi; ++i) {
+      ws.touched.clear();
+      a.for_each_in_row(i, [&](Index k, const TA &aik) {
+        b.for_each_in_row(k, [&](Index j, const TB &bkj) {
+          if (!allowed(i, j)) return;
+          if (ws.mark[j]) {
+            if constexpr (AddM::has_terminal) {
+              if (AddM::is_terminal(ws.work[j])) return;
+            }
+            ws.work[j] = sr.add(ws.work[j], sr.multiply(aik, bkj, i, k, j));
+          } else {
+            ws.mark[j] = 1;
+            ws.work[j] = sr.multiply(aik, bkj, i, k, j);
+            ws.touched.push_back(j);
+          }
+        });
+      });
+      for (Index j : ws.touched) {
+        ci.push_back(j);
+        cv.push_back(ws.work[j]);
+        ws.mark[j] = 0;
+      }
+      rlen.push_back(static_cast<Index>(ws.touched.size()));
+    }
+    ws.touched.clear();
+    pool.release(std::move(ws));
+  });
+
+  // Stitch per-chunk row lengths into the row pointer (row i spans
+  // [rp[i], rp[i+1])) and concatenate the chunk buffers in row order.
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
+  {
+    Index at = 0;
+    Index i = 0;
+    for (int c = 0; c < nchunks; ++c) {
+      for (Index len : crlen[c]) {
+        rp[i] = at;
+        at += len;
+        ++i;
+      }
+    }
+    rp[m] = at;
+  }
   std::vector<Index> ci;
   std::vector<Z> cv;
-
-  for (Index i = 0; i < m; ++i) {
-    touched.clear();
-    a.for_each_in_row(i, [&](Index k, const TA &aik) {
-      b.for_each_in_row(k, [&](Index j, const TB &bkj) {
-        if (!allowed(i, j)) return;
-        if (mark[j]) {
-          if constexpr (AddM::has_terminal) {
-            if (AddM::is_terminal(work[j])) return;
-          }
-          work[j] = sr.add(work[j], sr.multiply(aik, bkj, i, k, j));
-        } else {
-          mark[j] = 1;
-          work[j] = sr.multiply(aik, bkj, i, k, j);
-          touched.push_back(j);
-        }
-      });
-    });
-    for (Index j : touched) {
-      ci.push_back(j);
-      cv.push_back(work[j]);
-      mark[j] = 0;
-    }
-    rp[i + 1] = static_cast<Index>(ci.size());
-  }
+  concat_chunks(cci, ccv, ci, cv);
   Matrix<Z> t(m, n);
   // First-touch order is not column order: the result is jumbled and the
   // sort is left pending (Matrix::adopt_csr sorts eagerly if lazy sort is
@@ -201,28 +260,53 @@ Matrix<Z> mxm_dot(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
     // jumbled/pending mask would otherwise race on its lazy mutation.
     mask.wait();
   }
+  const int nparts =
+      effective_threads() > 1 ? effective_threads() * 4 : 1;
   if (masked_candidates) {
     if constexpr (has_mask_v<MaskT>) {
-      // Candidates are exactly the mask's entries (row-major sorted).
+      // Candidates are exactly the mask's entries (row-major sorted). Rows
+      // are chunked by mask nnz — for triangle counting the mask is L
+      // itself, so this is exactly the nnz balance the hub rows need.
       mask.ensure_sorted();
       mask.finish();
-#pragma omp parallel for schedule(dynamic, 64)
-      for (Index i = 0; i < m; ++i) {
-        mask.for_each_in_row(i, [&](Index j, const auto &mv) {
-          if (!d.mask_structural && mv == 0) return;
-          try_pair(rows[i], i, j);
-        });
-      }
+      std::vector<Index> bounds =
+          (nparts > 1 && mask.nvals() >= kParallelGrain)
+              ? partition_rows_by_work(
+                    m, nparts, [&](Index i) { return mask.row_nvals(i) + 1; })
+              : partition_even(m, 1);
+      for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+          mask.for_each_in_row(i, [&](Index j, const auto &mv) {
+            if (!d.mask_structural && mv == 0) return;
+            try_pair(rows[i], i, j);
+          });
+        }
+      });
     }
   } else {
-    // Complemented mask (or none): all surviving pairs — the bottom-up shape.
-#pragma omp parallel for schedule(dynamic, 64)
-    for (Index i = 0; i < m; ++i) {
-      for (Index j = 0; j < n; ++j) {
-        if (!mmask_test(mask, i, j, d)) continue;
-        try_pair(rows[i], i, j);
+    // Complemented mask (or none): all surviving pairs — the bottom-up
+    // shape. Every row probes all n candidates, but the dot cost still
+    // scales with |A(i,:)|, so balance on that when A is sparse.
+    std::vector<Index> bounds;
+    if (nparts > 1 && m >= 2) {
+      if (!a_bitmap) {
+        bounds = partition_rows_by_work(m, nparts, [&](Index i) {
+          return (arp[i + 1] - arp[i]) + n / 16 + 1;
+        });
+      } else {
+        bounds = partition_even(m, nparts);
       }
+    } else {
+      bounds = partition_even(m, 1);
     }
+    for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+      for (Index i = lo; i < hi; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          if (!mmask_test(mask, i, j, d)) continue;
+          try_pair(rows[i], i, j);
+        }
+      }
+    });
   }
 
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
@@ -265,6 +349,8 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
 
   // Dense masks are probed per candidate product; pay one conversion for
   // O(1) tests (the BC mask ¬s(P) grows dense as the traversal proceeds).
+  // Either way, drain the mask's deferred work now: the kernels probe it
+  // from inside parallel regions, where a lazy sort would be a race.
   if constexpr (has_mask_v<MaskT>) {
     const double cells = static_cast<double>(mask.nrows()) *
                          static_cast<double>(mask.ncols());
@@ -273,6 +359,7 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
                           cells * config().bitmap_switch_density)) {
       mask.to_bitmap();
     }
+    mask.wait();
   }
 
   Matrix<Z> t(0, 0);

@@ -10,6 +10,18 @@
 // so LAGraph's direction-optimizing BFS simply chooses between vxm(u, A) and
 // mxv(Aᵀ, u) on the explicitly cached transpose.
 //
+// Both kernels are parallel (grb/parallel.hpp):
+//   - the push kernel partitions the frontier into contiguous chunks of
+//     ~equal scattered nnz; each thread scatters its chunk into a pooled
+//     dense accumulator + touched list, and a parallel pass merges the
+//     per-thread partials over disjoint output ranges, folding chunks in
+//     ascending frontier order — the exact serial order, so results match
+//     num_threads=1 bit-for-bit (any/min/max terminals are absorbing;
+//     plus/times over exactly-representable values are associative);
+//   - the pull kernel partitions rows by the CSR row-pointer prefix (nnz)
+//     instead of row count, so power-law hub rows no longer serialize a
+//     dynamic schedule.
+//
 // Masks are pushed down into both kernels (output positions outside the
 // effective mask are never computed) and then the common output step in
 // mask.hpp applies the full mask/accumulator/replace semantics.
@@ -19,46 +31,161 @@
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/parallel.hpp"
 #include "grb/semiring.hpp"
 
 namespace grb {
 namespace detail {
 
-/// Push kernel: for each entry u(k), scatter along row k of A into the
-/// workspace. `combine(aval, uval, jout, k) -> Z` evaluates the semiring
-/// multiply with the caller's operand order and coordinate convention.
+/// Push kernel: for each entry u(k), scatter along row k of A into a dense
+/// accumulator workspace. `combine(aval, uval, jout, k) -> Z` evaluates the
+/// semiring multiply with the caller's operand order and coordinate
+/// convention. Parallel saxpy: frontier chunks balanced by row nnz, one
+/// pooled workspace per thread, per-thread partials merged in chunk order.
 template <typename Z, typename SR, typename AT, typename U, typename Pred,
           typename Combine>
 Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
                       Pred &&allowed, Combine &&combine, Index out_size) {
-  std::vector<Z> work(static_cast<std::size_t>(out_size));
-  std::vector<std::uint8_t> mark(static_cast<std::size_t>(out_size), 0);
-  std::vector<Index> touched;
+  stats().push_calls.fetch_add(1, std::memory_order_relaxed);
   using AddM = typename SR::add_monoid;
+
+  // Materialize the frontier in ascending index order: chunk boundaries over
+  // this list give each thread a contiguous k-range, and merging per-thread
+  // partials in chunk order then reproduces the serial scatter order.
+  std::vector<Index> fk;
+  std::vector<U> fv;
+  fk.reserve(u.nvals());
+  fv.reserve(u.nvals());
   u.for_each([&](Index k, const U &uk) {
+    fk.push_back(k);
+    fv.push_back(uk);
+  });
+  const Index nf = static_cast<Index>(fk.size());
+
+  a.finish();
+  const bool csr = a.format() == Matrix<AT>::Format::csr;
+  auto rp = csr ? a.rowptr() : std::span<const Index>{};
+
+  auto scatter = [&](SaxpyWorkspace<Z> &ws, Index k, const U &uk) {
     a.for_each_in_row(k, [&](Index j, const AT &akj) {
       if (!allowed(j)) return;
-      if (mark[j]) {
+      if (ws.mark[j]) {
         if constexpr (AddM::has_terminal) {
-          if (AddM::is_terminal(work[j])) return;
+          if (AddM::is_terminal(ws.work[j])) return;
         }
-        work[j] = sr.add(work[j], combine(akj, uk, j, k));
+        ws.work[j] = sr.add(ws.work[j], combine(akj, uk, j, k));
       } else {
-        mark[j] = 1;
-        work[j] = combine(akj, uk, j, k);
-        touched.push_back(j);
+        ws.mark[j] = 1;
+        ws.work[j] = combine(akj, uk, j, k);
+        ws.touched.push_back(j);
       }
     });
-  });
-  std::sort(touched.begin(), touched.end());
+  };
+
+  int nthreads = effective_threads();
+  if (nthreads > 1) {
+    Index total_work = 0;
+    if (csr) {
+      for (Index e = 0; e < nf; ++e) total_work += rp[fk[e] + 1] - rp[fk[e]];
+    } else {
+      total_work = nf * a.ncols();
+    }
+    if (total_work < kParallelGrain) nthreads = 1;  // BFS tail levels
+  }
+
   std::vector<Index> idx;
   std::vector<Z> val;
-  idx.reserve(touched.size());
-  val.reserve(touched.size());
-  for (Index j : touched) {
-    idx.push_back(j);
-    val.push_back(work[j]);
+  if (nthreads <= 1 || nf < 2) {
+    // Serial schedule — also the reference order the parallel path must
+    // reproduce. The pooled workspace makes repeated calls (BFS levels)
+    // O(touched) instead of O(out_size) per call.
+    WorkspaceLease<Z> lease(out_size);
+    auto &ws = *lease;
+    for (Index e = 0; e < nf; ++e) scatter(ws, fk[e], fv[e]);
+    std::sort(ws.touched.begin(), ws.touched.end());
+    idx.reserve(ws.touched.size());
+    val.reserve(ws.touched.size());
+    for (Index j : ws.touched) {
+      idx.push_back(j);
+      val.push_back(ws.work[j]);
+    }
+  } else {
+    // Frontier chunks of ~equal scattered nnz (+1 biases against degenerate
+    // all-empty chunks); exactly one chunk and workspace per thread.
+    std::vector<Index> fbounds =
+        csr ? partition_rows_by_work(
+                  nf, nthreads,
+                  [&](Index e) { return rp[fk[e] + 1] - rp[fk[e]] + 1; })
+            : partition_even(nf, nthreads);
+    const int P = static_cast<int>(fbounds.size()) - 1;
+
+    auto &pool = WorkspacePool<Z>::instance();
+    std::vector<SaxpyWorkspace<Z>> ws;
+    ws.reserve(static_cast<std::size_t>(P));
+    for (int t = 0; t < P; ++t) ws.push_back(pool.acquire(out_size));
+
+    parallel_region(P, [&](int t) {
+      for (Index e = fbounds[t]; e < fbounds[t + 1]; ++e) {
+        scatter(ws[t], fk[e], fv[e]);
+      }
+      std::sort(ws[t].touched.begin(), ws[t].touched.end());
+    });
+
+    // Merge pass, parallel over disjoint output ranges. For each output j
+    // the per-chunk partials fold in ascending chunk (= frontier) order:
+    // `any` keeps the first chunk's value, terminal accumulators stay
+    // absorbed, associative ops regroup without reordering.
+    std::vector<Index> rbounds = partition_even(out_size, P);
+    const int R = static_cast<int>(rbounds.size()) - 1;
+    std::vector<std::vector<Index>> ridx(static_cast<std::size_t>(R));
+    std::vector<std::vector<Z>> rval(static_cast<std::size_t>(R));
+    for_each_chunk(rbounds, [&](int r, Index lo, Index hi) {
+      std::vector<std::size_t> head(static_cast<std::size_t>(P));
+      std::vector<std::size_t> tail(static_cast<std::size_t>(P));
+      for (int t = 0; t < P; ++t) {
+        const auto &tc = ws[t].touched;
+        head[t] = static_cast<std::size_t>(
+            std::lower_bound(tc.begin(), tc.end(), lo) - tc.begin());
+        tail[t] = static_cast<std::size_t>(
+            std::lower_bound(tc.begin(), tc.end(), hi) - tc.begin());
+      }
+      auto &oi = ridx[r];
+      auto &ov = rval[r];
+      for (;;) {
+        Index jmin = ALL;
+        for (int t = 0; t < P; ++t) {
+          if (head[t] < tail[t] && ws[t].touched[head[t]] < jmin) {
+            jmin = ws[t].touched[head[t]];
+          }
+        }
+        if (jmin == ALL) break;
+        bool first = true;
+        Z acc{};
+        for (int t = 0; t < P; ++t) {
+          if (head[t] < tail[t] && ws[t].touched[head[t]] == jmin) {
+            ++head[t];
+            const Z &part = ws[t].work[jmin];
+            if (first) {
+              first = false;
+              acc = part;
+            } else {
+              if constexpr (AddM::has_terminal) {
+                if (AddM::is_terminal(acc)) continue;
+              }
+              acc = sr.add(acc, part);
+            }
+          }
+        }
+        oi.push_back(jmin);
+        ov.push_back(acc);
+      }
+    });
+    concat_chunks(ridx, rval, idx, val);
+
+    parallel_region(P, [&](int t) { ws[t].clear(); });
+    for (int t = 0; t < P; ++t) pool.release(std::move(ws[t]));
   }
+
   Vector<Z> t(out_size);
   t.adopt_sparse(std::move(idx), std::move(val));
   return t;
@@ -67,12 +194,15 @@ Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
 /// Dot kernel: for each row i of A passing `row_allowed`, reduce
 /// combine(a(i,k), u(k), i, k) over the entries shared with u. With an
 /// all-terminal (`any`) monoid this stops at the first shared entry — the
-/// bottom-up BFS early exit.
+/// bottom-up BFS early exit. Rows are chunked by nnz (the CSR row pointer is
+/// the work prefix sum), not by count.
 template <typename Z, typename SR, typename AT, typename U, typename Pred,
           typename Combine>
 Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
                      Pred &&row_allowed, Combine &&combine) {
+  stats().pull_calls.fetch_add(1, std::memory_order_relaxed);
   const Index m = a.nrows();
+  const Index n = a.ncols();
   // The bitmap format gives O(1) probes into u, making each dot product
   // proportional to the row length — "particularly important for the 'pull'
   // phase" (§VI-A). With the bitmap disabled in Config (the format
@@ -96,18 +226,25 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
   using AddM = typename SR::add_monoid;
 
   a.finish();
-  const bool csr = a.format() == Matrix<AT>::Format::csr;
+  const auto fmt = a.format();
+  const bool csr = fmt == Matrix<AT>::Format::csr;
   auto rp = csr ? a.rowptr() : std::span<const Index>{};
   auto cx = csr ? a.colidx() : std::span<const Index>{};
   auto vx = csr ? a.values() : std::span<const AT>{};
+  const std::uint8_t *apres =
+      fmt == Matrix<AT>::Format::bitmap ? a.bitmap_present() : nullptr;
+  const AT *adense = (fmt == Matrix<AT>::Format::bitmap ||
+                      fmt == Matrix<AT>::Format::full)
+                         ? a.dense_values()
+                         : nullptr;
 
-  // Rows are independent dot products: embarrassingly parallel. Results
-  // land in per-row slots (no shared push_back) and are packed afterwards.
+  // Rows are independent dot products: results land in per-row slots (no
+  // shared push_back) and are packed afterwards.
   std::vector<std::uint8_t> found(static_cast<std::size_t>(m), 0);
   std::vector<Z> out(static_cast<std::size_t>(m));
-#pragma omp parallel for schedule(dynamic, 256)
-  for (Index i = 0; i < m; ++i) {
-    if (!row_allowed(i)) continue;
+
+  auto do_row = [&](Index i) {
+    if (!row_allowed(i)) return;
     bool hit = false;
     Z acc{};
     auto step = [&](Index k, const AT &aik) -> bool {
@@ -127,10 +264,23 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
     };
     if (csr) {
       for (Index p = rp[i]; p < rp[i + 1]; ++p) {
-        if (step(cx[p], vx[p])) break;
+        if (step(cx[p], vx[p])) break;  // terminal short-circuit
+      }
+    } else if (adense != nullptr) {
+      // bitmap/full rows: direct indexing so a terminal accumulator (`any`,
+      // `lor`, ...) breaks out of the row instead of merely saturating.
+      const std::size_t base = static_cast<std::size_t>(i) * n;
+      if (apres != nullptr) {
+        for (Index k = 0; k < n; ++k) {
+          if (apres[base + k] && step(k, adense[base + k])) break;
+        }
+      } else {
+        for (Index k = 0; k < n; ++k) {
+          if (step(k, adense[base + k])) break;
+        }
       }
     } else {
-      // bitmap/full rows: for_each_in_row cannot break, so saturate instead.
+      // hypersparse: for_each_in_row cannot break, so saturate instead.
       bool done = false;
       a.for_each_in_row(i, [&](Index k, const AT &aik) {
         if (done) return;
@@ -141,15 +291,23 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
       found[i] = 1;
       out[i] = acc;
     }
-  }
+  };
+
+  const Index total_work = csr ? (rp.empty() ? 0 : rp[m]) : m * n;
+  const int parts =
+      (effective_threads() > 1 && total_work >= kParallelGrain)
+          ? effective_threads() * 4
+          : 1;
+  std::vector<Index> bounds =
+      csr && parts > 1 ? partition_rows_by_work(rp, parts)
+                       : partition_even(m, parts);
+  for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) do_row(i);
+  });
+
   std::vector<Index> idx;
   std::vector<Z> val;
-  for (Index i = 0; i < m; ++i) {
-    if (found[i]) {
-      idx.push_back(i);
-      val.push_back(out[i]);
-    }
-  }
+  pack_slots(found, out, idx, val);
   Vector<Z> t(m);
   t.adopt_sparse(std::move(idx), std::move(val));
   return t;

@@ -1,0 +1,321 @@
+// grb/parallel.hpp — the parallel-kernel substrate: nnz-balanced work
+// partitioning, a chunk executor, and a per-thread saxpy workspace pool.
+//
+// On power-law graphs per-row work varies by orders of magnitude, so
+// parallelizing "by row count" (schedule(dynamic, N) over rows) leaves one
+// thread holding the hub rows while the rest idle. Every parallel kernel in
+// grb instead partitions its iteration space by *work*: a prefix sum of
+// per-item cost (usually row nnz, i.e. the CSR row pointer itself) is split
+// into contiguous chunks of ~equal total cost, and threads claim chunks from
+// a shared cursor. Chunks are contiguous and merged back in chunk order, so
+// the parallel result is combined in exactly the serial left-to-right order —
+// the determinism guarantee the test suite pins down (see docs/API.md,
+// "Parallelism model").
+//
+// Threading knob: Config::num_threads (0 = the OpenMP default from
+// OMP_NUM_THREADS / the machine). Every kernel routes through
+// effective_threads(), so `grb::config().num_threads = 1` pins any workload
+// to the bit-exact serial schedule.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "grb/config.hpp"
+#include "grb/types.hpp"
+
+namespace grb {
+namespace detail {
+
+/// Minimum total work before a kernel bothers with a parallel region; below
+/// this the fork/join overhead dominates (BFS tail levels, tiny vectors).
+inline constexpr Index kParallelGrain = 4096;
+
+/// Threads a parallel region may use: the Config override if set, else the
+/// OpenMP default. Always 1 when built without OpenMP.
+inline int effective_threads() {
+  const int cfg = config().num_threads;
+#ifdef _OPENMP
+  return cfg > 0 ? cfg : omp_get_max_threads();
+#else
+  (void)cfg;
+  return 1;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// nnz-balanced partitioning
+// ---------------------------------------------------------------------------
+
+/// Split [0, m) into at most `parts` contiguous chunks of ~equal work, where
+/// `prefix` is the inclusive work prefix sum (size m+1, prefix[0] == 0) —
+/// for a CSR matrix the row-pointer array is exactly such a prefix. Returns
+/// chunk boundaries (size nchunks+1). Empty-work tails collapse, so fewer
+/// than `parts` chunks may come back.
+inline std::vector<Index> partition_rows_by_work(std::span<const Index> prefix,
+                                                 int parts) {
+  const Index m = prefix.empty() ? 0 : static_cast<Index>(prefix.size() - 1);
+  std::vector<Index> bounds;
+  bounds.push_back(0);
+  if (m == 0 || parts <= 1) {
+    bounds.push_back(m);
+    return bounds;
+  }
+  const Index base = prefix[0];  // tolerate prefixes that do not start at 0
+  const Index total = prefix[m] - base;
+  if (total == 0) {
+    bounds.push_back(m);
+    return bounds;
+  }
+  for (int p = 1; p < parts; ++p) {
+    const Index target =
+        base + (total / static_cast<Index>(parts)) * static_cast<Index>(p) +
+        (total % static_cast<Index>(parts)) * static_cast<Index>(p) /
+            static_cast<Index>(parts);
+    auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+    Index b = static_cast<Index>(it - prefix.begin());
+    if (b > m) b = m;
+    if (b < bounds.back()) b = bounds.back();
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  if (bounds.back() < m) bounds.push_back(m);
+  return bounds;
+}
+
+/// Same, but with per-item work given by a callable (used when no prefix
+/// array exists yet, e.g. partitioning a frontier by the nnz of the matrix
+/// rows its entries select).
+template <typename WorkFn>
+std::vector<Index> partition_rows_by_work(Index m, int parts, WorkFn &&work) {
+  std::vector<Index> prefix(static_cast<std::size_t>(m) + 1, 0);
+  for (Index i = 0; i < m; ++i) {
+    prefix[i + 1] = prefix[i] + static_cast<Index>(work(i));
+  }
+  return partition_rows_by_work(std::span<const Index>(prefix), parts);
+}
+
+/// Uniform-work split of [0, m) into at most `parts` chunks.
+inline std::vector<Index> partition_even(Index m, int parts) {
+  std::vector<Index> bounds;
+  bounds.push_back(0);
+  if (m == 0 || parts <= 1) {
+    bounds.push_back(m);
+    return bounds;
+  }
+  const Index p = static_cast<Index>(parts);
+  for (Index c = 1; c < p; ++c) {
+    Index b = m / p * c + m % p * c / p;
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  if (bounds.back() < m) bounds.push_back(m);
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk executor
+// ---------------------------------------------------------------------------
+
+/// Run f(chunk_index, lo, hi) for every chunk described by `bounds`. Chunks
+/// are claimed from a shared cursor; a chunk executed by a thread other than
+/// its round-robin home counts as stolen (Stats::work_items_stolen — the
+/// load-imbalance telemetry). Chunk results must be independent (each chunk
+/// writes only its own slots/buffers), which also makes the schedule
+/// irrelevant to the output.
+template <typename F>
+void for_each_chunk(const std::vector<Index> &bounds, F &&f) {
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+  int nthreads = std::min(effective_threads(), nchunks);
+#ifdef _OPENMP
+  if (nthreads > 1 && omp_in_parallel()) nthreads = 1;  // no nested teams
+#endif
+  if (nthreads <= 1) {
+    for (int c = 0; c < nchunks; ++c) f(c, bounds[c], bounds[c + 1]);
+    return;
+  }
+#ifdef _OPENMP
+  stats().parallel_regions.fetch_add(1, std::memory_order_relaxed);
+  std::atomic<int> cursor{0};
+  std::atomic<std::uint64_t> stolen{0};
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = omp_get_thread_num();
+    std::uint64_t mine = 0;
+    for (;;) {
+      const int c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) break;
+      if (c % nthreads != tid) ++mine;
+      f(c, bounds[c], bounds[c + 1]);
+    }
+    if (mine != 0) stolen.fetch_add(mine, std::memory_order_relaxed);
+  }
+  stats().work_items_stolen.fetch_add(stolen.load(std::memory_order_relaxed),
+                                      std::memory_order_relaxed);
+#endif
+}
+
+/// Run f(tid) once on each of `nthreads` threads (tid in [0, nthreads)).
+/// Used for the scatter phase of saxpy kernels, where thread t owns
+/// workspace t and chunk t. Falls back to a serial loop without OpenMP, so
+/// per-thread results are identical either way.
+template <typename F>
+void parallel_region(int nthreads, F &&f) {
+  if (nthreads <= 1) {
+    f(0);
+    return;
+  }
+#ifdef _OPENMP
+  if (omp_in_parallel()) {  // no nested teams: run the "threads" in sequence
+    for (int t = 0; t < nthreads; ++t) f(t);
+    return;
+  }
+  stats().parallel_regions.fetch_add(1, std::memory_order_relaxed);
+#pragma omp parallel num_threads(nthreads)
+  { f(omp_get_thread_num()); }
+#else
+  for (int t = 0; t < nthreads; ++t) f(t);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread saxpy workspace pool
+// ---------------------------------------------------------------------------
+
+/// Dense accumulator + presence marks + touched list — the classic sparse
+/// accumulator (SPA). mark[] gates every read of work[], so stale values
+/// from a previous lease are harmless; clear() resets only the touched
+/// slots, keeping reuse O(nnz of the last use) instead of O(n).
+template <typename Z>
+struct SaxpyWorkspace {
+  std::vector<Z> work;
+  std::vector<std::uint8_t> mark;
+  std::vector<Index> touched;
+
+  void ensure(Index n) {
+    if (work.size() < static_cast<std::size_t>(n)) {
+      work.resize(static_cast<std::size_t>(n));
+      mark.assign(static_cast<std::size_t>(n), 0);
+      touched.clear();
+    }
+  }
+
+  void clear() {
+    for (Index j : touched) mark[j] = 0;
+    touched.clear();
+  }
+};
+
+/// Process-wide pool of workspaces, one type per accumulator element. The
+/// mutex is taken once per kernel invocation per thread (not per element),
+/// and reuse means a BFS that calls vxm level after level pays the O(n)
+/// allocation exactly once.
+template <typename Z>
+class WorkspacePool {
+ public:
+  static WorkspacePool &instance() {
+    static WorkspacePool pool;
+    return pool;
+  }
+
+  SaxpyWorkspace<Z> acquire(Index n) {
+    SaxpyWorkspace<Z> ws;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        ws = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    ws.ensure(n);
+    return ws;
+  }
+
+  void release(SaxpyWorkspace<Z> &&ws) {
+    ws.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(ws));
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 64;
+  std::mutex mu_;
+  std::vector<SaxpyWorkspace<Z>> free_;
+};
+
+/// RAII lease on a pooled workspace.
+template <typename Z>
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(Index n)
+      : ws_(WorkspacePool<Z>::instance().acquire(n)) {}
+  ~WorkspaceLease() { WorkspacePool<Z>::instance().release(std::move(ws_)); }
+  WorkspaceLease(const WorkspaceLease &) = delete;
+  WorkspaceLease &operator=(const WorkspaceLease &) = delete;
+
+  SaxpyWorkspace<Z> &operator*() noexcept { return ws_; }
+  SaxpyWorkspace<Z> *operator->() noexcept { return &ws_; }
+
+ private:
+  SaxpyWorkspace<Z> ws_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared output-assembly helpers
+// ---------------------------------------------------------------------------
+
+/// Pack per-slot results (found[i] ⇒ out[i]) into sorted sparse (idx, val)
+/// arrays. Two-phase: per-chunk counts, exclusive offsets, then a parallel
+/// fill into the exact output positions.
+template <typename Z>
+void pack_slots(const std::vector<std::uint8_t> &found,
+                const std::vector<Z> &out, std::vector<Index> &idx,
+                std::vector<Z> &val) {
+  const Index m = static_cast<Index>(found.size());
+  const int parts = std::max(1, effective_threads() * 4);
+  auto bounds = partition_even(m, m >= kParallelGrain ? parts : 1);
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+  std::vector<Index> counts(static_cast<std::size_t>(nchunks) + 1, 0);
+  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    Index cnt = 0;
+    for (Index i = lo; i < hi; ++i) cnt += found[i];
+    counts[c + 1] = cnt;
+  });
+  for (int c = 0; c < nchunks; ++c) counts[c + 1] += counts[c];
+  idx.resize(counts[nchunks]);
+  val.resize(counts[nchunks]);
+  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    Index at = counts[c];
+    for (Index i = lo; i < hi; ++i) {
+      if (found[i]) {
+        idx[at] = i;
+        val[at] = out[i];
+        ++at;
+      }
+    }
+  });
+}
+
+/// Concatenate per-chunk (idx, val) buffers in chunk order.
+template <typename Z>
+void concat_chunks(std::vector<std::vector<Index>> &cidx,
+                   std::vector<std::vector<Z>> &cval, std::vector<Index> &idx,
+                   std::vector<Z> &val) {
+  std::size_t total = 0;
+  for (const auto &c : cidx) total += c.size();
+  idx.reserve(idx.size() + total);
+  val.reserve(val.size() + total);
+  for (std::size_t c = 0; c < cidx.size(); ++c) {
+    idx.insert(idx.end(), cidx[c].begin(), cidx[c].end());
+    val.insert(val.end(), cval[c].begin(), cval[c].end());
+  }
+}
+
+}  // namespace detail
+}  // namespace grb

@@ -3,11 +3,17 @@
 // Row-wise matrix→vector reduction (column-wise under a transposed
 // descriptor), matrix→scalar, and vector→scalar. Scalar reductions of empty
 // objects yield the monoid identity.
+//
+// Parallel form (grb/parallel.hpp): row reductions chunk by nnz and fill
+// independent per-row slots; scalar reductions fold each chunk separately
+// (seeded with the identity) and combine the partials in chunk order — for a
+// monoid that regrouping leaves the result unchanged.
 #pragma once
 
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/parallel.hpp"
 #include "grb/semiring.hpp"
 #include "grb/transpose.hpp"
 
@@ -29,9 +35,8 @@ void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
   const Index m = src->nrows();
   std::vector<std::uint8_t> found(static_cast<std::size_t>(m), 0);
   std::vector<Z> out(static_cast<std::size_t>(m));
-  // Row reductions are independent; per-row slots keep the loop parallel.
-#pragma omp parallel for schedule(static)
-  for (Index i = 0; i < m; ++i) {
+
+  auto do_row = [&](Index i) {
     bool hit = false;
     Z acc{};
     src->for_each_in_row(i, [&](Index, const A &x) {
@@ -46,15 +51,25 @@ void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
       found[i] = 1;
       out[i] = acc;
     }
-  }
+  };
+
+  // Row reductions are independent; chunk them by row nnz (the CSR row
+  // pointer is the work prefix) so hub rows don't serialize the loop.
+  const bool csr = src->format() == Matrix<A>::Format::csr;
+  const int parts =
+      (detail::effective_threads() > 1 && src->nvals() >= detail::kParallelGrain)
+          ? detail::effective_threads() * 4
+          : 1;
+  std::vector<Index> bounds =
+      csr && parts > 1 ? detail::partition_rows_by_work(src->rowptr(), parts)
+                       : detail::partition_even(m, parts);
+  detail::for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) do_row(i);
+  });
+
   std::vector<Index> idx;
   std::vector<Z> val;
-  for (Index i = 0; i < m; ++i) {
-    if (found[i]) {
-      idx.push_back(i);
-      val.push_back(out[i]);
-    }
-  }
+  detail::pack_slots(found, out, idx, val);
   Vector<Z> t(src->nrows());
   t.adopt_sparse(std::move(idx), std::move(val));
   detail::write_result(w, std::move(t), mask, accum, d);
@@ -65,9 +80,32 @@ template <typename S, typename Accum, typename M, typename A>
 void reduce(S &s, Accum accum, M monoid, const Matrix<A> &a) {
   using Z = typename M::value_type;
   Z acc = M::identity();
-  a.for_each([&](Index, Index, const A &x) {
-    acc = monoid(acc, static_cast<Z>(x));
-  });
+  a.finish();
+  const bool csr = a.format() == Matrix<A>::Format::csr;
+  const int parts =
+      (detail::effective_threads() > 1 && csr &&
+       a.nvals() >= detail::kParallelGrain)
+          ? detail::effective_threads() * 4
+          : 1;
+  if (parts > 1) {
+    auto bounds = detail::partition_rows_by_work(a.rowptr(), parts);
+    const int nchunks = static_cast<int>(bounds.size()) - 1;
+    std::vector<Z> part(static_cast<std::size_t>(nchunks), M::identity());
+    detail::for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      Z p = M::identity();
+      for (Index i = lo; i < hi; ++i) {
+        a.for_each_in_row(i, [&](Index, const A &x) {
+          p = monoid(p, static_cast<Z>(x));
+        });
+      }
+      part[c] = p;
+    });
+    for (const Z &p : part) acc = monoid(acc, p);
+  } else {
+    a.for_each([&](Index, Index, const A &x) {
+      acc = monoid(acc, static_cast<Z>(x));
+    });
+  }
   if constexpr (is_accum_v<Accum>) {
     s = static_cast<S>(accum(static_cast<Z>(s), acc));
   } else {
@@ -81,7 +119,39 @@ template <typename S, typename Accum, typename M, typename U>
 void reduce(S &s, Accum accum, M monoid, const Vector<U> &u) {
   using Z = typename M::value_type;
   Z acc = M::identity();
-  u.for_each([&](Index, const U &x) { acc = monoid(acc, static_cast<Z>(x)); });
+  const int parts =
+      (detail::effective_threads() > 1 && u.nvals() >= detail::kParallelGrain)
+          ? detail::effective_threads() * 4
+          : 1;
+  if (parts > 1 && u.format() == Vector<U>::Format::sparse) {
+    auto uv = u.sparse_values();
+    auto bounds = detail::partition_even(static_cast<Index>(uv.size()), parts);
+    const int nchunks = static_cast<int>(bounds.size()) - 1;
+    std::vector<Z> part(static_cast<std::size_t>(nchunks), M::identity());
+    detail::for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      Z p = M::identity();
+      for (Index i = lo; i < hi; ++i) p = monoid(p, static_cast<Z>(uv[i]));
+      part[c] = p;
+    });
+    for (const Z &p : part) acc = monoid(acc, p);
+  } else if (parts > 1) {
+    const std::uint8_t *up = u.bitmap_present();
+    const U *uvp = u.bitmap_values();
+    auto bounds = detail::partition_even(u.size(), parts);
+    const int nchunks = static_cast<int>(bounds.size()) - 1;
+    std::vector<Z> part(static_cast<std::size_t>(nchunks), M::identity());
+    detail::for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      Z p = M::identity();
+      for (Index i = lo; i < hi; ++i) {
+        if (up[i]) p = monoid(p, static_cast<Z>(uvp[i]));
+      }
+      part[c] = p;
+    });
+    for (const Z &p : part) acc = monoid(acc, p);
+  } else {
+    u.for_each(
+        [&](Index, const U &x) { acc = monoid(acc, static_cast<Z>(x)); });
+  }
   if constexpr (is_accum_v<Accum>) {
     s = static_cast<S>(accum(static_cast<Z>(s), acc));
   } else {

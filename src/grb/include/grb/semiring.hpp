@@ -61,7 +61,10 @@ struct Monoid {
 };
 
 /// Monoids with a terminal value allow reductions and dot products to stop
-/// early (min reaching -inf, lor reaching true, ...).
+/// early (min reaching -inf, lor reaching true, ...). Kernels query the
+/// triple (has_terminal, is_terminal, terminal_value): the dot kernel breaks
+/// out of a row as soon as is_terminal(acc) holds — on every storage format,
+/// not just CSR rows (see grb/mxv.hpp).
 template <typename Op, typename T, typename Base = Monoid<Op, T>>
 struct TerminalMonoid : Base {
   static constexpr bool has_terminal = true;
@@ -91,11 +94,17 @@ struct TerminalMonoid : Base {
   }
 
   static constexpr bool is_terminal(const T &x) { return x == terminal(); }
+
+  /// Canonical accessor name (GxB_Monoid_terminal analogue).
+  static constexpr T terminal_value() { return terminal(); }
 };
 
-/// The `any` monoid: keeps the first value it sees; every value is terminal.
+/// The `any` monoid: keeps the first value it sees; every value is terminal
+/// (so there is no single terminal_value — is_terminal is the authority).
 /// GraphBLAS leaves the choice nondeterministic; a sequential reduction
-/// deterministically keeps the first, which is a valid instance.
+/// deterministically keeps the first, which is a valid instance — and the
+/// parallel saxpy kernel preserves it by merging per-thread partials in
+/// ascending frontier order (grb/mxv.hpp).
 template <typename T>
 struct AnyMonoid {
   using value_type = T;

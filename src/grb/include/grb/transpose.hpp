@@ -2,12 +2,19 @@
 //
 // The internal helper produces the explicit transpose in CSR with naturally
 // sorted rows in O(m + n + nnz): scanning A in row-major order appends to
-// each output row in ascending source-row order.
+// each output row in ascending source-row order. The parallel form is a
+// bucket counting sort (grb/parallel.hpp): source rows split into
+// nnz-balanced chunks, each chunk counts per-column, a prefix pass gives
+// every (chunk, column) pair its own disjoint output range, and the scatter
+// pass writes with no synchronization. Chunk ranges within a column follow
+// chunk (= source row) order, so the output is byte-identical to the serial
+// scan for any thread count.
 #pragma once
 
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/parallel.hpp"
 
 namespace grb {
 namespace detail {
@@ -16,17 +23,89 @@ template <typename T>
 Matrix<T> transpose_impl(const Matrix<T> &a) {
   const Index m = a.nrows();
   const Index n = a.ncols();
-  std::vector<Index> rp(static_cast<std::size_t>(n) + 1, 0);
-  a.for_each([&](Index, Index j, const T &) { ++rp[j + 1]; });
-  for (Index j = 0; j < n; ++j) rp[j + 1] += rp[j];
-  std::vector<Index> next(rp.begin(), rp.end() - 1);
-  std::vector<Index> ci(a.nvals());
-  std::vector<T> cv(a.nvals());
-  a.for_each([&](Index i, Index j, const T &x) {
-    ci[next[j]] = i;
-    cv[next[j]] = x;
-    ++next[j];
+  a.finish();
+  const bool csr = a.format() == Matrix<T>::Format::csr;
+  const Index nz = a.nvals();
+
+  int nthreads = effective_threads();
+  // The parallel sort keeps one count row per chunk: P*(n+1) extra index
+  // slots. Gate on that staying proportional to the nnz being moved.
+  if (!csr || nz < kParallelGrain ||
+      static_cast<std::size_t>(nthreads) * (static_cast<std::size_t>(n) + 1) >
+          4 * static_cast<std::size_t>(nz) + 1024) {
+    nthreads = 1;
+  }
+
+  if (nthreads <= 1) {
+    std::vector<Index> rp(static_cast<std::size_t>(n) + 1, 0);
+    a.for_each([&](Index, Index j, const T &) { ++rp[j + 1]; });
+    for (Index j = 0; j < n; ++j) rp[j + 1] += rp[j];
+    std::vector<Index> next(rp.begin(), rp.end() - 1);
+    std::vector<Index> ci(a.nvals());
+    std::vector<T> cv(a.nvals());
+    a.for_each([&](Index i, Index j, const T &x) {
+      ci[next[j]] = i;
+      cv[next[j]] = x;
+      ++next[j];
+    });
+    Matrix<T> at(n, m);
+    at.adopt_csr(std::move(rp), std::move(ci), std::move(cv),
+                 /*jumbled=*/false);
+    return at;
+  }
+
+  auto arp = a.rowptr();
+  auto acx = a.colidx();
+  auto avx = a.values();
+  std::vector<Index> bounds = partition_rows_by_work(arp, nthreads);
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+
+  // Pass 1: per-chunk per-column counts.
+  std::vector<std::vector<Index>> count(
+      static_cast<std::size_t>(nchunks),
+      std::vector<Index>(static_cast<std::size_t>(n), 0));
+  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    auto &cnt = count[c];
+    for (Index p = arp[lo]; p < arp[hi]; ++p) ++cnt[acx[p]];
   });
+
+  // Column starts, then per-(chunk, column) offsets: chunk c's slice of
+  // column j begins after all earlier chunks' entries for j.
+  std::vector<Index> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (Index j = 0; j < n; ++j) {
+    Index total = 0;
+    for (int c = 0; c < nchunks; ++c) total += count[c][j];
+    rp[j + 1] = rp[j] + total;
+  }
+  std::vector<std::vector<Index>> off(static_cast<std::size_t>(nchunks));
+  for (int c = 0; c < nchunks; ++c) {
+    off[c].resize(static_cast<std::size_t>(n));
+  }
+  for_each_chunk(partition_even(n, nchunks), [&](int, Index lo, Index hi) {
+    for (Index j = lo; j < hi; ++j) {
+      Index at = rp[j];
+      for (int c = 0; c < nchunks; ++c) {
+        off[c][j] = at;
+        at += count[c][j];
+      }
+    }
+  });
+
+  // Pass 2: scatter — every (chunk, column) range is disjoint.
+  std::vector<Index> ci(static_cast<std::size_t>(nz));
+  std::vector<T> cv(static_cast<std::size_t>(nz));
+  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+    auto &nx = off[c];
+    for (Index i = lo; i < hi; ++i) {
+      for (Index p = arp[i]; p < arp[i + 1]; ++p) {
+        const Index j = acx[p];
+        ci[nx[j]] = i;
+        cv[nx[j]] = avx[p];
+        ++nx[j];
+      }
+    }
+  });
+
   Matrix<T> at(n, m);
   at.adopt_csr(std::move(rp), std::move(ci), std::move(cv), /*jumbled=*/false);
   return at;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two lagraph bench JSON files and flag regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both files must follow the lagraph-bench-v1 schema written by bench_kernels /
+table3_gap_suite:
+
+    {"schema": "lagraph-bench-v1", "suite": "...", "scale": N,
+     "entries": [{"op", "graph", "threads", "reps", "median_ms"}, ...]}
+
+Entries are matched on the (op, graph, threads) key. A candidate entry whose
+median_ms exceeds the baseline's by more than the threshold (default 10%) is
+flagged as a regression; the script prints a table of all matched cells and
+exits 1 if any regression was found. Cells present on only one side are
+reported but never fail the run (graph scale or thread sweep may legitimately
+differ between commits).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "lagraph-bench-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    out = {}
+    for e in data.get("entries", []):
+        key = (e["op"], e["graph"], int(e["threads"]))
+        out[key] = float(e["median_ms"])
+    return data, out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative slowdown that counts as a regression (default 0.10)",
+    )
+    args = ap.parse_args()
+
+    base_meta, base = load_entries(args.baseline)
+    cand_meta, cand = load_entries(args.candidate)
+    if base_meta.get("scale") != cand_meta.get("scale"):
+        print(
+            f"note: scales differ (baseline {base_meta.get('scale')}, "
+            f"candidate {cand_meta.get('scale')}) -- ratios may be meaningless"
+        )
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    regressions = []
+    print(f"{'op':24s} {'graph':12s} {'thr':>3s} {'base ms':>12s} "
+          f"{'cand ms':>12s} {'ratio':>7s}")
+    for key in shared:
+        op, graph, threads = key
+        b, c = base[key], cand[key]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if b > 0 and ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, b, c, ratio))
+        print(f"{op:24s} {graph:12s} {threads:3d} {b:12.3f} {c:12.3f} "
+              f"{ratio:7.2f}{flag}")
+
+    for key in only_base:
+        print(f"only in baseline:  {key}")
+    for key in only_cand:
+        print(f"only in candidate: {key}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.0%} threshold:")
+        for (op, graph, threads), b, c, ratio in regressions:
+            print(f"  {op} on {graph} @{threads}t: "
+                  f"{b:.3f} ms -> {c:.3f} ms ({ratio:.2f}x)")
+        return 1
+    print(f"\nno regressions above {args.threshold:.0%} "
+          f"({len(shared)} cells compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

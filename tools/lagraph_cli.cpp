@@ -415,6 +415,13 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(c.bfs_sweeps),
                 static_cast<unsigned long long>(c.batched_bfs),
                 static_cast<unsigned long long>(c.solo_queries));
+    const grb::Stats &ks = grb::stats();
+    std::printf("kernels: %llu push, %llu pull, %llu parallel regions, "
+                "%llu work items stolen\n",
+                static_cast<unsigned long long>(ks.push_calls.load()),
+                static_cast<unsigned long long>(ks.pull_calls.load()),
+                static_cast<unsigned long long>(ks.parallel_regions.load()),
+                static_cast<unsigned long long>(ks.work_items_stolen.load()));
     if (failed != 0) {
       std::fprintf(stderr, "first error %d (%s): %s\n", first_err,
                    lagraph::status_name(first_err), first_err_msg.c_str());
