@@ -191,6 +191,16 @@ int main(int argc, char **argv) {
   }
   grb::config().num_threads = 0;
 
+  const grb::Stats &st = grb::stats();
+  std::printf("planner: %llu plans built, %llu cache hits, %llu overridden; "
+              "%llu push / %llu pull decisions; %llu format conversions\n",
+              static_cast<unsigned long long>(st.plans_built.load()),
+              static_cast<unsigned long long>(st.plans_cached.load()),
+              static_cast<unsigned long long>(st.plans_overridden.load()),
+              static_cast<unsigned long long>(st.plan_push_decisions.load()),
+              static_cast<unsigned long long>(st.plan_pull_decisions.load()),
+              static_cast<unsigned long long>(st.format_conversions.load()));
+
   bench::write_bench_json(json_path, "kernels", scale, entries);
   std::printf("wrote %s (%zu entries)\n", json_path.c_str(), entries.size());
   if (smoke && !smoke_ok) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# scripts/check.sh — the one-button pre-merge gate.
+#
+# Runs, in order:
+#   1. tier-1 verify (configure + build + full ctest, per ROADMAP.md),
+#   2. the focused suites behind their ctest labels:
+#        parallel     bit-identical serial/parallel kernel determinism,
+#        concurrency  lagraph::service snapshot/engine races,
+#        plan         planner equivalence across formats × directions,
+#   3. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
+#      against the committed baseline bench/baselines/BENCH_smoke.json.
+#
+# Env knobs:
+#   BUILD_DIR          build tree to use                 (default: build)
+#   JOBS               parallel build/test jobs          (default: nproc)
+#   SMOKE_THRESHOLD    relative slowdown that fails the
+#                      perf smoke; generous by default
+#                      because smoke timings on shared
+#                      CI boxes are noisy                (default: 0.50)
+#   SMOKE_MIN_MS       cells whose baseline median is
+#                      below this many ms are shown but
+#                      never fail the gate (sub-ms cells
+#                      are noise)                        (default: 0.5)
+#   SKIP_SMOKE=1       skip step 3 entirely
+#
+# To (re)record the perf baseline on a quiet machine:
+#   LAGRAPH_BENCH_JSON=bench/baselines/BENCH_smoke.json \
+#       "$BUILD_DIR"/bench/bench_kernels --smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+SMOKE_THRESHOLD=${SMOKE_THRESHOLD:-0.50}
+SMOKE_MIN_MS=${SMOKE_MIN_MS:-0.5}
+BASELINE=bench/baselines/BENCH_smoke.json
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: configure + build ($BUILD_DIR, -j$JOBS)"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+step "tier-1: full ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+for label in parallel concurrency plan; do
+  step "ctest -L $label"
+  ctest --test-dir "$BUILD_DIR" -L "$label" --output-on-failure -j"$JOBS"
+done
+
+if [[ "${SKIP_SMOKE:-0}" == "1" ]]; then
+  step "perf smoke: skipped (SKIP_SMOKE=1)"
+else
+  step "perf smoke: bench_kernels --smoke vs $BASELINE"
+  smoke_json=$(mktemp --suffix=.json)
+  trap 'rm -f "$smoke_json"' EXIT
+  LAGRAPH_BENCH_JSON="$smoke_json" "$BUILD_DIR"/bench/bench_kernels --smoke
+  # bench_diff exits with a friendly message if the baseline has not been
+  # recorded yet; that is a hard failure here, since the baseline is
+  # supposed to be committed.
+  python3 tools/bench_diff.py "$BASELINE" "$smoke_json" \
+      --threshold "$SMOKE_THRESHOLD" --min-ms "$SMOKE_MIN_MS"
+fi
+
+printf '\ncheck.sh: all gates passed\n'

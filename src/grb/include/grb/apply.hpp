@@ -15,6 +15,7 @@
 
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
+#include "grb/plan.hpp"
 
 namespace grb {
 
@@ -26,10 +27,7 @@ void apply(Vector<W> &w, const MaskT &mask, Accum accum, F f,
   const Index n = u.size();
   std::vector<Index> idx;
   std::vector<W> val;
-  const int parts =
-      (detail::effective_threads() > 1 && u.nvals() >= detail::kParallelGrain)
-          ? detail::effective_threads() * 2
-          : 1;
+  const int parts = plan::chunk_parts(u.nvals(), 2);
   if (u.format() == Vector<U>::Format::sparse) {
     auto ui = u.sparse_indices();
     auto uv = u.sparse_values();
@@ -107,10 +105,7 @@ void apply(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
     const Index nz = static_cast<Index>(acx.size());
     ci.resize(nz);
     cv.resize(nz);
-    const int parts =
-        (detail::effective_threads() > 1 && nz >= detail::kParallelGrain)
-            ? detail::effective_threads() * 2
-            : 1;
+    const int parts = plan::chunk_parts(nz, 2);
     detail::for_each_chunk(detail::partition_even(nz, parts),
                            [&](int, Index lo, Index hi) {
                              for (Index p = lo; p < hi; ++p) {
@@ -157,10 +152,7 @@ void select(Vector<W> &w, const MaskT &mask, Accum accum, F f,
   const U th = static_cast<U>(thunk);
   std::vector<Index> idx;
   std::vector<W> val;
-  const int parts =
-      (detail::effective_threads() > 1 && u.nvals() >= detail::kParallelGrain)
-          ? detail::effective_threads() * 2
-          : 1;
+  const int parts = plan::chunk_parts(u.nvals(), 2);
   if (u.format() == Vector<U>::Format::sparse) {
     auto ui = u.sparse_indices();
     auto uv = u.sparse_values();
@@ -214,10 +206,7 @@ void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
 
   // Rows filter independently: chunk by row nnz, emit per-chunk buffers,
   // stitch the row pointer from per-chunk row lengths (as in ewise_mat).
-  const int parts =
-      (detail::effective_threads() > 1 && a.nvals() >= detail::kParallelGrain)
-          ? detail::effective_threads() * 2
-          : 1;
+  const int parts = plan::chunk_parts(a.nvals(), 2);
   std::vector<Index> bounds =
       parts > 1 ? detail::partition_rows_by_work(
                       m, parts, [&](Index i) { return a.row_nvals(i) + 1; })

@@ -12,6 +12,12 @@
 
 namespace grb {
 
+/// Global operand-format override for the execution planner (grb/plan.hpp).
+/// `sparse` pins CSR matrices / sorted-sparse vectors (the forced-serial-CSR
+/// reference path of the equivalence suite); `bitmap` pins bitmap operands
+/// wherever the kernels support them; `none` lets the cost model choose.
+enum class ForceFormat : std::uint8_t { none, sparse, bitmap };
+
 struct Config {
   /// Density threshold (nvals/size) above which a vector auto-switches to the
   /// bitmap format. The bitmap format is what makes "pull" steps cheap
@@ -29,6 +35,15 @@ struct Config {
   /// (used by the determinism suite); N > 1 requests exactly N threads.
   /// See detail::effective_threads() in grb/parallel.hpp.
   int num_threads = 0;
+
+  /// Planner overrides (grb/plan.hpp). force_push / force_pull pin the
+  /// traversal direction wherever both kernels exist (a pull without a cached
+  /// transpose still falls back to push); force_format pins operand formats.
+  /// Overrides outrank the cost model but not an Advanced-mode caller hint,
+  /// which encodes an algorithmic requirement rather than a preference.
+  bool force_push = false;
+  bool force_pull = false;
+  ForceFormat force_format = ForceFormat::none;
 };
 
 inline Config &config() {
@@ -65,6 +80,18 @@ struct Stats {
   std::atomic<std::uint64_t> parallel_regions{0};   // OpenMP teams forked
   std::atomic<std::uint64_t> work_items_stolen{0};  // chunks run off-home
 
+  // Execution-planner counters (grb/plan.hpp): how many plans were built
+  // fresh vs served from a snapshot's memo, how often a Config override or
+  // caller hint outranked the cost model, the per-decision outcome mix, and
+  // how many operand conversions the planner explicitly requested (the
+  // formerly-silent hypersparse→CSR expansions among them).
+  std::atomic<std::uint64_t> plans_built{0};          // cost model evaluated
+  std::atomic<std::uint64_t> plans_cached{0};         // served from a PlanCache
+  std::atomic<std::uint64_t> plans_overridden{0};     // hint/override decided
+  std::atomic<std::uint64_t> plan_push_decisions{0};  // plans choosing push
+  std::atomic<std::uint64_t> plan_pull_decisions{0};  // plans choosing pull
+  std::atomic<std::uint64_t> format_conversions{0};   // planner-driven converts
+
   void reset() noexcept {
     row_sorts = 0;
     eager_sorts = 0;
@@ -79,6 +106,12 @@ struct Stats {
     pull_calls = 0;
     parallel_regions = 0;
     work_items_stolen = 0;
+    plans_built = 0;
+    plans_cached = 0;
+    plans_overridden = 0;
+    plan_push_decisions = 0;
+    plan_pull_decisions = 0;
+    format_conversions = 0;
   }
 };
 

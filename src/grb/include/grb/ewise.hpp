@@ -17,6 +17,7 @@
 
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
+#include "grb/plan.hpp"
 
 namespace grb {
 namespace detail {
@@ -27,6 +28,20 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
   const Index n = u.size();
   std::vector<Index> idx;
   std::vector<Z> val;
+
+  // Plan operand formats: union promotes mixed inputs to bitmap for the
+  // dense walk, intersection keeps them mixed so the sparse side can probe
+  // the bitmap side; Config::force_format overrides both ways.
+  plan::OpDesc od;
+  od.op = UnionMode ? plan::OpKind::ewise_add : plan::OpKind::ewise_mult;
+  od.out_size = n;
+  od.u_nvals = u.nvals();
+  od.v_nvals = v.nvals();
+  od.u_format = u.format() == Vector<U>::Format::bitmap ? 1 : 0;
+  od.v_format = v.format() == Vector<V>::Format::bitmap ? 1 : 0;
+  const auto pl = plan::make_plan(od);
+  plan::prepare(u, pl.u_format);
+  plan::prepare(v, pl.v_format);
 
   const bool dense_walk = u.format() == Vector<U>::Format::bitmap ||
                           v.format() == Vector<V>::Format::bitmap;
@@ -49,9 +64,7 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
   // Chunked emit: run `body(chunk, lo, hi, oi, ov)` over an even split of
   // [0, limit) and concatenate the per-chunk buffers in order.
   auto run_chunked = [&](Index limit, Index work, auto &&body) {
-    const int parts = (effective_threads() > 1 && work >= kParallelGrain)
-                          ? effective_threads() * 2
-                          : 1;
+    const int parts = plan::chunk_parts(work, 2);
     auto bounds = partition_even(limit, parts);
     const int nchunks = static_cast<int>(bounds.size()) - 1;
     if (nchunks <= 1) {
@@ -109,9 +122,8 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
   if (dense_walk) {
     // Hot path (e.g. SSSP's t = min∪(t, tReq) every relaxation round): walk
     // the raw bitmap arrays rather than paying a bounds-checked get() per
-    // position.
-    u.to_bitmap();
-    v.to_bitmap();
+    // position. The planner already promoted both sides to bitmap — the
+    // mixed intersection case returned above.
     const std::uint8_t *up = u.bitmap_present();
     const U *uv = u.bitmap_values();
     const std::uint8_t *vp = v.bitmap_present();
@@ -176,10 +188,17 @@ Matrix<Z> ewise_mat(Op op, const Matrix<U> &u, const Matrix<V> &v) {
 
   // Rows are independent merges: chunk them by combined nnz, emit into
   // per-chunk buffers, stitch the row pointer from per-chunk row lengths.
+  // Matrix operands are walked via for_each_in_row in whatever format they
+  // hold; the plan only sizes the thread team (u_format = -1 sentinel).
+  plan::OpDesc od;
+  od.op = UnionMode ? plan::OpKind::ewise_add : plan::OpKind::ewise_mult;
+  od.a_rows = m;
+  od.a_cols = u.ncols();
+  od.u_nvals = u.nvals();
+  od.v_nvals = v.nvals();
+  (void)plan::make_plan(od);
   const Index total = u.nvals() + v.nvals();
-  const int parts = (effective_threads() > 1 && total >= kParallelGrain)
-                        ? effective_threads() * 2
-                        : 1;
+  const int parts = plan::chunk_parts(total, 2);
   std::vector<Index> bounds =
       parts > 1 ? partition_rows_by_work(
                       m, parts,

@@ -19,6 +19,7 @@
 #include "grb/mxm.hpp"
 #include "grb/mxv.hpp"
 #include "grb/ops.hpp"
+#include "grb/plan.hpp"
 #include "grb/reduce.hpp"
 #include "grb/semiring.hpp"
 #include "grb/transpose.hpp"

@@ -426,9 +426,9 @@ class Matrix {
 
   /// Freeze for concurrent sharing (see the threading contract above).
   /// Drains every deferred path: pending tuples and zombies are merged,
-  /// jumbled rows sorted, and hypersparse storage expanded to CSR (the
-  /// kernels' raw-access entry points silently convert hypersparse, which
-  /// would be a write). After finalize() all const member functions are
+  /// jumbled rows sorted, and hypersparse storage expanded to CSR (so the
+  /// kernels' raw-access entry points never need a format write while the
+  /// matrix is shared). After finalize() all const member functions are
   /// genuinely read-only; debug builds assert if a lazy path is ever
   /// reached. Any later non-const mutation clears the flag.
   void finalize() const {
@@ -555,7 +555,14 @@ class Matrix {
 
   [[nodiscard]] std::span<const Index> rowptr() const {
     finish();
-    if (fmt_ == Format::hypersparse) to_csr();
+    // No silent hypersparse expansion: materializing the O(nrows) row
+    // pointer is a planner decision, not a side effect of peeking at raw
+    // storage. Callers convert explicitly first — grb::plan::prepare(a,
+    // MatFormat::csr) — which also bumps Stats::format_conversions so the
+    // blowup is visible in the counters.
+    detail::require(fmt_ != Format::hypersparse, Info::invalid_value,
+                    "rowptr: hypersparse matrix has no dense row pointer; "
+                    "convert via grb::plan::prepare(a, MatFormat::csr)");
     return {rowptr_.data(), rowptr_.size()};
   }
   [[nodiscard]] std::span<const Index> colidx() const {

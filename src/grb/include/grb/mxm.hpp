@@ -15,10 +15,12 @@
 // instantiate the temporary matrix C") — used by the TC fusion ablation.
 #pragma once
 
+#include <cassert>
 #include <vector>
 
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
+#include "grb/plan.hpp"
 #include "grb/semiring.hpp"
 #include "grb/transpose.hpp"
 
@@ -58,9 +60,7 @@ Matrix<Z> mxm_gustavson(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
     for (Index i = 0; i < m; ++i) flops[i + 1] += flops[i];
   }
 
-  const int P = (effective_threads() > 1 && flops[m] >= kParallelGrain)
-                    ? effective_threads()
-                    : 1;
+  const int P = plan::team_size(flops[m]);
   std::vector<Index> bounds =
       partition_rows_by_work(std::span<const Index>(flops), P);
   const int nchunks = static_cast<int>(bounds.size()) - 1;
@@ -168,34 +168,20 @@ bool row_dot(SR sr, std::span<const Index> acol, std::span<const TA> aval,
 /// (non-complemented) or from the full cross product filtered by the mask.
 template <typename Z, typename SR, typename TA, typename TB, typename MaskT>
 Matrix<Z> mxm_dot(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
-                  const MaskT &mask, const Descriptor &d) {
+                  const MaskT &mask, const Descriptor &d,
+                  const plan::ExecPlan &pl) {
   const Index m = a.nrows();
   const Index n = b.nrows();  // logical Bᵀ has b.nrows() columns
   using AddM = typename SR::add_monoid;
 
-  // When the first operand's rows are dense (the BC frontier during a pull),
-  // merging two sorted rows costs O(row length of A) per dot; the bitmap
-  // format reduces each dot to O(|B row|) probes — the §VI-A effect.
-  // A and B may alias (e.g. C⟨s(A)⟩ = A plus.pair Aᵀ in k-truss): then the
-  // two operands must share one format, so the bitmap path is disabled.
-  bool aliased = false;
-  if constexpr (std::is_same_v<TA, TB>) {
-    aliased = static_cast<const void *>(&a) == static_cast<const void *>(&b);
-  }
-  const double acells =
-      static_cast<double>(a.nrows()) * static_cast<double>(a.ncols());
-  const bool a_bitmap =
-      !aliased && config().bitmap_switch_density <= 1.0 && acells > 0 &&
-      static_cast<double>(a.nvals()) >
-          acells * std::max(0.125, config().bitmap_switch_density);
-  if (a_bitmap) {
-    a.to_bitmap();
-  } else {
-    a.ensure_sorted();
-    a.to_csr();
-  }
-  b.ensure_sorted();
-  b.to_csr();
+  // The first operand's format is a plan decision (bitmap reduces each dot
+  // to O(|B row|) probes — the §VI-A effect — unless A and B alias and must
+  // share one format). The entry point already converted both operands per
+  // the plan; this kernel only asserts what it was promised.
+  const bool a_bitmap = pl.a_format == plan::MatFormat::bitmap;
+  assert(a.format() == (a_bitmap ? Matrix<TA>::Format::bitmap
+                                 : Matrix<TA>::Format::csr));
+  assert(b.format() == Matrix<TB>::Format::csr);
   auto arp = a_bitmap ? std::span<const Index>{} : a.rowptr();
   auto acx = a_bitmap ? std::span<const Index>{} : a.colidx();
   auto avx = a_bitmap ? std::span<const TA>{} : a.values();
@@ -347,25 +333,51 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
   detail::check_same_size(c.ncols(), n, "mxm: output column mismatch");
   detail::check_matrix_mask(mask, c.nrows(), c.ncols());
 
-  // Dense masks are probed per candidate product; pay one conversion for
-  // O(1) tests (the BC mask ¬s(P) grows dense as the traversal proceeds).
-  // Either way, drain the mask's deferred work now: the kernels probe it
-  // from inside parallel regions, where a lazy sort would be a race.
+  // Describe the op and plan kernel + operand formats: dot vs Gustavson,
+  // bitmap vs CSR first operand, and whether the mask is worth a bitmap
+  // conversion for O(1) probes (the BC mask ¬s(P) grows dense as the
+  // traversal proceeds).
+  plan::OpDesc od;
+  od.op = plan::OpKind::mxm;
+  od.a_rows = a.nrows();
+  od.a_cols = a.ncols();
+  od.a_nvals = a.nvals();
+  od.b_nvals = b.nvals();
+  od.transpose_b = d.transpose_b;
+  od.has_terminal = SR::add_monoid::has_terminal;
   if constexpr (has_mask_v<MaskT>) {
-    const double cells = static_cast<double>(mask.nrows()) *
-                         static_cast<double>(mask.ncols());
-    if (cells > 0 && (d.mask_complement ||
-                      static_cast<double>(mask.nvals()) >
-                          cells * config().bitmap_switch_density)) {
-      mask.to_bitmap();
-    }
+    od.masked = true;
+    od.mask_nvals = mask.nvals();
+    od.mask_complement = d.mask_complement;
+    od.mask_structural = d.mask_structural;
+  }
+  if constexpr (std::is_same_v<TA, TB>) {
+    od.operands_aliased =
+        static_cast<const void *>(&a) == static_cast<const void *>(&b);
+  }
+  const auto pl = plan::make_plan(od);
+
+  // Apply the planned mask conversion, then drain the mask's deferred work:
+  // the kernels probe it from inside parallel regions, where a lazy sort
+  // would be a race.
+  if constexpr (has_mask_v<MaskT>) {
+    plan::prepare(mask, pl.mask_format);
     mask.wait();
   }
 
   Matrix<Z> t(0, 0);
   if (d.transpose_b) {
     if constexpr (has_mask_v<MaskT>) {
-      t = detail::mxm_dot<Z>(sr, a, b, mask, d);
+      // Prepare both operands per the plan; the dot kernel asserts this.
+      if (pl.a_format == plan::MatFormat::bitmap) {
+        plan::prepare(a, plan::MatFormat::bitmap);
+      } else {
+        a.ensure_sorted();
+        plan::prepare(a, plan::MatFormat::csr);
+      }
+      b.ensure_sorted();
+      plan::prepare(b, pl.b_format);
+      t = detail::mxm_dot<Z>(sr, a, b, mask, d, pl);
     } else {
       // No mask: materializing Bᵀ and running Gustavson beats n² dots.
       Matrix<TB> bt = transposed(b);
@@ -390,10 +402,30 @@ S mxm_reduce_scalar(ReduceMonoid rm, const MaskT &mask, SR sr,
   using Z = typename SR::value_type;
   detail::require(d.transpose_b, Info::not_implemented,
                   "mxm_reduce_scalar: only the dot (transposed B) form");
+  // Both operands walk rows via rowptr(); route the CSR materialization
+  // through the planner so hypersparse expansion is counted, never silent.
+  plan::OpDesc od;
+  od.op = plan::OpKind::mxm;
+  od.a_rows = a.nrows();
+  od.a_cols = a.ncols();
+  od.a_nvals = a.nvals();
+  od.b_nvals = b.nvals();
+  od.transpose_b = true;
+  if constexpr (has_mask_v<MaskT>) {
+    od.masked = true;
+    od.mask_nvals = mask.nvals();
+    od.mask_complement = d.mask_complement;
+    od.mask_structural = d.mask_structural;
+  }
+  if constexpr (std::is_same_v<TA, TB>) {
+    od.operands_aliased =
+        static_cast<const void *>(&a) == static_cast<const void *>(&b);
+  }
+  (void)plan::make_plan(od);
   a.ensure_sorted();
   b.ensure_sorted();
-  a.to_csr();
-  b.to_csr();
+  plan::prepare(a, plan::MatFormat::csr);
+  plan::prepare(b, plan::MatFormat::csr);
   auto arp = a.rowptr();
   auto acx = a.colidx();
   auto avx = a.values();

@@ -28,10 +28,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <vector>
 
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
+#include "grb/plan.hpp"
 #include "grb/semiring.hpp"
 
 namespace grb {
@@ -45,7 +47,9 @@ namespace detail {
 template <typename Z, typename SR, typename AT, typename U, typename Pred,
           typename Combine>
 Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
-                      Pred &&allowed, Combine &&combine, Index out_size) {
+                      Pred &&allowed, Combine &&combine, Index out_size,
+                      [[maybe_unused]] const plan::ExecPlan &pl) {
+  assert(pl.direction == plan::Direction::push);
   stats().push_calls.fetch_add(1, std::memory_order_relaxed);
   using AddM = typename SR::add_monoid;
 
@@ -82,6 +86,9 @@ Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
     });
   };
 
+  // Team size: the plan records the a-priori estimate; the final gate runs
+  // the planner's rule (plan::team_size) on the exact scattered work so BFS
+  // tail levels stay on the serial schedule even when the estimate was off.
   int nthreads = effective_threads();
   if (nthreads > 1) {
     Index total_work = 0;
@@ -90,7 +97,7 @@ Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
     } else {
       total_work = nf * a.ncols();
     }
-    if (total_work < kParallelGrain) nthreads = 1;  // BFS tail levels
+    nthreads = plan::team_size(total_work);
   }
 
   std::vector<Index> idx;
@@ -199,20 +206,18 @@ Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
 template <typename Z, typename SR, typename AT, typename U, typename Pred,
           typename Combine>
 Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
-                     Pred &&row_allowed, Combine &&combine) {
+                     Pred &&row_allowed, Combine &&combine,
+                     [[maybe_unused]] const plan::ExecPlan &pl) {
   stats().pull_calls.fetch_add(1, std::memory_order_relaxed);
   const Index m = a.nrows();
   const Index n = a.ncols();
-  // The bitmap format gives O(1) probes into u, making each dot product
-  // proportional to the row length — "particularly important for the 'pull'
-  // phase" (§VI-A). With the bitmap disabled in Config (the format
-  // ablation), probes fall back to binary search on the sorted sparse u.
-  const bool use_bitmap = config().bitmap_switch_density <= 1.0;
-  if (use_bitmap) {
-    u.to_bitmap();
-  } else {
-    u.to_sparse();
-  }
+  // The probed operand's format is a plan decision (bitmap = O(1) probes,
+  // "particularly important for the 'pull' phase", §VI-A; sorted sparse =
+  // binary-search probes, the format ablation's path). The entry point
+  // already converted u via plan::prepare — this kernel only executes.
+  assert(pl.direction == plan::Direction::pull);
+  const bool use_bitmap = u.format() == Vector<U>::Format::bitmap;
+  assert(use_bitmap == (pl.u_format == plan::VecFormat::bitmap));
   const std::uint8_t *up = use_bitmap ? u.bitmap_present() : nullptr;
   const U *uv = use_bitmap ? u.bitmap_values() : nullptr;
   auto us_idx = use_bitmap ? std::span<const Index>{} : u.sparse_indices();
@@ -294,10 +299,7 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
   };
 
   const Index total_work = csr ? (rp.empty() ? 0 : rp[m]) : m * n;
-  const int parts =
-      (effective_threads() > 1 && total_work >= kParallelGrain)
-          ? effective_threads() * 4
-          : 1;
+  const int parts = plan::chunk_parts(total_work, 4);
   std::vector<Index> bounds =
       csr && parts > 1 ? partition_rows_by_work(rp, parts)
                        : partition_even(m, parts);
@@ -311,6 +313,33 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
   Vector<Z> t(m);
   t.adopt_sparse(std::move(idx), std::move(val));
   return t;
+}
+
+/// Shared planning step for vxm/mxv: describe the op, get the plan, and
+/// prepare the probed operand for a pull. The kernels below assert what
+/// this promised.
+template <typename SR, typename AT, typename U, typename MaskT>
+plan::ExecPlan plan_mxv_op(plan::OpKind op, const Matrix<AT> &a,
+                           const Vector<U> &u, const MaskT &mask,
+                           const Descriptor &d, Index out_size) {
+  plan::OpDesc od;
+  od.op = op;
+  od.out_size = out_size;
+  od.a_rows = a.nrows();
+  od.a_cols = a.ncols();
+  od.a_nvals = a.nvals();
+  od.u_nvals = u.nvals();
+  od.transpose_a = d.transpose_a;
+  od.has_terminal = SR::add_monoid::has_terminal;
+  if constexpr (has_mask_v<MaskT>) {
+    od.masked = true;
+    od.mask_nvals = mask.nvals();
+    od.mask_complement = d.mask_complement;
+    od.mask_structural = d.mask_structural;
+  }
+  plan::ExecPlan pl = plan::make_plan(od);
+  if (pl.direction == plan::Direction::pull) plan::prepare(u, pl.u_format);
+  return pl;
 }
 
 }  // namespace detail
@@ -328,6 +357,8 @@ void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
     detail::check_same_size(u.size(), a.nrows(), "vxm: u/A dimension mismatch");
     detail::check_vector_mask(mask, a.ncols());
     detail::check_same_size(w.size(), a.ncols(), "vxm: w/A dimension mismatch");
+    const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::vxm, a, u, mask, d,
+                                            a.ncols());
     // w(j) = ⊕_k u(k) ⊗ a(k,j): first operand u (row vector, coords (0,k)),
     // second operand a(k,j).
     t = detail::push_kernel<Z>(
@@ -335,16 +366,20 @@ void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
         [&](const AT &aval, const U &uval, Index j, Index k) {
           return sr.multiply(uval, aval, Index{0}, k, j);
         },
-        a.ncols());
+        a.ncols(), pl);
   } else {
     detail::check_same_size(u.size(), a.ncols(), "vxm: u/Aᵀ dimension mismatch");
     detail::check_vector_mask(mask, a.nrows());
     detail::check_same_size(w.size(), a.nrows(), "vxm: w/Aᵀ dimension mismatch");
+    const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::vxm, a, u, mask, d,
+                                            a.nrows());
     // w(i) = ⊕_k u(k) ⊗ aᵀ(k,i) = ⊕_k u(k) ⊗ a(i,k): dot products over rows.
     t = detail::dot_kernel<Z>(
-        sr, a, u, allowed, [&](const AT &aval, const U &uval, Index i, Index k) {
+        sr, a, u, allowed,
+        [&](const AT &aval, const U &uval, Index i, Index k) {
           return sr.multiply(uval, aval, Index{0}, k, i);
-        });
+        },
+        pl);
   }
   detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
 }
@@ -362,22 +397,28 @@ void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
     detail::check_same_size(u.size(), a.ncols(), "mxv: u/A dimension mismatch");
     detail::check_vector_mask(mask, a.nrows());
     detail::check_same_size(w.size(), a.nrows(), "mxv: w/A dimension mismatch");
+    const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::mxv, a, u, mask, d,
+                                            a.nrows());
     // w(i) = ⊕_k a(i,k) ⊗ u(k): first operand is the matrix element.
     t = detail::dot_kernel<Z>(
-        sr, a, u, allowed, [&](const AT &aval, const U &uval, Index i, Index k) {
+        sr, a, u, allowed,
+        [&](const AT &aval, const U &uval, Index i, Index k) {
           return sr.multiply(aval, uval, i, k, Index{0});
-        });
+        },
+        pl);
   } else {
     detail::check_same_size(u.size(), a.nrows(), "mxv: u/Aᵀ dimension mismatch");
     detail::check_vector_mask(mask, a.ncols());
     detail::check_same_size(w.size(), a.ncols(), "mxv: w/Aᵀ dimension mismatch");
+    const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::mxv, a, u, mask, d,
+                                            a.ncols());
     // w(j) = ⊕_k aᵀ(j,k) ⊗ u(k) = ⊕_k a(k,j) ⊗ u(k): scatter along rows of A.
     t = detail::push_kernel<Z>(
         sr, a, u, allowed,
         [&](const AT &aval, const U &uval, Index j, Index k) {
           return sr.multiply(aval, uval, j, k, Index{0});
         },
-        a.ncols());
+        a.ncols(), pl);
   }
   detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
 }

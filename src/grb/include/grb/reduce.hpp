@@ -14,6 +14,7 @@
 
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
+#include "grb/plan.hpp"
 #include "grb/semiring.hpp"
 #include "grb/transpose.hpp"
 
@@ -56,10 +57,7 @@ void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
   // Row reductions are independent; chunk them by row nnz (the CSR row
   // pointer is the work prefix) so hub rows don't serialize the loop.
   const bool csr = src->format() == Matrix<A>::Format::csr;
-  const int parts =
-      (detail::effective_threads() > 1 && src->nvals() >= detail::kParallelGrain)
-          ? detail::effective_threads() * 4
-          : 1;
+  const int parts = plan::chunk_parts(src->nvals(), 4);
   std::vector<Index> bounds =
       csr && parts > 1 ? detail::partition_rows_by_work(src->rowptr(), parts)
                        : detail::partition_even(m, parts);
@@ -82,11 +80,7 @@ void reduce(S &s, Accum accum, M monoid, const Matrix<A> &a) {
   Z acc = M::identity();
   a.finish();
   const bool csr = a.format() == Matrix<A>::Format::csr;
-  const int parts =
-      (detail::effective_threads() > 1 && csr &&
-       a.nvals() >= detail::kParallelGrain)
-          ? detail::effective_threads() * 4
-          : 1;
+  const int parts = csr ? plan::chunk_parts(a.nvals(), 4) : 1;
   if (parts > 1) {
     auto bounds = detail::partition_rows_by_work(a.rowptr(), parts);
     const int nchunks = static_cast<int>(bounds.size()) - 1;
@@ -119,10 +113,7 @@ template <typename S, typename Accum, typename M, typename U>
 void reduce(S &s, Accum accum, M monoid, const Vector<U> &u) {
   using Z = typename M::value_type;
   Z acc = M::identity();
-  const int parts =
-      (detail::effective_threads() > 1 && u.nvals() >= detail::kParallelGrain)
-          ? detail::effective_threads() * 4
-          : 1;
+  const int parts = plan::chunk_parts(u.nvals(), 4);
   if (parts > 1 && u.format() == Vector<U>::Format::sparse) {
     auto uv = u.sparse_values();
     auto bounds = detail::partition_even(static_cast<Index>(uv.size()), parts);

@@ -76,16 +76,29 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
       grb::eWiseAdd(paths, grb::no_mask, grb::NoAccum{}, grb::Plus{}, paths,
                     frontier);
       // F⟨¬s(P), r⟩ = F plus.first A  (push) or F plus.first Bᵀ (pull).
-      // Pull evaluates one dot per *unvisited* (source, node) pair, so it
-      // pays only when the frontier is dense AND few pairs remain — the
-      // same scout/awake trade-off as GAP's direction-optimizing BFS.
-      // Pull computes one (non-early-exiting) dot per unvisited pair; push
-      // scatters once per frontier entry. Pull wins only when the frontier
-      // outnumbers the unvisited remainder.
-      const double unvisited = total - static_cast<double>(paths.nvals());
-      const bool pull = direction_opt &&
-                        static_cast<double>(frontier.nvals()) > unvisited;
-      if (pull) {
+      // Pull evaluates one (non-early-exiting) dot per *unvisited*
+      // (source, node) pair; push scatters once per frontier entry — the
+      // same scout/awake trade-off as GAP's direction-optimizing BFS, so
+      // the shared grb::plan traversal model decides. direction_opt = false
+      // pins push through the plan hint.
+      grb::plan::OpDesc od;
+      od.op = grb::plan::OpKind::traversal;
+      od.out_size = n;
+      od.a_rows = g.a.nrows();
+      od.a_cols = g.a.ncols();
+      od.a_nvals = g.a.nvals();
+      od.u_nvals = frontier.nvals();
+      od.pull_candidates = static_cast<grb::Index>(
+          total - static_cast<double>(paths.nvals()));
+      od.masked = true;
+      od.mask_complement = true;
+      od.mask_structural = true;
+      od.mask_nvals = paths.nvals();
+      od.has_transpose = at != nullptr;
+      od.hint = direction_opt ? grb::plan::Direction::none
+                              : grb::plan::Direction::push;
+      const auto pl = grb::plan::make_plan(od);
+      if (pl.direction == grb::plan::Direction::pull) {
         grb::mxm(frontier, paths, grb::NoAccum{}, plus_first, frontier, *at,
                  grb::Descriptor{}.T1().S().C().R());
       } else {
@@ -105,11 +118,25 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
       // W⟨s(S[i-1]), r⟩ = W plus.first Aᵀ — push multiplies by the explicit
       // transpose B = Aᵀ (saxpy, cost ∝ edges out of level i); pull
       // multiplies by A under a transposed descriptor (one masked dot per
-      // S[i-1] entry). Pick by candidate count.
-      const bool pull = at == nullptr ||
-                        (direction_opt &&
-                         2 * levels[i - 1].nvals() < w.nvals());
-      if (pull) {
+      // S[i-1] entry, always available), so has_transpose holds even when
+      // the explicit Aᵀ is missing — then the hint forces pull instead.
+      grb::plan::OpDesc od;
+      od.op = grb::plan::OpKind::traversal;
+      od.out_size = n;
+      od.a_rows = g.a.nrows();
+      od.a_cols = g.a.ncols();
+      od.a_nvals = g.a.nvals();
+      od.u_nvals = w.nvals();
+      od.pull_candidates = levels[i - 1].nvals();
+      od.masked = true;
+      od.mask_structural = true;
+      od.mask_nvals = levels[i - 1].nvals();
+      od.has_transpose = true;
+      od.hint = at == nullptr ? grb::plan::Direction::pull
+                : !direction_opt ? grb::plan::Direction::push
+                                 : grb::plan::Direction::none;
+      const auto pl = grb::plan::make_plan(od);
+      if (pl.direction == grb::plan::Direction::pull) {
         grb::mxm(w, levels[i - 1], grb::NoAccum{}, plus_first, w, g.a,
                  grb::Descriptor{}.T1().S().R());
       } else {

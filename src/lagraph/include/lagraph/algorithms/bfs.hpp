@@ -6,7 +6,10 @@
 // `any` monoid picks an arbitrary valid parent (the benign race of GAP's
 // bfs.cc, §IV-A). The direction-optimizing variant (Alg. 2) switches between
 // that push step and the pull step q⟨¬s(p), r⟩ = Aᵀ any.secondi q on the
-// explicitly cached transpose, using a GAP-style frontier-size heuristic.
+// explicitly cached transpose; the per-level choice comes from the grb::plan
+// cost model (push cost |q|·d̄ vs pull cost over the unvisited candidates,
+// early-out credit for the `any` terminal monoid). Advanced variants pin the
+// direction through the plan hint instead of bypassing the planner.
 //
 // Basic mode (lagraph::bfs) computes whatever cached properties it needs on
 // the Graph; Advanced mode (lagraph::advanced::bfs_*) never mutates the
@@ -21,13 +24,14 @@ namespace lagraph {
 
 namespace detail {
 
-/// Shared BFS engine. `use_pull(nq, nvisited)` decides the direction of each
-/// level; `at` may be null when pulls never happen.
+/// Shared BFS engine. Each level's push/pull choice routes through
+/// grb::plan::make_plan; `hint` pins the direction (Advanced push-only
+/// variant) and `at` may be null when pulls never happen.
 template <typename T>
 void bfs_engine(grb::Vector<std::int64_t> *level,
                 grb::Vector<std::int64_t> *parent, const grb::Matrix<T> &a,
                 const grb::Matrix<T> *at, grb::Index source,
-                bool direction_optimizing) {
+                grb::plan::Direction hint) {
   const grb::Index n = a.nrows();
   if (source >= n) {
     throw grb::Exception(grb::Info::invalid_index, "bfs: source out of range");
@@ -38,30 +42,43 @@ void bfs_engine(grb::Vector<std::int64_t> *level,
   q.set_element(source, static_cast<std::int64_t>(source));
   grb::Vector<std::int64_t> p(n);  // parent vector
   p.set_element(source, static_cast<std::int64_t>(source));
-  // Bitmap upfront: the per-level updates p⟨s(q)⟩ = q and level⟨s(q)⟩ = d
-  // then scatter in place (O(|q|)) instead of rebuilding O(n) arrays — the
-  // difference between one and thousands of O(n) passes on the Road graph.
-  p.to_bitmap();
+  // Bitmap upfront (planner-pinnable): the per-level updates p⟨s(q)⟩ = q and
+  // level⟨s(q)⟩ = d then scatter in place (O(|q|)) instead of rebuilding
+  // O(n) arrays — the difference between one and thousands of O(n) passes on
+  // the Road graph.
+  grb::plan::prepare(p, grb::plan::iterative_output_format(n));
   grb::Vector<std::int64_t> lv(n);
   if (level != nullptr) {
     lv.set_element(source, 0);
-    lv.to_bitmap();
+    grb::plan::prepare(lv, grb::plan::iterative_output_format(n));
   }
 
   grb::Index nvisited = 1;
   std::int64_t depth = 0;
-  const double nd = static_cast<double>(n);
 
   while (true) {
     const grb::Index nq = q.nvals();
     if (nq == 0) break;
 
-    // GAP-flavoured heuristic: pull when the frontier is a sizable fraction
-    // of the graph and most nodes are still unvisited enough to matter.
-    const bool pull = direction_optimizing && at != nullptr &&
-                      static_cast<double>(nq) > nd / 32.0 &&
-                      static_cast<double>(nvisited) < 0.9 * nd;
-    if (pull) {
+    // Plan this level: push scatters the frontier's out-edges, pull probes
+    // the unvisited rows of Aᵀ with early exit (any is a terminal monoid).
+    grb::plan::OpDesc od;
+    od.op = grb::plan::OpKind::traversal;
+    od.out_size = n;
+    od.a_rows = a.nrows();
+    od.a_cols = a.ncols();
+    od.a_nvals = a.nvals();
+    od.u_nvals = nq;
+    od.pull_candidates = n - nvisited;
+    od.masked = true;
+    od.mask_complement = true;
+    od.mask_structural = true;
+    od.mask_nvals = nvisited;
+    od.has_terminal = true;
+    od.has_transpose = at != nullptr;
+    od.hint = hint;
+    const auto pl = grb::plan::make_plan(od);
+    if (pl.direction == grb::plan::Direction::pull) {
       // q⟨¬s(p), r⟩ = Aᵀ any.secondi q
       grb::mxv(q, p, grb::NoAccum{}, semiring, *at, q, grb::desc::RSC);
     } else {
@@ -108,7 +125,7 @@ int bfs_push(grb::Vector<std::int64_t> *level,
     detail_check_outputs(level, parent, msg);
     lagraph::detail::bfs_engine(level, parent, g.a,
                                 static_cast<const grb::Matrix<T> *>(nullptr),
-                                source, false);
+                                source, grb::plan::Direction::push);
     return LAGRAPH_OK;
   });
 }
@@ -129,7 +146,8 @@ int bfs_do(grb::Vector<std::int64_t> *level,
           msg, LAGRAPH_PROPERTY_MISSING,
           "bfs_do: directed graph needs the cached transpose (property_at)");
     }
-    lagraph::detail::bfs_engine(level, parent, g.a, at, source, true);
+    lagraph::detail::bfs_engine(level, parent, g.a, at, source,
+                                grb::plan::Direction::none);
     return LAGRAPH_OK;
   });
 }

@@ -45,9 +45,10 @@ int sssp_delta_stepping(grb::Vector<double> *dist, const Graph<T> &g,
 
     grb::Vector<double> t(n);  // entries only for reached nodes
     t.set_element(source, 0.0);
-    // Bitmap from the start: the per-round updates (t min= tReq) then run
-    // in place instead of rebuilding O(n) arrays each relaxation.
-    t.to_bitmap();
+    // Bitmap from the start (planner-pinnable): the per-round updates
+    // (t min= tReq) then run in place instead of rebuilding O(n) arrays
+    // each relaxation.
+    grb::plan::prepare(t, grb::plan::iterative_output_format(n));
 
     grb::MinPlus<double> min_plus;
     grb::Vector<double> tb(n);     // current bucket frontier
@@ -142,7 +143,7 @@ int sssp(grb::Vector<double> *dist, Graph<T> &g, grb::Index source,
       return LAGRAPH_OK;
     });
     if (status < 0) return status;
-    delta = std::max(1.0, maxw / 128.0);
+    delta = grb::plan::sssp_default_delta(maxw);
   }
   return advanced::sssp_delta_stepping(dist, g, source, delta, msg);
 }

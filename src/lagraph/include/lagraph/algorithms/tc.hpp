@@ -63,7 +63,7 @@ int triangle_count(std::uint64_t *count, const Graph<T> &g, TcPresort presort,
       int status = sample_degree(&mean, &median, g, /*byrow=*/true, 1000,
                                  0x5eedULL, msg);
       if (status < 0) return status;
-      do_sort = mean > 4.0 * median;
+      do_sort = grb::plan::tc_presort(mean, median);
     }
 
     const grb::Matrix<T> *a = &g.a;

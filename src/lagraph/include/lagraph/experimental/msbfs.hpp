@@ -17,8 +17,9 @@
 //     2015), so one sweep over the adjacency advances all 64 traversals and
 //     overlapping frontiers are deduplicated for free. Each level picks
 //     push (iterate frontier vertices' out-edges) or pull (probe unseen
-//     vertices' in-edges via the cached transpose) with the same GAP-style
-//     heuristic as bfs_do.
+//     vertices' in-edges via the cached transpose) through the same
+//     grb::plan traversal cost model as bfs_do, so service snapshots can
+//     pre-warm and reuse the per-level plans across batched queries.
 //
 // Useful for all-pairs-ish workloads (closeness centrality estimation,
 // graph diameter probes) and for serving many concurrent BFS queries.
@@ -104,6 +105,9 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
     }
   }
 
+  // The word-parallel sweeps walk raw CSR arrays; materialize the row
+  // pointer explicitly (counted, never a silent hypersparse expansion).
+  grb::plan::prepare(g.a, grb::plan::MatFormat::csr);
   const auto rp = g.a.rowptr();
   const auto cx = g.a.colidx();
   // Pull steps probe incoming edges: the cached transpose, or A itself for
@@ -112,6 +116,7 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
   std::span<const grb::Index> trp;
   std::span<const grb::Index> tcx;
   if (atp != nullptr) {
+    grb::plan::prepare(*atp, grb::plan::MatFormat::csr);
     trp = atp->rowptr();
     tcx = atp->colidx();
   }
@@ -122,7 +127,6 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
   std::vector<grb::Index> active;   // vertices with a nonzero frontier word
   std::vector<grb::Index> touched;  // vertices gaining bits this level
 
-  const double nd = static_cast<double>(n);
   for (grb::Index g0 = 0; g0 < ns; g0 += 64) {
     const grb::Index gend = std::min<grb::Index>(g0 + 64, ns);
     const std::uint64_t groupmask =
@@ -147,12 +151,25 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
     while (!active.empty()) {
       ++depth;
       touched.clear();
-      // Same GAP-style direction heuristic as bfs_do, over the union
-      // frontier of the whole group.
-      const bool pull = atp != nullptr &&
-                        static_cast<double>(active.size()) > nd / 32.0 &&
-                        static_cast<double>(nvisited) < 0.9 * nd;
-      if (pull) {
+      // Same traversal plan as bfs_do, over the union frontier of the whole
+      // group. Snapshot plan caches make the per-level lookups O(1) across
+      // a batch of queries on the same graph.
+      grb::plan::OpDesc od;
+      od.op = grb::plan::OpKind::traversal;
+      od.out_size = n;
+      od.a_rows = g.a.nrows();
+      od.a_cols = g.a.ncols();
+      od.a_nvals = g.a.nvals();
+      od.u_nvals = static_cast<grb::Index>(active.size());
+      od.pull_candidates = n - nvisited;
+      od.masked = true;
+      od.mask_complement = true;
+      od.mask_structural = true;
+      od.mask_nvals = nvisited;
+      od.has_terminal = true;  // per-vertex early exit once miss bits fill
+      od.has_transpose = atp != nullptr;
+      const auto pl = grb::plan::make_plan(od);
+      if (pl.direction == grb::plan::Direction::pull) {
         // Probe each not-fully-visited vertex's in-edges, OR-ing the
         // senders' frontier words; early-exit once every missing bit of
         // this vertex has been found.

@@ -40,12 +40,23 @@ class GraphSnapshot {
   /// which graph version answered their query.
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
+  /// Per-snapshot grb::plan memo. make_snapshot pre-warms it with traversal
+  /// plans across a sweep of frontier densities; workers install it (via
+  /// grb::plan::CacheScope) for the duration of each query so repeated
+  /// shape buckets across a batch hit the cache instead of re-running the
+  /// cost model. PlanCache is internally synchronized, hence mutable here:
+  /// inserting a memoized plan does not observably change the snapshot.
+  [[nodiscard]] grb::plan::PlanCache &plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
  private:
   friend int make_snapshot(SnapshotPtr *out, Graph<double> &&g, char *msg);
   GraphSnapshot() = default;
 
   Graph<double> g_;
   std::uint64_t id_ = 0;
+  mutable grb::plan::PlanCache plan_cache_;
 };
 
 /// Build a snapshot from a graph (ownership moves, LAGraph_New style): cache

@@ -233,6 +233,9 @@ void Engine::worker_loop() {
 
 void Engine::run_bfs_sweep(std::vector<Pending> batch) {
   const auto start = Clock::now();
+  // Route every grb::plan lookup in this batch through the snapshot's
+  // pre-warmed cache (one batch = one snapshot; demux checked that).
+  grb::plan::CacheScope plan_scope(&batch.front().snap->plan_cache());
   std::vector<grb::Index> sources;
   sources.reserve(batch.size());
   for (const auto &p : batch) sources.push_back(p.req.source);
@@ -271,6 +274,7 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
 
 void Engine::run_solo(Pending p) {
   const auto start = Clock::now();
+  grb::plan::CacheScope plan_scope(&p.snap->plan_cache());
   char msg[LAGRAPH_MSG_LEN];
   msg[0] = '\0';
 

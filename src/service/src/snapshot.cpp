@@ -39,6 +39,36 @@ int make_snapshot(SnapshotPtr *out, Graph<double> &&g, char *msg) {
     auto snap = std::shared_ptr<GraphSnapshot>(new GraphSnapshot());
     snap->g_ = std::move(g);
     snap->id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+
+    // Pre-warm the snapshot's plan cache: sweep frontier-size buckets of
+    // the BFS/MS-BFS traversal shape so the first batch of queries starts
+    // with memoized push/pull decisions instead of each worker paying the
+    // cost-model walk per level. Buckets are log-spaced — exactly the
+    // granularity of plan::cache_key — so a handful of probes covers every
+    // level a real traversal can present.
+    {
+      grb::plan::CacheScope scope(&snap->plan_cache_);
+      const grb::Index n = snap->g_.a.nrows();
+      const bool has_at = snap->g_.transpose_view() != nullptr;
+      for (grb::Index nq = 1; nq > 0 && nq <= n; nq *= 4) {
+        grb::plan::OpDesc od;
+        od.op = grb::plan::OpKind::traversal;
+        od.out_size = n;
+        od.a_rows = n;
+        od.a_cols = snap->g_.a.ncols();
+        od.a_nvals = snap->g_.a.nvals();
+        od.u_nvals = nq;
+        od.pull_candidates = n > nq ? n - nq : grb::Index{0};
+        od.masked = true;
+        od.mask_complement = true;
+        od.mask_structural = true;
+        od.mask_nvals = nq;
+        od.has_terminal = true;
+        od.has_transpose = has_at;
+        (void)grb::plan::make_plan(od);
+      }
+    }
+
     grb::stats().snapshot_builds.fetch_add(1, std::memory_order_relaxed);
     *out = std::move(snap);
     return LAGRAPH_OK;

@@ -23,9 +23,21 @@ import json
 import sys
 
 
-def load_entries(path):
-    with open(path) as f:
-        data = json.load(f)
+def load_entries(path, role):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        hint = ""
+        if role == "baseline":
+            hint = (
+                "\nhint: no baseline has been recorded yet -- run the bench "
+                "once and copy its JSON to this path (see scripts/check.sh)"
+            )
+        sys.exit(f"bench_diff: {role} file not found: {path}{hint}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_diff: {path} is not valid JSON ({e}); "
+                 "re-run the bench to regenerate it")
     if data.get("schema") != "lagraph-bench-v1":
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
     out = {}
@@ -45,10 +57,17 @@ def main():
         default=0.10,
         help="relative slowdown that counts as a regression (default 0.10)",
     )
+    ap.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="cells whose baseline median is below this are shown but never "
+        "flagged (sub-millisecond timings are noise on loaded machines)",
+    )
     args = ap.parse_args()
 
-    base_meta, base = load_entries(args.baseline)
-    cand_meta, cand = load_entries(args.candidate)
+    base_meta, base = load_entries(args.baseline, "baseline")
+    cand_meta, cand = load_entries(args.candidate, "candidate")
     if base_meta.get("scale") != cand_meta.get("scale"):
         print(
             f"note: scales differ (baseline {base_meta.get('scale')}, "
@@ -59,6 +78,19 @@ def main():
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
 
+    if not shared:
+        print("bench_diff: no overlapping (op, graph, threads) keys between "
+              f"{args.baseline} and {args.candidate}")
+        print(f"  baseline has {len(base)} entr{'y' if len(base) == 1 else 'ies'}, "
+              f"candidate has {len(cand)}")
+        if only_base:
+            print(f"  e.g. baseline-only key:  {only_base[0]}")
+        if only_cand:
+            print(f"  e.g. candidate-only key: {only_cand[0]}")
+        print("  nothing to compare -- were the two runs produced by the same "
+              "suite at the same scale?")
+        return 0
+
     regressions = []
     print(f"{'op':24s} {'graph':12s} {'thr':>3s} {'base ms':>12s} "
           f"{'cand ms':>12s} {'ratio':>7s}")
@@ -68,8 +100,11 @@ def main():
         ratio = c / b if b > 0 else float("inf")
         flag = ""
         if b > 0 and ratio > 1.0 + args.threshold:
-            flag = "  << REGRESSION"
-            regressions.append((key, b, c, ratio))
+            if b < args.min_ms:
+                flag = "  (slow, below --min-ms floor: not flagged)"
+            else:
+                flag = "  << REGRESSION"
+                regressions.append((key, b, c, ratio))
         print(f"{op:24s} {graph:12s} {threads:3d} {b:12.3f} {c:12.3f} "
               f"{ratio:7.2f}{flag}")
 

@@ -7,6 +7,11 @@
 //
 // Algorithms: bfs, pagerank, pagerank-dangling, sssp, tc, cc, bc, ktruss,
 //             lcc, cdlp, msbfs, stats
+// Planner introspection:
+//   explain [OP]         print the grb::plan execution plans the given op
+//                        would run on this graph (OP: bfs|mxv|vxm|mxm|ewise,
+//                        default bfs) — cost-model inputs, chosen direction,
+//                        operand formats, and thread-team size
 // Service commands (lagraph::service):
 //   serve                build a snapshot, start an Engine, run a query
 //                        script through the batching worker pool
@@ -62,13 +67,15 @@ struct Options {
   long window_us = 200;
   std::uint32_t max_batch = 64;
   bool no_batch = false;
+  std::string explain_op = "bfs";
 };
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
-      "ktruss|lcc|cdlp|msbfs|stats|serve|replay> [options]\n"
+      "ktruss|lcc|cdlp|msbfs|stats|explain|serve|replay> [options]\n"
+      "  explain [bfs|mxv|vxm|mxm|ewise]  print execution plans\n"
       "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
       "  --undirected --source N --delta X --k N --top N\n"
       "  serve/replay: --script FILE --threads N --window-us U "
@@ -82,14 +89,19 @@ bool parse_args(int argc, char **argv, Options &opt) {
   const char *known[] = {"bfs",    "pagerank", "pagerank-dangling", "sssp",
                          "tc",     "cc",       "bc",                "ktruss",
                          "lcc",    "cdlp",     "msbfs",             "stats",
-                         "serve",  "replay"};
+                         "explain", "serve",   "replay"};
   bool ok = false;
   for (const char *k : known) ok = ok || opt.algorithm == k;
   if (!ok) {
     std::fprintf(stderr, "unknown algorithm: %s\n", opt.algorithm.c_str());
     return false;
   }
-  for (int i = 2; i < argc; ++i) {
+  int first = 2;
+  if (opt.algorithm == "explain" && argc > 2 && argv[2][0] != '-') {
+    opt.explain_op = argv[2];
+    first = 3;
+  }
+  for (int i = first; i < argc; ++i) {
     std::string a = argv[i];
     auto need = [&](int count) { return i + count < argc; };
     if (a == "--mtx" && need(1)) {
@@ -353,6 +365,94 @@ int main(int argc, char **argv) {
     LAGRAPH_TRY(lagraph::experimental::msbfs_levels(&level, g, sources, msg));
     std::printf("batched BFS: %llu (source, node) pairs reached\n",
                 static_cast<unsigned long long>(level.nvals()));
+  } else if (opt.algorithm == "explain") {
+    // Planner introspection: build the operation descriptors the named op
+    // would hand to grb::plan::make_plan on this graph and print each plan.
+    // BFS sweeps three representative traversal stages so the push→pull→push
+    // trajectory of direction optimization is visible without running it.
+    LAGRAPH_TRY(lagraph::property_at(g, msg));
+    const grb::Index n = g.nodes();
+    const grb::Index nnz = g.entries();
+    auto base_desc = [&](grb::plan::OpKind op) {
+      grb::plan::OpDesc od;
+      od.op = op;
+      od.out_size = n;
+      od.a_rows = n;
+      od.a_cols = n;
+      od.a_nvals = nnz;
+      return od;
+    };
+    auto show = [](const char *label, const grb::plan::OpDesc &od) {
+      std::printf("-- %s --\n%s", label, grb::plan::make_plan(od).explain().c_str());
+    };
+    if (opt.explain_op == "bfs") {
+      struct Stage {
+        const char *label;
+        grb::Index nq;
+        grb::Index nvisited;
+      };
+      const Stage stages[] = {
+          {"early level (frontier = source)", 1, 1},
+          {"mid level (frontier ~ n/4)", std::max<grb::Index>(1, n / 4),
+           std::max<grb::Index>(1, n / 3)},
+          {"late level (tail, mostly visited)", std::max<grb::Index>(1, n / 64),
+           static_cast<grb::Index>(0.9 * static_cast<double>(n))},
+      };
+      for (const auto &s : stages) {
+        auto od = base_desc(grb::plan::OpKind::traversal);
+        od.u_nvals = s.nq;
+        od.pull_candidates = n - s.nvisited;
+        od.masked = true;
+        od.mask_complement = true;
+        od.mask_structural = true;
+        od.mask_nvals = s.nvisited;
+        od.has_terminal = true;
+        od.has_transpose = g.transpose_view() != nullptr;
+        show(s.label, od);
+      }
+    } else if (opt.explain_op == "mxv" || opt.explain_op == "vxm") {
+      const bool is_mxv = opt.explain_op == "mxv";
+      auto od = base_desc(is_mxv ? grb::plan::OpKind::mxv
+                                 : grb::plan::OpKind::vxm);
+      od.u_nvals = std::max<grb::Index>(1, n / 16);
+      show("sparse operand (nnz(u) = n/16)", od);
+      od.transpose_a = true;
+      show("transposed descriptor (dot kernel)", od);
+    } else if (opt.explain_op == "mxm") {
+      auto od = base_desc(grb::plan::OpKind::mxm);
+      od.b_nvals = nnz;
+      od.transpose_b = true;
+      od.masked = true;
+      od.mask_nvals = nnz;
+      od.mask_structural = true;
+      show("masked A x B^T (triangle-count shape)", od);
+      od.mask_complement = true;
+      show("complement-masked A x B^T (BC forward shape)", od);
+    } else if (opt.explain_op == "ewise") {
+      auto od = base_desc(grb::plan::OpKind::ewise_add);
+      od.u_nvals = std::max<grb::Index>(1, n / 8);
+      od.v_nvals = n;
+      od.u_format = 0;
+      od.v_format = 1;
+      show("eWiseAdd sparse + bitmap (SSSP relax shape)", od);
+      od.op = grb::plan::OpKind::ewise_mult;
+      show("eWiseMult sparse x bitmap (intersection)", od);
+    } else {
+      std::fprintf(stderr, "explain: unknown op '%s' "
+                   "(expected bfs|mxv|vxm|mxm|ewise)\n",
+                   opt.explain_op.c_str());
+      return 2;
+    }
+    const grb::Stats &ps = grb::stats();
+    std::printf("planner counters: %llu built, %llu cached, %llu overridden, "
+                "%llu push / %llu pull, %llu format conversions\n",
+                static_cast<unsigned long long>(ps.plans_built.load()),
+                static_cast<unsigned long long>(ps.plans_cached.load()),
+                static_cast<unsigned long long>(ps.plans_overridden.load()),
+                static_cast<unsigned long long>(ps.plan_push_decisions.load()),
+                static_cast<unsigned long long>(ps.plan_pull_decisions.load()),
+                static_cast<unsigned long long>(
+                    ps.format_conversions.load()));
   } else if (opt.algorithm == "serve" || opt.algorithm == "replay") {
     namespace svc = lagraph::service;
     std::vector<svc::Request> reqs;
