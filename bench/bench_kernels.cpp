@@ -182,8 +182,10 @@ int main(int argc, char **argv) {
     for (int t : threads) {
       grb::config().num_threads = t;
       op.fn();  // warm-up (also primes the workspace pool at this size)
-      const double ms = bench::median_seconds(reps, op.fn) * 1e3;
-      entries.push_back({op.name, graph_name, t, reps, ms});
+      const bench::RepStatsMs st = bench::rep_stats_ms(reps, op.fn);
+      const double ms = st.median_ms;
+      entries.push_back({op.name, graph_name, t, reps, ms, st.p50_ms,
+                         st.p95_ms, st.p99_ms});
       std::printf("  %9.3f", ms);
       if (smoke && ms > smoke_bound_ms) smoke_ok = false;
     }

@@ -101,15 +101,52 @@ double median_seconds(int reps, F &&f) {
   return t.size() % 2 == 1 ? t[k] : 0.5 * (t[k - 1] + t[k]);
 }
 
+/// Median plus tail percentiles (nearest-rank with interpolation) over
+/// `reps` runs of f, in milliseconds. With few reps the tails collapse
+/// toward the max — still useful for spotting bimodal runs in a diff.
+struct RepStatsMs {
+  double median_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+template <typename F>
+RepStatsMs rep_stats_ms(int reps, F &&f) {
+  std::vector<double> t;
+  t.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) t.push_back(time_once(f) * 1e3);
+  std::sort(t.begin(), t.end());
+  auto pct = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(t.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, t.size() - 1);
+    return t[lo] + (t[hi] - t[lo]) * (rank - static_cast<double>(lo));
+  };
+  RepStatsMs s;
+  const std::size_t k = t.size() / 2;
+  s.median_ms = t.size() % 2 == 1 ? t[k] : 0.5 * (t[k - 1] + t[k]);
+  s.p50_ms = pct(50);
+  s.p95_ms = pct(95);
+  s.p99_ms = pct(99);
+  return s;
+}
+
 // -- machine-readable output (tools/bench_diff.py reads this) ---------------
 
-/// One (op, graph, threads) timing cell of a BENCH_*.json file.
+/// One (op, graph, threads) timing cell of a BENCH_*.json file. The
+/// percentile fields are optional (negative = absent) so files written by
+/// older harnesses keep loading; bench_diff.py only compares percentiles
+/// present on both sides.
 struct JsonEntry {
   std::string op;
   std::string graph;
   int threads = 1;
   int reps = 0;
   double median_ms = 0.0;
+  double p50_ms = -1.0;
+  double p95_ms = -1.0;
+  double p99_ms = -1.0;
 };
 
 /// Write the shared bench JSON schema: {schema, suite, scale, entries: [...]}.
@@ -128,9 +165,15 @@ inline void write_bench_json(const std::string &path, const char *suite,
     const JsonEntry &x = entries[e];
     std::fprintf(out,
                  "    {\"op\": \"%s\", \"graph\": \"%s\", \"threads\": %d, "
-                 "\"reps\": %d, \"median_ms\": %.6f}%s\n",
-                 x.op.c_str(), x.graph.c_str(), x.threads, x.reps, x.median_ms,
-                 e + 1 < entries.size() ? "," : "");
+                 "\"reps\": %d, \"median_ms\": %.6f",
+                 x.op.c_str(), x.graph.c_str(), x.threads, x.reps,
+                 x.median_ms);
+    if (x.p50_ms >= 0 && x.p95_ms >= 0 && x.p99_ms >= 0) {
+      std::fprintf(out,
+                   ", \"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f",
+                   x.p50_ms, x.p95_ms, x.p99_ms);
+    }
+    std::fprintf(out, "}%s\n", e + 1 < entries.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

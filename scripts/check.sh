@@ -7,7 +7,10 @@
 #        parallel     bit-identical serial/parallel kernel determinism,
 #        concurrency  lagraph::service snapshot/engine races,
 #        plan         planner equivalence across formats × directions,
-#   3. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
+#        obs          grb::trace rings, histograms, calibration,
+#   3. a trace smoke: lagraph_cli trace bfs on a generated kron graph, with
+#      the emitted Chrome trace-event JSON validated by python3,
+#   4. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
 #      against the committed baseline bench/baselines/BENCH_smoke.json.
 #
 # Env knobs:
@@ -45,10 +48,29 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 step "tier-1: full ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-for label in parallel concurrency plan; do
+for label in parallel concurrency plan obs; do
   step "ctest -L $label"
   ctest --test-dir "$BUILD_DIR" -L "$label" --output-on-failure -j"$JOBS"
 done
+
+step "trace smoke: lagraph_cli trace bfs --gen kron 10"
+trace_json=$(mktemp --suffix=.json)
+"$BUILD_DIR"/tools/lagraph_cli trace bfs --gen kron 10 --trace-out "$trace_json"
+python3 - "$trace_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+levels = [e for e in events if e["name"] == "bfs_level"]
+assert levels, "trace has no bfs_level spans"
+for e in levels:
+    assert e["ph"] == "X", e
+    assert "frontier" in e["args"], e
+    assert e["args"]["direction"] in ("push", "pull"), e
+print(f"trace smoke OK: {len(events)} events, {len(levels)} bfs levels")
+EOF
+rm -f "$trace_json"
 
 if [[ "${SKIP_SMOKE:-0}" == "1" ]]; then
   step "perf smoke: skipped (SKIP_SMOKE=1)"

@@ -16,6 +16,7 @@
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
+#include "grb/trace.hpp"
 
 namespace grb {
 
@@ -25,9 +26,12 @@ void apply(Vector<W> &w, const MaskT &mask, Accum accum, F f,
            const Vector<U> &u, const Descriptor &d = desc::DEFAULT) {
   detail::check_same_size(w.size(), u.size(), "apply: size mismatch");
   const Index n = u.size();
+  trace::ScopedSpan sp(trace::SpanKind::apply);
+  sp.set_in_nvals(u.nvals());
   std::vector<Index> idx;
   std::vector<W> val;
   const int parts = plan::chunk_parts(u.nvals(), 2);
+  sp.set_threads(parts);
   if (u.format() == Vector<U>::Format::sparse) {
     auto ui = u.sparse_indices();
     auto uv = u.sparse_values();
@@ -60,6 +64,7 @@ void apply(Vector<W> &w, const MaskT &mask, Accum accum, F f,
   }
   Vector<W> t(n);
   t.adopt_sparse(std::move(idx), std::move(val));
+  sp.set_out_nvals(t.nvals());
   detail::write_result(w, std::move(t), mask, accum, d);
 }
 
@@ -90,6 +95,8 @@ void apply(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
            const Matrix<U> &a, const Descriptor &d = desc::DEFAULT) {
   detail::check_same_size(c.nrows(), a.nrows(), "apply: shape mismatch");
   detail::check_same_size(c.ncols(), a.ncols(), "apply: shape mismatch");
+  trace::ScopedSpan sp(trace::SpanKind::apply);
+  sp.set_in_nvals(a.nvals());
   const Index m = a.nrows();
   a.ensure_sorted();
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
@@ -127,6 +134,7 @@ void apply(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   }
   Matrix<W> t(m, a.ncols());
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  sp.set_out_nvals(t.nvals());
   detail::write_result(c, std::move(t), mask, accum, d);
 }
 
@@ -149,10 +157,13 @@ void select(Vector<W> &w, const MaskT &mask, Accum accum, F f,
             const Descriptor &d = desc::DEFAULT) {
   detail::check_same_size(w.size(), u.size(), "select: size mismatch");
   const Index n = u.size();
+  trace::ScopedSpan sp(trace::SpanKind::select);
+  sp.set_in_nvals(u.nvals());
   const U th = static_cast<U>(thunk);
   std::vector<Index> idx;
   std::vector<W> val;
   const int parts = plan::chunk_parts(u.nvals(), 2);
+  sp.set_threads(parts);
   if (u.format() == Vector<U>::Format::sparse) {
     auto ui = u.sparse_indices();
     auto uv = u.sparse_values();
@@ -189,6 +200,7 @@ void select(Vector<W> &w, const MaskT &mask, Accum accum, F f,
   }
   Vector<W> t(n);
   t.adopt_sparse(std::move(idx), std::move(val));
+  sp.set_out_nvals(t.nvals());
   detail::write_result(w, std::move(t), mask, accum, d);
 }
 
@@ -200,6 +212,8 @@ void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
             const Descriptor &d = desc::DEFAULT) {
   detail::check_same_size(c.nrows(), a.nrows(), "select: shape mismatch");
   detail::check_same_size(c.ncols(), a.ncols(), "select: shape mismatch");
+  trace::ScopedSpan sp(trace::SpanKind::select);
+  sp.set_in_nvals(a.nvals());
   const Index m = a.nrows();
   a.ensure_sorted();
   const U th = static_cast<U>(thunk);
@@ -207,6 +221,7 @@ void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   // Rows filter independently: chunk by row nnz, emit per-chunk buffers,
   // stitch the row pointer from per-chunk row lengths (as in ewise_mat).
   const int parts = plan::chunk_parts(a.nvals(), 2);
+  sp.set_threads(parts);
   std::vector<Index> bounds =
       parts > 1 ? detail::partition_rows_by_work(
                       m, parts, [&](Index i) { return a.row_nvals(i) + 1; })
@@ -250,6 +265,7 @@ void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   detail::concat_chunks(cci, ccv, ci, cv);
   Matrix<W> t(m, a.ncols());
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  sp.set_out_nvals(t.nvals());
   detail::write_result(c, std::move(t), mask, accum, d);
 }
 

@@ -44,12 +44,78 @@ struct Config {
   bool force_push = false;
   bool force_pull = false;
   ForceFormat force_format = ForceFormat::none;
+
+  /// grb::trace sampling gate (grb/trace.hpp): 0 disables span recording
+  /// entirely (the default — a ScopedSpan then costs one branch and touches
+  /// no global state), 1 records every span, N records every Nth span per
+  /// thread. Toggle at runtime between ops; changing it mid-kernel is
+  /// harmless (each span consults it once, on entry).
+  std::uint32_t trace_sample_every = 0;
+
+  /// Burble-style narration (SuiteSparse:GraphBLAS's diagnostic): one
+  /// stderr line per algorithm iteration — BFS level, PageRank sweep,
+  /// FastSV round — with frontier size, chosen direction, and duration.
+  /// Independent of trace_sample_every: narration works with recording off.
+  bool burble = false;
 };
 
 inline Config &config() {
   static Config c;
   return c;
 }
+
+/// Plain-value copy of the Stats counters at one instant. Readers (CLI JSON
+/// dumps, the service Prometheus exposition, bench reports) should take a
+/// snapshot() instead of touching the hot atomics field-by-field: each
+/// counter is loaded exactly once, so a report can't show the same counter
+/// with two different values.
+struct StatsSnapshot {
+  std::uint64_t row_sorts = 0;
+  std::uint64_t eager_sorts = 0;
+  std::uint64_t pending_flushes = 0;
+  std::uint64_t format_switches = 0;
+  std::uint64_t finalize_calls = 0;
+  std::uint64_t snapshot_builds = 0;
+  std::uint64_t batched_queries = 0;
+  std::uint64_t solo_queries = 0;
+  std::uint64_t batch_sweeps = 0;
+  std::uint64_t push_calls = 0;
+  std::uint64_t pull_calls = 0;
+  std::uint64_t parallel_regions = 0;
+  std::uint64_t work_items_stolen = 0;
+  std::uint64_t plans_built = 0;
+  std::uint64_t plans_cached = 0;
+  std::uint64_t plans_overridden = 0;
+  std::uint64_t plan_push_decisions = 0;
+  std::uint64_t plan_pull_decisions = 0;
+  std::uint64_t format_conversions = 0;
+
+  /// Visit every counter as (name, value), in declaration order — the one
+  /// place the counter list is spelled out for serializers (lagraph_cli
+  /// stats JSON, the service /metrics exposition).
+  template <typename F>
+  void for_each(F &&f) const {
+    f("row_sorts", row_sorts);
+    f("eager_sorts", eager_sorts);
+    f("pending_flushes", pending_flushes);
+    f("format_switches", format_switches);
+    f("finalize_calls", finalize_calls);
+    f("snapshot_builds", snapshot_builds);
+    f("batched_queries", batched_queries);
+    f("solo_queries", solo_queries);
+    f("batch_sweeps", batch_sweeps);
+    f("push_calls", push_calls);
+    f("pull_calls", pull_calls);
+    f("parallel_regions", parallel_regions);
+    f("work_items_stolen", work_items_stolen);
+    f("plans_built", plans_built);
+    f("plans_cached", plans_cached);
+    f("plans_overridden", plans_overridden);
+    f("plan_push_decisions", plan_push_decisions);
+    f("plan_pull_decisions", plan_pull_decisions);
+    f("format_conversions", format_conversions);
+  }
+};
 
 /// Instrumentation counters, cheap enough to leave always-on. Used by the
 /// ablation benchmarks to show, e.g., that the BFS/BC pipelines never pay for
@@ -92,6 +158,41 @@ struct Stats {
   std::atomic<std::uint64_t> plan_pull_decisions{0};  // plans choosing pull
   std::atomic<std::uint64_t> format_conversions{0};   // planner-driven converts
 
+  /// Race-free value copy: every counter loaded exactly once (relaxed).
+  /// The set is not a consistent cut across counters — increments land
+  /// between loads — but each value is a real observed count, and repeated
+  /// reads of the snapshot are stable. This is what serializers and
+  /// concurrent readers (the service engine may be running) must use.
+  [[nodiscard]] StatsSnapshot snapshot() const noexcept {
+    StatsSnapshot s;
+    s.row_sorts = row_sorts.load(std::memory_order_relaxed);
+    s.eager_sorts = eager_sorts.load(std::memory_order_relaxed);
+    s.pending_flushes = pending_flushes.load(std::memory_order_relaxed);
+    s.format_switches = format_switches.load(std::memory_order_relaxed);
+    s.finalize_calls = finalize_calls.load(std::memory_order_relaxed);
+    s.snapshot_builds = snapshot_builds.load(std::memory_order_relaxed);
+    s.batched_queries = batched_queries.load(std::memory_order_relaxed);
+    s.solo_queries = solo_queries.load(std::memory_order_relaxed);
+    s.batch_sweeps = batch_sweeps.load(std::memory_order_relaxed);
+    s.push_calls = push_calls.load(std::memory_order_relaxed);
+    s.pull_calls = pull_calls.load(std::memory_order_relaxed);
+    s.parallel_regions = parallel_regions.load(std::memory_order_relaxed);
+    s.work_items_stolen = work_items_stolen.load(std::memory_order_relaxed);
+    s.plans_built = plans_built.load(std::memory_order_relaxed);
+    s.plans_cached = plans_cached.load(std::memory_order_relaxed);
+    s.plans_overridden = plans_overridden.load(std::memory_order_relaxed);
+    s.plan_push_decisions = plan_push_decisions.load(std::memory_order_relaxed);
+    s.plan_pull_decisions = plan_pull_decisions.load(std::memory_order_relaxed);
+    s.format_conversions = format_conversions.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Zero every counter. NOT safe concurrently with running kernels or a
+  /// live service engine: the stores race member-by-member with in-flight
+  /// fetch_adds, so some increments survive the reset and others vanish —
+  /// the resulting mix never corresponds to any real instant. Quiesce all
+  /// workers (Engine::stop(), join benches) before calling; concurrent
+  /// *readers* should use snapshot() and never reset().
   void reset() noexcept {
     row_sorts = 0;
     eager_sorts = 0;

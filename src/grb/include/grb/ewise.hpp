@@ -18,6 +18,7 @@
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
+#include "grb/trace.hpp"
 
 namespace grb {
 namespace detail {
@@ -26,6 +27,9 @@ template <typename Z, typename Op, typename U, typename V, bool UnionMode>
 Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
   check_same_size(u.size(), v.size(), "eWise: dimension mismatch");
   const Index n = u.size();
+  trace::ScopedSpan sp(UnionMode ? trace::SpanKind::ewise_add
+                                 : trace::SpanKind::ewise_mult);
+  sp.set_in_nvals(static_cast<std::uint64_t>(u.nvals()) + v.nvals());
   std::vector<Index> idx;
   std::vector<Z> val;
 
@@ -40,6 +44,7 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
   od.u_format = u.format() == Vector<U>::Format::bitmap ? 1 : 0;
   od.v_format = v.format() == Vector<V>::Format::bitmap ? 1 : 0;
   const auto pl = plan::make_plan(od);
+  sp.set_plan(pl);
   plan::prepare(u, pl.u_format);
   plan::prepare(v, pl.v_format);
 
@@ -116,6 +121,7 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
       }
       Vector<Z> t0(n);
       t0.adopt_sparse(std::move(idx), std::move(val));
+      sp.set_out_nvals(t0.nvals());
       return t0;
     }
   }
@@ -175,6 +181,7 @@ Vector<Z> ewise_vec(Op op, const Vector<U> &u, const Vector<V> &v) {
   }
   Vector<Z> t(n);
   t.adopt_sparse(std::move(idx), std::move(val));
+  sp.set_out_nvals(t.nvals());
   return t;
 }
 
@@ -182,6 +189,9 @@ template <typename Z, typename Op, typename U, typename V, bool UnionMode>
 Matrix<Z> ewise_mat(Op op, const Matrix<U> &u, const Matrix<V> &v) {
   check_same_size(u.nrows(), v.nrows(), "eWise: row dimension mismatch");
   check_same_size(u.ncols(), v.ncols(), "eWise: column dimension mismatch");
+  trace::ScopedSpan sp(UnionMode ? trace::SpanKind::ewise_add
+                                 : trace::SpanKind::ewise_mult);
+  sp.set_in_nvals(static_cast<std::uint64_t>(u.nvals()) + v.nvals());
   const Index m = u.nrows();
   u.ensure_sorted();
   v.ensure_sorted();
@@ -196,7 +206,7 @@ Matrix<Z> ewise_mat(Op op, const Matrix<U> &u, const Matrix<V> &v) {
   od.a_cols = u.ncols();
   od.u_nvals = u.nvals();
   od.v_nvals = v.nvals();
-  (void)plan::make_plan(od);
+  sp.set_plan(plan::make_plan(od));
   const Index total = u.nvals() + v.nvals();
   const int parts = plan::chunk_parts(total, 2);
   std::vector<Index> bounds =
@@ -274,6 +284,7 @@ Matrix<Z> ewise_mat(Op op, const Matrix<U> &u, const Matrix<V> &v) {
   concat_chunks(cci, ccv, ci, cv);
   Matrix<Z> t(m, u.ncols());
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
+  sp.set_out_nvals(t.nvals());
   return t;
 }
 

@@ -22,6 +22,7 @@
 #include "grb/plan.hpp"
 #include "grb/reduce.hpp"
 #include "grb/semiring.hpp"
+#include "grb/trace.hpp"
 #include "grb/transpose.hpp"
 #include "grb/types.hpp"
 #include "grb/vector.hpp"

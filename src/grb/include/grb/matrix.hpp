@@ -43,6 +43,7 @@
 #include "grb/config.hpp"
 #include "grb/ops.hpp"
 #include "grb/parallel.hpp"
+#include "grb/trace.hpp"
 #include "grb/types.hpp"
 
 namespace grb {
@@ -191,6 +192,8 @@ class Matrix {
              std::span<const T> values, Dup dup = {}) {
     detail::require(rows.size() == cols.size() && rows.size() == values.size(),
                     Info::invalid_value, "build: array length mismatch");
+    trace::ScopedSpan sp(trace::SpanKind::build);
+    sp.set_in_nvals(rows.size());
     clear();  // also drops the finalized flag: back to single-writer mode
     const std::size_t nz = rows.size();
     // Counting sort by row, then per-row stable sort by column. The parallel
@@ -206,6 +209,7 @@ class Matrix {
             4 * nz + 1024) {
       nthreads = 1;
     }
+    sp.set_threads(nthreads);
     std::vector<Index> count(static_cast<std::size_t>(m_) + 1, 0);
     std::vector<std::size_t> order(nz);
     if (nthreads <= 1) {
@@ -303,6 +307,7 @@ class Matrix {
     }
     while (row < m_) rowptr_[++row] = static_cast<Index>(colidx_.size());
     jumbled_ = false;
+    sp.set_out_nvals(colidx_.size());
   }
 
   /// {i, j, x} ↤ C, in row-major (and within-row ascending column) order.

@@ -22,6 +22,7 @@
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
 #include "grb/semiring.hpp"
+#include "grb/trace.hpp"
 #include "grb/transpose.hpp"
 
 namespace grb {
@@ -326,6 +327,8 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
     mxm(c, mask, accum, sr, at, b, d2);
     return;
   }
+  trace::ScopedSpan sp(trace::SpanKind::mxm);
+  sp.set_in_nvals(static_cast<std::uint64_t>(a.nvals()) + b.nvals());
   const Index inner = d.transpose_b ? b.ncols() : b.nrows();
   const Index n = d.transpose_b ? b.nrows() : b.ncols();
   detail::check_same_size(a.ncols(), inner, "mxm: inner dimension mismatch");
@@ -356,6 +359,7 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
         static_cast<const void *>(&a) == static_cast<const void *>(&b);
   }
   const auto pl = plan::make_plan(od);
+  sp.set_plan(pl);
 
   // Apply the planned mask conversion, then drain the mask's deferred work:
   // the kernels probe it from inside parallel regions, where a lazy sort
@@ -389,6 +393,7 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
       return detail::mmask_test(mask, i, j, d);
     });
   }
+  sp.set_out_nvals(t.nvals());
   detail::write_result(c, std::move(t), mask, accum, d, /*t_is_masked=*/true);
 }
 
@@ -402,6 +407,8 @@ S mxm_reduce_scalar(ReduceMonoid rm, const MaskT &mask, SR sr,
   using Z = typename SR::value_type;
   detail::require(d.transpose_b, Info::not_implemented,
                   "mxm_reduce_scalar: only the dot (transposed B) form");
+  trace::ScopedSpan sp(trace::SpanKind::mxm_reduce);
+  sp.set_in_nvals(static_cast<std::uint64_t>(a.nvals()) + b.nvals());
   // Both operands walk rows via rowptr(); route the CSR materialization
   // through the planner so hypersparse expansion is counted, never silent.
   plan::OpDesc od;
@@ -421,7 +428,7 @@ S mxm_reduce_scalar(ReduceMonoid rm, const MaskT &mask, SR sr,
     od.operands_aliased =
         static_cast<const void *>(&a) == static_cast<const void *>(&b);
   }
-  (void)plan::make_plan(od);
+  sp.set_plan(plan::make_plan(od));
   a.ensure_sorted();
   b.ensure_sorted();
   plan::prepare(a, plan::MatFormat::csr);

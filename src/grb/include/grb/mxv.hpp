@@ -35,6 +35,7 @@
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
 #include "grb/semiring.hpp"
+#include "grb/trace.hpp"
 
 namespace grb {
 namespace detail {
@@ -352,6 +353,8 @@ void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
          const Descriptor &d = desc::DEFAULT) {
   using Z = typename SR::value_type;
   auto allowed = [&](Index j) { return detail::vmask_test(mask, j, d); };
+  trace::ScopedSpan sp(trace::SpanKind::vxm);
+  sp.set_in_nvals(u.nvals());
   Vector<Z> t(0);
   if (!d.transpose_a) {
     detail::check_same_size(u.size(), a.nrows(), "vxm: u/A dimension mismatch");
@@ -359,6 +362,7 @@ void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
     detail::check_same_size(w.size(), a.ncols(), "vxm: w/A dimension mismatch");
     const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::vxm, a, u, mask, d,
                                             a.ncols());
+    sp.set_plan(pl);
     // w(j) = ⊕_k u(k) ⊗ a(k,j): first operand u (row vector, coords (0,k)),
     // second operand a(k,j).
     t = detail::push_kernel<Z>(
@@ -373,6 +377,7 @@ void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
     detail::check_same_size(w.size(), a.nrows(), "vxm: w/Aᵀ dimension mismatch");
     const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::vxm, a, u, mask, d,
                                             a.nrows());
+    sp.set_plan(pl);
     // w(i) = ⊕_k u(k) ⊗ aᵀ(k,i) = ⊕_k u(k) ⊗ a(i,k): dot products over rows.
     t = detail::dot_kernel<Z>(
         sr, a, u, allowed,
@@ -381,6 +386,7 @@ void vxm(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
         },
         pl);
   }
+  sp.set_out_nvals(t.nvals());
   detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
 }
 
@@ -392,6 +398,8 @@ void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
          const Descriptor &d = desc::DEFAULT) {
   using Z = typename SR::value_type;
   auto allowed = [&](Index i) { return detail::vmask_test(mask, i, d); };
+  trace::ScopedSpan sp(trace::SpanKind::mxv);
+  sp.set_in_nvals(u.nvals());
   Vector<Z> t(0);
   if (!d.transpose_a) {
     detail::check_same_size(u.size(), a.ncols(), "mxv: u/A dimension mismatch");
@@ -399,6 +407,7 @@ void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
     detail::check_same_size(w.size(), a.nrows(), "mxv: w/A dimension mismatch");
     const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::mxv, a, u, mask, d,
                                             a.nrows());
+    sp.set_plan(pl);
     // w(i) = ⊕_k a(i,k) ⊗ u(k): first operand is the matrix element.
     t = detail::dot_kernel<Z>(
         sr, a, u, allowed,
@@ -412,6 +421,7 @@ void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
     detail::check_same_size(w.size(), a.ncols(), "mxv: w/Aᵀ dimension mismatch");
     const auto pl = detail::plan_mxv_op<SR>(plan::OpKind::mxv, a, u, mask, d,
                                             a.ncols());
+    sp.set_plan(pl);
     // w(j) = ⊕_k aᵀ(j,k) ⊗ u(k) = ⊕_k a(k,j) ⊗ u(k): scatter along rows of A.
     t = detail::push_kernel<Z>(
         sr, a, u, allowed,
@@ -420,6 +430,7 @@ void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
         },
         a.ncols(), pl);
   }
+  sp.set_out_nvals(t.nvals());
   detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
 }
 

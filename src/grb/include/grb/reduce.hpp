@@ -16,6 +16,7 @@
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
 #include "grb/semiring.hpp"
+#include "grb/trace.hpp"
 #include "grb/transpose.hpp"
 
 namespace grb {
@@ -25,6 +26,8 @@ template <typename W, typename MaskT, typename Accum, typename M, typename A>
 void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
             const Matrix<A> &a, const Descriptor &d = desc::DEFAULT) {
   using Z = typename M::value_type;
+  trace::ScopedSpan sp(trace::SpanKind::reduce);
+  sp.set_in_nvals(a.nvals());
   const Matrix<A> *src = &a;
   Matrix<A> at;
   if (d.transpose_a) {
@@ -58,6 +61,7 @@ void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
   // pointer is the work prefix) so hub rows don't serialize the loop.
   const bool csr = src->format() == Matrix<A>::Format::csr;
   const int parts = plan::chunk_parts(src->nvals(), 4);
+  sp.set_threads(parts);
   std::vector<Index> bounds =
       csr && parts > 1 ? detail::partition_rows_by_work(src->rowptr(), parts)
                        : detail::partition_even(m, parts);
@@ -70,6 +74,7 @@ void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
   detail::pack_slots(found, out, idx, val);
   Vector<Z> t(src->nrows());
   t.adopt_sparse(std::move(idx), std::move(val));
+  sp.set_out_nvals(t.nvals());
   detail::write_result(w, std::move(t), mask, accum, d);
 }
 
@@ -77,10 +82,14 @@ void reduce(Vector<W> &w, const MaskT &mask, Accum accum, M monoid,
 template <typename S, typename Accum, typename M, typename A>
 void reduce(S &s, Accum accum, M monoid, const Matrix<A> &a) {
   using Z = typename M::value_type;
+  trace::ScopedSpan sp(trace::SpanKind::reduce);
+  sp.set_in_nvals(a.nvals());
+  sp.set_out_nvals(1);
   Z acc = M::identity();
   a.finish();
   const bool csr = a.format() == Matrix<A>::Format::csr;
   const int parts = csr ? plan::chunk_parts(a.nvals(), 4) : 1;
+  sp.set_threads(parts);
   if (parts > 1) {
     auto bounds = detail::partition_rows_by_work(a.rowptr(), parts);
     const int nchunks = static_cast<int>(bounds.size()) - 1;
@@ -112,8 +121,12 @@ void reduce(S &s, Accum accum, M monoid, const Matrix<A> &a) {
 template <typename S, typename Accum, typename M, typename U>
 void reduce(S &s, Accum accum, M monoid, const Vector<U> &u) {
   using Z = typename M::value_type;
+  trace::ScopedSpan sp(trace::SpanKind::reduce);
+  sp.set_in_nvals(u.nvals());
+  sp.set_out_nvals(1);
   Z acc = M::identity();
   const int parts = plan::chunk_parts(u.nvals(), 4);
+  sp.set_threads(parts);
   if (parts > 1 && u.format() == Vector<U>::Format::sparse) {
     auto uv = u.sparse_values();
     auto bounds = detail::partition_even(static_cast<Index>(uv.size()), parts);

@@ -15,6 +15,7 @@
 
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
+#include "grb/trace.hpp"
 
 namespace grb {
 namespace detail {
@@ -23,6 +24,9 @@ template <typename T>
 Matrix<T> transpose_impl(const Matrix<T> &a) {
   const Index m = a.nrows();
   const Index n = a.ncols();
+  trace::ScopedSpan sp(trace::SpanKind::transpose);
+  sp.set_in_nvals(a.nvals());
+  sp.set_out_nvals(a.nvals());
   a.finish();
   const bool csr = a.format() == Matrix<T>::Format::csr;
   const Index nz = a.nvals();
@@ -35,6 +39,7 @@ Matrix<T> transpose_impl(const Matrix<T> &a) {
           4 * static_cast<std::size_t>(nz) + 1024) {
     nthreads = 1;
   }
+  sp.set_threads(nthreads);
 
   if (nthreads <= 1) {
     std::vector<Index> rp(static_cast<std::size_t>(n) + 1, 0);

@@ -68,6 +68,11 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
     // Forward phase: save each level's pattern.
     std::vector<grb::Matrix<grb::Bool>> levels;
     while (frontier.nvals() != 0) {
+      // One span per forward level: batched frontier nnz + the planner's
+      // push/pull choice, so the sweep's switch point shows up in traces.
+      grb::trace::ScopedSpan lsp(grb::trace::SpanKind::bc_forward);
+      lsp.set_iter(static_cast<std::int64_t>(levels.size()));
+      lsp.set_in_nvals(frontier.nvals());
       grb::Matrix<grb::Bool> s(ns, n);
       grb::assign(s, frontier, grb::NoAccum{}, grb::Bool(1),
                   grb::Indices::all(), grb::Indices::all(), grb::desc::S);
@@ -98,6 +103,7 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
       od.hint = direction_opt ? grb::plan::Direction::none
                               : grb::plan::Direction::push;
       const auto pl = grb::plan::make_plan(od);
+      lsp.set_plan(pl);
       if (pl.direction == grb::plan::Direction::pull) {
         grb::mxm(frontier, paths, grb::NoAccum{}, plus_first, frontier, *at,
                  grb::Descriptor{}.T1().S().C().R());
@@ -105,6 +111,7 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
         grb::mxm(frontier, paths, grb::NoAccum{}, plus_first, frontier, g.a,
                  grb::desc::RSC);
       }
+      lsp.set_out_nvals(frontier.nvals());
     }
 
     // Backward phase: dependency accumulation.
@@ -112,6 +119,11 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
     grb::Matrix<double> w(ns, n);
     const grb::Descriptor rs = grb::desc::RS;
     for (std::size_t i = levels.size(); i-- > 1;) {
+      // Backward levels walk the saved wavefronts in reverse; the span's
+      // frontier is the level pattern being propagated back.
+      grb::trace::ScopedSpan lsp(grb::trace::SpanKind::bc_backward);
+      lsp.set_iter(static_cast<std::int64_t>(i));
+      lsp.set_in_nvals(levels[i].nvals());
       // W⟨s(S[i]), r⟩ = bc_update ÷∩ P
       grb::eWiseMult(w, levels[i], grb::NoAccum{}, grb::Div{}, bc_update,
                      paths, rs);
@@ -136,6 +148,7 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
                 : !direction_opt ? grb::plan::Direction::push
                                  : grb::plan::Direction::none;
       const auto pl = grb::plan::make_plan(od);
+      lsp.set_plan(pl);
       if (pl.direction == grb::plan::Direction::pull) {
         grb::mxm(w, levels[i - 1], grb::NoAccum{}, plus_first, w, g.a,
                  grb::Descriptor{}.T1().S().R());
@@ -143,6 +156,7 @@ int betweenness_centrality(grb::Vector<double> *centrality, const Graph<T> &g,
         grb::mxm(w, levels[i - 1], grb::NoAccum{}, plus_first, w, *at,
                  grb::desc::RS);
       }
+      lsp.set_out_nvals(w.nvals());
       // bc_update += W ×∩ P
       grb::eWiseMult(bc_update, grb::no_mask, grb::Plus{}, grb::Times{}, w,
                      paths);

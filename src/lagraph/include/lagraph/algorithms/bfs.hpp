@@ -60,6 +60,13 @@ void bfs_engine(grb::Vector<std::int64_t> *level,
     const grb::Index nq = q.nvals();
     if (nq == 0) break;
 
+    // One span + burble line per level: frontier size, the planner's
+    // direction, and the level's wall time (GraphBLAST-style per-iteration
+    // instrumentation — an end-to-end timer can't show the switch point).
+    grb::trace::ScopedSpan lsp(grb::trace::SpanKind::bfs_level);
+    lsp.set_iter(depth + 1);
+    lsp.set_in_nvals(nq);
+
     // Plan this level: push scatters the frontier's out-edges, pull probes
     // the unvisited rows of Aᵀ with early exit (any is a terminal monoid).
     grb::plan::OpDesc od;
@@ -78,6 +85,7 @@ void bfs_engine(grb::Vector<std::int64_t> *level,
     od.has_transpose = at != nullptr;
     od.hint = hint;
     const auto pl = grb::plan::make_plan(od);
+    lsp.set_plan(pl);
     if (pl.direction == grb::plan::Direction::pull) {
       // q⟨¬s(p), r⟩ = Aᵀ any.secondi q
       grb::mxv(q, p, grb::NoAccum{}, semiring, *at, q, grb::desc::RSC);
@@ -85,6 +93,7 @@ void bfs_engine(grb::Vector<std::int64_t> *level,
       // qᵀ⟨¬s(pᵀ), r⟩ = qᵀ any.secondi A
       grb::vxm(q, p, grb::NoAccum{}, semiring, q, a, grb::desc::RSC);
     }
+    lsp.set_out_nvals(q.nvals());
     if (q.nvals() == 0) break;
 
     // p⟨s(q)⟩ = q — adopt the parents of the newly discovered nodes.

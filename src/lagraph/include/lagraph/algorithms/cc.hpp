@@ -63,7 +63,13 @@ int connected_components_fastsv(grb::Vector<grb::Index> *component,
     std::vector<grb::Index> fval;
     f.extract_tuples(fidx, fval);
 
+    std::int64_t round = 0;
     while (true) {
+      // One span per FastSV round; extra carries the number of grandparent
+      // labels that changed (the convergence signal).
+      grb::trace::ScopedSpan rsp(grb::trace::SpanKind::cc_iter);
+      rsp.set_iter(++round);
+      rsp.set_in_nvals(static_cast<std::uint64_t>(n));
       // Step 1a: mngf(i) min= min_{k ∈ N(i)} gf(k)
       grb::mxv(mngf, grb::no_mask, grb::Min{}, min_second, g.a, gf);
       // Step 1b: stochastic hooking — scatter-min through the parent ids:
@@ -84,6 +90,8 @@ int connected_components_fastsv(grb::Vector<grb::Index> *component,
                   diff);
       dup = gf;
       mngf = gf;
+      rsp.set_out_nvals(static_cast<std::uint64_t>(changed));
+      rsp.set_extra(static_cast<double>(changed));
       if (changed == 0) break;
     }
     *component = std::move(f);

@@ -56,6 +56,11 @@ int pagerank_gap(grb::Vector<double> *r_out, int *iters, const Graph<T> &g,
 
     int k = 0;
     for (k = 0; k < itermax; ++k) {
+      // One span per iteration; extra carries the L1 rank delta so burble
+      // output shows the convergence curve.
+      grb::trace::ScopedSpan isp(grb::trace::SpanKind::pr_iter);
+      isp.set_iter(k + 1);
+      isp.set_in_nvals(static_cast<std::uint64_t>(n));
       std::swap(t, r);  // t is now the prior rank
       // w = t ./ d  (dangling nodes have no degree entry and drop out,
       // reproducing the GAP rank leak)
@@ -70,6 +75,8 @@ int pagerank_gap(grb::Vector<double> *r_out, int *iters, const Graph<T> &g,
       grb::apply(t, grb::no_mask, grb::NoAccum{}, grb::Abs{}, t);
       double norm = 0;
       grb::reduce(norm, grb::NoAccum{}, grb::PlusMonoid<double>{}, t);
+      isp.set_out_nvals(r.nvals());
+      isp.set_extra(norm);
       if (norm < tol) {
         ++k;
         break;
@@ -123,6 +130,9 @@ int pagerank_graphalytics(grb::Vector<double> *r_out, int *iters,
 
     int k = 0;
     for (k = 0; k < itermax; ++k) {
+      grb::trace::ScopedSpan isp(grb::trace::SpanKind::pr_iter);
+      isp.set_iter(k + 1);
+      isp.set_in_nvals(static_cast<std::uint64_t>(n));
       std::swap(t, r);
       // rank mass stuck on dangling vertices this iteration
       double dmass = 0;
@@ -140,6 +150,8 @@ int pagerank_graphalytics(grb::Vector<double> *r_out, int *iters,
       grb::apply(t, grb::no_mask, grb::NoAccum{}, grb::Abs{}, t);
       double norm = 0;
       grb::reduce(norm, grb::NoAccum{}, grb::PlusMonoid<double>{}, t);
+      isp.set_out_nvals(r.nvals());
+      isp.set_extra(norm);
       if (norm < tol) {
         ++k;
         break;

@@ -78,7 +78,15 @@ int sssp_delta_stepping(grb::Vector<double> *dist, const Graph<T> &g,
       grb::assign(e, grb::no_mask, grb::NoAccum{}, grb::Bool(0),
                   grb::Indices::all());
 
+      // One span per bucket: initial bucket size, number of light
+      // relaxation rounds (extra), and the bucket's wall time.
+      grb::trace::ScopedSpan bsp(grb::trace::SpanKind::sssp_bucket);
+      bsp.set_iter(static_cast<std::int64_t>(i));
+      bsp.set_in_nvals(tb.nvals());
+      std::uint64_t rounds = 0;
+
       while (tb.nvals() != 0) {
+        ++rounds;
         // remember bucket membership for the heavy phase: e⟨s(tb)⟩ = 1
         grb::assign(e, tb, grb::NoAccum{}, grb::Bool(1), grb::Indices::all(),
                     grb::desc::S);
@@ -119,6 +127,8 @@ int sssp_delta_stepping(grb::Vector<double> *dist, const Graph<T> &g,
         grb::vxm(treq, grb::no_mask, grb::NoAccum{}, min_plus, settled, ah);
         grb::assign(t, grb::no_mask, grb::Min{}, treq, grb::Indices::all());
       }
+      bsp.set_out_nvals(settled.nvals());
+      bsp.set_extra(static_cast<double>(rounds));
     }
 
     *dist = std::move(t);

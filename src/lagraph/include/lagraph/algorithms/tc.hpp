@@ -86,11 +86,24 @@ int triangle_count(std::uint64_t *count, const Graph<T> &g, TcPresort presort,
 
     grb::Matrix<std::uint64_t> l(n, n);
     grb::Matrix<std::uint64_t> u(n, n);
-    // Strict triangles: thunk ±1 shifts the diagonal. Note the thunk is in
-    // the matrix's value domain (here T), so signed literals are required.
-    grb::select(l, grb::no_mask, grb::NoAccum{}, grb::Tril{}, *a, T(-1));
-    grb::select(u, grb::no_mask, grb::NoAccum{}, grb::Triu{}, *a, T(1));
+    {
+      // Phase 0: split into strict triangles (plus the optional presort
+      // permutation above, which dominates this phase when taken).
+      grb::trace::ScopedSpan psp(grb::trace::SpanKind::tc_phase);
+      psp.set_iter(0);
+      psp.set_in_nvals(a->nvals());
+      psp.set_extra(do_sort ? 1.0 : 0.0);
+      // Strict triangles: thunk ±1 shifts the diagonal. Note the thunk is in
+      // the matrix's value domain (here T), so signed literals are required.
+      grb::select(l, grb::no_mask, grb::NoAccum{}, grb::Tril{}, *a, T(-1));
+      grb::select(u, grb::no_mask, grb::NoAccum{}, grb::Triu{}, *a, T(1));
+      psp.set_out_nvals(l.nvals() + u.nvals());
+    }
 
+    // Phase 1: the masked multiply (fused or materialized) and reduction.
+    grb::trace::ScopedSpan csp(grb::trace::SpanKind::tc_phase);
+    csp.set_iter(1);
+    csp.set_in_nvals(l.nvals() + u.nvals());
     const auto dot_desc = grb::Descriptor{}.T1().S();
     if (fused) {
       *count = grb::mxm_reduce_scalar<std::uint64_t>(
@@ -104,6 +117,7 @@ int triangle_count(std::uint64_t *count, const Graph<T> &g, TcPresort presort,
       grb::reduce(total, grb::NoAccum{}, grb::PlusMonoid<std::uint64_t>{}, c);
       *count = total;
     }
+    csp.set_out_nvals(*count);
     return LAGRAPH_OK;
   });
 }

@@ -150,6 +150,11 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
     std::int64_t depth = 0;
     while (!active.empty()) {
       ++depth;
+      // One span per word-parallel level: union frontier size across the
+      // group, the plan's push/pull choice, and newly discovered vertices.
+      grb::trace::ScopedSpan lsp(grb::trace::SpanKind::msbfs_level);
+      lsp.set_iter(depth);
+      lsp.set_in_nvals(active.size());
       touched.clear();
       // Same traversal plan as bfs_do, over the union frontier of the whole
       // group. Snapshot plan caches make the per-level lookups O(1) across
@@ -169,6 +174,7 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
       od.has_terminal = true;  // per-vertex early exit once miss bits fill
       od.has_transpose = atp != nullptr;
       const auto pl = grb::plan::make_plan(od);
+      lsp.set_plan(pl);
       if (pl.direction == grb::plan::Direction::pull) {
         // Probe each not-fully-visited vertex's in-edges, OR-ing the
         // senders' frontier words; early-exit once every missing bit of
@@ -216,6 +222,7 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
         }
       }
       nvisited += static_cast<grb::Index>(active.size());
+      lsp.set_out_nvals(active.size());
     }
   }
   return LAGRAPH_OK;

@@ -85,6 +85,17 @@ struct EngineConfig {
   std::size_t max_queue = 0;     ///< queued-request cap; 0 = unbounded
 };
 
+/// One query kind's execution-latency distribution (from the engine's log₂
+/// histograms; see grb::trace::Histogram). Milliseconds for readability.
+struct KindLatency {
+  QueryKind kind = QueryKind::bfs;
+  std::uint64_t count = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+};
+
 /// Monotonic totals since construction (snapshot under the engine lock).
 struct EngineCounters {
   std::uint64_t submitted = 0;
@@ -128,6 +139,17 @@ class Engine {
   [[nodiscard]] const EngineConfig &config() const noexcept { return cfg_; }
   [[nodiscard]] EngineCounters counters() const;
 
+  /// p50/p95/p99/mean execution latency per query kind, in submission
+  /// order of QueryKind; kinds with no completed queries are omitted.
+  [[nodiscard]] std::vector<KindLatency> latency_summary() const;
+
+  /// Prometheus text exposition: the engine counters, per-query-kind
+  /// execution/queue latency histograms (`lagraph_service_exec_seconds`,
+  /// `lagraph_service_queue_seconds`), the global per-op-kind kernel
+  /// histograms (`grb_op_seconds`), and every grb::Stats counter
+  /// (`grb_stats`). Readable live with bounded skew.
+  [[nodiscard]] std::string prometheus_text() const;
+
  private:
   struct Pending {
     Request req;
@@ -143,6 +165,13 @@ class Engine {
   void run_bfs_sweep(std::vector<Pending> batch);
   void run_solo(Pending p);
   void fail_locked(Pending &&p, int status, const char *what);
+  // Feed the per-kind latency histograms; lock-free (relaxed counters).
+  void observe(QueryKind k, double queue_s, double exec_s) noexcept;
+
+  static constexpr int kNumQueryKinds = 4;
+  // Indexed by QueryKind; recordable from any worker without the lock.
+  grb::trace::Histogram exec_hist_[kNumQueryKinds];
+  grb::trace::Histogram queue_hist_[kNumQueryKinds];
 
   EngineConfig cfg_;
   mutable std::mutex mu_;

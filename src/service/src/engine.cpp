@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 namespace lagraph {
 namespace service {
@@ -75,6 +76,94 @@ SnapshotPtr Engine::snapshot() const {
 EngineCounters Engine::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
   return counters_;
+}
+
+void Engine::observe(QueryKind k, double queue_s, double exec_s) noexcept {
+  const int i = static_cast<int>(k);
+  queue_hist_[i].record(static_cast<std::uint64_t>(queue_s * 1e9));
+  exec_hist_[i].record(static_cast<std::uint64_t>(exec_s * 1e9));
+}
+
+std::vector<KindLatency> Engine::latency_summary() const {
+  std::vector<KindLatency> out;
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    const auto &h = exec_hist_[i];
+    if (h.count() == 0) continue;
+    KindLatency kl;
+    kl.kind = static_cast<QueryKind>(i);
+    kl.count = h.count();
+    kl.p50_ms = h.percentile_ns(50) / 1e6;
+    kl.p95_ms = h.percentile_ns(95) / 1e6;
+    kl.p99_ms = h.percentile_ns(99) / 1e6;
+    kl.mean_ms = static_cast<double>(h.sum_ns()) /
+                 static_cast<double>(h.count()) / 1e6;
+    out.push_back(kl);
+  }
+  return out;
+}
+
+std::string Engine::prometheus_text() const {
+  std::ostringstream os;
+  const EngineCounters c = counters();
+  auto counter = [&](const char *name, const char *help, std::uint64_t v) {
+    os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << " counter\n";
+    os << name << ' ' << v << '\n';
+  };
+  counter("lagraph_service_queries_submitted_total", "Queries submitted",
+          c.submitted);
+  counter("lagraph_service_queries_completed_total", "Queries completed",
+          c.completed);
+  counter("lagraph_service_queries_failed_total", "Queries failed",
+          c.failed);
+  counter("lagraph_service_deadline_expired_total",
+          "Queries expired in queue", c.deadline_expired);
+  counter("lagraph_service_queue_rejected_total",
+          "Queries rejected by the queue cap", c.queue_rejected);
+  counter("lagraph_service_bfs_sweeps_total", "msbfs sweeps issued",
+          c.bfs_sweeps);
+  counter("lagraph_service_batched_bfs_total",
+          "BFS queries answered by a sweep of width >= 2", c.batched_bfs);
+  counter("lagraph_service_solo_queries_total", "Queries run unbatched",
+          c.solo_queries);
+  counter("lagraph_service_snapshot_installs_total", "Snapshots installed",
+          c.snapshot_installs);
+
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    const std::string labels =
+        std::string("kind=\"") +
+        query_kind_name(static_cast<QueryKind>(i)) + "\"";
+    grb::trace::write_prometheus_histogram(
+        os, "lagraph_service_exec_seconds", labels, exec_hist_[i], i == 0);
+  }
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    const std::string labels =
+        std::string("kind=\"") +
+        query_kind_name(static_cast<QueryKind>(i)) + "\"";
+    grb::trace::write_prometheus_histogram(
+        os, "lagraph_service_queue_seconds", labels, queue_hist_[i], i == 0);
+  }
+
+  // Global per-op kernel histograms (fed by grb::trace spans; empty unless
+  // tracing is sampling).
+  bool first = true;
+  for (int i = 0; i < grb::trace::kNumSpanKinds; ++i) {
+    const auto k = static_cast<grb::trace::SpanKind>(i);
+    const auto &h = grb::trace::op_histogram(k);
+    if (h.count() == 0) continue;
+    const std::string labels =
+        std::string("kind=\"") + grb::trace::name(k) + "\"";
+    grb::trace::write_prometheus_histogram(os, "grb_op_seconds", labels, h,
+                                           first);
+    first = false;
+  }
+
+  os << "# HELP grb_stats grb substrate counters\n";
+  os << "# TYPE grb_stats counter\n";
+  grb::stats().snapshot().for_each([&](const char *name, std::uint64_t v) {
+    os << "grb_stats{counter=\"" << name << "\"} " << v << '\n';
+  });
+  return os.str();
 }
 
 std::future<QueryResult> Engine::submit(Request req) {
@@ -233,6 +322,8 @@ void Engine::worker_loop() {
 
 void Engine::run_bfs_sweep(std::vector<Pending> batch) {
   const auto start = Clock::now();
+  grb::trace::ScopedSpan qsp(grb::trace::SpanKind::query);
+  qsp.set_in_nvals(batch.size());
   // Route every grb::plan lookup in this batch through the snapshot's
   // pre-warmed cache (one batch = one snapshot; demux checked that).
   grb::plan::CacheScope plan_scope(&batch.front().snap->plan_cache());
@@ -256,6 +347,7 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
     r.batch_size = width;
     r.queue_seconds = seconds_between(batch[i].enqueued, start);
     r.exec_seconds = seconds_between(start, end);
+    if (st >= 0) observe(QueryKind::bfs, r.queue_seconds, r.exec_seconds);
     if (st < 0) {
       r.error = msg;
     } else {
@@ -274,6 +366,8 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
 
 void Engine::run_solo(Pending p) {
   const auto start = Clock::now();
+  grb::trace::ScopedSpan qsp(grb::trace::SpanKind::query);
+  qsp.set_in_nvals(1);
   grb::plan::CacheScope plan_scope(&p.snap->plan_cache());
   char msg[LAGRAPH_MSG_LEN];
   msg[0] = '\0';
@@ -313,6 +407,7 @@ void Engine::run_solo(Pending p) {
   const auto end = Clock::now();
   r.queue_seconds = seconds_between(p.enqueued, start);
   r.exec_seconds = seconds_between(start, end);
+  if (r.status >= 0) observe(p.req.kind, r.queue_seconds, r.exec_seconds);
   if (r.status < 0) r.error = msg;
   const bool ok = r.status >= 0;
   p.promise.set_value(std::move(r));

@@ -16,6 +16,12 @@ flagged as a regression; the script prints a table of all matched cells and
 exits 1 if any regression was found. Cells present on only one side are
 reported but never fail the run (graph scale or thread sweep may legitimately
 differ between commits).
+
+Entries may optionally carry p50_ms / p95_ms / p99_ms percentile fields
+(written by newer harnesses). When a percentile is present on *both* sides of
+a matched cell its ratio is shown alongside the median; tail percentiles are
+informational only and never flag a regression (with few reps they collapse
+toward the max and are too noisy to gate on).
 """
 
 import argparse
@@ -41,10 +47,16 @@ def load_entries(path, role):
     if data.get("schema") != "lagraph-bench-v1":
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
     out = {}
+    pcts = {}
     for e in data.get("entries", []):
         key = (e["op"], e["graph"], int(e["threads"]))
         out[key] = float(e["median_ms"])
-    return data, out
+        pcts[key] = {
+            p: float(e[p])
+            for p in ("p50_ms", "p95_ms", "p99_ms")
+            if p in e and float(e[p]) >= 0
+        }
+    return data, out, pcts
 
 
 def main():
@@ -66,8 +78,8 @@ def main():
     )
     args = ap.parse_args()
 
-    base_meta, base = load_entries(args.baseline, "baseline")
-    cand_meta, cand = load_entries(args.candidate, "candidate")
+    base_meta, base, base_pct = load_entries(args.baseline, "baseline")
+    cand_meta, cand, cand_pct = load_entries(args.candidate, "candidate")
     if base_meta.get("scale") != cand_meta.get("scale"):
         print(
             f"note: scales differ (baseline {base_meta.get('scale')}, "
@@ -105,8 +117,21 @@ def main():
             else:
                 flag = "  << REGRESSION"
                 regressions.append((key, b, c, ratio))
+        pct = ""
+        shared_pcts = [
+            p
+            for p in ("p50_ms", "p95_ms", "p99_ms")
+            if p in base_pct.get(key, {}) and p in cand_pct.get(key, {})
+        ]
+        if shared_pcts:
+            parts = []
+            for p in shared_pcts:
+                pb, pc = base_pct[key][p], cand_pct[key][p]
+                pr = pc / pb if pb > 0 else float("inf")
+                parts.append(f"{p[:3]} {pr:.2f}x")
+            pct = "  [" + ", ".join(parts) + "]"
         print(f"{op:24s} {graph:12s} {threads:3d} {b:12.3f} {c:12.3f} "
-              f"{ratio:7.2f}{flag}")
+              f"{ratio:7.2f}{flag}{pct}")
 
     for key in only_base:
         print(f"only in baseline:  {key}")

@@ -35,6 +35,17 @@
 //   --window-us U        serve: BFS coalescing window in µs (default 200)
 //   --max-batch B        serve: max sources per msbfs sweep (default 64)
 //   --no-batch           serve: disable batching (still multi-threaded)
+//   --prometheus FILE    serve/replay: write the engine's Prometheus text
+//                        exposition (counters + latency histograms) to FILE
+//   --json               stats: dump graph summary + grb::Stats as JSON
+//   --burble             narrate algorithm iterations to stderr
+// Tracing (grb::trace):
+//   trace ALGO [opts]    run ALGO with span recording on, write a Chrome
+//                        trace-event JSON (open in Perfetto), print per-op
+//                        latency percentiles and the plan-vs-actual
+//                        calibration report
+//   --trace-out FILE     trace: output path (default trace.json)
+//   --sample N           trace: record every Nth span per thread (default 1)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -68,6 +79,12 @@ struct Options {
   std::uint32_t max_batch = 64;
   bool no_batch = false;
   std::string explain_op = "bfs";
+  bool json = false;
+  bool burble = false;
+  bool trace = false;
+  std::string trace_out = "trace.json";
+  std::uint32_t sample = 1;
+  std::string prometheus;
 };
 
 int usage() {
@@ -75,17 +92,30 @@ int usage() {
       stderr,
       "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
       "ktruss|lcc|cdlp|msbfs|stats|explain|serve|replay> [options]\n"
+      "       lagraph_cli trace <algorithm> [options]\n"
       "  explain [bfs|mxv|vxm|mxm|ewise]  print execution plans\n"
       "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
       "  --undirected --source N --delta X --k N --top N\n"
+      "  --json (stats) --burble\n"
+      "  trace: --trace-out FILE --sample N\n"
       "  serve/replay: --script FILE --threads N --window-us U "
-      "--max-batch B --no-batch\n");
+      "--max-batch B --no-batch --prometheus FILE\n");
   return 2;
 }
 
 bool parse_args(int argc, char **argv, Options &opt) {
   if (argc < 2) return false;
+  int first = 2;
   opt.algorithm = argv[1];
+  if (opt.algorithm == "trace") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fprintf(stderr, "trace: expected an algorithm\n");
+      return false;
+    }
+    opt.trace = true;
+    opt.algorithm = argv[2];
+    first = 3;
+  }
   const char *known[] = {"bfs",    "pagerank", "pagerank-dangling", "sssp",
                          "tc",     "cc",       "bc",                "ktruss",
                          "lcc",    "cdlp",     "msbfs",             "stats",
@@ -96,10 +126,9 @@ bool parse_args(int argc, char **argv, Options &opt) {
     std::fprintf(stderr, "unknown algorithm: %s\n", opt.algorithm.c_str());
     return false;
   }
-  int first = 2;
-  if (opt.algorithm == "explain" && argc > 2 && argv[2][0] != '-') {
-    opt.explain_op = argv[2];
-    first = 3;
+  if (opt.algorithm == "explain" && argc > first && argv[first][0] != '-') {
+    opt.explain_op = argv[first];
+    ++first;
   }
   for (int i = first; i < argc; ++i) {
     std::string a = argv[i];
@@ -132,6 +161,17 @@ bool parse_args(int argc, char **argv, Options &opt) {
       opt.max_batch = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (a == "--no-batch") {
       opt.no_batch = true;
+    } else if (a == "--json") {
+      opt.json = true;
+    } else if (a == "--burble") {
+      opt.burble = true;
+    } else if (a == "--trace-out" && need(1)) {
+      opt.trace_out = argv[++i];
+    } else if (a == "--sample" && need(1)) {
+      opt.sample = static_cast<std::uint32_t>(
+          std::max(1, std::atoi(argv[++i])));
+    } else if (a == "--prometheus" && need(1)) {
+      opt.prometheus = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete option: %s\n", a.c_str());
       return false;
@@ -268,12 +308,19 @@ int main(int argc, char **argv) {
   if (!parse_args(argc, argv, opt)) return usage();
   char msg[LAGRAPH_MSG_LEN];
 
+  if (opt.trace) grb::config().trace_sample_every = opt.sample;
+  if (opt.burble) grb::config().burble = true;
+  // stats --json emits a machine-readable document: nothing else on stdout.
+  const bool quiet = opt.algorithm == "stats" && opt.json;
+
   lagraph::Graph<double> g;
   LAGRAPH_TRY(load_graph(g, opt, msg));
-  std::printf("graph: %llu nodes, %llu entries, %s\n",
-              static_cast<unsigned long long>(g.nodes()),
-              static_cast<unsigned long long>(g.entries()),
-              lagraph::kind_name(g.kind));
+  if (!quiet) {
+    std::printf("graph: %llu nodes, %llu entries, %s\n",
+                static_cast<unsigned long long>(g.nodes()),
+                static_cast<unsigned long long>(g.entries()),
+                lagraph::kind_name(g.kind));
+  }
 
   lagraph::Timer timer;
   lagraph::tic(timer);
@@ -285,6 +332,28 @@ int main(int argc, char **argv) {
     double mean = 0;
     double median = 0;
     LAGRAPH_TRY(lagraph::sample_degree(&mean, &median, g, true, 1000, 1, msg));
+    if (opt.json) {
+      // Graph summary plus every grb::Stats counter, as one JSON object
+      // (the counters reflect the property computations just run).
+      std::printf("{\n  \"graph\": {\"nodes\": %llu, \"entries\": %llu, "
+                  "\"kind\": \"%s\", \"ndiag\": %lld},\n",
+                  static_cast<unsigned long long>(g.nodes()),
+                  static_cast<unsigned long long>(g.entries()),
+                  lagraph::kind_name(g.kind),
+                  static_cast<long long>(g.ndiag));
+      std::printf("  \"degree\": {\"mean\": %.6g, \"median\": %.6g},\n", mean,
+                  median);
+      std::printf("  \"stats\": {");
+      bool first_counter = true;
+      grb::stats().snapshot().for_each(
+          [&](const char *name, std::uint64_t v) {
+            std::printf("%s\n    \"%s\": %llu", first_counter ? "" : ",",
+                        name, static_cast<unsigned long long>(v));
+            first_counter = false;
+          });
+      std::printf("\n  }\n}\n");
+      return 0;
+    }
     LAGRAPH_TRY(lagraph::display_graph(g, std::cout, msg));
     std::printf("degree: mean %.2f, median %.1f\n", mean, median);
   } else if (opt.algorithm == "bfs") {
@@ -522,6 +591,25 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(ks.pull_calls.load()),
                 static_cast<unsigned long long>(ks.parallel_regions.load()),
                 static_cast<unsigned long long>(ks.work_items_stolen.load()));
+    // Per-query-kind latency breakdown (log2 histograms; see grb::trace).
+    for (const auto &kl : engine.latency_summary()) {
+      std::printf("latency %-9s n=%-6llu p50 %.3fms  p95 %.3fms  "
+                  "p99 %.3fms  mean %.3fms\n",
+                  svc::query_kind_name(kl.kind),
+                  static_cast<unsigned long long>(kl.count), kl.p50_ms,
+                  kl.p95_ms, kl.p99_ms, kl.mean_ms);
+    }
+    if (!opt.prometheus.empty()) {
+      std::ofstream pf(opt.prometheus);
+      if (!pf) {
+        std::fprintf(stderr, "cannot open --prometheus file %s\n",
+                     opt.prometheus.c_str());
+        return 1;
+      }
+      pf << engine.prometheus_text();
+      std::printf("prometheus exposition written to %s\n",
+                  opt.prometheus.c_str());
+    }
     if (failed != 0) {
       std::fprintf(stderr, "first error %d (%s): %s\n", first_err,
                    lagraph::status_name(first_err), first_err_msg.c_str());
@@ -531,5 +619,34 @@ int main(int argc, char **argv) {
   }
 
   std::printf("elapsed: %.3fs\n", lagraph::toc(timer));
+
+  if (opt.trace) {
+    const auto spans = grb::trace::collect();
+    {
+      std::ofstream out(opt.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open --trace-out file %s\n",
+                     opt.trace_out.c_str());
+        return 1;
+      }
+      grb::trace::write_chrome_trace(out, spans);
+    }
+    std::printf("trace: %zu spans -> %s (open in Perfetto / "
+                "chrome://tracing)\n",
+                spans.size(), opt.trace_out.c_str());
+    // Per-op latency percentiles from the global histograms.
+    for (int i = 0; i < grb::trace::kNumSpanKinds; ++i) {
+      const auto k = static_cast<grb::trace::SpanKind>(i);
+      const auto &h = grb::trace::op_histogram(k);
+      if (h.count() == 0) continue;
+      std::printf("op %-11s n=%-7llu p50 %9.1fus  p95 %9.1fus  "
+                  "p99 %9.1fus\n",
+                  grb::trace::name(k),
+                  static_cast<unsigned long long>(h.count()),
+                  h.percentile_ns(50) / 1e3, h.percentile_ns(95) / 1e3,
+                  h.percentile_ns(99) / 1e3);
+    }
+    std::printf("%s", grb::trace::calibrate(spans).text().c_str());
+  }
   return 0;
 }
