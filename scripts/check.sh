@@ -8,6 +8,11 @@
 #        concurrency  lagraph::service snapshot/engine races,
 #        plan         planner equivalence across formats × directions,
 #        obs          grb::trace rings, histograms, calibration,
+#        conformance  differential oracle suite incl. corpus replay,
+#   2b. a budgeted conformance fuzz: lagraph_cli fuzz replays the committed
+#       corpus (tests/corpus/*.repro) then runs fresh seeded scenarios for
+#       --fuzz-seconds (default 30) wall-clock seconds; any mismatch exits
+#       non-zero and prints the failing seed + a shrunk repro,
 #   3. a trace smoke: lagraph_cli trace bfs on a generated kron graph, with
 #      the emitted Chrome trace-event JSON validated by python3,
 #   4. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
@@ -26,6 +31,11 @@
 #                      are noise)                        (default: 0.5)
 #   SKIP_SMOKE=1       skip step 3 entirely
 #
+# Args:
+#   --fuzz-seconds N   wall-clock budget for the fresh-seed conformance
+#                      fuzz stage (default 30; 0 skips the fresh fuzz but
+#                      still replays the corpus)
+#
 # To (re)record the perf baseline on a quiet machine:
 #   LAGRAPH_BENCH_JSON=bench/baselines/BENCH_smoke.json \
 #       "$BUILD_DIR"/bench/bench_kernels --smoke
@@ -38,6 +48,21 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 SMOKE_THRESHOLD=${SMOKE_THRESHOLD:-0.50}
 SMOKE_MIN_MS=${SMOKE_MIN_MS:-0.5}
 BASELINE=bench/baselines/BENCH_smoke.json
+FUZZ_SECONDS=30
+FUZZ_SEED=${FUZZ_SEED:-1}
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fuzz-seconds)
+      FUZZ_SECONDS=${2:?--fuzz-seconds needs a value}
+      shift 2
+      ;;
+    *)
+      echo "check.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
@@ -48,10 +73,19 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 step "tier-1: full ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-for label in parallel concurrency plan obs; do
+for label in parallel concurrency plan obs conformance; do
   step "ctest -L $label"
   ctest --test-dir "$BUILD_DIR" -L "$label" --output-on-failure -j"$JOBS"
 done
+
+step "conformance fuzz: corpus replay + ${FUZZ_SECONDS}s budget (seed $FUZZ_SEED)"
+# Replays every committed tests/corpus/*.repro through the full config
+# sweep, then fuzzes fresh seeded scenarios for the wall-clock budget. On a
+# mismatch the CLI exits non-zero, prints the failing seed, and writes a
+# shrunk self-contained repro to fuzz_failure.repro — commit the fixed
+# kernel plus the repro (as tests/corpus/<name>.repro) together.
+"$BUILD_DIR"/tools/lagraph_cli fuzz --corpus tests/corpus \
+    --seconds "$FUZZ_SECONDS" --seed "$FUZZ_SEED"
 
 step "trace smoke: lagraph_cli trace bfs --gen kron 10"
 trace_json=$(mktemp --suffix=.json)

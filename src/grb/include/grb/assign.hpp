@@ -254,7 +254,9 @@ void assign(Vector<W> &w, const MaskT &mask, Accum accum, const Vector<U> &u,
   // updates of the iterative algorithms (SSSP's t min= tReq, BFS's
   // p⟨s(q)⟩ = q), where a full O(n) rebuild per step is what the paper's
   // §VI-B calls per-iteration library overhead.
-  if (indices.is_all() && !d.replace &&
+  // With no mask, a complemented descriptor selects nothing (the complement
+  // of the implicit all-true mask) — the fast paths must not fire then.
+  if (indices.is_all() && !d.replace && !d.mask_complement &&
       w.format() == Vector<W>::Format::bitmap) {
     if constexpr (!has_mask_v<MaskT> && is_accum_v<Accum>) {
       // w(ALL) ⊙= u with no mask: accumulate u's entries in place.

@@ -1,0 +1,117 @@
+// grb/testing/differ.hpp — the differential half of the conformance harness.
+//
+// A Scenario is executed twice: once through the real grb kernels (under a
+// swept Config: thread count × forced storage format × planner direction
+// hints) and once through the naive oracle (grb/testing/oracle.hpp). The two
+// Results must agree bit-exactly — element type is std::int64_t throughout,
+// so there is no floating-point associativity escape hatch.
+//
+// When a sweep variant disagrees, minimize() shrinks the scenario (drop
+// tuples/mutations/list entries, clear descriptor flags, halve dimensions —
+// each edit re-normalized) to a small self-contained .repro file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grb/testing/scenario.hpp"
+
+namespace grb::testing {
+
+/// One point of the execution sweep: every scenario runs under each of
+/// these and must match the oracle under all of them.
+struct RunConfig {
+  int threads = 1;          // Config::num_threads (1 = bit-exact serial)
+  int force_format = 0;     // 0 none, 1 sparse, 2 bitmap (ForceFormat)
+  bool force_push = false;  // planner direction overrides
+  bool force_pull = false;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// The standard sweep: threads {1, 4, 8} × force_format {none, sparse,
+/// bitmap}, with the planner direction overrides folded onto two of the
+/// nine points so every knob is exercised.
+std::vector<RunConfig> sweep_configs();
+
+/// Test hook: mutate the real side's Result before comparison. Used to
+/// validate that the harness catches (and shrinks) an injected kernel bug.
+using CorruptHook =
+    std::function<void(const Scenario &, const RunConfig &, Result &)>;
+
+/// Execute through the real kernels under `rc`. Throws only if the scenario
+/// is malformed (normalize() prevents that for generated/parsed scenarios).
+Result run_real(const Scenario &s, const RunConfig &rc);
+
+/// Execute through the oracle (config-independent).
+Result run_oracle(const Scenario &s);
+
+struct Mismatch {
+  Scenario scenario;
+  RunConfig rc;
+  Result expected;  // oracle
+  Result actual;    // real kernels
+  std::string note;  // set when a side threw instead of producing a Result
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run one scenario under one config and compare. nullopt = match.
+std::optional<Mismatch> check_one(const Scenario &s, const RunConfig &rc,
+                                  const CorruptHook *corrupt = nullptr);
+
+/// Run one scenario under the full sweep. `instances`, when given, is
+/// incremented once per (scenario, config) execution pair.
+std::optional<Mismatch> check_sweep(const Scenario &s,
+                                    std::uint64_t *instances = nullptr,
+                                    const CorruptHook *corrupt = nullptr);
+
+/// Greedy fixed-point shrink: apply every known edit (drop tuples, drop
+/// mutations, drop index-list entries, clear flags/accum/mask, shrink
+/// dimensions), keep an edit iff `fails` still holds after normalize().
+using FailPred = std::function<bool(const Scenario &)>;
+Scenario minimize(Scenario s, const FailPred &fails);
+
+/// Convenience: minimize against "check_one(s, rc, corrupt) mismatches".
+Scenario minimize_against(const Scenario &s, const RunConfig &rc,
+                          const CorruptHook *corrupt = nullptr);
+
+struct FuzzOptions {
+  double seconds = 0;              // wall-clock budget; 0 = no time limit
+  std::uint64_t max_scenarios = 0; // scenario budget; 0 = no count limit
+  std::uint64_t seed = 1;          // first scenario seed (consecutive after)
+  bool shrink = true;              // minimize the first failure
+  CorruptHook corrupt;             // test hook (see above)
+};
+
+struct FuzzReport {
+  std::uint64_t scenarios = 0;
+  std::uint64_t instances = 0;  // (scenario, config) pairs executed
+  bool ok = true;
+  std::uint64_t failing_seed = 0;
+  std::string detail;                // human-readable mismatch description
+  std::optional<Scenario> shrunk;    // minimized failing scenario
+  std::string repro;                 // serialize(*shrunk) (or the unshrunk one)
+};
+
+/// Seeded fuzz loop: scenarios generate(seed), generate(seed+1), … until a
+/// budget is hit or a mismatch is found (stops at the first failure).
+FuzzReport fuzz(const FuzzOptions &opt);
+
+/// Replay every .repro file under `dir` (non-recursive) through the sweep.
+struct ReplayOutcome {
+  int files = 0;
+  int failures = 0;
+  std::uint64_t instances = 0;
+  std::string detail;  // per-failure descriptions
+};
+ReplayOutcome replay_corpus(const std::string &dir);
+
+/// Replay a single .repro file; nullopt string = parse error (in *error).
+std::optional<Mismatch> replay_file(const std::string &path,
+                                    std::string *error);
+
+}  // namespace grb::testing

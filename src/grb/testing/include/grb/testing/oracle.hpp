@@ -1,0 +1,722 @@
+// grb/testing/oracle.hpp — a deliberately naive reference interpreter for the
+// Table I operation set.
+//
+// The oracle is the "obviously correct" half of the differential conformance
+// harness: a dense, serial, map-based model of GraphBLAS containers with the
+// mask/accumulator/replace output step transcribed directly from the C-spec
+// §2.3 prose (NOT from grb/mask.hpp — sharing code with the kernels would
+// make the comparison vacuous). Everything is concrete std::int64_t: the
+// fuzzer compares bit-exactly, which integer arithmetic permits and floating
+// point (associativity) would not.
+//
+// Conventions the oracle pins down, matching the documented grb semantics:
+//   * reductions and multiply-add folds visit the inner index in ascending
+//     order, seeding with the first value seen — for the `any` monoid
+//     ("first wins") this is exactly the deterministic instance the serial
+//     kernels implement and the parallel ones preserve;
+//   * accumulators apply as accum(old, new);
+//   * a complemented descriptor with no mask selects nothing;
+//   * structural masks test presence, valued masks test value != 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "grb/types.hpp"
+
+namespace grb::testing {
+
+using Value = std::int64_t;
+
+/// Dense map model of a vector: size + {index → value}.
+struct RefVec {
+  Index n = 0;
+  std::map<Index, Value> e;
+
+  RefVec() = default;
+  explicit RefVec(Index size) : n(size) {}
+
+  void set(Index i, Value v) { e[i] = v; }
+  void remove(Index i) { e.erase(i); }
+  [[nodiscard]] std::optional<Value> get(Index i) const {
+    auto it = e.find(i);
+    if (it == e.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] bool has(Index i) const { return e.count(i) != 0; }
+};
+
+/// Dense map model of a matrix: dims + {(row, col) → value}.
+struct RefMat {
+  Index m = 0;
+  Index n = 0;
+  std::map<std::pair<Index, Index>, Value> e;
+
+  RefMat() = default;
+  RefMat(Index rows, Index cols) : m(rows), n(cols) {}
+
+  void set(Index i, Index j, Value v) { e[{i, j}] = v; }
+  void remove(Index i, Index j) { e.erase({i, j}); }
+  [[nodiscard]] std::optional<Value> get(Index i, Index j) const {
+    auto it = e.find({i, j});
+    if (it == e.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] bool has(Index i, Index j) const { return e.count({i, j}) != 0; }
+};
+
+/// The descriptor fields the output step and the ops consult.
+struct ODesc {
+  bool transpose_a = false;
+  bool transpose_b = false;
+  bool complement = false;
+  bool structural = false;
+  bool replace = false;
+};
+
+/// accum(old, new) — absent means "no accumulator" (w = t, with deletions
+/// inside the mask where t has no entry).
+using OAccum = std::optional<std::function<Value(Value, Value)>>;
+/// Monoid fold operator (identity handled by the caller / fold seeding).
+using OBinary = std::function<Value(Value, Value)>;
+/// Semiring multiply with the coordinate triple of a(i,k)·b(k,j) for
+/// positional operators.
+using OMultiply = std::function<Value(Value, Value, Index i, Index k, Index j)>;
+/// Unary map for apply.
+using OUnary = std::function<Value(Value)>;
+/// Index-unary predicate for select: f(value, i, j, thunk).
+using OSelect = std::function<bool(Value, Index, Index, Value)>;
+
+namespace oracle {
+
+// ---------------------------------------------------------------------------
+// The §2.3 output step, transcribed from the spec prose.
+//
+//   T = op(inputs)                            (caller provides t)
+//   Z = accum ? C ⊙ T : T                     (⊙ merges on the union,
+//                                              accum on the intersection)
+//   C⟨M, r⟩ = Z:  inside the mask C receives Z's content, including the
+//   absence of an entry (deletion); outside the mask C keeps its old
+//   content, unless replace clears it.
+// ---------------------------------------------------------------------------
+
+inline bool mask_pass_vec(const RefVec *mask, Index i, const ODesc &d) {
+  if (mask == nullptr) return !d.complement;  // complement of all-true: none
+  auto v = mask->get(i);
+  const bool in = v.has_value() && (d.structural || *v != 0);
+  return d.complement != in;
+}
+
+inline bool mask_pass_mat(const RefMat *mask, Index i, Index j,
+                          const ODesc &d) {
+  if (mask == nullptr) return !d.complement;
+  auto v = mask->get(i, j);
+  const bool in = v.has_value() && (d.structural || *v != 0);
+  return d.complement != in;
+}
+
+inline void write_vec(RefVec &w, const RefVec &t, const RefVec *mask,
+                      const OAccum &accum, const ODesc &d) {
+  detail::check_same_size(t.n, w.n, "oracle: result dimension mismatch");
+  if (mask != nullptr) {
+    detail::check_same_size(mask->n, w.n, "oracle: mask dimension mismatch");
+  }
+  RefVec out(w.n);
+  for (Index i = 0; i < w.n; ++i) {
+    auto c = w.get(i);
+    auto tv = t.get(i);
+    // Z at position i.
+    std::optional<Value> z;
+    if (accum) {
+      if (c && tv) {
+        z = (*accum)(*c, *tv);
+      } else if (c) {
+        z = c;
+      } else {
+        z = tv;
+      }
+    } else {
+      z = tv;
+    }
+    if (mask_pass_vec(mask, i, d)) {
+      if (z) out.set(i, *z);
+    } else if (!d.replace && c) {
+      out.set(i, *c);
+    }
+  }
+  w = std::move(out);
+}
+
+inline void write_mat(RefMat &c, const RefMat &t, const RefMat *mask,
+                      const OAccum &accum, const ODesc &d) {
+  detail::check_same_size(t.m, c.m, "oracle: result row mismatch");
+  detail::check_same_size(t.n, c.n, "oracle: result col mismatch");
+  if (mask != nullptr) {
+    detail::check_same_size(mask->m, c.m, "oracle: mask row mismatch");
+    detail::check_same_size(mask->n, c.n, "oracle: mask col mismatch");
+  }
+  RefMat out(c.m, c.n);
+  for (Index i = 0; i < c.m; ++i) {
+    for (Index j = 0; j < c.n; ++j) {
+      auto cv = c.get(i, j);
+      auto tv = t.get(i, j);
+      std::optional<Value> z;
+      if (accum) {
+        if (cv && tv) {
+          z = (*accum)(*cv, *tv);
+        } else if (cv) {
+          z = cv;
+        } else {
+          z = tv;
+        }
+      } else {
+        z = tv;
+      }
+      if (mask_pass_mat(mask, i, j, d)) {
+        if (z) out.set(i, j, *z);
+      } else if (!d.replace && cv) {
+        out.set(i, j, *cv);
+      }
+    }
+  }
+  c = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+inline RefMat transpose_of(const RefMat &a) {
+  RefMat t(a.n, a.m);
+  for (const auto &[ij, v] : a.e) t.set(ij.second, ij.first, v);
+  return t;
+}
+
+/// Fold `next` into an optional accumulator, seeding with the first value —
+/// the "first wins" convention the any-monoid relies on.
+inline void fold(std::optional<Value> &acc, Value next, const OBinary &add) {
+  if (acc) {
+    acc = add(*acc, next);
+  } else {
+    acc = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table I operations over the model. Each computes T naively (dense triple
+// loops, ascending indices) and defers to the §2.3 write step.
+// ---------------------------------------------------------------------------
+
+/// C⟨M⟩ ⊙= A ⊕.⊗ B (with effective transposes applied per descriptor).
+inline void mxm(RefMat &c, const RefMat *mask, const OAccum &accum,
+                const OBinary &add, const OMultiply &mult, RefMat a, RefMat b,
+                const ODesc &d) {
+  if (d.transpose_a) a = transpose_of(a);
+  if (d.transpose_b) b = transpose_of(b);
+  detail::check_same_size(a.n, b.m, "oracle mxm: inner dimension mismatch");
+  detail::check_same_size(c.m, a.m, "oracle mxm: output row mismatch");
+  detail::check_same_size(c.n, b.n, "oracle mxm: output col mismatch");
+  RefMat t(a.m, b.n);
+  for (Index i = 0; i < a.m; ++i) {
+    for (Index j = 0; j < b.n; ++j) {
+      std::optional<Value> acc;
+      for (Index k = 0; k < a.n; ++k) {
+        auto av = a.get(i, k);
+        auto bv = b.get(k, j);
+        if (av && bv) fold(acc, mult(*av, *bv, i, k, j), add);
+      }
+      if (acc) t.set(i, j, *acc);
+    }
+  }
+  write_mat(c, t, mask, accum, d);
+}
+
+/// w⟨m⟩ ⊙= uᵀ ⊕.⊗ A: w(j) = ⊕_k u(k) ⊗ a(k,j), coords (0, k, j).
+inline void vxm(RefVec &w, const RefVec *mask, const OAccum &accum,
+                const OBinary &add, const OMultiply &mult, const RefVec &u,
+                RefMat a, const ODesc &d) {
+  if (d.transpose_a) a = transpose_of(a);
+  detail::check_same_size(u.n, a.m, "oracle vxm: u/A dimension mismatch");
+  detail::check_same_size(w.n, a.n, "oracle vxm: w/A dimension mismatch");
+  RefVec t(a.n);
+  for (Index j = 0; j < a.n; ++j) {
+    std::optional<Value> acc;
+    for (Index k = 0; k < a.m; ++k) {
+      auto uv = u.get(k);
+      auto av = a.get(k, j);
+      if (uv && av) fold(acc, mult(*uv, *av, 0, k, j), add);
+    }
+    if (acc) t.set(j, *acc);
+  }
+  write_vec(w, t, mask, accum, d);
+}
+
+/// w⟨m⟩ ⊙= A ⊕.⊗ u: w(i) = ⊕_k a(i,k) ⊗ u(k), coords (i, k, 0).
+inline void mxv(RefVec &w, const RefVec *mask, const OAccum &accum,
+                const OBinary &add, const OMultiply &mult, RefMat a,
+                const RefVec &u, const ODesc &d) {
+  if (d.transpose_a) a = transpose_of(a);
+  detail::check_same_size(u.n, a.n, "oracle mxv: u/A dimension mismatch");
+  detail::check_same_size(w.n, a.m, "oracle mxv: w/A dimension mismatch");
+  RefVec t(a.m);
+  for (Index i = 0; i < a.m; ++i) {
+    std::optional<Value> acc;
+    for (Index k = 0; k < a.n; ++k) {
+      auto av = a.get(i, k);
+      auto uv = u.get(k);
+      if (av && uv) fold(acc, mult(*av, *uv, i, k, 0), add);
+    }
+    if (acc) t.set(i, *acc);
+  }
+  write_vec(w, t, mask, accum, d);
+}
+
+/// Element-wise union (eWiseAdd) / intersection (eWiseMult).
+inline void ewise_vec(RefVec &w, const RefVec *mask, const OAccum &accum,
+                      const OBinary &op, const RefVec &u, const RefVec &v,
+                      bool union_mode, const ODesc &d) {
+  detail::check_same_size(u.n, v.n, "oracle ewise: input size mismatch");
+  detail::check_same_size(w.n, u.n, "oracle ewise: output size mismatch");
+  RefVec t(u.n);
+  for (Index i = 0; i < u.n; ++i) {
+    auto a = u.get(i);
+    auto b = v.get(i);
+    if (a && b) {
+      t.set(i, op(*a, *b));
+    } else if (union_mode && a) {
+      t.set(i, *a);
+    } else if (union_mode && b) {
+      t.set(i, *b);
+    }
+  }
+  write_vec(w, t, mask, accum, d);
+}
+
+inline void ewise_mat(RefMat &c, const RefMat *mask, const OAccum &accum,
+                      const OBinary &op, const RefMat &a, const RefMat &b,
+                      bool union_mode, const ODesc &d) {
+  detail::check_same_size(a.m, b.m, "oracle ewise: input row mismatch");
+  detail::check_same_size(a.n, b.n, "oracle ewise: input col mismatch");
+  detail::check_same_size(c.m, a.m, "oracle ewise: output row mismatch");
+  detail::check_same_size(c.n, a.n, "oracle ewise: output col mismatch");
+  RefMat t(a.m, a.n);
+  for (Index i = 0; i < a.m; ++i) {
+    for (Index j = 0; j < a.n; ++j) {
+      auto x = a.get(i, j);
+      auto y = b.get(i, j);
+      if (x && y) {
+        t.set(i, j, op(*x, *y));
+      } else if (union_mode && x) {
+        t.set(i, j, *x);
+      } else if (union_mode && y) {
+        t.set(i, j, *y);
+      }
+    }
+  }
+  write_mat(c, t, mask, accum, d);
+}
+
+/// apply: per-entry unary map, structure preserved.
+inline void apply_vec(RefVec &w, const RefVec *mask, const OAccum &accum,
+                      const OUnary &f, const RefVec &u, const ODesc &d) {
+  detail::check_same_size(w.n, u.n, "oracle apply: size mismatch");
+  RefVec t(u.n);
+  for (const auto &[i, x] : u.e) t.set(i, f(x));
+  write_vec(w, t, mask, accum, d);
+}
+
+inline void apply_mat(RefMat &c, const RefMat *mask, const OAccum &accum,
+                      const OUnary &f, const RefMat &a, const ODesc &d) {
+  detail::check_same_size(c.m, a.m, "oracle apply: shape mismatch");
+  detail::check_same_size(c.n, a.n, "oracle apply: shape mismatch");
+  RefMat t(a.m, a.n);
+  for (const auto &[ij, x] : a.e) t.set(ij.first, ij.second, f(x));
+  write_mat(c, t, mask, accum, d);
+}
+
+/// select: keep entries where the index-unary predicate holds. Vector
+/// entries present their position as the row coordinate with column 0.
+inline void select_vec(RefVec &w, const RefVec *mask, const OAccum &accum,
+                       const OSelect &f, const RefVec &u, Value thunk,
+                       const ODesc &d) {
+  detail::check_same_size(w.n, u.n, "oracle select: size mismatch");
+  RefVec t(u.n);
+  for (const auto &[i, x] : u.e) {
+    if (f(x, i, 0, thunk)) t.set(i, x);
+  }
+  write_vec(w, t, mask, accum, d);
+}
+
+inline void select_mat(RefMat &c, const RefMat *mask, const OAccum &accum,
+                       const OSelect &f, const RefMat &a, Value thunk,
+                       const ODesc &d) {
+  detail::check_same_size(c.m, a.m, "oracle select: shape mismatch");
+  detail::check_same_size(c.n, a.n, "oracle select: shape mismatch");
+  RefMat t(a.m, a.n);
+  for (const auto &[ij, x] : a.e) {
+    if (f(x, ij.first, ij.second, thunk)) t.set(ij.first, ij.second, x);
+  }
+  write_mat(c, t, mask, accum, d);
+}
+
+/// Row-wise reduce to a vector (column-wise under transpose_a). Rows with no
+/// entries produce no entry (the identity is NOT inserted).
+inline void reduce_mat_to_vec(RefVec &w, const RefVec *mask,
+                              const OAccum &accum, const OBinary &add,
+                              RefMat a, const ODesc &d) {
+  if (d.transpose_a) a = transpose_of(a);
+  detail::check_same_size(w.n, a.m, "oracle reduce: size mismatch");
+  RefVec t(a.m);
+  for (Index i = 0; i < a.m; ++i) {
+    std::optional<Value> acc;
+    for (Index j = 0; j < a.n; ++j) {
+      auto x = a.get(i, j);
+      if (x) fold(acc, *x, add);
+    }
+    if (acc) t.set(i, *acc);
+  }
+  write_vec(w, t, mask, accum, d);
+}
+
+/// Reduce a matrix to a scalar, seeding with the monoid identity.
+inline Value reduce_mat_to_scalar(Value s, const OAccum &accum,
+                                  const OBinary &add, Value identity,
+                                  const RefMat &a) {
+  Value acc = identity;
+  for (const auto &[ij, x] : a.e) acc = add(acc, x);  // ascending (i, j)
+  return accum ? (*accum)(s, acc) : acc;
+}
+
+inline Value reduce_vec_to_scalar(Value s, const OAccum &accum,
+                                  const OBinary &add, Value identity,
+                                  const RefVec &u) {
+  Value acc = identity;
+  for (const auto &[i, x] : u.e) acc = add(acc, x);
+  return accum ? (*accum)(s, acc) : acc;
+}
+
+/// C⟨M⟩ ⊙= Aᵀ — with transpose_a the operation is a masked copy of A.
+inline void transpose(RefMat &c, const RefMat *mask, const OAccum &accum,
+                      const RefMat &a, const ODesc &d) {
+  RefMat t = d.transpose_a ? a : transpose_of(a);
+  write_mat(c, t, mask, accum, d);
+}
+
+/// Kronecker product: C(i·mb + ib, k·nb + l) = op(a(i,k), b(ib,l)).
+inline void kronecker(RefMat &c, const RefMat *mask, const OAccum &accum,
+                      const OBinary &op, const RefMat &a, const RefMat &b,
+                      const ODesc &d) {
+  detail::check_same_size(c.m, a.m * b.m, "oracle kron: output rows");
+  detail::check_same_size(c.n, a.n * b.n, "oracle kron: output cols");
+  RefMat t(a.m * b.m, a.n * b.n);
+  for (const auto &[aij, av] : a.e) {
+    for (const auto &[bij, bv] : b.e) {
+      t.set(aij.first * b.m + bij.first, aij.second * b.n + bij.second,
+            op(av, bv));
+    }
+  }
+  write_mat(c, t, mask, accum, d);
+}
+
+/// Index selection for extract/assign: either ALL or an explicit list.
+struct OIndices {
+  bool all = true;
+  std::vector<Index> list;
+
+  [[nodiscard]] Index size(Index n) const {
+    return all ? n : static_cast<Index>(list.size());
+  }
+  [[nodiscard]] Index map(Index k) const { return all ? k : list[k]; }
+};
+
+/// w⟨m⟩ ⊙= u(idx): output position k ← u(idx[k]).
+inline void extract_vec(RefVec &w, const RefVec *mask, const OAccum &accum,
+                        const RefVec &u, const OIndices &ix, const ODesc &d) {
+  const Index out_n = ix.size(u.n);
+  detail::check_same_size(w.n, out_n, "oracle extract: output size mismatch");
+  RefVec t(out_n);
+  for (Index k = 0; k < out_n; ++k) {
+    const Index i = ix.map(k);
+    detail::require(i < u.n, Info::index_out_of_bounds, "oracle extract");
+    auto x = u.get(i);
+    if (x) t.set(k, *x);
+  }
+  write_vec(w, t, mask, accum, d);
+}
+
+/// C⟨M⟩ ⊙= A(rows, cols) — induced submatrix (of Aᵀ under transpose_a).
+/// Duplicate indices in the lists replicate rows/columns.
+inline void extract_mat(RefMat &c, const RefMat *mask, const OAccum &accum,
+                        RefMat a, const OIndices &rows, const OIndices &cols,
+                        const ODesc &d) {
+  if (d.transpose_a) a = transpose_of(a);
+  const Index out_m = rows.size(a.m);
+  const Index out_n = cols.size(a.n);
+  detail::check_same_size(c.m, out_m, "oracle extract: output rows mismatch");
+  detail::check_same_size(c.n, out_n, "oracle extract: output cols mismatch");
+  RefMat t(out_m, out_n);
+  for (Index r = 0; r < out_m; ++r) {
+    const Index si = rows.map(r);
+    detail::require(si < a.m, Info::index_out_of_bounds, "oracle extract row");
+    for (Index q = 0; q < out_n; ++q) {
+      const Index sj = cols.map(q);
+      detail::require(sj < a.n, Info::index_out_of_bounds,
+                      "oracle extract col");
+      auto x = a.get(si, sj);
+      if (x) t.set(r, q, *x);
+    }
+  }
+  write_mat(c, t, mask, accum, d);
+}
+
+/// w⟨m⟩ ⊙= A(:, j) (row j of A under transpose_a).
+inline void extract_col(RefVec &w, const RefVec *mask, const OAccum &accum,
+                        const RefMat &a, Index j, const ODesc &d) {
+  if (d.transpose_a) {
+    detail::require(j < a.m, Info::index_out_of_bounds, "oracle extract_col");
+    detail::check_same_size(w.n, a.n, "oracle extract_col: size mismatch");
+    RefVec t(a.n);
+    for (Index k = 0; k < a.n; ++k) {
+      auto x = a.get(j, k);
+      if (x) t.set(k, *x);
+    }
+    write_vec(w, t, mask, accum, d);
+  } else {
+    detail::require(j < a.n, Info::index_out_of_bounds, "oracle extract_col");
+    detail::check_same_size(w.n, a.m, "oracle extract_col: size mismatch");
+    RefVec t(a.m);
+    for (Index i = 0; i < a.m; ++i) {
+      auto x = a.get(i, j);
+      if (x) t.set(i, *x);
+    }
+    write_vec(w, t, mask, accum, d);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// assign — GrB_assign semantics: the mask is sized like the output; inside
+// the mask but outside the assigned region the output keeps its old content;
+// outside the mask, replace clears anywhere in the output. The documented
+// grb extension for duplicate vector-assign indices is mirrored: duplicates
+// combine sequentially through the accumulator (ascending source position),
+// last-one-wins without an accumulator.
+// ---------------------------------------------------------------------------
+
+namespace detail_assign {
+
+/// Shared final walk once region membership and the mapped source values are
+/// known for each output position.
+inline void walk_vec(RefVec &w, const RefVec *mask, const OAccum &accum,
+                     const std::vector<std::uint8_t> &inreg, const RefVec &t,
+                     const ODesc &d) {
+  RefVec out(w.n);
+  for (Index p = 0; p < w.n; ++p) {
+    auto c = w.get(p);
+    const bool in_mask = mask_pass_vec(mask, p, d);
+    if (!in_mask) {
+      if (!d.replace && c) out.set(p, *c);
+      continue;
+    }
+    if (!inreg[p]) {
+      if (c) out.set(p, *c);
+      continue;
+    }
+    auto tv = t.get(p);
+    if (accum) {
+      if (c && tv) {
+        out.set(p, (*accum)(*c, *tv));
+      } else if (c) {
+        out.set(p, *c);
+      } else if (tv) {
+        out.set(p, *tv);
+      }
+    } else if (tv) {
+      out.set(p, *tv);
+    }
+  }
+  w = std::move(out);
+}
+
+}  // namespace detail_assign
+
+/// w⟨m⟩(idx) ⊙= u
+inline void assign_vec(RefVec &w, const RefVec *mask, const OAccum &accum,
+                       const RefVec &u, const OIndices &ix, const ODesc &d) {
+  const Index reg = ix.size(w.n);
+  detail::check_same_size(u.n, reg, "oracle assign: source size mismatch");
+  if (mask != nullptr) {
+    detail::check_same_size(mask->n, w.n, "oracle assign: mask size mismatch");
+  }
+  std::vector<std::uint8_t> inreg(static_cast<std::size_t>(w.n), 0);
+  for (Index k = 0; k < reg; ++k) {
+    const Index p = ix.map(k);
+    detail::require(p < w.n, Info::index_out_of_bounds, "oracle assign");
+    inreg[p] = 1;
+  }
+  RefVec t(w.n);
+  for (const auto &[k, x] : u.e) {  // ascending source position
+    const Index p = ix.map(k);
+    auto prev = t.get(p);
+    if (prev && accum) {
+      t.set(p, (*accum)(*prev, x));
+    } else {
+      t.set(p, x);  // first landing, or duplicates without accum: last wins
+    }
+  }
+  detail_assign::walk_vec(w, mask, accum, inreg, t, d);
+}
+
+/// w⟨m⟩(idx) ⊙= s — scalar assign: the region is densely present.
+inline void assign_vec_scalar(RefVec &w, const RefVec *mask,
+                              const OAccum &accum, Value s, const OIndices &ix,
+                              const ODesc &d) {
+  const Index reg = ix.size(w.n);
+  if (mask != nullptr) {
+    detail::check_same_size(mask->n, w.n, "oracle assign: mask size mismatch");
+  }
+  std::vector<std::uint8_t> inreg(static_cast<std::size_t>(w.n), 0);
+  RefVec t(w.n);
+  for (Index k = 0; k < reg; ++k) {
+    const Index p = ix.map(k);
+    detail::require(p < w.n, Info::index_out_of_bounds, "oracle assign");
+    inreg[p] = 1;
+    t.set(p, s);
+  }
+  detail_assign::walk_vec(w, mask, accum, inreg, t, d);
+}
+
+/// C⟨M⟩(rows, cols) ⊙= s — every region position receives the scalar.
+inline void assign_mat_scalar(RefMat &c, const RefMat *mask,
+                              const OAccum &accum, Value s,
+                              const OIndices &rows, const OIndices &cols,
+                              const ODesc &d) {
+  if (mask != nullptr) {
+    detail::check_same_size(mask->m, c.m, "oracle assign: mask rows");
+    detail::check_same_size(mask->n, c.n, "oracle assign: mask cols");
+  }
+  std::vector<std::uint8_t> rowin(static_cast<std::size_t>(c.m),
+                                  rows.all ? 1 : 0);
+  std::vector<std::uint8_t> colin(static_cast<std::size_t>(c.n),
+                                  cols.all ? 1 : 0);
+  for (Index k = 0; k < rows.size(c.m) && !rows.all; ++k) {
+    detail::require(rows.map(k) < c.m, Info::index_out_of_bounds,
+                    "oracle assign row");
+    rowin[rows.map(k)] = 1;
+  }
+  for (Index k = 0; k < cols.size(c.n) && !cols.all; ++k) {
+    detail::require(cols.map(k) < c.n, Info::index_out_of_bounds,
+                    "oracle assign col");
+    colin[cols.map(k)] = 1;
+  }
+  RefMat out(c.m, c.n);
+  for (Index i = 0; i < c.m; ++i) {
+    for (Index j = 0; j < c.n; ++j) {
+      auto cv = c.get(i, j);
+      const bool in_mask = mask_pass_mat(mask, i, j, d);
+      const bool inreg = rowin[i] && colin[j];
+      if (!in_mask) {
+        if (!d.replace && cv) out.set(i, j, *cv);
+        continue;
+      }
+      if (!inreg) {
+        if (cv) out.set(i, j, *cv);
+        continue;
+      }
+      if (accum && cv) {
+        out.set(i, j, (*accum)(*cv, s));
+      } else {
+        out.set(i, j, s);
+      }
+    }
+  }
+  c = std::move(out);
+}
+
+/// C⟨M⟩(rows, cols) ⊙= A. Duplicate indices are rejected upstream (the real
+/// implementation raises invalid_value); the oracle assumes unique lists.
+inline void assign_mat(RefMat &c, const RefMat *mask, const OAccum &accum,
+                       const RefMat &a, const OIndices &rows,
+                       const OIndices &cols, const ODesc &d) {
+  detail::check_same_size(a.m, rows.size(c.m), "oracle assign: source rows");
+  detail::check_same_size(a.n, cols.size(c.n), "oracle assign: source cols");
+  if (mask != nullptr) {
+    detail::check_same_size(mask->m, c.m, "oracle assign: mask rows");
+    detail::check_same_size(mask->n, c.n, "oracle assign: mask cols");
+  }
+  constexpr Index kNone = std::numeric_limits<Index>::max();
+  std::vector<Index> rowmap(static_cast<std::size_t>(c.m), kNone);
+  std::vector<Index> colmap(static_cast<std::size_t>(c.n), kNone);
+  for (Index k = 0; k < rows.size(c.m); ++k) {
+    const Index p = rows.map(k);
+    detail::require(p < c.m, Info::index_out_of_bounds, "oracle assign row");
+    rowmap[p] = k;
+  }
+  for (Index k = 0; k < cols.size(c.n); ++k) {
+    const Index p = cols.map(k);
+    detail::require(p < c.n, Info::index_out_of_bounds, "oracle assign col");
+    colmap[p] = k;
+  }
+  RefMat out(c.m, c.n);
+  for (Index i = 0; i < c.m; ++i) {
+    for (Index j = 0; j < c.n; ++j) {
+      auto cv = c.get(i, j);
+      const bool in_mask = mask_pass_mat(mask, i, j, d);
+      const bool inreg = rowmap[i] != kNone && colmap[j] != kNone;
+      if (!in_mask) {
+        if (!d.replace && cv) out.set(i, j, *cv);
+        continue;
+      }
+      if (!inreg) {
+        if (cv) out.set(i, j, *cv);
+        continue;
+      }
+      auto tv = a.get(rowmap[i], colmap[j]);
+      if (accum) {
+        if (cv && tv) {
+          out.set(i, j, (*accum)(*cv, *tv));
+        } else if (cv) {
+          out.set(i, j, *cv);
+        } else if (tv) {
+          out.set(i, j, *tv);
+        }
+      } else if (tv) {
+        out.set(i, j, *tv);
+      }
+    }
+  }
+  c = std::move(out);
+}
+
+/// build: combine duplicate tuples with `dup` in sequence order — matching
+/// the real build's order-preserving counting sort.
+inline RefMat build_mat(Index m, Index n, const std::vector<Index> &ri,
+                        const std::vector<Index> &ci,
+                        const std::vector<Value> &vv, const OBinary &dup) {
+  RefMat a(m, n);
+  for (std::size_t p = 0; p < ri.size(); ++p) {
+    detail::require(ri[p] < m && ci[p] < n, Info::index_out_of_bounds,
+                    "oracle build: tuple out of bounds");
+    auto prev = a.get(ri[p], ci[p]);
+    a.set(ri[p], ci[p], prev ? dup(*prev, vv[p]) : vv[p]);
+  }
+  return a;
+}
+
+inline RefVec build_vec(Index n, const std::vector<Index> &ix,
+                        const std::vector<Value> &vv, const OBinary &dup) {
+  RefVec u(n);
+  for (std::size_t p = 0; p < ix.size(); ++p) {
+    detail::require(ix[p] < n, Info::index_out_of_bounds,
+                    "oracle build: tuple out of bounds");
+    auto prev = u.get(ix[p]);
+    u.set(ix[p], prev ? dup(*prev, vv[p]) : vv[p]);
+  }
+  return u;
+}
+
+}  // namespace oracle
+}  // namespace grb::testing

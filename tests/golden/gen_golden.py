@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Independent reference implementations for the golden-file tests.
+
+Regenerates tests/golden/<graph>.<algo>.golden from <graph>.edges using
+straightforward textbook algorithms (BFS, Brandes, power iteration, Dijkstra,
+triangle counting, union-find) written with no reference to the C++ library,
+so the goldens are an independent check, not a snapshot of library output.
+
+Usage: python3 gen_golden.py          (from tests/golden/)
+"""
+
+import heapq
+import math
+import os
+import sys
+
+DAMPING = 0.85
+PR_TOL = 1e-8
+PR_ITERMAX = 200
+BC_SOURCES = [0, 1, 2, 3]
+BFS_SOURCE = 0
+SSSP_SOURCE = 0
+
+
+def load(path):
+    n = None
+    directed = None
+    edges = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "n":
+                n = int(parts[1])
+            elif parts[0] == "directed":
+                directed = bool(int(parts[1]))
+            else:
+                u, v, w = int(parts[0]), int(parts[1]), float(parts[2])
+                edges.append((u, v, w))
+    assert n is not None and directed is not None
+    return n, directed, edges
+
+
+def adjacency(n, directed, edges):
+    """Directed adjacency (undirected graphs get both arcs)."""
+    adj = [[] for _ in range(n)]
+    for u, v, w in edges:
+        adj[u].append((v, w))
+        if not directed:
+            adj[v].append((u, w))
+    return adj
+
+
+def bfs_levels(n, adj, src):
+    level = [-1] * n
+    level[src] = 0
+    frontier = [src]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v, _ in adj[u]:
+                if level[v] < 0:
+                    level[v] = level[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return level
+
+
+def pagerank(n, adj):
+    """GAP-variant power iteration: dangling rank leaks (no redistribution),
+    edge weights ignored, teleport = (1-d)/n, L1 convergence test."""
+    outdeg = [len(a) for a in adj]
+    inv = [[] for _ in range(n)]  # in-neighbours
+    for u in range(n):
+        for v, _ in adj[u]:
+            inv[v].append(u)
+    r = [1.0 / n] * n
+    teleport = (1.0 - DAMPING) / n
+    for _ in range(PR_ITERMAX):
+        contrib = [DAMPING * r[u] / outdeg[u] if outdeg[u] else 0.0
+                   for u in range(n)]
+        rn = [teleport + sum(contrib[u] for u in inv[v]) for v in range(n)]
+        delta = sum(abs(rn[v] - r[v]) for v in range(n))
+        r = rn
+        if delta < PR_TOL:
+            break
+    return r
+
+
+def dijkstra(n, adj, src):
+    dist = [math.inf] * n
+    dist[src] = 0.0
+    pq = [(0.0, src)]
+    while pq:
+        d, u = heapq.heappop(pq)
+        if d > dist[u]:
+            continue
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(pq, (nd, v))
+    return dist
+
+
+def brandes_bc(n, adj, sources):
+    """Unnormalized batched Brandes over unweighted shortest paths (GAP
+    semantics: weights ignored, source not credited)."""
+    bc = [0.0] * n
+    for s in sources:
+        sigma = [0.0] * n
+        sigma[s] = 1.0
+        dist = [-1] * n
+        dist[s] = 0
+        order = [s]
+        frontier = [s]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v, _ in adj[u]:
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+                        order.append(v)
+                    if dist[v] == dist[u] + 1:
+                        sigma[v] += sigma[u]
+            frontier = nxt
+        delta = [0.0] * n
+        for u in reversed(order):
+            for v, _ in adj[u]:
+                if dist[v] == dist[u] + 1 and sigma[v] > 0:
+                    delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+            if u != s:
+                bc[u] += delta[u]
+    return bc
+
+
+def triangles(n, adj):
+    nbr = [set() for _ in range(n)]
+    for u in range(n):
+        for v, _ in adj[u]:
+            if u != v:
+                nbr[u].add(v)
+                nbr[v].add(u)
+    count = 0
+    for u in range(n):
+        for v in nbr[u]:
+            if v > u:
+                count += sum(1 for w in nbr[u] & nbr[v] if w > v)
+    return count
+
+
+def components(n, adj):
+    """Min-node-id component labels over the symmetrized graph."""
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u in range(n):
+        for v, _ in adj[u]:
+            a, b = find(u), find(v)
+            if a != b:
+                parent[max(a, b)] = min(a, b)
+    comp = [find(v) for v in range(n)]
+    # Canonical: label = min node id in the component (find() already
+    # union-by-min, one more pass makes it exact).
+    lab = {}
+    for v in range(n):
+        lab.setdefault(comp[v], v)
+    return [lab[comp[v]] for v in range(n)]
+
+
+def write_vec(path, values, fmt):
+    with open(path, "w") as f:
+        for i, x in enumerate(values):
+            f.write(f"{i} {fmt(x)}\n")
+
+
+def fnum(x):
+    if math.isinf(x):
+        return "inf"
+    return f"{x:.12g}"
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    for name in ("path", "karate", "wdag"):
+        n, directed, edges = load(os.path.join(here, name + ".edges"))
+        adj = adjacency(n, directed, edges)
+
+        def out(algo):
+            return os.path.join(here, f"{name}.{algo}.golden")
+
+        write_vec(out("bfs"), bfs_levels(n, adj, BFS_SOURCE), str)
+        write_vec(out("pr"), pagerank(n, adj), fnum)
+        write_vec(out("sssp"), dijkstra(n, adj, SSSP_SOURCE), fnum)
+        write_vec(out("bc"), brandes_bc(n, adj, BC_SOURCES), fnum)
+        write_vec(out("cc"), components(n, adj), str)
+        if not directed:  # triangle counting needs a symmetric pattern
+            with open(out("tc"), "w") as f:
+                f.write(f"{triangles(n, adj)}\n")
+        print(f"{name}: n={n} directed={int(directed)} edges={len(edges)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

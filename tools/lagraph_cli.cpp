@@ -46,6 +46,18 @@
 //                        calibration report
 //   --trace-out FILE     trace: output path (default trace.json)
 //   --sample N           trace: record every Nth span per thread (default 1)
+// Conformance fuzzing (grb::testing, see docs/TESTING.md):
+//   fuzz [opts]          differential fuzz of the grb kernels against the
+//                        naive oracle; exits non-zero on any mismatch
+//   --seconds X          fuzz: wall-clock budget (default 30)
+//   --ops N              fuzz: scenario budget instead of a time budget
+//   --seed N             fuzz: first scenario seed (default 1; printed on
+//                        failure so the run is reproducible)
+//   --corpus DIR         fuzz: replay every .repro under DIR before fuzzing
+//   --replay FILE        fuzz: replay one .repro and exit
+//   --out FILE           fuzz: where to write a shrunk failure
+//                        (default fuzz_failure.repro)
+//   --emit-corpus DIR    fuzz: regenerate the seed corpus into DIR and exit
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -56,6 +68,7 @@
 #include <vector>
 
 #include "gen/generators.hpp"
+#include "grb/testing/differ.hpp"
 #include "lagraph/lagraph.hpp"
 #include "service/engine.hpp"
 
@@ -93,6 +106,9 @@ int usage() {
       "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
       "ktruss|lcc|cdlp|msbfs|stats|explain|serve|replay> [options]\n"
       "       lagraph_cli trace <algorithm> [options]\n"
+      "       lagraph_cli fuzz [--seconds X|--ops N] [--seed N]\n"
+      "                        [--corpus DIR] [--replay FILE] [--out FILE]\n"
+      "                        [--emit-corpus DIR]\n"
       "  explain [bfs|mxv|vxm|mxm|ewise]  print execution plans\n"
       "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
       "  --undirected --source N --delta X --k N --top N\n"
@@ -279,6 +295,124 @@ int parse_script(std::vector<lagraph::service::Request> &reqs,
   return LAGRAPH_OK;
 }
 
+// The seeds the committed corpus (tests/corpus/) is regenerated from with
+// --emit-corpus: a deterministic spread over the op space. Append-only — a
+// corpus file, once committed, must keep meaning the same scenario.
+// Fibonacci spread over the seed space, plus regression seeds: 672 produced
+// the complemented-no-mask assign_vv scenario that exposed the missing
+// mask_complement check in the vector-assign bitmap fast path.
+constexpr std::uint64_t kCorpusSeeds[] = {
+    1,  2,  3,  5,  8,  13,  21,  34,  55,  89,  144, 233,
+    377, 610, 672, 987, 1597, 2584, 4181, 6765, 10946, 17711, 28657};
+
+int run_fuzz(int argc, char **argv) {
+  namespace gt = grb::testing;
+  double seconds = 30;
+  std::uint64_t ops = 0;
+  std::uint64_t seed = 1;
+  std::string corpus, replay, out = "fuzz_failure.repro", emit;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](int count) { return i + count < argc; };
+    if (a == "--seconds" && need(1)) {
+      seconds = std::atof(argv[++i]);
+    } else if (a == "--ops" && need(1)) {
+      ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seed" && need(1)) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--corpus" && need(1)) {
+      corpus = argv[++i];
+    } else if (a == "--replay" && need(1)) {
+      replay = argv[++i];
+    } else if (a == "--out" && need(1)) {
+      out = argv[++i];
+    } else if (a == "--emit-corpus" && need(1)) {
+      emit = argv[++i];
+    } else {
+      std::fprintf(stderr, "fuzz: unknown or incomplete option: %s\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+
+  if (!emit.empty()) {
+    for (std::uint64_t s : kCorpusSeeds) {
+      gt::Scenario sc = gt::generate(s);
+      char name[64];
+      std::snprintf(name, sizeof name, "/seed_%llu.repro",
+                    static_cast<unsigned long long>(s));
+      std::ofstream f(emit + name);
+      if (!f) {
+        std::fprintf(stderr, "fuzz: cannot write to %s\n", emit.c_str());
+        return 2;
+      }
+      f << gt::serialize(sc);
+    }
+    std::printf("fuzz: wrote %zu corpus files to %s\n",
+                std::size(kCorpusSeeds), emit.c_str());
+    return 0;
+  }
+
+  if (!replay.empty()) {
+    std::string err;
+    auto mm = gt::replay_file(replay, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "fuzz: %s\n", err.c_str());
+      return 2;
+    }
+    if (mm) {
+      std::fprintf(stderr, "%s\n", mm->to_string().c_str());
+      return 1;
+    }
+    std::printf("fuzz: %s replays clean across %zu configs\n", replay.c_str(),
+                gt::sweep_configs().size());
+    return 0;
+  }
+
+  if (!corpus.empty()) {
+    auto outcome = gt::replay_corpus(corpus);
+    std::printf("fuzz: corpus %s — %d files, %llu instances, %d failures\n",
+                corpus.c_str(), outcome.files,
+                static_cast<unsigned long long>(outcome.instances),
+                outcome.failures);
+    if (outcome.failures > 0) {
+      std::fprintf(stderr, "%s", outcome.detail.c_str());
+      return 1;
+    }
+  }
+
+  // --seconds 0 without an --ops budget means "corpus / replay only":
+  // letting both budgets be unlimited would fuzz forever.
+  if (seconds <= 0 && ops == 0) return 0;
+
+  gt::FuzzOptions fo;
+  fo.seconds = ops > 0 ? 0 : seconds;
+  fo.max_scenarios = ops;
+  fo.seed = seed;
+  auto rep = gt::fuzz(fo);
+  std::printf(
+      "fuzz: %llu scenarios, %llu instances (op × config), seeds %llu..%llu\n",
+      static_cast<unsigned long long>(rep.scenarios),
+      static_cast<unsigned long long>(rep.instances),
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(seed + rep.scenarios - 1));
+  if (!rep.ok) {
+    std::fprintf(stderr, "fuzz: MISMATCH at seed %llu (rerun: lagraph_cli "
+                         "fuzz --seed %llu --ops 1)\n%s\n",
+                 static_cast<unsigned long long>(rep.failing_seed),
+                 static_cast<unsigned long long>(rep.failing_seed),
+                 rep.detail.c_str());
+    std::ofstream f(out);
+    if (f) {
+      f << rep.repro;
+      std::fprintf(stderr, "fuzz: shrunk repro written to %s\n", out.c_str());
+    }
+    return 1;
+  }
+  std::printf("fuzz: all instances agree with the oracle\n");
+  return 0;
+}
+
 void print_top(const grb::Vector<double> &v, int top, const char *what) {
   std::vector<std::pair<double, grb::Index>> entries;
   v.for_each([&](grb::Index i, const double &x) { entries.emplace_back(x, i); });
@@ -304,6 +438,9 @@ void print_top(const grb::Vector<double> &v, int top, const char *what) {
   }
 
 int main(int argc, char **argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0) {
+    return run_fuzz(argc, argv);
+  }
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage();
   char msg[LAGRAPH_MSG_LEN];
