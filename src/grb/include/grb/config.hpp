@@ -89,6 +89,10 @@ struct StatsSnapshot {
   std::uint64_t plan_push_decisions = 0;
   std::uint64_t plan_pull_decisions = 0;
   std::uint64_t format_conversions = 0;
+  std::uint64_t edges_ingested = 0;
+  std::uint64_t ingest_batches = 0;
+  std::uint64_t epochs_published = 0;
+  std::uint64_t snapshots_reclaimed = 0;
 
   /// Visit every counter as (name, value), in declaration order — the one
   /// place the counter list is spelled out for serializers (lagraph_cli
@@ -114,6 +118,10 @@ struct StatsSnapshot {
     f("plan_push_decisions", plan_push_decisions);
     f("plan_pull_decisions", plan_pull_decisions);
     f("format_conversions", format_conversions);
+    f("edges_ingested", edges_ingested);
+    f("ingest_batches", ingest_batches);
+    f("epochs_published", epochs_published);
+    f("snapshots_reclaimed", snapshots_reclaimed);
   }
 };
 
@@ -158,6 +166,15 @@ struct Stats {
   std::atomic<std::uint64_t> plan_pull_decisions{0};  // plans choosing pull
   std::atomic<std::uint64_t> format_conversions{0};   // planner-driven converts
 
+  // Ingest counters (lagraph::ingest): the streaming write path. Edges
+  // counts individual mutation commands accepted; batches counts writer
+  // drains; epochs counts snapshot publications; reclaimed counts retired
+  // snapshots whose grace period expired with no readers pinning them.
+  std::atomic<std::uint64_t> edges_ingested{0};       // mutation cmds accepted
+  std::atomic<std::uint64_t> ingest_batches{0};       // writer queue drains
+  std::atomic<std::uint64_t> epochs_published{0};     // snapshots published
+  std::atomic<std::uint64_t> snapshots_reclaimed{0};  // retired after grace
+
   /// Race-free value copy: every counter loaded exactly once (relaxed).
   /// The set is not a consistent cut across counters — increments land
   /// between loads — but each value is a real observed count, and repeated
@@ -184,6 +201,11 @@ struct Stats {
     s.plan_push_decisions = plan_push_decisions.load(std::memory_order_relaxed);
     s.plan_pull_decisions = plan_pull_decisions.load(std::memory_order_relaxed);
     s.format_conversions = format_conversions.load(std::memory_order_relaxed);
+    s.edges_ingested = edges_ingested.load(std::memory_order_relaxed);
+    s.ingest_batches = ingest_batches.load(std::memory_order_relaxed);
+    s.epochs_published = epochs_published.load(std::memory_order_relaxed);
+    s.snapshots_reclaimed =
+        snapshots_reclaimed.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -213,6 +235,10 @@ struct Stats {
     plan_push_decisions = 0;
     plan_pull_decisions = 0;
     format_conversions = 0;
+    edges_ingested = 0;
+    ingest_batches = 0;
+    epochs_published = 0;
+    snapshots_reclaimed = 0;
   }
 };
 

@@ -3,8 +3,10 @@
 // The CSR ("sparse") format is the workhorse, held by row as in
 // SuiteSparse:GraphBLAS. Three pieces of deferred ("non-blocking mode")
 // state reproduce the mechanisms the paper describes in §VI-A:
-//   - pending tuples: set_element appends to an unsorted side list instead of
-//     rewriting the CSR arrays; finish() merges them in one pass;
+//   - pending tuples: set_element / accum_element append to an unsorted side
+//     list instead of rewriting the CSR arrays; finish() merges them in one
+//     pass, folding each position's ops in arrival order (set overwrites,
+//     accum adds into the current value or inserts);
 //   - zombies: remove_element marks the entry dead on a side list rather
 //     than compacting the CSR arrays; finish() buries them in the same pass;
 //   - lazy sort: kernels that naturally emit a row's entries out of column
@@ -55,6 +57,11 @@ class Matrix {
 
   enum class Format : std::uint8_t { csr, hypersparse, bitmap, full };
 
+  /// Pending-op codes for stage_tuples (the batched mutation entry point).
+  static constexpr std::uint8_t kPendSet = 0;     // insert-or-overwrite
+  static constexpr std::uint8_t kPendDelete = 1;  // zombie (remove if present)
+  static constexpr std::uint8_t kPendAccum = 2;   // add into value, or insert
+
   Matrix() : m_(0), n_(0) { rowptr_.assign(1, 0); }
 
   /// An empty m×n matrix in CSR format.
@@ -96,7 +103,7 @@ class Matrix {
     pend_i_.clear();
     pend_j_.clear();
     pend_v_.clear();
-    pend_del_.clear();
+    pend_op_.clear();
     hrows_.clear();
     hrowptr_.clear();
     bitmap_nvals_ = 0;
@@ -124,7 +131,33 @@ class Matrix {
     pend_i_.push_back(i);
     pend_j_.push_back(j);
     pend_v_.push_back(x);
-    pend_del_.push_back(0);
+    pend_op_.push_back(kPendSet);
+  }
+
+  /// C(i,j) = C(i,j) + x if the entry exists, else C(i,j) = x — the deferred
+  /// "upsert" the ingest write path uses (GrB_setElement with a plus
+  /// accumulator). Rides the same pending-tuple list as set_element, so a
+  /// stream of accumulates costs one merge at the next flush boundary, not a
+  /// CSR rewrite per call.
+  void accum_element(Index i, Index j, const T &x) {
+    check_indices(i, j);
+    finalized_ = false;
+    if (fmt_ == Format::hypersparse) to_csr();
+    if (fmt_ != Format::csr) {
+      auto p = static_cast<std::size_t>(i) * n_ + j;
+      if (fmt_ == Format::bitmap && !present_[p]) {
+        present_[p] = 1;
+        ++bitmap_nvals_;
+        dense_[p] = x;
+      } else {
+        dense_[p] = static_cast<T>(dense_[p] + x);
+      }
+      return;
+    }
+    pend_i_.push_back(i);
+    pend_j_.push_back(j);
+    pend_v_.push_back(x);
+    pend_op_.push_back(kPendAccum);
   }
 
   /// Delete the entry at (i,j) if present. In CSR format this creates a
@@ -149,7 +182,46 @@ class Matrix {
     pend_i_.push_back(i);
     pend_j_.push_back(j);
     pend_v_.push_back(T{});
-    pend_del_.push_back(1);
+    pend_op_.push_back(kPendDelete);
+  }
+
+  /// Batched non-blocking mutation: append `ops[p]`-coded updates (one of
+  /// the kPend* codes) for positions (rows[p], cols[p]) to the pending list
+  /// in one call — the ingest write path's entry point, amortizing the
+  /// per-element virtual bookkeeping over a whole edge batch. Out-of-range
+  /// indices throw before anything is staged. Deletes and accumulates obey
+  /// exactly the set_element / remove_element / accum_element semantics at
+  /// the next flush boundary.
+  void stage_tuples(std::span<const Index> rows, std::span<const Index> cols,
+                    std::span<const T> values,
+                    std::span<const std::uint8_t> ops) {
+    detail::require(rows.size() == cols.size() &&
+                        rows.size() == values.size() &&
+                        rows.size() == ops.size(),
+                    Info::invalid_value, "stage_tuples: array length mismatch");
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      detail::require(rows[p] < m_ && cols[p] < n_,
+                      Info::index_out_of_bounds,
+                      "stage_tuples: index out of bounds");
+      detail::require(ops[p] <= kPendAccum, Info::invalid_value,
+                      "stage_tuples: unknown op code");
+    }
+    finalized_ = false;
+    if (fmt_ == Format::hypersparse) to_csr();
+    if (fmt_ != Format::csr) {
+      for (std::size_t p = 0; p < rows.size(); ++p) {
+        switch (ops[p]) {
+          case kPendSet: set_element(rows[p], cols[p], values[p]); break;
+          case kPendDelete: remove_element(rows[p], cols[p]); break;
+          default: accum_element(rows[p], cols[p], values[p]); break;
+        }
+      }
+      return;
+    }
+    pend_i_.insert(pend_i_.end(), rows.begin(), rows.end());
+    pend_j_.insert(pend_j_.end(), cols.begin(), cols.end());
+    pend_v_.insert(pend_v_.end(), values.begin(), values.end());
+    pend_op_.insert(pend_op_.end(), ops.begin(), ops.end());
   }
 
   [[nodiscard]] std::optional<T> get(Index i, Index j) const {
@@ -402,6 +474,12 @@ class Matrix {
   [[nodiscard]] bool jumbled() const noexcept { return jumbled_; }
   [[nodiscard]] bool has_pending() const noexcept { return !pend_i_.empty(); }
 
+  /// Number of staged-but-unmerged mutations (pending tuples + zombies).
+  /// The ingest writer polls this to decide when a flush boundary is due.
+  [[nodiscard]] Index pending_count() const noexcept {
+    return static_cast<Index>(pend_i_.size());
+  }
+
   /// Merge pending tuples into the CSR structure. Logically const: the
   /// matrix's mathematical content does not change.
   void finish() const {
@@ -635,13 +713,16 @@ class Matrix {
     pi.swap(pend_i_);
     pj.swap(pend_j_);
     pv.swap(pend_v_);
-    pd.swap(pend_del_);
+    pd.swap(pend_op_);
     // pending lists are detached, so these cannot re-enter merge_pending
     if (fmt_ == Format::hypersparse) to_csr();
     ensure_sorted();
-    // Collect existing tuples, then pending ops in arrival order; for each
-    // position the LAST op wins — an insertion overwrites, a zombie buries
-    // the entry (GraphBLAS setElement/removeElement semantics).
+    // Collect existing tuples, then pending ops in arrival order, and fold
+    // each position's ops in that order: a set overwrites, a zombie buries
+    // the entry, an accumulate adds into the running value (or inserts).
+    // The stable sort below keys on (i, j) only, so within a position the
+    // existing CSR entry comes first and pending ops keep arrival order —
+    // exactly the sequential setElement/removeElement semantics.
     std::vector<Index> ri;
     std::vector<Index> rj;
     std::vector<T> rv;
@@ -656,7 +737,7 @@ class Matrix {
         ri.push_back(i);
         rj.push_back(colidx_[p]);
         rv.push_back(vals_[p]);
-        rd.push_back(0);
+        rd.push_back(kPendSet);
       }
     }
     ri.insert(ri.end(), pi.begin(), pi.end());
@@ -673,17 +754,30 @@ class Matrix {
     std::vector<Index> fi;
     std::vector<Index> fj;
     std::vector<T> fv;
-    for (std::size_t q = 0; q < order.size(); ++q) {
-      // advance to the last op for this (i, j)
-      while (q + 1 < order.size() && ri[order[q + 1]] == ri[order[q]] &&
-             rj[order[q + 1]] == rj[order[q]]) {
-        ++q;
+    for (std::size_t q = 0; q < order.size();) {
+      const Index gi = ri[order[q]];
+      const Index gj = rj[order[q]];
+      bool present = false;
+      T val{};
+      for (; q < order.size() && ri[order[q]] == gi && rj[order[q]] == gj;
+           ++q) {
+        const std::size_t p = order[q];
+        switch (rd[p]) {
+          case kPendDelete: present = false; break;
+          case kPendAccum:
+            val = present ? static_cast<T>(val + rv[p]) : rv[p];
+            present = true;
+            break;
+          default:  // kPendSet
+            val = rv[p];
+            present = true;
+            break;
+        }
       }
-      std::size_t p = order[q];
-      if (rd[p]) continue;  // the zombie is buried here
-      fi.push_back(ri[p]);
-      fj.push_back(rj[p]);
-      fv.push_back(rv[p]);
+      if (!present) continue;  // the zombie is buried here
+      fi.push_back(gi);
+      fj.push_back(gj);
+      fv.push_back(val);
     }
     build(std::span<const Index>(fi), std::span<const Index>(fj),
           std::span<const T>(fv), Second{});
@@ -738,11 +832,12 @@ class Matrix {
   mutable std::vector<Index> colidx_;
   mutable std::vector<T> vals_;
   mutable bool jumbled_ = false;
-  // pending ops (deferred set_element / remove_element "zombies")
+  // pending ops (deferred set/accum_element + remove_element "zombies"),
+  // coded with the kPend* constants
   mutable std::vector<Index> pend_i_;
   mutable std::vector<Index> pend_j_;
   mutable std::vector<T> pend_v_;
-  mutable std::vector<std::uint8_t> pend_del_;
+  mutable std::vector<std::uint8_t> pend_op_;
   // hypersparse storage (non-empty row ids + their row pointers)
   mutable std::vector<Index> hrows_;
   mutable std::vector<Index> hrowptr_;

@@ -109,12 +109,19 @@ enum class VecFmt : int { sparse = 0, bitmap, kCount };
 /// One step of a non-blocking mutation prologue. `probe` forces a read
 /// between mutations: the real side must flush pending tuples / bury zombies
 /// to answer it, and the answer itself is compared against the oracle.
+/// Probe 4 is a pure flush boundary (wait() on the real side, no-op on the
+/// oracle, records nothing): it splits the prologue into batches the way
+/// the ingest write path does, so the fuzzer exercises multi-flush
+/// interleavings — a zombie staged in batch 1 must stay buried after the
+/// merge in batch 2 flushes on top of it.
 struct Mutation {
   bool del = false;  // removeElement instead of setElement
+  bool add = false;  // accum_element (upsert: add into value, or insert)
   Index i = 0;
   Index j = 0;       // unused for vector mutations
   std::int64_t v = 0;
-  int probe = 0;     // 0 none, 1 nvals, 2 getElement(i,j), 3 reduce(plus)
+  int probe = 0;     // 0 none, 1 nvals, 2 getElement(i,j), 3 reduce(plus),
+                     // 4 flush boundary (wait(); nothing recorded)
 };
 
 struct MatData {

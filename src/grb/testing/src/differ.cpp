@@ -196,6 +196,8 @@ void mutate_real(Matrix<T> &a, const std::vector<Mutation> &muts,
   for (const auto &mu : muts) {
     if (mu.del) {
       a.remove_element(mu.i, mu.j);
+    } else if (mu.add) {
+      a.accum_element(mu.i, mu.j, mu.v);
     } else {
       a.set_element(mu.i, mu.j, mu.v);
     }
@@ -212,6 +214,12 @@ void mutate_real(Matrix<T> &a, const std::vector<Mutation> &muts,
         observed.push_back(s);
         break;
       }
+      case 4:
+        // Flush boundary: merge pending / bury zombies, record nothing.
+        // The oracle side applies its map update and does nothing else,
+        // so any divergence here is a merge bug, not a probe mismatch.
+        a.wait();
+        break;
       default: break;
     }
   }
@@ -222,6 +230,9 @@ void mutate_real(Vector<T> &u, const std::vector<Mutation> &muts,
   for (const auto &mu : muts) {
     if (mu.del) {
       u.remove_element(mu.i);
+    } else if (mu.add) {
+      auto v = u.get(mu.i);
+      u.set_element(mu.i, v ? static_cast<T>(*v + mu.v) : mu.v);
     } else {
       u.set_element(mu.i, mu.v);
     }
@@ -238,6 +249,7 @@ void mutate_real(Vector<T> &u, const std::vector<Mutation> &muts,
         observed.push_back(s);
         break;
       }
+      case 4: break;  // flush boundary; vector mutations are eager
       default: break;
     }
   }
@@ -796,6 +808,9 @@ void mutate_ref(RefMat &a, const std::vector<Mutation> &muts,
   for (const auto &mu : muts) {
     if (mu.del) {
       a.remove(mu.i, mu.j);
+    } else if (mu.add) {
+      auto v = a.get(mu.i, mu.j);
+      a.set(mu.i, mu.j, v ? *v + mu.v : mu.v);
     } else {
       a.set(mu.i, mu.j, mu.v);
     }
@@ -822,6 +837,9 @@ void mutate_ref(RefVec &u, const std::vector<Mutation> &muts,
   for (const auto &mu : muts) {
     if (mu.del) {
       u.remove(mu.i);
+    } else if (mu.add) {
+      auto v = u.get(mu.i);
+      u.set(mu.i, v ? *v + mu.v : mu.v);
     } else {
       u.set(mu.i, mu.v);
     }

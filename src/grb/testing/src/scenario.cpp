@@ -329,8 +329,14 @@ void normalize(Scenario &s) {
   }
   if (!t.uses_col) s.col = 0;
   if (!t.probes) {
-    for (auto &mu : s.a.muts) mu.probe = 0;
-    for (auto &mu : s.u.muts) mu.probe = 0;
+    // Flush boundaries (probe 4) survive: they record nothing, so they are
+    // legal on any op's prologue and keep multi-flush interleavings alive.
+    for (auto &mu : s.a.muts) {
+      if (mu.probe != 4) mu.probe = 0;
+    }
+    for (auto &mu : s.u.muts) {
+      if (mu.probe != 4) mu.probe = 0;
+    }
   }
 
   // Derive container dims from the logical dims, per op.
@@ -526,8 +532,8 @@ void write_muts(std::ostringstream &os, const char *name,
   if (muts.empty()) return;
   os << "muts " << name << " " << muts.size() << "\n";
   for (const auto &mu : muts) {
-    os << (mu.del ? "del " : "set ") << mu.i << " " << mu.j << " " << mu.v
-       << " probe=" << mu.probe << "\n";
+    os << (mu.del ? "del " : mu.add ? "add " : "set ") << mu.i << " " << mu.j
+       << " " << mu.v << " probe=" << mu.probe << "\n";
   }
 }
 
@@ -630,8 +636,11 @@ bool parse_muts(Parser &p, std::istringstream &ls, std::vector<Mutation> &out) {
     std::string kind, probe;
     Mutation mu;
     ms >> kind >> mu.i >> mu.j >> mu.v >> probe;
-    if (kind != "set" && kind != "del") return p.fail("bad mutation kind");
+    if (kind != "set" && kind != "del" && kind != "add") {
+      return p.fail("bad mutation kind");
+    }
     mu.del = kind == "del";
+    mu.add = kind == "add";
     if (probe.rfind("probe=", 0) != 0) return p.fail("bad mutation probe");
     mu.probe = std::atoi(probe.c_str() + 6);
     out.push_back(mu);
@@ -938,15 +947,34 @@ void fill_vec(Rng &rng, VecData &u, Index n) {
 
 void fill_muts(Rng &rng, std::vector<Mutation> &muts, Index m, Index n,
                bool probes, int count) {
-  for (int q = 0; q < count; ++q) {
-    Mutation mu;
-    mu.del = rng.chance(40);
-    mu.i = rng.below(m);
-    mu.j = n == 0 ? 0 : rng.below(n);
-    mu.v = rng.value();
-    mu.probe = probes && rng.chance(50) ? static_cast<int>(1 + rng.below(3))
-                                        : 0;
-    muts.push_back(mu);
+  // Mutations arrive in rounds separated by explicit flush boundaries
+  // (probe 4) — the ingest write path's batch/publish cadence. A zombie
+  // staged in round 1 must stay buried when round 2's merge lands on the
+  // CSR that already absorbed it, so multi-flush interleavings cover the
+  // pending/zombie state machine across merges, not just within one.
+  const int rounds = 1 + static_cast<int>(rng.below(3));
+  for (int r = 0; r < rounds; ++r) {
+    for (int q = 0; q < count; ++q) {
+      Mutation mu;
+      const std::uint64_t k = rng.below(10);
+      mu.del = k < 4;
+      mu.add = !mu.del && k < 7;  // 30% upsert (accum_element)
+      mu.i = rng.below(m);
+      mu.j = n == 0 ? 0 : rng.below(n);
+      mu.v = rng.value();
+      mu.probe = probes && rng.chance(50) ? static_cast<int>(1 + rng.below(3))
+                                          : 0;
+      muts.push_back(mu);
+    }
+    if (r + 1 < rounds) {
+      Mutation fb;  // flush boundary between rounds (applies its op too)
+      fb.del = rng.chance(50);
+      fb.i = rng.below(m);
+      fb.j = n == 0 ? 0 : rng.below(n);
+      fb.v = rng.value();
+      fb.probe = 4;
+      muts.push_back(fb);
+    }
   }
 }
 

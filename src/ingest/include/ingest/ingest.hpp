@@ -1,0 +1,163 @@
+// ingest/ingest.hpp — the streaming mutation write path (lagraph::ingest).
+//
+// The subsystem turns the service layer's static snapshots into a live
+// system: clients enqueue edge insert / delete / upsert commands on an
+// IngestQueue; a single Writer thread drains the queue in batches, stages
+// every command on the grb pending-tuple/zombie machinery (so a thousand
+// upserts cost one merge, not a thousand CSR rewrites), maintains the
+// cached graph properties incrementally, and publishes immutable
+// GraphSnapshots through an epoch/RCU-style pointer swap. Readers bound to
+// an older epoch keep their snapshot alive by refcount; the registry
+// reclaims retired epochs once their grace period expires with no readers
+// pinning them. See docs/API.md "Ingest & snapshot epochs".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+
+#include "grb/grb.hpp"
+
+// Ingest status codes, extending the lagraph convention (< 0 error) in the
+// style of the service codes (service/engine.hpp, -3x block).
+inline constexpr int LAGRAPH_INGEST_STOPPED = -41;     // writer shut down
+inline constexpr int LAGRAPH_INGEST_QUEUE_FULL = -42;  // bounded queue hit
+
+namespace lagraph {
+namespace ingest {
+
+/// What a mutation command does to edge (src, dst). Values match the grb
+/// pending-op codes (grb::Matrix kPendSet / kPendDelete / kPendAccum) so a
+/// batch forwards to Matrix::stage_tuples without translation.
+enum class MutationOp : std::uint8_t {
+  insert = 0,  ///< set the edge weight (insert-or-overwrite)
+  remove = 1,  ///< delete the edge if present
+  upsert = 2,  ///< add into the weight, or insert if absent
+};
+
+struct Mutation {
+  MutationOp op = MutationOp::insert;
+  grb::Index src = 0;
+  grb::Index dst = 0;
+  double weight = 1.0;  ///< ignored for remove
+};
+
+/// Writer tuning knobs.
+struct WriterConfig {
+  /// Mutations applied since the last publication that force a new epoch
+  /// even while the queue stays busy. The writer also publishes whenever
+  /// the queue drains empty with unpublished work, so a light stream sees
+  /// every batch promptly and a heavy stream amortizes.
+  std::size_t publish_threshold = 4096;
+  /// Minimum milliseconds between drain-triggered publications. Each epoch
+  /// pays an O(nnz) flush + copy-and-freeze, so a steady trickle of tiny
+  /// batches would otherwise republish the whole graph every few hundred
+  /// microseconds and starve readers of CPU. The interval only gates the
+  /// queue-drained-empty trigger: publish_now() barriers, the
+  /// publish_threshold backlog cap, and shutdown all publish immediately.
+  /// 0 = publish on every drain (lowest staleness).
+  double min_publish_interval_ms = 0;
+  /// Enqueued-mutation cap; submits beyond it fail with
+  /// LAGRAPH_INGEST_QUEUE_FULL rather than buffering unboundedly. 0 = off.
+  std::size_t max_queue = 1 << 20;
+  /// Retired snapshots younger than this many epochs are never reclaimed,
+  /// even with no readers — a grace period so a reader that loaded the
+  /// current pointer moments ago cannot have it swept mid-bind.
+  std::size_t grace_depth = 2;
+};
+
+/// Bounded multi-producer queue feeding the single Writer thread. Producers
+/// block never: a full queue rejects with LAGRAPH_INGEST_QUEUE_FULL, a
+/// closed queue with LAGRAPH_INGEST_STOPPED. The consumer side (Writer)
+/// drains whole batches under one lock acquisition.
+class IngestQueue {
+ public:
+  explicit IngestQueue(std::size_t max_queue) : max_queue_(max_queue) {}
+
+  /// Enqueue a batch atomically: all commands are accepted or none.
+  int push(std::span<const Mutation> muts) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return LAGRAPH_INGEST_STOPPED;
+      if (max_queue_ != 0 && q_.size() + muts.size() > max_queue_) {
+        return LAGRAPH_INGEST_QUEUE_FULL;
+      }
+      q_.insert(q_.end(), muts.begin(), muts.end());
+    }
+    cv_.notify_one();
+    return 0;
+  }
+
+  /// Consumer: block until commands, a publish request, or close arrive,
+  /// then move every queued command into `out` (appended). Returns false
+  /// once the queue is closed AND empty — the writer's exit condition.
+  /// A non-negative `timeout_ms` bounds the wait (the writer uses this to
+  /// wake when a rate-limited publication falls due even if the mutation
+  /// stream has gone quiet); a timed-out wait returns with `out` unchanged.
+  bool pop_all(std::deque<Mutation> &out, double timeout_ms = -1) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto ready = [&] { return closed_ || wake_ || !q_.empty(); };
+    if (timeout_ms < 0) {
+      cv_.wait(lk, ready);
+    } else {
+      cv_.wait_for(lk, std::chrono::duration<double, std::milli>(timeout_ms),
+                   ready);
+    }
+    wake_ = false;
+    if (q_.empty() && closed_) return false;
+    while (!q_.empty()) {
+      out.push_back(q_.front());
+      q_.pop_front();
+    }
+    return true;
+  }
+
+  /// Non-blocking drain: move whatever is queued right now into `out`.
+  /// The publish_now barrier uses this to scoop commands that raced in
+  /// between the consumer's last blocking pop and the barrier request.
+  void try_pop_all(std::deque<Mutation> &out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (!q_.empty()) {
+      out.push_back(q_.front());
+      q_.pop_front();
+    }
+  }
+
+  /// Wake the consumer without enqueueing (publish_now, stop).
+  void kick() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      wake_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// No further pushes; the consumer drains what is left, then pop_all
+  /// returns false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Mutation> q_;
+  std::size_t max_queue_;
+  bool closed_ = false;
+  bool wake_ = false;
+};
+
+}  // namespace ingest
+}  // namespace lagraph

@@ -1,0 +1,52 @@
+// ingest/registry.hpp — epoch-ordered snapshot history with grace-period
+// reclamation.
+//
+// The Writer publishes every epoch here. current() is what new readers
+// bind; older entries stay registered until (a) they are at least
+// `grace_depth` epochs behind the head AND (b) no reader still holds a
+// reference (shared_ptr use_count — the registry's own reference is the
+// last one). That is the RCU discipline with refcounts standing in for
+// quiescent-state detection: a reader pins its epoch simply by holding the
+// SnapshotPtr it was handed, and reclamation can never free a graph a
+// query is still traversing.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "service/snapshot.hpp"
+
+namespace lagraph {
+namespace ingest {
+
+class SnapshotRegistry {
+ public:
+  explicit SnapshotRegistry(std::size_t grace_depth = 2)
+      : grace_depth_(grace_depth < 1 ? 1 : grace_depth) {}
+
+  /// Install a new head epoch, then sweep reclaimable predecessors.
+  /// Returns the number of snapshots reclaimed by the sweep.
+  std::size_t publish(service::SnapshotPtr snap);
+
+  /// The newest published snapshot (null before the first publish).
+  [[nodiscard]] service::SnapshotPtr current() const;
+
+  /// Sweep retired epochs: drop every entry that is beyond the grace
+  /// depth and whose only remaining reference is the registry's own.
+  /// Entries still pinned by in-flight readers survive until a later
+  /// sweep. Returns how many were dropped (also added to the
+  /// grb::stats().snapshots_reclaimed counter).
+  std::size_t reclaim();
+
+  /// Published epochs still registered (pinned or within grace).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<service::SnapshotPtr> history_;  // oldest first; back = head
+  std::size_t grace_depth_;
+};
+
+}  // namespace ingest
+}  // namespace lagraph

@@ -1,0 +1,132 @@
+// ingest/writer.hpp — the single-writer mutation thread.
+//
+// The Writer is the one component allowed to mutate graph containers after
+// service startup — the "single writer" half of the grb threading contract
+// (grb/matrix.hpp), made concrete: exactly one thread stages pending
+// tuples, flushes them at publication boundaries, and hands out deeply
+// immutable snapshots. Readers never lock against it and never observe a
+// torn graph: they see whichever epoch was current when they bound.
+//
+// Publication pipeline (one epoch):
+//   1. drain the IngestQueue, stage commands on the master adjacency via
+//      Matrix::stage_tuples (undirected graphs mirror (i,j)→(j,i); directed
+//      graphs mirror into the cached transpose instead);
+//   2. at the flush boundary, wait() merges pending tuples / buries
+//      zombies in one sweep;
+//   3. maintain cached properties incrementally — row/col degrees are
+//      recomputed only for touched rows (Matrix::row_nvals is O(1) on a
+//      flushed CSR), ndiag by presence deltas on touched diagonal cells —
+//      instead of the from-scratch rebuilds make_snapshot would pay;
+//   4. copy the master graph (O(nnz) memcpy — cheaper than rebuilding
+//      transpose + degrees + sort order) and publish_snapshot() the copy,
+//      stamped with the next epoch, into the SnapshotRegistry;
+//   5. notify the on_publish hook (the serving Engine installs the new
+//      snapshot there) and sweep reclaimable epochs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "ingest/ingest.hpp"
+#include "ingest/registry.hpp"
+#include "lagraph/lagraph.hpp"
+#include "service/snapshot.hpp"
+
+namespace lagraph {
+namespace ingest {
+
+class Writer {
+ public:
+  /// Called with each freshly published snapshot, from the writer thread;
+  /// keep it cheap (Engine::install_snapshot is a pointer swap).
+  using PublishHook = std::function<void(const service::SnapshotPtr &)>;
+
+  /// Take ownership of the graph and immediately publish it as epoch 1 so
+  /// current() is never null. Missing cached properties (transpose,
+  /// degrees, ndiag) are computed once here; afterwards they are only
+  /// ever maintained by deltas.
+  explicit Writer(Graph<double> &&g, WriterConfig cfg = {},
+                  PublishHook on_publish = nullptr);
+  ~Writer();  // stop()s
+
+  Writer(const Writer &) = delete;
+  Writer &operator=(const Writer &) = delete;
+
+  /// Enqueue mutations (thread-safe, non-blocking). Indices are validated
+  /// here: out-of-range commands reject the whole batch with
+  /// LAGRAPH_INVALID_VALUE before anything is staged.
+  int submit(const Mutation &m);
+  int submit_batch(std::span<const Mutation> muts);
+
+  /// Force a publication boundary and block until a snapshot containing
+  /// every mutation submitted-before-this-call is published. Returns the
+  /// writer's sticky error status (0 if the epoch published cleanly).
+  int publish_now();
+
+  /// The newest published snapshot (never null after construction).
+  [[nodiscard]] service::SnapshotPtr current() const {
+    return registry_.current();
+  }
+
+  /// Epoch of the newest publication.
+  [[nodiscard]] std::uint64_t epoch() const {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    return epoch_;
+  }
+
+  /// First error a publication hit (sticky; 0 = none). The message text
+  /// accompanies it.
+  [[nodiscard]] int error_status() const {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    return error_status_;
+  }
+  [[nodiscard]] std::string error_message() const {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    return error_msg_;
+  }
+
+  [[nodiscard]] const SnapshotRegistry &registry() const { return registry_; }
+
+  /// Drain the queue, publish any unpublished work, join the thread.
+  /// Subsequent submits fail with LAGRAPH_INGEST_STOPPED. Idempotent.
+  void stop();
+
+ private:
+  void writer_loop();
+  void apply_batch(std::deque<Mutation> &batch);
+  void publish_epoch();
+
+  WriterConfig cfg_;
+  PublishHook on_publish_;
+  IngestQueue queue_;
+  SnapshotRegistry registry_;
+
+  // Writer-thread-private state: the mutable master graph plus the delta
+  // tracking that makes property maintenance incremental.
+  Graph<double> master_;
+  std::unordered_set<grb::Index> touched_rows_;
+  std::unordered_set<grb::Index> touched_cols_;
+  std::unordered_set<grb::Index> touched_diag_;
+  std::unordered_set<grb::Index> diag_present_;  // diagonal cells currently set
+  std::size_t unpublished_ = 0;  // mutations applied since the last epoch
+  std::chrono::steady_clock::time_point last_publish_{};  // rate-limit anchor
+
+  // Publication barrier + error reporting (shared with callers).
+  mutable std::mutex pub_mu_;
+  std::condition_variable pub_cv_;
+  std::uint64_t epoch_ = 0;           // last published epoch
+  std::uint64_t publish_wanted_ = 0;  // publish_now requests issued
+  std::uint64_t publish_done_ = 0;    // publish_now requests satisfied
+  int error_status_ = 0;
+  std::string error_msg_;
+
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ingest
+}  // namespace lagraph

@@ -1,0 +1,54 @@
+// ingest/registry.cpp — snapshot history + grace-period reclamation.
+
+#include "ingest/registry.hpp"
+
+#include "grb/grb.hpp"
+
+namespace lagraph {
+namespace ingest {
+
+std::size_t SnapshotRegistry::publish(service::SnapshotPtr snap) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    history_.push_back(std::move(snap));
+  }
+  return reclaim();
+}
+
+service::SnapshotPtr SnapshotRegistry::current() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return history_.empty() ? nullptr : history_.back();
+}
+
+std::size_t SnapshotRegistry::reclaim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (history_.size() <= grace_depth_) return 0;
+  const std::size_t keep_from = history_.size() - grace_depth_;
+  std::vector<service::SnapshotPtr> kept;
+  kept.reserve(history_.size());
+  std::size_t dropped = 0;
+  for (std::size_t k = 0; k < history_.size(); ++k) {
+    // use_count() == 1 means the registry holds the last reference: no
+    // reader can acquire it anymore (current() only hands out the head),
+    // so dropping it here cannot free a graph a query still traverses.
+    if (k < keep_from && history_[k].use_count() == 1) {
+      ++dropped;
+      continue;
+    }
+    kept.push_back(std::move(history_[k]));
+  }
+  history_.swap(kept);
+  if (dropped != 0) {
+    grb::stats().snapshots_reclaimed.fetch_add(dropped,
+                                               std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+std::size_t SnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return history_.size();
+}
+
+}  // namespace ingest
+}  // namespace lagraph

@@ -1,0 +1,275 @@
+// ingest/writer.cpp — the single-writer mutation thread.
+
+#include "ingest/writer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lagraph {
+namespace ingest {
+
+Writer::Writer(Graph<double> &&g, WriterConfig cfg, PublishHook on_publish)
+    : cfg_(cfg),
+      on_publish_(std::move(on_publish)),
+      queue_(cfg.max_queue),
+      registry_(cfg.grace_depth),
+      master_(std::move(g)) {
+  // Establish the property baseline once; from here on the writer only
+  // ever applies deltas. symmetric_pattern is left as the kind implies
+  // (undirected = yes by definition, directed = unknown — a full pattern
+  // comparison per epoch would defeat incremental maintenance).
+  char msg[LAGRAPH_MSG_LEN];
+  int st = property_at(master_, msg);
+  if (st >= 0) st = property_row_degree(master_, msg);
+  if (st >= 0 && master_.at.has_value()) st = property_col_degree(master_, msg);
+  if (st >= 0) st = property_ndiag(master_, msg);
+  if (master_.kind == Kind::adjacency_undirected) {
+    master_.a_pattern_is_symmetric = BooleanProperty::yes;
+  }
+  if (!master_.at.has_value()) {
+    // Without a cached transpose there is no cheap way to maintain
+    // column degrees incrementally; drop a caller-cached vector rather
+    // than publish stale values (consumers recompute on demand).
+    master_.col_degree.reset();
+  }
+  if (st < 0) {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    error_status_ = st;
+    error_msg_ = msg;
+  }
+  master_.a.for_each([&](grb::Index i, grb::Index j, const double &) {
+    if (i == j) diag_present_.insert(i);
+  });
+
+  // Publish the initial graph as epoch 1 so current() is never null, then
+  // hand the master to the writer thread.
+  publish_epoch();
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+Writer::~Writer() { stop(); }
+
+int Writer::submit(const Mutation &m) {
+  return submit_batch(std::span<const Mutation>(&m, 1));
+}
+
+int Writer::submit_batch(std::span<const Mutation> muts) {
+  const grb::Index n = master_.a.nrows();  // fixed at construction
+  for (const Mutation &m : muts) {
+    if (m.src >= n || m.dst >= n) return LAGRAPH_INVALID_VALUE;
+  }
+  int st = queue_.push(muts);
+  if (st == 0) {
+    grb::stats().edges_ingested.fetch_add(muts.size(),
+                                          std::memory_order_relaxed);
+  }
+  return st;
+}
+
+int Writer::publish_now() {
+  std::uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    if (stopped_) return error_status_ != 0 ? error_status_
+                                            : LAGRAPH_INGEST_STOPPED;
+    ticket = ++publish_wanted_;
+  }
+  queue_.kick();
+  std::unique_lock<std::mutex> lk(pub_mu_);
+  pub_cv_.wait(lk, [&] { return publish_done_ >= ticket; });
+  return error_status_;
+}
+
+void Writer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    if (stopped_) {
+      // A second stop() may race the first's join; only the thread's
+      // owner joins below.
+    }
+    stopped_ = true;
+  }
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Writer::writer_loop() {
+  std::deque<Mutation> batch;
+  bool alive = true;
+  while (alive) {
+    batch.clear();
+    // With staged-but-unpublished work and a publication rate limit in
+    // force, bound the wait so the deferred epoch goes out on time even if
+    // the mutation stream has gone quiet.
+    double timeout_ms = -1;
+    if (unpublished_ > 0 && cfg_.min_publish_interval_ms > 0) {
+      const double since = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - last_publish_)
+                               .count();
+      timeout_ms = std::max(0.0, cfg_.min_publish_interval_ms - since);
+    }
+    alive = queue_.pop_all(batch, timeout_ms);
+
+    // A barrier ticket taken before this point must see every command
+    // submitted before it; those commands are in the queue by the time
+    // the ticket exists, so one more non-blocking scoop suffices.
+    std::uint64_t wanted;
+    {
+      std::lock_guard<std::mutex> lk(pub_mu_);
+      wanted = publish_wanted_;
+    }
+    const bool barrier = wanted > publish_done_;
+    if (barrier || !alive) queue_.try_pop_all(batch);
+
+    if (!batch.empty()) {
+      grb::stats().ingest_batches.fetch_add(1, std::memory_order_relaxed);
+      apply_batch(batch);
+      unpublished_ += batch.size();
+    }
+
+    // Drain-triggered publication is rate-limited (min_publish_interval_ms)
+    // so a steady trickle of tiny batches does not republish the whole
+    // graph on every cycle; barriers, the backlog cap, and shutdown always
+    // publish so no path can strand staged work.
+    const bool interval_ok =
+        cfg_.min_publish_interval_ms <= 0 ||
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - last_publish_)
+                .count() >= cfg_.min_publish_interval_ms;
+    if (unpublished_ > 0 &&
+        (barrier || !alive || unpublished_ >= cfg_.publish_threshold ||
+         (queue_.size() == 0 && interval_ok))) {
+      publish_epoch();
+    }
+    if (barrier || !alive) {
+      std::lock_guard<std::mutex> lk(pub_mu_);
+      // On exit, satisfy every ticket (even future ones raced in): the
+      // published head already contains all drained work.
+      publish_done_ = alive ? wanted : publish_wanted_;
+      pub_cv_.notify_all();
+    }
+  }
+}
+
+void Writer::apply_batch(std::deque<Mutation> &batch) {
+  const bool undirected = master_.kind == Kind::adjacency_undirected;
+  const bool mirror_at = master_.at.has_value();
+  std::vector<grb::Index> ri, ci, ti, tj;
+  std::vector<double> v;
+  std::vector<std::uint8_t> ops;
+  ri.reserve(batch.size() * (undirected ? 2 : 1));
+  ci.reserve(ri.capacity());
+  v.reserve(ri.capacity());
+  ops.reserve(ri.capacity());
+  for (const Mutation &m : batch) {
+    const auto op = static_cast<std::uint8_t>(m.op);
+    ri.push_back(m.src);
+    ci.push_back(m.dst);
+    v.push_back(m.weight);
+    ops.push_back(op);
+    touched_rows_.insert(m.src);
+    touched_cols_.insert(m.dst);
+    if (m.src == m.dst) touched_diag_.insert(m.src);
+    if (undirected && m.src != m.dst) {
+      // An undirected edge lives at both (i,j) and (j,i); mirror so A
+      // stays symmetric and transpose_view() can keep aliasing A.
+      ri.push_back(m.dst);
+      ci.push_back(m.src);
+      v.push_back(m.weight);
+      ops.push_back(op);
+      touched_rows_.insert(m.dst);
+      touched_cols_.insert(m.src);
+    }
+  }
+  master_.a.stage_tuples(ri, ci, v, ops);
+  if (mirror_at) {
+    // Directed graphs maintain the cached transpose by mirroring every
+    // op with swapped indices — same pending machinery, same flush.
+    ti.reserve(ri.size());
+    tj.reserve(ri.size());
+    for (std::size_t p = 0; p < ri.size(); ++p) {
+      ti.push_back(ci[p]);
+      tj.push_back(ri[p]);
+    }
+    master_.at->stage_tuples(ti, tj, v, ops);
+  }
+}
+
+void Writer::publish_epoch() {
+  // Flush boundary: merge pending tuples, bury zombies.
+  master_.a.wait();
+  if (master_.at.has_value()) master_.at->wait();
+
+  // Incremental property maintenance — touched rows/cols only.
+  if (master_.row_degree.has_value()) {
+    for (grb::Index i : touched_rows_) {
+      const auto d = static_cast<std::int64_t>(master_.a.row_nvals(i));
+      if (d > 0) {
+        master_.row_degree->set_element(i, d);
+      } else {
+        master_.row_degree->remove_element(i);
+      }
+    }
+  }
+  if (master_.col_degree.has_value() && master_.at.has_value()) {
+    for (grb::Index j : touched_cols_) {
+      const auto d = static_cast<std::int64_t>(master_.at->row_nvals(j));
+      if (d > 0) {
+        master_.col_degree->set_element(j, d);
+      } else {
+        master_.col_degree->remove_element(j);
+      }
+    }
+  }
+  if (master_.ndiag >= 0) {
+    for (grb::Index i : touched_diag_) {
+      const bool now = master_.a.has(i, i);
+      const bool before = diag_present_.count(i) != 0;
+      if (now && !before) {
+        ++master_.ndiag;
+        diag_present_.insert(i);
+      } else if (!now && before) {
+        --master_.ndiag;
+        diag_present_.erase(i);
+      }
+    }
+  }
+  if (unpublished_ > 0 && master_.kind == Kind::adjacency_directed) {
+    // Mutations may have broken (or created) pattern symmetry; unknown is
+    // the honest cache state and costs nothing to requery later.
+    master_.a_pattern_is_symmetric = BooleanProperty::unknown;
+  }
+  touched_rows_.clear();
+  touched_cols_.clear();
+  touched_diag_.clear();
+
+  // Copy-and-freeze: the copy is O(nnz) flat-array duplication, far
+  // cheaper than rebuilding transpose/degrees/sort order from scratch,
+  // and the master stays mutable for the next batch.
+  Graph<double> copy = master_;
+  char msg[LAGRAPH_MSG_LEN];
+  msg[0] = '\0';
+  service::SnapshotPtr snap;
+  const std::uint64_t next = epoch_ + 1;  // epoch_ written only by this thread
+  const int st = service::publish_snapshot(&snap, std::move(copy), next, msg);
+  if (st >= 0) {
+    registry_.publish(snap);
+    if (on_publish_) on_publish_(snap);
+  }
+  {
+    std::lock_guard<std::mutex> lk(pub_mu_);
+    if (st < 0) {
+      if (error_status_ == 0) {
+        error_status_ = st;
+        error_msg_ = msg;
+      }
+    } else {
+      epoch_ = next;
+    }
+  }
+  unpublished_ = 0;
+  last_publish_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace ingest
+}  // namespace lagraph

@@ -40,6 +40,13 @@ class GraphSnapshot {
   /// which graph version answered their query.
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
+  /// Ingest epoch this snapshot was published at. Snapshots built outside
+  /// the write path (make_snapshot) are epoch 0; the ingest Writer stamps
+  /// each publication with its strictly increasing epoch counter, which
+  /// keys plan-cache scoping and registry reclamation. Two snapshots with
+  /// different epochs never share a plan cache.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
   /// Per-snapshot grb::plan memo. make_snapshot pre-warms it with traversal
   /// plans across a sweep of frontier densities; workers install it (via
   /// grb::plan::CacheScope) for the duration of each query so repeated
@@ -52,10 +59,13 @@ class GraphSnapshot {
 
  private:
   friend int make_snapshot(SnapshotPtr *out, Graph<double> &&g, char *msg);
+  friend int publish_snapshot(SnapshotPtr *out, Graph<double> &&g,
+                              std::uint64_t epoch, char *msg);
   GraphSnapshot() = default;
 
   Graph<double> g_;
   std::uint64_t id_ = 0;
+  std::uint64_t epoch_ = 0;
   mutable grb::plan::PlanCache plan_cache_;
 };
 
@@ -63,6 +73,16 @@ class GraphSnapshot {
 /// transpose + row degrees + symmetric pattern + ndiag, drain all deferred
 /// work, freeze every container. On success *out holds the new snapshot.
 int make_snapshot(SnapshotPtr *out, Graph<double> &&g, char *msg);
+
+/// Ingest fast path: wrap an ALREADY-maintained graph — properties kept
+/// current incrementally by the writer (degrees, transpose, ndiag) — into a
+/// snapshot stamped with `epoch`, skipping the from-scratch property
+/// recomputation of make_snapshot. Deferred work is still drained and every
+/// container frozen; properties the writer did not populate stay absent
+/// (query paths fall back, exactly as with a property-less make_snapshot
+/// graph). The fresh per-snapshot plan cache is pre-warmed the same way.
+int publish_snapshot(SnapshotPtr *out, Graph<double> &&g, std::uint64_t epoch,
+                     char *msg);
 
 }  // namespace service
 }  // namespace lagraph

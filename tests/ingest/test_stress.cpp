@@ -1,0 +1,165 @@
+// Reader/writer race stress (ctest -L concurrency; TSan target): N query
+// threads run against a continuous mutation stream and assert that every
+// snapshot they observe is internally consistent — degrees match the
+// structure, nvals matches the row pointers (no zombie visible), epochs
+// only move forward. The engine rides along so the full submit → snapshot
+// bind → query path is exercised under live publication.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ingest/writer.hpp"
+#include "service/engine.hpp"
+
+namespace ing = lagraph::ingest;
+namespace svc = lagraph::service;
+using grb::Index;
+
+namespace {
+
+constexpr Index kNodes = 96;
+
+lagraph::Graph<double> ring_graph(lagraph::Kind kind) {
+  grb::Matrix<double> a(kNodes, kNodes);
+  std::vector<Index> ri, ci;
+  std::vector<double> vv;
+  for (Index i = 0; i < kNodes; ++i) {
+    ri.push_back(i);
+    ci.push_back((i + 1) % kNodes);
+    vv.push_back(1.0);
+    if (kind == lagraph::Kind::adjacency_undirected) {
+      ri.push_back((i + 1) % kNodes);
+      ci.push_back(i);
+      vv.push_back(1.0);
+    }
+  }
+  a.build(std::span<const Index>(ri), std::span<const Index>(ci),
+          std::span<const double>(vv), grb::Second{});
+  return lagraph::Graph<double>(std::move(a), kind);
+}
+
+// Everything a reader may legally conclude from one immutable snapshot.
+void assert_snapshot_consistent(const svc::SnapshotPtr &snap) {
+  const auto &g = snap->graph();
+  ASSERT_TRUE(g.a.is_finalized());
+  Index sum = 0;
+  for (Index i = 0; i < g.a.nrows(); ++i) sum += g.a.row_nvals(i);
+  // No zombie visible: the structure accounts for exactly nvals entries.
+  ASSERT_EQ(sum, g.a.nvals());
+  ASSERT_TRUE(g.row_degree.has_value());
+  for (Index i = 0; i < g.a.nrows(); ++i) {
+    auto d = g.row_degree->get(i);
+    ASSERT_EQ(d ? *d : 0, static_cast<std::int64_t>(g.a.row_nvals(i)))
+        << "degree of row " << i << " diverges in epoch " << snap->epoch();
+  }
+  ASSERT_GE(g.ndiag, 0);
+}
+
+void stress(lagraph::Kind kind) {
+  svc::EngineConfig ecfg;
+  ecfg.threads = 2;
+  svc::Engine engine(ecfg);
+
+  ing::WriterConfig wcfg;
+  wcfg.publish_threshold = 64;
+  ing::Writer writer(ring_graph(kind), wcfg,
+                     [&](const svc::SnapshotPtr &s) {
+                       engine.install_snapshot(s);
+                     });
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  const int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = writer.current();
+        if (snap == nullptr) continue;
+        // Epochs only move forward from any single reader's view.
+        if (snap->epoch() < last_epoch) {
+          failures.fetch_add(1);
+          return;
+        }
+        last_epoch = snap->epoch();
+        assert_snapshot_consistent(snap);
+        if (::testing::Test::HasFatalFailure()) {
+          failures.fetch_add(1);
+          return;
+        }
+        // Every ~4th loop also drives the engine's bind-and-query path.
+        if (t == 0 && (last_epoch & 3) == 0) {
+          svc::Request req;
+          req.kind = svc::QueryKind::bfs;
+          req.source = last_epoch % kNodes;
+          auto fut = engine.submit(req);
+          auto res = fut.get();
+          if (res.status < 0 &&
+              res.status != LAGRAPH_SERVICE_NO_SNAPSHOT) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  // The mutation stream: continuous mixed batches, no explicit publishes —
+  // the writer's own cadence decides epoch boundaries.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  auto rnd = [&] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  const int kBatches = 150;
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<ing::Mutation> batch;
+    for (int q = 0; q < 32; ++q) {
+      ing::Mutation m;
+      const auto k = rnd() % 10;
+      m.op = k < 5   ? ing::MutationOp::insert
+             : k < 8 ? ing::MutationOp::upsert
+                     : ing::MutationOp::remove;
+      m.src = rnd() % kNodes;
+      m.dst = rnd() % kNodes;
+      m.weight = 1.0 + static_cast<double>(rnd() % 4);
+      batch.push_back(m);
+    }
+    int st = writer.submit_batch(batch);
+    if (st == LAGRAPH_INGEST_QUEUE_FULL) {
+      std::this_thread::yield();
+      --b;  // retry: backpressure, not failure
+      continue;
+    }
+    ASSERT_EQ(st, 0);
+  }
+  ASSERT_EQ(writer.publish_now(), 0) << writer.error_message();
+
+  stop.store(true);
+  for (auto &r : readers) r.join();
+  writer.stop();
+  engine.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(writer.epoch(), 1u);
+  // Grace-period reclamation kept the history bounded while readers
+  // churned through ~75 epochs: only the grace window plus whatever the
+  // engine and readers still pinned at the final sweep may remain.
+  EXPECT_LE(writer.registry().size(), wcfg.grace_depth + kReaders + 5);
+}
+
+}  // namespace
+
+TEST(IngestStress, DirectedReadersVsMutationStream) {
+  stress(lagraph::Kind::adjacency_directed);
+}
+
+TEST(IngestStress, UndirectedReadersVsMutationStream) {
+  stress(lagraph::Kind::adjacency_undirected);
+}

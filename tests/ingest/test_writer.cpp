@@ -1,0 +1,217 @@
+// Writer + SnapshotRegistry unit tests: epoch publication, incremental
+// property maintenance, undirected mirroring, grace-period reclamation,
+// and the submit-side error contract.
+#include <gtest/gtest.h>
+
+#include "ingest/writer.hpp"
+
+namespace ing = lagraph::ingest;
+namespace svc = lagraph::service;
+using grb::Index;
+
+namespace {
+
+lagraph::Graph<double> path_graph(Index n, lagraph::Kind kind) {
+  grb::Matrix<double> a(n, n);
+  std::vector<Index> ri, ci;
+  std::vector<double> vv;
+  for (Index i = 0; i + 1 < n; ++i) {
+    ri.push_back(i);
+    ci.push_back(i + 1);
+    vv.push_back(1.0);
+    if (kind == lagraph::Kind::adjacency_undirected) {
+      ri.push_back(i + 1);
+      ci.push_back(i);
+      vv.push_back(1.0);
+    }
+  }
+  a.build(std::span<const Index>(ri), std::span<const Index>(ci),
+          std::span<const double>(vv), grb::Second{});
+  return lagraph::Graph<double>(std::move(a), kind);
+}
+
+}  // namespace
+
+TEST(Registry, GracePeriodKeepsPinnedSnapshots) {
+  ing::SnapshotRegistry reg(/*grace_depth=*/2);
+  char msg[LAGRAPH_MSG_LEN];
+  svc::SnapshotPtr pinned;
+  for (int k = 0; k < 5; ++k) {
+    svc::SnapshotPtr snap;
+    ASSERT_EQ(svc::make_snapshot(
+                  &snap, path_graph(4, lagraph::Kind::adjacency_directed), msg),
+              LAGRAPH_OK)
+        << msg;
+    if (k == 0) pinned = snap;  // a reader still holding epoch 1
+    reg.publish(std::move(snap));
+  }
+  // Head + grace window survive; unpinned older epochs are swept; the
+  // pinned one must survive every sweep while the reader holds it.
+  EXPECT_EQ(reg.size(), 3u);  // 2 grace + 1 pinned
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->graph().a.nrows(), 4u);
+  pinned.reset();
+  reg.reclaim();
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Writer, PublishesInitialEpochOnConstruction) {
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed));
+  auto snap = w.current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch(), 1u);
+  EXPECT_EQ(w.epoch(), 1u);
+  EXPECT_EQ(snap->entries(), 7u);
+  EXPECT_TRUE(snap->graph().a.is_finalized());
+  ASSERT_TRUE(snap->graph().row_degree.has_value());
+  ASSERT_TRUE(snap->graph().at.has_value());
+  EXPECT_EQ(snap->graph().ndiag, 0);
+}
+
+TEST(Writer, InsertDeleteUpsertMaintainsProperties) {
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed));
+  const ing::Mutation muts[] = {
+      {ing::MutationOp::insert, 0, 5, 2.0},   // new edge
+      {ing::MutationOp::upsert, 0, 5, 3.0},   // accumulate onto it: 5.0
+      {ing::MutationOp::upsert, 6, 6, 1.5},   // new diagonal entry
+      {ing::MutationOp::remove, 0, 1, 0.0},   // delete a seed edge
+      {ing::MutationOp::remove, 3, 3, 0.0},   // delete an absent entry: no-op
+  };
+  ASSERT_EQ(w.submit_batch(muts), 0);
+  ASSERT_EQ(w.publish_now(), 0) << w.error_message();
+
+  auto snap = w.current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_GE(snap->epoch(), 2u);
+  const auto &g = snap->graph();
+  // 7 seed edges - 1 delete + 2 inserts.
+  EXPECT_EQ(g.a.nvals(), 8u);
+  auto v = g.a.get(0, 5);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 5.0);
+  EXPECT_FALSE(g.a.has(0, 1));
+  EXPECT_TRUE(g.a.has(6, 6));
+  EXPECT_EQ(g.ndiag, 1);
+  // Incrementally maintained degrees must agree with the structure, and
+  // the mirrored transpose must be a real transpose.
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lagraph::check_graph(g, msg), LAGRAPH_OK) << msg;
+  ASSERT_TRUE(g.row_degree.has_value());
+  auto d0 = g.row_degree->get(0);
+  ASSERT_TRUE(d0.has_value());
+  EXPECT_EQ(*d0, 1);  // lost (0,1), gained (0,5)
+}
+
+TEST(Writer, UndirectedMutationsMirrorAndStaySymmetric) {
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_undirected));
+  const ing::Mutation muts[] = {
+      {ing::MutationOp::insert, 2, 6, 4.0},
+      {ing::MutationOp::remove, 0, 1, 0.0},
+  };
+  ASSERT_EQ(w.submit_batch(muts), 0);
+  ASSERT_EQ(w.publish_now(), 0) << w.error_message();
+
+  const auto &g = w.current()->graph();
+  EXPECT_TRUE(g.a.has(2, 6));
+  EXPECT_TRUE(g.a.has(6, 2));
+  EXPECT_FALSE(g.a.has(0, 1));
+  EXPECT_FALSE(g.a.has(1, 0));
+  EXPECT_EQ(g.a_pattern_is_symmetric, lagraph::BooleanProperty::yes);
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lagraph::check_graph(g, msg), LAGRAPH_OK) << msg;
+}
+
+TEST(Writer, EveryPublishBumpsTheEpochAndKeepsHistory) {
+  ing::WriterConfig cfg;
+  cfg.grace_depth = 3;
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed), cfg);
+  for (int k = 0; k < 4; ++k) {
+    ing::Mutation m{ing::MutationOp::insert, 7, static_cast<Index>(k), 1.0};
+    ASSERT_EQ(w.submit(m), 0);
+    ASSERT_EQ(w.publish_now(), 0);
+  }
+  EXPECT_EQ(w.epoch(), 5u);  // 1 initial + 4 forced
+  EXPECT_EQ(w.current()->epoch(), 5u);
+  EXPECT_LE(w.registry().size(), 5u);
+}
+
+TEST(Writer, PublishHookSeesEveryEpochInOrder) {
+  std::vector<std::uint64_t> seen;
+  std::mutex mu;
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed), {},
+                [&](const svc::SnapshotPtr &s) {
+                  std::lock_guard<std::mutex> lk(mu);
+                  seen.push_back(s->epoch());
+                });
+  ing::Mutation m{ing::MutationOp::insert, 0, 7, 1.0};
+  ASSERT_EQ(w.submit(m), 0);
+  ASSERT_EQ(w.publish_now(), 0);
+  w.stop();
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_GE(seen.size(), 2u);
+  for (std::size_t k = 1; k < seen.size(); ++k) {
+    EXPECT_EQ(seen[k], seen[k - 1] + 1);
+  }
+}
+
+TEST(Writer, RateLimitDefersDrainPublishButNotBarriers) {
+  ing::WriterConfig cfg;
+  cfg.min_publish_interval_ms = 60000;  // no drain-triggered epochs today
+  cfg.publish_threshold = 1 << 20;
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed), cfg);
+  ing::Mutation m{ing::MutationOp::insert, 0, 7, 1.0};
+  ASSERT_EQ(w.submit(m), 0);
+  // The barrier must cut through the rate limit and publish immediately.
+  ASSERT_EQ(w.publish_now(), 0) << w.error_message();
+  EXPECT_EQ(w.epoch(), 2u);
+  EXPECT_TRUE(w.current()->graph().a.has(0, 7));
+
+  // And shutdown must flush staged work even mid-interval.
+  ing::Mutation m2{ing::MutationOp::insert, 7, 0, 1.0};
+  ASSERT_EQ(w.submit(m2), 0);
+  w.stop();
+  EXPECT_EQ(w.epoch(), 3u);
+  EXPECT_TRUE(w.current()->graph().a.has(7, 0));
+}
+
+TEST(Writer, RateLimitedEpochPublishesOnceIntervalElapses) {
+  ing::WriterConfig cfg;
+  cfg.min_publish_interval_ms = 30;  // short, but >> one loop iteration
+  cfg.publish_threshold = 1 << 20;
+  ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed), cfg);
+  ing::Mutation m{ing::MutationOp::insert, 0, 7, 1.0};
+  ASSERT_EQ(w.submit(m), 0);
+  // No barrier, no threshold, a quiet stream: the timed wait alone must
+  // publish the deferred epoch shortly after the interval elapses.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (w.epoch() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(w.epoch(), 2u);
+  EXPECT_TRUE(w.current()->graph().a.has(0, 7));
+}
+
+TEST(Writer, SubmitErrorContract) {
+  ing::Writer w(path_graph(4, lagraph::Kind::adjacency_directed));
+  ing::Mutation oob{ing::MutationOp::insert, 9, 0, 1.0};
+  EXPECT_EQ(w.submit(oob), LAGRAPH_INVALID_VALUE);
+  w.stop();
+  ing::Mutation ok{ing::MutationOp::insert, 0, 1, 1.0};
+  EXPECT_EQ(w.submit(ok), LAGRAPH_INGEST_STOPPED);
+  EXPECT_EQ(w.publish_now(), LAGRAPH_INGEST_STOPPED);
+}
+
+TEST(Writer, StatsCountersAdvance) {
+  const auto before = grb::stats().snapshot();
+  {
+    ing::Writer w(path_graph(8, lagraph::Kind::adjacency_directed));
+    ing::Mutation m{ing::MutationOp::insert, 0, 7, 1.0};
+    ASSERT_EQ(w.submit(m), 0);
+    ASSERT_EQ(w.publish_now(), 0);
+  }
+  const auto after = grb::stats().snapshot();
+  EXPECT_GE(after.edges_ingested, before.edges_ingested + 1);
+  EXPECT_GE(after.epochs_published, before.epochs_published + 2);
+  EXPECT_GE(after.ingest_batches, before.ingest_batches + 1);
+}

@@ -4,18 +4,27 @@
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 
-Both files must follow the lagraph-bench-v1 schema written by bench_kernels /
-table3_gap_suite:
+Both files must follow the same schema, either of:
 
+  lagraph-bench-v1 (bench_kernels / table3_gap_suite):
     {"schema": "lagraph-bench-v1", "suite": "...", "scale": N,
      "entries": [{"op", "graph", "threads", "reps", "median_ms"}, ...]}
+    Entries are matched on the (op, graph, threads) key and compared on
+    median_ms (lower is better).
 
-Entries are matched on the (op, graph, threads) key. A candidate entry whose
-median_ms exceeds the baseline's by more than the threshold (default 10%) is
-flagged as a regression; the script prints a table of all matched cells and
-exits 1 if any regression was found. Cells present on only one side are
-reported but never fail the run (graph scale or thread sweep may legitimately
-differ between commits).
+  lagraph-service-bench-v1 (bench_service_throughput --mutation-mix):
+    {"schema": "lagraph-service-bench-v1", "suite": "...", "scale": N,
+     "entries": [{"workload", "op", "threads", "queries", "qps",
+                  "p50_ms", "p95_ms", "p99_ms", ...}, ...]}
+    Entries are matched on the (op, workload, threads) key; qps is inverted
+    to ms-per-query so the same lower-is-better comparison applies (a qps
+    drop beyond the threshold flags a regression).
+
+A candidate entry whose cost exceeds the baseline's by more than the
+threshold (default 10%) is flagged as a regression; the script prints a
+table of all matched cells and exits 1 if any regression was found. Cells
+present on only one side are reported but never fail the run (graph scale or
+thread sweep may legitimately differ between commits).
 
 Entries may optionally carry p50_ms / p95_ms / p99_ms percentile fields
 (written by newer harnesses). When a percentile is present on *both* sides of
@@ -44,13 +53,21 @@ def load_entries(path, role):
     except json.JSONDecodeError as e:
         sys.exit(f"bench_diff: {path} is not valid JSON ({e}); "
                  "re-run the bench to regenerate it")
-    if data.get("schema") != "lagraph-bench-v1":
-        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    schema = data.get("schema")
+    if schema not in ("lagraph-bench-v1", "lagraph-service-bench-v1"):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
     out = {}
     pcts = {}
     for e in data.get("entries", []):
-        key = (e["op"], e["graph"], int(e["threads"]))
-        out[key] = float(e["median_ms"])
+        if schema == "lagraph-service-bench-v1":
+            # Throughput cells: invert qps to ms-per-query so the shared
+            # lower-is-better comparison below applies unchanged.
+            key = (e["op"], e["workload"], int(e["threads"]))
+            qps = float(e["qps"])
+            out[key] = 1e3 / qps if qps > 0 else float("inf")
+        else:
+            key = (e["op"], e["graph"], int(e["threads"]))
+            out[key] = float(e["median_ms"])
         pcts[key] = {
             p: float(e[p])
             for p in ("p50_ms", "p95_ms", "p99_ms")
@@ -80,6 +97,12 @@ def main():
 
     base_meta, base, base_pct = load_entries(args.baseline, "baseline")
     cand_meta, cand, cand_pct = load_entries(args.candidate, "candidate")
+    if base_meta.get("schema") != cand_meta.get("schema"):
+        sys.exit(
+            f"bench_diff: schema mismatch (baseline "
+            f"{base_meta.get('schema')!r}, candidate "
+            f"{cand_meta.get('schema')!r}) -- compare like with like"
+        )
     if base_meta.get("scale") != cand_meta.get("scale"):
         print(
             f"note: scales differ (baseline {base_meta.get('scale')}, "

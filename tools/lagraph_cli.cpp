@@ -14,9 +14,18 @@
 //                        operand formats, and thread-team size
 // Service commands (lagraph::service):
 //   serve                build a snapshot, start an Engine, run a query
-//                        script through the batching worker pool
+//                        script through the batching worker pool; a script
+//                        with mutation lines runs them through an
+//                        ingest::Writer whose epochs are swapped into the
+//                        engine live
 //   replay               same script, but one worker and batching off —
 //                        the one-query-at-a-time baseline to compare against
+//                        (mutation lines are rejected: the baseline is
+//                        deterministic)
+// Ingest commands (lagraph::ingest):
+//   mutate               stream a mutation script (or --mutations N random
+//                        edits) through an ingest::Writer and report the
+//                        published epochs and final snapshot
 // Options:
 //   --mtx FILE           load a Matrix Market file
 //   --graphalytics V E   load Graphalytics vertex+edge files
@@ -27,10 +36,14 @@
 //   --delta X            SSSP delta (default 2)
 //   --k N                k for ktruss (default 3)
 //   --top N              print the top-N entries of vector results (def. 10)
-//   --script FILE        serve/replay query script: one query per line —
-//                        `bfs SRC`, `sssp SRC [DELTA]`, `pagerank`, `tc`;
-//                        '#' starts a comment. Without a script, serve runs
-//                        64 BFS queries from hashed sources.
+//   --script FILE        serve/replay/mutate script: one line per command —
+//                        queries `bfs SRC`, `sssp SRC [DELTA]`, `pagerank`,
+//                        `tc`; mutations `ins SRC DST [W]`, `ups SRC DST
+//                        [W]`, `del SRC DST`; `publish` forces an epoch
+//                        boundary; '#' starts a comment. Without a script,
+//                        serve runs 64 BFS queries from hashed sources and
+//                        mutate streams --mutations random edits.
+//   --mutations N        mutate: synthetic mutation count (default 1024)
 //   --threads N          serve: worker pool size (default 2)
 //   --window-us U        serve: BFS coalescing window in µs (default 200)
 //   --max-batch B        serve: max sources per msbfs sweep (default 64)
@@ -63,12 +76,14 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "gen/generators.hpp"
 #include "grb/testing/differ.hpp"
+#include "ingest/writer.hpp"
 #include "lagraph/lagraph.hpp"
 #include "service/engine.hpp"
 
@@ -92,6 +107,7 @@ struct Options {
   std::uint32_t max_batch = 64;
   bool no_batch = false;
   std::string explain_op = "bfs";
+  int mutations = 1024;
   bool json = false;
   bool burble = false;
   bool trace = false;
@@ -104,7 +120,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
-      "ktruss|lcc|cdlp|msbfs|stats|explain|serve|replay> [options]\n"
+      "ktruss|lcc|cdlp|msbfs|stats|explain|serve|replay|mutate> [options]\n"
       "       lagraph_cli trace <algorithm> [options]\n"
       "       lagraph_cli fuzz [--seconds X|--ops N] [--seed N]\n"
       "                        [--corpus DIR] [--replay FILE] [--out FILE]\n"
@@ -115,7 +131,9 @@ int usage() {
       "  --json (stats) --burble\n"
       "  trace: --trace-out FILE --sample N\n"
       "  serve/replay: --script FILE --threads N --window-us U "
-      "--max-batch B --no-batch --prometheus FILE\n");
+      "--max-batch B --no-batch --prometheus FILE\n"
+      "  mutate: --script FILE | --mutations N  (script lines: ins/ups/del "
+      "SRC DST [W], publish)\n");
   return 2;
 }
 
@@ -135,7 +153,7 @@ bool parse_args(int argc, char **argv, Options &opt) {
   const char *known[] = {"bfs",    "pagerank", "pagerank-dangling", "sssp",
                          "tc",     "cc",       "bc",                "ktruss",
                          "lcc",    "cdlp",     "msbfs",             "stats",
-                         "explain", "serve",   "replay"};
+                         "explain", "serve",   "replay",            "mutate"};
   bool ok = false;
   for (const char *k : known) ok = ok || opt.algorithm == k;
   if (!ok) {
@@ -177,6 +195,8 @@ bool parse_args(int argc, char **argv, Options &opt) {
       opt.max_batch = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (a == "--no-batch") {
       opt.no_batch = true;
+    } else if (a == "--mutations" && need(1)) {
+      opt.mutations = std::atoi(argv[++i]);
     } else if (a == "--json") {
       opt.json = true;
     } else if (a == "--burble") {
@@ -237,18 +257,31 @@ int load_graph(lagraph::Graph<double> &g, const Options &opt, char *msg) {
                              msg);
 }
 
-// Parse a serve/replay query script (one query per line, '#' comments).
-// With no --script, synthesize 64 BFS queries from hashed sources — the
-// workload that shows batching off best.
-int parse_script(std::vector<lagraph::service::Request> &reqs,
-                 const Options &opt, grb::Index n, char *msg) {
+// One line of a serve/replay/mutate script: a query for the engine, a
+// mutation for the ingest writer, or a forced epoch boundary.
+struct ScriptItem {
+  enum class What : std::uint8_t { query, mutation, publish };
+  What what = What::query;
+  lagraph::service::Request req;
+  lagraph::ingest::Mutation mut;
+};
+
+// Parse a script (one command per line, '#' comments). With no --script,
+// synthesize 64 BFS queries from hashed sources — the workload that shows
+// batching off best. `allow_mutations` is off for replay (the deterministic
+// baseline) and `allow_queries` off for the mutate command.
+int parse_script(std::vector<ScriptItem> &items, const Options &opt,
+                 grb::Index n, bool allow_queries, bool allow_mutations,
+                 char *msg) {
   namespace svc = lagraph::service;
+  namespace ing = lagraph::ingest;
   if (opt.script.empty()) {
+    if (!allow_queries) return LAGRAPH_OK;  // mutate synthesizes its own
     for (int i = 0; i < 64; ++i) {
-      svc::Request r;
-      r.kind = svc::QueryKind::bfs;
-      r.source = static_cast<grb::Index>(i * 2654435761ull) % n;
-      reqs.push_back(r);
+      ScriptItem it;
+      it.req.kind = svc::QueryKind::bfs;
+      it.req.source = static_cast<grb::Index>(i * 2654435761ull) % n;
+      items.push_back(it);
     }
     return LAGRAPH_OK;
   }
@@ -264,33 +297,65 @@ int parse_script(std::vector<lagraph::service::Request> &reqs,
     std::istringstream ls(line);
     std::string kind;
     if (!(ls >> kind)) continue;
-    svc::Request r;
-    r.delta = opt.delta;
-    if (kind == "bfs" || kind == "sssp") {
+    ScriptItem it;
+    it.req.delta = opt.delta;
+    if (kind == "ins" || kind == "ups" || kind == "del") {
+      if (!allow_mutations) {
+        return lagraph::detail::set_msg(
+            msg, LAGRAPH_INVALID_VALUE,
+            "script: mutation lines are not allowed here (replay is the "
+            "deterministic baseline; use serve or mutate)");
+      }
+      unsigned long long src, dst;
+      if (!(ls >> src >> dst)) {
+        return lagraph::detail::set_msg(
+            msg, LAGRAPH_INVALID_VALUE,
+            "script: ins/ups/del needs SRC DST [W]");
+      }
+      it.what = ScriptItem::What::mutation;
+      it.mut.op = kind == "ins"   ? ing::MutationOp::insert
+                  : kind == "ups" ? ing::MutationOp::upsert
+                                  : ing::MutationOp::remove;
+      it.mut.src = static_cast<grb::Index>(src) % n;
+      it.mut.dst = static_cast<grb::Index>(dst) % n;
+      double w;
+      if (ls >> w) it.mut.weight = w;
+    } else if (kind == "publish") {
+      if (!allow_mutations) {
+        return lagraph::detail::set_msg(
+            msg, LAGRAPH_INVALID_VALUE,
+            "script: publish is not allowed here");
+      }
+      it.what = ScriptItem::What::publish;
+    } else if (!allow_queries) {
+      return lagraph::detail::set_msg(
+          msg, LAGRAPH_INVALID_VALUE,
+          "script: mutate scripts take only ins/ups/del/publish lines");
+    } else if (kind == "bfs" || kind == "sssp") {
       unsigned long long src;
       if (!(ls >> src)) {
         return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
                                         "script: bfs/sssp needs a source");
       }
-      r.source = static_cast<grb::Index>(src) % n;
-      r.kind = kind == "bfs" ? svc::QueryKind::bfs : svc::QueryKind::sssp;
+      it.req.source = static_cast<grb::Index>(src) % n;
+      it.req.kind = kind == "bfs" ? svc::QueryKind::bfs : svc::QueryKind::sssp;
       if (kind == "sssp") {
         double d;
-        if (ls >> d) r.delta = d;
+        if (ls >> d) it.req.delta = d;
       }
     } else if (kind == "pagerank") {
-      r.kind = svc::QueryKind::pagerank;
+      it.req.kind = svc::QueryKind::pagerank;
     } else if (kind == "tc") {
-      r.kind = svc::QueryKind::tc;
+      it.req.kind = svc::QueryKind::tc;
     } else {
       return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
                                       "script: unknown query kind");
     }
-    reqs.push_back(r);
+    items.push_back(it);
   }
-  if (reqs.empty()) {
+  if (items.empty()) {
     return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
-                                    "script: no queries");
+                                    "script: no commands");
   }
   return LAGRAPH_OK;
 }
@@ -661,8 +726,17 @@ int main(int argc, char **argv) {
                     ps.format_conversions.load()));
   } else if (opt.algorithm == "serve" || opt.algorithm == "replay") {
     namespace svc = lagraph::service;
-    std::vector<svc::Request> reqs;
-    LAGRAPH_TRY(parse_script(reqs, opt, g.nodes(), msg));
+    namespace ing = lagraph::ingest;
+    std::vector<ScriptItem> items;
+    LAGRAPH_TRY(parse_script(items, opt, g.nodes(), /*allow_queries=*/true,
+                             /*allow_mutations=*/opt.algorithm == "serve",
+                             msg));
+    std::size_t n_queries = 0;
+    std::size_t n_muts = 0;
+    for (const auto &it : items) {
+      if (it.what == ScriptItem::What::query) ++n_queries;
+      if (it.what == ScriptItem::What::mutation) ++n_muts;
+    }
 
     svc::EngineConfig cfg;
     cfg.threads = opt.threads;
@@ -675,21 +749,60 @@ int main(int argc, char **argv) {
       cfg.enable_batching = false;
     }
 
-    svc::SnapshotPtr snap;
-    LAGRAPH_TRY(svc::make_snapshot(&snap, std::move(g), msg));
-    svc::Engine engine(snap, cfg);
-    std::printf("%s: %zu queries on snapshot %llu, %d worker(s), "
-                "batching %s (window %ldus, max batch %u)\n",
-                opt.algorithm.c_str(), reqs.size(),
-                static_cast<unsigned long long>(snap->id()), cfg.threads,
-                cfg.enable_batching ? "on" : "off",
+    // A mutation-free script serves a frozen snapshot, exactly as before.
+    // With mutations, the graph is handed to an ingest::Writer instead and
+    // every published epoch is swapped into the engine under live traffic.
+    svc::Engine engine(cfg);
+    std::unique_ptr<ing::Writer> writer;
+    const bool mutating = n_muts > 0;
+    if (mutating) {
+      writer = std::make_unique<ing::Writer>(
+          std::move(g), ing::WriterConfig{},
+          [&engine](const svc::SnapshotPtr &s) {
+            engine.install_snapshot(s);
+          });
+    } else {
+      svc::SnapshotPtr snap;
+      LAGRAPH_TRY(svc::make_snapshot(&snap, std::move(g), msg));
+      engine.install_snapshot(std::move(snap));
+    }
+    std::printf("%s: %zu queries, %zu mutations on snapshot %llu, "
+                "%d worker(s), batching %s (window %ldus, max batch %u)\n",
+                opt.algorithm.c_str(), n_queries, n_muts,
+                static_cast<unsigned long long>(engine.snapshot()->id()),
+                cfg.threads, cfg.enable_batching ? "on" : "off",
                 static_cast<long>(cfg.batch_window.count()), cfg.max_batch);
 
     lagraph::Timer qt;
     lagraph::tic(qt);
     std::vector<std::future<svc::QueryResult>> futs;
-    futs.reserve(reqs.size());
-    for (const auto &r : reqs) futs.push_back(engine.submit(r));
+    futs.reserve(n_queries);
+    for (const auto &it : items) {
+      switch (it.what) {
+        case ScriptItem::What::query:
+          futs.push_back(engine.submit(it.req));
+          break;
+        case ScriptItem::What::mutation: {
+          int st = writer->submit(it.mut);
+          if (st < 0) {
+            std::snprintf(msg, LAGRAPH_MSG_LEN, "%s",
+                          writer->error_message().c_str());
+            LAGraph_CATCH(st);
+          }
+          break;
+        }
+        case ScriptItem::What::publish: {
+          int st = writer->publish_now();
+          if (st < 0) {
+            std::snprintf(msg, LAGRAPH_MSG_LEN, "%s",
+                          writer->error_message().c_str());
+            LAGraph_CATCH(st);
+          }
+          break;
+        }
+      }
+    }
+    if (writer) writer->publish_now();  // make trailing edits visible
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t batched = 0;
@@ -709,13 +822,23 @@ int main(int argc, char **argv) {
       }
     }
     double qs = lagraph::toc(qt);
+    if (writer) {
+      std::printf("ingest: %llu epochs published, final snapshot %llu "
+                  "(%llu entries), %zu snapshots retained\n",
+                  static_cast<unsigned long long>(writer->epoch()),
+                  static_cast<unsigned long long>(writer->current()->id()),
+                  static_cast<unsigned long long>(
+                      writer->current()->entries()),
+                  writer->registry().size());
+      writer->stop();
+    }
     engine.stop();
 
     auto c = engine.counters();
     std::printf("completed %zu (%zu batched), failed %zu in %.3fs "
                 "=> %.1f queries/s\n",
                 ok, batched, failed, qs,
-                static_cast<double>(reqs.size()) / qs);
+                static_cast<double>(n_queries) / qs);
     std::printf("engine: %llu bfs sweeps, %llu batched bfs, "
                 "%llu solo queries\n",
                 static_cast<unsigned long long>(c.bfs_sweeps),
@@ -751,6 +874,88 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "first error %d (%s): %s\n", first_err,
                    lagraph::status_name(first_err), first_err_msg.c_str());
     }
+  } else if (opt.algorithm == "mutate") {
+    namespace ing = lagraph::ingest;
+    std::vector<ScriptItem> items;
+    LAGRAPH_TRY(parse_script(items, opt, g.nodes(), /*allow_queries=*/false,
+                             /*allow_mutations=*/true, msg));
+    const grb::Index n = g.nodes();
+    const auto before = grb::stats().snapshot();
+    ing::Writer writer(std::move(g));
+
+    auto try_ingest = [&](int st) {
+      if (st >= 0) return true;
+      std::snprintf(msg, LAGRAPH_MSG_LEN, "%s", writer.error_message().c_str());
+      return false;
+    };
+    if (items.empty()) {
+      // No script: a deterministic synthetic stream of --mutations mixed
+      // edits, submitted in batches so several epochs publish on the
+      // writer's own cadence.
+      std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+      auto rnd = [&] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+      };
+      std::vector<ing::Mutation> batch;
+      for (int q = 0; q < opt.mutations; ++q) {
+        ing::Mutation m;
+        const auto k = rnd() % 10;
+        m.op = k < 5   ? ing::MutationOp::insert
+               : k < 8 ? ing::MutationOp::upsert
+                       : ing::MutationOp::remove;
+        m.src = static_cast<grb::Index>(rnd() % n);
+        m.dst = static_cast<grb::Index>(rnd() % n);
+        m.weight = 1.0 + static_cast<double>(rnd() % 8);
+        batch.push_back(m);
+        if (batch.size() == 256) {
+          if (!try_ingest(writer.submit_batch(batch)))
+            LAGraph_CATCH(LAGRAPH_INGEST_STOPPED);
+          batch.clear();
+        }
+      }
+      if (!batch.empty() && !try_ingest(writer.submit_batch(batch))) {
+        LAGraph_CATCH(LAGRAPH_INGEST_STOPPED);
+      }
+    } else {
+      for (const auto &it : items) {
+        const int st = it.what == ScriptItem::What::publish
+                           ? writer.publish_now()
+                           : writer.submit(it.mut);
+        if (!try_ingest(st)) LAGraph_CATCH(st);
+      }
+    }
+    {
+      const int st = writer.publish_now();
+      if (!try_ingest(st)) LAGraph_CATCH(st);
+    }
+
+    auto snap = writer.current();
+    std::printf("mutate: %llu epochs published, final snapshot %llu: "
+                "%llu nodes, %llu entries\n",
+                static_cast<unsigned long long>(writer.epoch()),
+                static_cast<unsigned long long>(snap->id()),
+                static_cast<unsigned long long>(snap->nodes()),
+                static_cast<unsigned long long>(snap->entries()));
+    // The published graph must be fully consistent — a cheap end-to-end
+    // check of the incremental property maintenance.
+    const int cg = lagraph::check_graph(snap->graph(), msg);
+    writer.stop();
+    const auto after = grb::stats().snapshot();
+    std::printf("ingest counters: %llu edges, %llu batches, %llu epochs, "
+                "%llu snapshots reclaimed\n",
+                static_cast<unsigned long long>(after.edges_ingested -
+                                                before.edges_ingested),
+                static_cast<unsigned long long>(after.ingest_batches -
+                                                before.ingest_batches),
+                static_cast<unsigned long long>(after.epochs_published -
+                                                before.epochs_published),
+                static_cast<unsigned long long>(after.snapshots_reclaimed -
+                                                before.snapshots_reclaimed));
+    if (cg < 0) LAGraph_CATCH(cg);
+    std::printf("check_graph: OK\n");
   } else {
     return usage();
   }
