@@ -152,6 +152,26 @@ int main(int argc, char **argv) {
                    grb::Matrix<double> t(n, n);
                    t.build(bi, bj, bv);
                  }});
+  // Fused kernels: the BFS level stamp (masked pull product + level write
+  // in one sweep) and the SSSP relax-and-filter (push product + range
+  // select). Benchmarked in the shapes the algorithms use so BENCH_smoke
+  // tracks the fused paths, not just their unfused parts.
+  ops.push_back({"fused_mxv", [&] {
+                   grb::Vector<double> w(n);
+                   grb::Vector<double> stampc(n);
+                   grb::Vector<double> stampk(n);
+                   stampc.to_bitmap();
+                   stampk.to_bitmap();
+                   grb::fused_mxv_apply(w, frontier, grb::PlusTimes<double>{},
+                                        at, dense1, grb::desc::RSC, &stampc,
+                                        &stampk, 7.0);
+                 }});
+  ops.push_back({"fused_vxm", [&] {
+                   grb::Vector<double> w(n);
+                   grb::Vector<double> pruned(n);
+                   grb::vxm_select_range(w, pruned, grb::MinPlus<double>{},
+                                         frontier, a, 0.0, 512.0);
+                 }});
   if (!smoke) {
     ops.push_back({"mxm_masked", [&] {
                      grb::Matrix<double> c(n, n);

@@ -23,6 +23,10 @@
 #       the final published snapshot,
 #   3. a trace smoke: lagraph_cli trace bfs on a generated kron graph, with
 #      the emitted Chrome trace-event JSON validated by python3,
+#   3b. a calibration round-trip smoke: trace bfs fits per-machine
+#       ns/cost-unit coefficients and persists them (--calibration-out);
+#       the file is schema-checked and reloaded into a fresh process whose
+#       `explain --calibration` must render the fitted values,
 #   4. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
 #      against the committed baseline bench/baselines/BENCH_smoke.json.
 #
@@ -120,6 +124,35 @@ for e in levels:
 print(f"trace smoke OK: {len(events)} events, {len(levels)} bfs levels")
 EOF
 rm -f "$trace_json"
+
+step "calibration round-trip: trace --calibration-out, reload, explain"
+# Fits per-machine ns/cost-unit coefficients from a traced BFS, persists
+# them, reloads them into a fresh process, and asserts `explain` renders the
+# calibrated estimates (proof the file round-trips and the planner reads it).
+cal_json=$(mktemp --suffix=.json)
+"$BUILD_DIR"/tools/lagraph_cli trace bfs --gen kron 10 \
+    --calibration-out "$cal_json" >/dev/null
+python3 - "$cal_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    cal = json.load(f)
+assert cal["schema"] == "lagraph-calibration-v1", cal
+assert cal["samples"] > 0, cal
+assert cal["push_ns_per_unit"] > 0 or cal["pull_ns_per_unit"] > 0, cal
+print(f"calibration file OK: push {cal['push_ns_per_unit']:.2f}, "
+      f"pull {cal['pull_ns_per_unit']:.2f} ns/unit, "
+      f"{cal['samples']} samples")
+EOF
+explain_out=$("$BUILD_DIR"/tools/lagraph_cli explain bfs --gen kron 10 \
+    --calibration "$cal_json")
+if ! grep -q "^calibration: push" <<<"$explain_out"; then
+  echo "check.sh: explain did not report the loaded calibration:" >&2
+  echo "$explain_out" >&2
+  exit 1
+fi
+grep "^calibration:" <<<"$explain_out"
+rm -f "$cal_json"
 
 if [[ "${SKIP_SMOKE:-0}" == "1" ]]; then
   step "perf smoke: skipped (SKIP_SMOKE=1)"

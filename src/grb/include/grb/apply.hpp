@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "grb/mask.hpp"
+#include "grb/mxv.hpp"
+#include "grb/ops.hpp"
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
 #include "grb/trace.hpp"
@@ -267,6 +269,70 @@ void select(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   t.adopt_csr(std::move(rp), std::move(ci), std::move(cv), false);
   sp.set_out_nvals(t.nvals());
   detail::write_result(c, std::move(t), mask, accum, d);
+}
+
+/// Fused relax-and-filter (the SSSP/BC light-edge inner step):
+///   w = u ⊕.⊗ A;  pruned = w⟨lo ≤ w < hi⟩
+/// — the unmasked vxm product plus the ValueGe/ValueLt select pair, with the
+/// range filter folded into the product's epilogue when the planner fuses
+/// (ExecPlan::use_fused). Both outputs are bit-identical to the unfused
+/// chain `vxm; select(ValueGe, lo); select(ValueLt, hi)`, which the entry
+/// runs verbatim whenever fusion is declined. NoAccum/no-mask only — the
+/// shape the delta-stepping loop uses.
+template <typename W, typename SR, typename AT>
+void vxm_select_range(Vector<W> &w, Vector<W> &pruned, SR sr,
+                      const Vector<W> &u, const Matrix<AT> &a, const W &lo,
+                      const W &hi, const Descriptor &d = desc::DEFAULT) {
+  using Z = typename SR::value_type;
+  const Index out_size = d.transpose_a ? a.nrows() : a.ncols();
+  detail::check_same_size(w.size(), out_size,
+                          "vxm_select_range: w/A dimension mismatch");
+  detail::check_same_size(pruned.size(), out_size,
+                          "vxm_select_range: pruned/A dimension mismatch");
+  const plan::ExecPlan pl = detail::plan_fused_op<SR>(
+      plan::OpKind::fused_vxm_select, a, u, no_mask, d, out_size,
+      d.transpose_a);
+
+  // The one-sweep path adopts the product into w verbatim: same value type
+  // (signature) and no mask, so the only extra precondition is the planner's
+  // own decision and the untransposed push shape the kernel implements.
+  const bool fuse = pl.use_fused && std::is_same_v<W, Z> && !d.transpose_a &&
+                    !d.mask_complement;
+  if (!fuse) {
+    vxm(w, no_mask, NoAccum{}, sr, u, a, d);
+    select(pruned, no_mask, NoAccum{}, ValueGe{}, w, lo);
+    select(pruned, no_mask, NoAccum{}, ValueLt{}, pruned, hi);
+    return;
+  }
+
+  stats().fused_dispatches.fetch_add(1, std::memory_order_relaxed);
+  trace::ScopedSpan sp(trace::SpanKind::fused_vxm_select);
+  sp.set_in_nvals(u.nvals());
+  sp.set_plan(pl);
+  detail::check_same_size(u.size(), a.nrows(),
+                          "vxm_select_range: u/A dimension mismatch");
+  auto allowed = [](Index) { return true; };
+  Vector<Z> t = detail::push_kernel<Z>(
+      sr, a, u, allowed,
+      [&](const AT &aval, const W &uval, Index j, Index k) {
+        return sr.multiply(uval, aval, Index{0}, k, j);
+      },
+      a.ncols(), pl);
+  sp.set_out_nvals(t.nvals());
+  detail::write_result(w, std::move(t), no_mask, NoAccum{}, d);
+
+  // Range filter in the same dispatch: exactly the two chained selects'
+  // predicates over w's (ascending) entries.
+  std::vector<Index> idx;
+  std::vector<W> val;
+  w.for_each([&](Index i, const W &x) {
+    if (ValueGe{}(x, i, Index{0}, lo) && ValueLt{}(x, i, Index{0}, hi)) {
+      idx.push_back(i);
+      val.push_back(x);
+    }
+  });
+  pruned.adopt_sparse(std::move(idx), std::move(val));
+  pruned.maybe_switch_format();
 }
 
 }  // namespace grb

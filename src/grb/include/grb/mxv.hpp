@@ -31,6 +31,7 @@
 #include <cassert>
 #include <vector>
 
+#include "grb/assign.hpp"
 #include "grb/mask.hpp"
 #include "grb/parallel.hpp"
 #include "grb/plan.hpp"
@@ -432,6 +433,189 @@ void mxv(Vector<W> &w, const MaskT &mask, Accum accum, SR sr,
   }
   sp.set_out_nvals(t.nvals());
   detail::write_result(w, std::move(t), mask, accum, d, /*t_is_masked=*/true);
+}
+
+namespace detail {
+
+/// One-pass stamp epilogue over the freshly written frontier: replicates the
+/// two assign bitmap fast paths (grb/assign.hpp) — `copy⟨s(w)⟩ = w` and
+/// `konst⟨s(w)⟩ = value` — in a single sweep of w's entries. Caller
+/// guarantees both targets are bitmap-format; results are bit-identical to
+/// the two separate assigns because each fast path is an unconditional
+/// overwrite at w's (ascending) entry positions.
+template <typename W, typename PT, typename LT>
+void stamp_frontier(const Vector<W> &w, Vector<PT> *copy, Vector<LT> *konst,
+                    LT value) {
+  std::uint8_t *pp = copy != nullptr ? copy->bitmap_present_mut() : nullptr;
+  PT *pv = copy != nullptr ? copy->bitmap_values_mut() : nullptr;
+  std::uint8_t *lp = konst != nullptr ? konst->bitmap_present_mut() : nullptr;
+  LT *lv = konst != nullptr ? konst->bitmap_values_mut() : nullptr;
+  Index pn = copy != nullptr ? copy->nvals() : 0;
+  Index ln = konst != nullptr ? konst->nvals() : 0;
+  w.for_each([&](Index p, const W &x) {
+    if (pp != nullptr) {
+      if (!pp[p]) {
+        pp[p] = 1;
+        ++pn;
+      }
+      pv[p] = static_cast<PT>(x);
+    }
+    if (lp != nullptr) {
+      if (!lp[p]) {
+        lp[p] = 1;
+        ++ln;
+      }
+      lv[p] = value;
+    }
+  });
+  if (copy != nullptr) copy->set_bitmap_nvals(pn);
+  if (konst != nullptr) konst->set_bitmap_nvals(ln);
+}
+
+/// Describe a fused op for the planner. `transpose_for_plan` encodes the
+/// product's direction in OpDesc terms (fused_mxv_apply is mxv-like: no
+/// transpose = pull dot, transpose = push scatter).
+template <typename SR, typename AT, typename U, typename MaskT>
+plan::ExecPlan plan_fused_op(plan::OpKind op, const Matrix<AT> &a,
+                             const Vector<U> &u, const MaskT &mask,
+                             const Descriptor &d, Index out_size,
+                             bool transpose_for_plan) {
+  plan::OpDesc od;
+  od.op = op;
+  od.out_size = out_size;
+  od.a_rows = a.nrows();
+  od.a_cols = a.ncols();
+  od.a_nvals = a.nvals();
+  od.u_nvals = u.nvals();
+  od.transpose_a = transpose_for_plan;
+  od.has_terminal = SR::add_monoid::has_terminal;
+  if constexpr (has_mask_v<MaskT>) {
+    od.masked = true;
+    od.mask_nvals = mask.nvals();
+    od.mask_complement = d.mask_complement;
+    od.mask_structural = d.mask_structural;
+  }
+  plan::ExecPlan pl = plan::make_plan(od);
+  if (pl.direction == plan::Direction::pull) plan::prepare(u, pl.u_format);
+  return pl;
+}
+
+/// Shared body of the two fused product+stamp entry points. `pull_form`
+/// selects the product shape: mxv-style masked dots (A ⊕.⊗ u) or vxm-style
+/// scatter (u ⊕.⊗ A). After the product lands in w through the normal
+/// write_result step, one sweep stamps `stamp_copy⟨s(w)⟩ = w` and
+/// `stamp_const⟨s(w)⟩ = stamp_value` — the BFS parent and level updates —
+/// without two more kernel dispatches. Falls back to the exact unfused
+/// composition whenever the planner declines fusion or a fast-path
+/// precondition fails, so results are bit-identical by construction.
+template <typename W, typename MaskV, typename SR, typename AT, typename PT,
+          typename LT>
+void fused_product_stamp(bool pull_form, Vector<W> &w,
+                         const Vector<MaskV> &mask, SR sr, const Matrix<AT> &a,
+                         const Vector<W> &u, const Descriptor &d,
+                         Vector<PT> *stamp_copy, Vector<LT> *stamp_const,
+                         LT stamp_value) {
+  using Z = typename SR::value_type;
+  // Transpose-aware dims: a transpose descriptor swaps the product's shape
+  // (and lands on the unfused fallback — the fuse gate excludes it).
+  const bool eff_rows = pull_form != d.transpose_a;
+  const Index out_size = eff_rows ? a.nrows() : a.ncols();
+  check_same_size(u.size(), eff_rows ? a.ncols() : a.nrows(),
+                  "fused_mxv_apply: u/A dimension mismatch");
+  check_vector_mask(mask, out_size);
+  check_same_size(w.size(), out_size,
+                  "fused_mxv_apply: w/A dimension mismatch");
+  // Direction in OpDesc terms: mxv is a pull dot unless transposed; vxm is a
+  // push scatter unless transposed.
+  const plan::ExecPlan pl =
+      plan_fused_op<SR>(plan::OpKind::fused_mxv_apply, a, u, mask, d, out_size,
+                        pull_form == d.transpose_a);
+
+  // Beyond the cost model, the single-sweep path needs the assign fast-path
+  // preconditions: bitmap stamp targets and a product the output can adopt
+  // verbatim (same value type — guaranteed by the signature — and either
+  // replace semantics or an empty output).
+  bool fuse = pl.use_fused && std::is_same_v<W, Z> && !d.transpose_a &&
+              (d.replace || w.nvals() == 0);
+  if (stamp_copy != nullptr &&
+      stamp_copy->format() != Vector<PT>::Format::bitmap) {
+    fuse = false;
+  }
+  if (stamp_const != nullptr &&
+      stamp_const->format() != Vector<LT>::Format::bitmap) {
+    fuse = false;
+  }
+
+  if (!fuse) {
+    // Unfused composition — the reference semantics the fused path must
+    // reproduce bit-for-bit (and the conformance sweep checks it does).
+    if (pull_form) {
+      mxv(w, mask, NoAccum{}, sr, a, u, d);
+    } else {
+      vxm(w, mask, NoAccum{}, sr, u, a, d);
+    }
+    if (stamp_copy != nullptr) {
+      assign(*stamp_copy, w, NoAccum{}, w, Indices::all(), desc::S);
+    }
+    if (stamp_const != nullptr) {
+      assign(*stamp_const, w, NoAccum{}, stamp_value, Indices::all(),
+             desc::S);
+    }
+    return;
+  }
+
+  stats().fused_dispatches.fetch_add(1, std::memory_order_relaxed);
+  trace::ScopedSpan sp(trace::SpanKind::fused_mxv_apply);
+  sp.set_in_nvals(u.nvals());
+  sp.set_plan(pl);
+  auto allowed = [&](Index i) { return vmask_test(mask, i, d); };
+  Vector<Z> t(0);
+  if (pull_form) {
+    t = dot_kernel<Z>(
+        sr, a, u, allowed,
+        [&](const AT &aval, const W &uval, Index i, Index k) {
+          return sr.multiply(aval, uval, i, k, Index{0});
+        },
+        pl);
+  } else {
+    t = push_kernel<Z>(
+        sr, a, u, allowed,
+        [&](const AT &aval, const W &uval, Index j, Index k) {
+          return sr.multiply(uval, aval, Index{0}, k, j);
+        },
+        a.ncols(), pl);
+  }
+  sp.set_out_nvals(t.nvals());
+  write_result(w, std::move(t), mask, NoAccum{}, d, /*t_is_masked=*/true);
+  stamp_frontier(w, stamp_copy, stamp_const, stamp_value);
+}
+
+}  // namespace detail
+
+/// Fused masked pull product + stamps (one BFS level, pull direction):
+///   w⟨mask,d⟩ = A ⊕.⊗ u;  stamp_copy⟨s(w)⟩ = w;  stamp_const⟨s(w)⟩ = value
+/// in one kernel sweep when the planner fuses (ExecPlan::use_fused), else
+/// the exact mxv + assign + assign chain. Pass nullptr to skip a stamp.
+template <typename W, typename MaskV, typename SR, typename AT, typename PT,
+          typename LT>
+void fused_mxv_apply(Vector<W> &w, const Vector<MaskV> &mask, SR sr,
+                     const Matrix<AT> &a, const Vector<W> &u,
+                     const Descriptor &d, Vector<PT> *stamp_copy,
+                     Vector<LT> *stamp_const, LT stamp_value) {
+  detail::fused_product_stamp(/*pull_form=*/true, w, mask, sr, a, u, d,
+                              stamp_copy, stamp_const, stamp_value);
+}
+
+/// Push-direction form of the same fusion (one BFS level, push direction):
+///   w⟨mask,d⟩ = u ⊕.⊗ A;  stamp_copy⟨s(w)⟩ = w;  stamp_const⟨s(w)⟩ = value.
+template <typename W, typename MaskV, typename SR, typename AT, typename PT,
+          typename LT>
+void fused_vxm_apply(Vector<W> &w, const Vector<MaskV> &mask, SR sr,
+                     const Vector<W> &u, const Matrix<AT> &a,
+                     const Descriptor &d, Vector<PT> *stamp_copy,
+                     Vector<LT> *stamp_const, LT stamp_value) {
+  detail::fused_product_stamp(/*pull_form=*/false, w, mask, sr, a, u, d,
+                              stamp_copy, stamp_const, stamp_value);
 }
 
 }  // namespace grb

@@ -48,7 +48,9 @@ namespace plan {
 
 /// Operation kinds the planner understands. `traversal` is the algorithm-
 /// level push/pull choice (BFS levels, BC sweeps, msbfs groups); the rest
-/// are the grb kernel entry points.
+/// are the grb kernel entry points. The `fused_*` kinds are single-sweep
+/// compositions (masked mxv/vxm + stamp assigns, vxm + range select) the
+/// planner may dispatch instead of the op chain they replace.
 enum class OpKind : std::uint8_t {
   mxv,
   vxm,
@@ -58,6 +60,8 @@ enum class OpKind : std::uint8_t {
   apply,
   reduce,
   traversal,
+  fused_mxv_apply,
+  fused_vxm_select,
 };
 
 enum class Direction : std::uint8_t { none, push, pull };
@@ -118,11 +122,14 @@ struct ExecPlan {
   MatFormat mask_format = MatFormat::keep;
   VecFormat u_format = VecFormat::keep;
   VecFormat v_format = VecFormat::keep;
-  bool use_dot = false;  // mxm: dot kernel instead of Gustavson
-  int threads = 1;       // team-size cap from the PR-2 partitioner
+  bool use_dot = false;    // mxm: dot kernel instead of Gustavson
+  bool use_fused = false;  // fused_* ops: single-sweep kernel vs op chain
+  int threads = 1;         // team-size cap from the PR-2 partitioner
   Chosen chosen = Chosen::cost_model;
   double cost_push = 0.0;  // model estimates (0 when not applicable)
   double cost_pull = 0.0;
+  double cost_fused = 0.0;    // fused_* ops: one-sweep estimate
+  double cost_unfused = 0.0;  // fused_* ops: op-chain estimate
   OpDesc desc;  // the inputs the decision was made from (for explain)
 
   /// Human-readable decision record — `lagraph_cli explain` output.
@@ -133,6 +140,58 @@ struct ExecPlan {
 /// installed), apply caller hints and Config overrides, otherwise run the
 /// cost model. Bumps the Stats planner counters.
 ExecPlan make_plan(const OpDesc &d);
+
+/// Fixed per-call overhead in cost-model units, charged on every kernel
+/// dispatch. The calibration run (EXPERIMENTS.md §Observability) measured
+/// single-vertex push frontiers ~6.8× under-estimated because the model
+/// priced only the edge scan; dispatch + plan probe + write_result dominate
+/// at that size. Both directions pay it, so large-frontier decisions are
+/// unchanged.
+inline constexpr double kCallOverheadUnits = 64.0;
+
+/// Fitted per-machine translation between cost-model units and wall time,
+/// one coefficient per traversal direction. Cost-model *decisions* compare
+/// unit counts against unit counts and never need these; they exist so
+/// `explain` and the trace calibration report can render model estimates in
+/// nanoseconds, and so repeated trace runs can measure model drift on this
+/// machine. Persisted as a small JSON file (Config::calibration_file) and
+/// updated online by service::Engine workers via an exponentially-weighted
+/// fit over recorded spans.
+struct Calibration {
+  double push_ns_per_unit = 0.0;  // 0 = not fitted yet
+  double pull_ns_per_unit = 0.0;
+  std::uint64_t samples = 0;        // spans folded into the fit
+  std::uint64_t fitted_at_epoch_s = 0;  // wall-clock seconds of last fit
+  std::string source;               // file it was loaded from, "" = in-memory
+  bool loaded = false;              // true once load/set succeeded
+};
+
+/// Load coefficients from a calibration file (the lagraph-calibration-v1
+/// JSON written by save_calibration / `lagraph_cli trace --calibration-out`).
+/// Returns false (and leaves the current state untouched) when the file is
+/// missing or malformed. Thread-safe.
+bool load_calibration(const std::string &path);
+
+/// Persist the current coefficients to `path`. Returns false on I/O error.
+bool save_calibration(const std::string &path);
+
+/// Value copy of the current coefficient state. Thread-safe.
+Calibration calibration_snapshot() noexcept;
+
+/// Install coefficients directly (used by the CLI after a trace fit and by
+/// tests). Thread-safe.
+void set_calibration(const Calibration &c) noexcept;
+
+/// Drop back to the unfitted state (tests).
+void reset_calibration() noexcept;
+
+/// Online update from one recorded span: fold `actual_ns / predicted_units`
+/// into the per-direction coefficient with an exponentially-weighted moving
+/// average (α = 0.05, so ~20 recent spans dominate). Called by the trace
+/// layer when Config::calibration_update_every is set; cheap enough for a
+/// kernel epilogue (two relaxed atomics). Bumps Stats::calibration_updates.
+void observe_span_ns(Direction dir, double predicted_units,
+                     std::uint64_t actual_ns) noexcept;
 
 /// Thread-team size for `total_work` units: the PR-2 gating rule
 /// (effective_threads() when the work clears kParallelGrain, else the

@@ -60,6 +60,8 @@ enum class SpanKind : std::uint8_t {
   reduce,
   transpose,
   build,
+  fused_mxv_apply,
+  fused_vxm_select,
   // algorithm iterations
   bfs_level,
   bc_forward,
@@ -219,6 +221,7 @@ class ScopedSpan {
     }
     s_.predicted_cost =
         pl.direction == plan::Direction::pull ? pl.cost_pull : pl.cost_push;
+    if (pl.use_fused && pl.cost_fused > 0.0) s_.predicted_cost = pl.cost_fused;
   }
 
   void set_in_nvals(std::uint64_t n) noexcept {
@@ -282,10 +285,15 @@ struct CalibrationRow {
 };
 
 /// Cost-model calibration over a span set: fits one global ns-per-cost-unit
-/// scale (median of actual/predicted over spans that carried a prediction),
-/// then ranks spans by |log₂ ratio| — the worst mispredictions first.
+/// scale (median of actual/predicted over spans that carried a prediction)
+/// plus per-direction scales, computes the p95 of |log₂ ratio| — the
+/// headline model-accuracy number the planner-loop work is gated on — and
+/// ranks spans by |log₂ ratio|, the worst mispredictions first.
 struct CalibrationReport {
   double ns_per_cost = 0.0;
+  double push_ns_per_cost = 0.0;  // 0 when no push-direction samples
+  double pull_ns_per_cost = 0.0;  // 0 when no pull-direction samples
+  double p95_abs_log2 = 0.0;      // p95 of |log2(actual/model)| over samples
   std::size_t samples = 0;
   std::vector<CalibrationRow> worst;
   [[nodiscard]] std::string text() const;

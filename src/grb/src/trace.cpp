@@ -47,6 +47,8 @@ const char *name(SpanKind k) noexcept {
     case SpanKind::reduce: return "reduce";
     case SpanKind::transpose: return "transpose";
     case SpanKind::build: return "build";
+    case SpanKind::fused_mxv_apply: return "fused_mxv_apply";
+    case SpanKind::fused_vxm_select: return "fused_vxm_select";
     case SpanKind::bfs_level: return "bfs_level";
     case SpanKind::bc_forward: return "bc_forward";
     case SpanKind::bc_backward: return "bc_backward";
@@ -290,6 +292,20 @@ void ScopedSpan::end() noexcept {
   if (record_) {
     record(s_);
     op_histogram(s_.kind).record(s_.dur_ns);
+    // Online calibration feed (service::Engine workers): every Nth recorded
+    // kernel span folds its actual-vs-predicted ratio into the planner's
+    // per-direction ns/cost-unit coefficients. Iteration and query spans
+    // are skipped — their predictions cover whole op chains, not one
+    // kernel dispatch.
+    const std::uint32_t every = config().calibration_update_every;
+    if (every > 0 && s_.predicted_cost > 0.0 && !is_iteration(s_.kind) &&
+        s_.kind != SpanKind::query) {
+      thread_local std::uint32_t tick = 0;
+      if (tick++ % every == 0) {
+        plan::observe_span_ns(static_cast<plan::Direction>(s_.direction),
+                              s_.predicted_cost, s_.dur_ns);
+      }
+    }
   }
   if (burble_) narrate(s_);
 }
@@ -391,6 +407,26 @@ CalibrationReport calibrate(const std::vector<Span> &spans,
                    scales.end());
   rep.ns_per_cost = scales[scales.size() / 2];
 
+  // Per-direction fits: push and pull kernels have different unit costs
+  // (streaming scatter vs random probe), so the persisted Calibration keeps
+  // one coefficient each. Median again — robust to the tail this report
+  // exists to expose.
+  const auto median_of = [](std::vector<double> &v) {
+    if (v.empty()) return 0.0;
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  std::vector<double> push_scales, pull_scales;
+  for (const Span *s : have) {
+    const double scale = static_cast<double>(s->dur_ns) / s->predicted_cost;
+    if (static_cast<plan::Direction>(s->direction) == plan::Direction::pull)
+      pull_scales.push_back(scale);
+    else
+      push_scales.push_back(scale);
+  }
+  rep.push_ns_per_cost = median_of(push_scales);
+  rep.pull_ns_per_cost = median_of(pull_scales);
+
   rep.worst.reserve(have.size());
   for (const Span *s : have) {
     CalibrationRow row;
@@ -409,6 +445,16 @@ CalibrationReport calibrate(const std::vector<Span> &spans,
               return std::fabs(std::log2(a.ratio)) >
                      std::fabs(std::log2(b.ratio));
             });
+  // p95 of |log2 ratio| — the model-accuracy gate. Rows are already sorted
+  // by that key descending, so index straight into it.
+  if (!rep.worst.empty()) {
+    const std::size_t n = rep.worst.size();
+    // Nearest-rank: ascending index ceil(0.95·n)−1 ↔ descending n−ceil(0.95·n).
+    const std::size_t rank =
+        static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(n)));
+    const std::size_t idx = n - std::max<std::size_t>(rank, 1);
+    rep.p95_abs_log2 = std::fabs(std::log2(rep.worst[idx].ratio));
+  }
   if (rep.worst.size() > top_n) rep.worst.resize(top_n);
   return rep;
 }
@@ -421,6 +467,13 @@ std::string CalibrationReport::text() const {
                 "fitted %.2f ns/cost-unit\n",
                 samples, ns_per_cost);
   os << buf;
+  if (samples > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  per-direction fit: push %.2f, pull %.2f ns/cost-unit; "
+                  "|log2 ratio| p95 = %.3f\n",
+                  push_ns_per_cost, pull_ns_per_cost, p95_abs_log2);
+    os << buf;
+  }
   if (worst.empty()) {
     os << "  (no spans carried a cost prediction — enable tracing and run a "
           "planned kernel)\n";

@@ -50,6 +50,12 @@ enum class OpKind : int {
   dup_v,
   mutate_m,
   mutate_v,
+  // Fused kernels (grb/mxv.hpp, grb/apply.hpp): the real side runs the fused
+  // entry point, the oracle composes the unfused primitives — fusion must be
+  // bit-invisible. The vector output plus the stamp / prune companions are
+  // all folded into Result (companions appended to `observed`).
+  fused_mxv_apply,
+  fused_vxm_select,
   kCount
 };
 

@@ -290,6 +290,25 @@ Indices mk_indices(bool all, const std::vector<Index> &list) {
   return all ? Indices::all() : Indices(list);
 }
 
+/// Fold a fused op's companion output into the probe log: nvals, then
+/// (index, value) pairs in ascending index order. The oracle encodes its
+/// companions identically (append_ref_observed), so a stamp or prune
+/// divergence trips the same Result comparison as the primary output.
+void append_vec_observed(std::vector<T> &obs, const Vector<T> &x) {
+  obs.push_back(static_cast<T>(x.nvals()));
+  std::vector<Index> ix;
+  std::vector<T> vv;
+  x.extract_tuples(ix, vv);
+  std::vector<std::pair<Index, T>> e;
+  e.reserve(ix.size());
+  for (std::size_t p = 0; p < ix.size(); ++p) e.emplace_back(ix[p], vv[p]);
+  std::sort(e.begin(), e.end());
+  for (const auto &[i, v] : e) {
+    obs.push_back(static_cast<T>(i));
+    obs.push_back(v);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -634,6 +653,40 @@ Result run_real(const Scenario &s, const RunConfig &rc) {
       r = read_vec(u, std::move(observed));
       break;
     }
+    case OpKind::fused_mxv_apply: {
+      Matrix<T> a = mk_mat(s.a);
+      Vector<T> u = mk_vec(s.u), w = mk_vec(s.winit);
+      Vector<T> mask = mk_vec(s.vmask);
+      // Companion stamp targets: the copy target seeded from s.v, the const
+      // target empty. Bitmap so the single-sweep fast path is reachable
+      // (anything else falls back to the composition, also under test).
+      Vector<T> stampc = mk_vec(s.v);
+      Vector<T> stampk(w.size());
+      stampc.to_bitmap();
+      stampk.to_bitmap();
+      mutate_real(a, s.a.muts, observed);
+      with_semiring(s.sr, [&](auto sr) {
+        fused_mxv_apply(w, mask, sr, a, u, d, &stampc, &stampk, s.thunk);
+      });
+      r = read_vec(w, std::move(observed));
+      append_vec_observed(r.observed, stampc);
+      append_vec_observed(r.observed, stampk);
+      break;
+    }
+    case OpKind::fused_vxm_select: {
+      Matrix<T> a = mk_mat(s.a);
+      Vector<T> u = mk_vec(s.u), w = mk_vec(s.winit);
+      Vector<T> pruned(w.size());
+      mutate_real(a, s.a.muts, observed);
+      const T lo = std::min(s.thunk, s.scalar);
+      const T hi = std::max(s.thunk, s.scalar) + 1;
+      with_semiring(s.sr, [&](auto sr) {
+        vxm_select_range(w, pruned, sr, u, a, lo, hi, d);
+      });
+      r = read_vec(w, std::move(observed));
+      append_vec_observed(r.observed, pruned);
+      break;
+    }
     case OpKind::kCount: break;
   }
   return r;
@@ -887,6 +940,16 @@ oracle::OIndices mk_oindices(bool all, const std::vector<Index> &list) {
   return ix;
 }
 
+/// Oracle twin of append_vec_observed: nvals then ascending (index, value)
+/// pairs (std::map iterates in index order already).
+void append_ref_observed(std::vector<Value> &obs, const RefVec &x) {
+  obs.push_back(static_cast<Value>(x.e.size()));
+  for (const auto &[i, v] : x.e) {
+    obs.push_back(static_cast<Value>(i));
+    obs.push_back(v);
+  }
+}
+
 }  // namespace
 
 Result run_oracle(const Scenario &s) {
@@ -1053,6 +1116,38 @@ Result run_oracle(const Scenario &s) {
     case OpKind::mutate_v: {
       mutate_ref(u, s.u.muts, observed);
       return read_ref(u, std::move(observed));
+    }
+    case OpKind::fused_mxv_apply: {
+      // The unfused composition the fused kernel must match bit-for-bit:
+      // masked mxv, then copy⟨s(w)⟩ = w and konst⟨s(w)⟩ = thunk.
+      mutate_ref(a, s.a.muts, observed);
+      auto sr = oracle_semiring(s.sr);
+      oracle::mxv(w, vmp, accum, sr.add, sr.mult, a, u, d);
+      RefVec stampc = v;  // seeded from s.v, like the real side
+      RefVec stampk(w.n);
+      for (const auto &[i, x] : w.e) {
+        stampc.set(i, x);
+        stampk.set(i, s.thunk);
+      }
+      Result r = read_ref(w, std::move(observed));
+      append_ref_observed(r.observed, stampc);
+      append_ref_observed(r.observed, stampk);
+      return r;
+    }
+    case OpKind::fused_vxm_select: {
+      // Unmasked vxm, then the [lo, hi) window prune into a companion.
+      mutate_ref(a, s.a.muts, observed);
+      auto sr = oracle_semiring(s.sr);
+      oracle::vxm(w, vmp, accum, sr.add, sr.mult, u, a, d);
+      const Value lo = std::min(s.thunk, s.scalar);
+      const Value hi = std::max(s.thunk, s.scalar) + 1;
+      RefVec pruned(w.n);
+      for (const auto &[i, x] : w.e) {
+        if (x >= lo && x < hi) pruned.set(i, x);
+      }
+      Result r = read_ref(w, std::move(observed));
+      append_ref_observed(r.observed, pruned);
+      return r;
     }
     case OpKind::kCount: break;
   }

@@ -22,7 +22,7 @@ constexpr std::array<const char *, static_cast<int>(OpKind::kCount)> kOpNames{
     "select_v",   "reduce_m2v", "reduce_m2s",  "reduce_v2s",  "transpose_m",
     "kron",       "extract_v",  "extract_m",   "extract_col", "assign_vv",
     "assign_vs",  "assign_ms",  "assign_mm",   "dup_m",       "dup_v",
-    "mutate_m",   "mutate_v"};
+    "mutate_m",   "mutate_v",   "fused_mxv_apply", "fused_vxm_select"};
 
 constexpr std::array<const char *, static_cast<int>(AccumKind::kCount)>
     kAccumNames{"none", "plus", "min", "max", "second"};
@@ -190,6 +190,19 @@ OpTraits traits(OpKind op) {
       t.uses_u = t.vec_out = true;
       t.probes = true;
       break;
+    case OpKind::fused_mxv_apply:
+      // w⟨mask⟩ = A ⊕.⊗ u plus the two stamp companions: v seeds the
+      // stamp-copy target, thunk is the stamp-const value. Mask mandatory
+      // (the entry point takes a vector mask); accum fixed at NoAccum.
+      t.uses_a = t.uses_u = t.uses_v = t.vec_out = true;
+      t.uses_sr = t.uses_ta = t.uses_mask = t.uses_thunk = true;
+      break;
+    case OpKind::fused_vxm_select:
+      // w = u ⊕.⊗ A plus the [lo, hi) prune companion; thunk/scalar span
+      // the window. Unmasked, NoAccum by construction.
+      t.uses_a = t.uses_u = t.vec_out = true;
+      t.uses_sr = t.uses_ta = t.uses_thunk = t.uses_scalar = true;
+      break;
     case OpKind::kCount: break;
   }
   return t;
@@ -318,6 +331,9 @@ void normalize(Scenario &s) {
     s.structural = false;
     s.replace = false;
   }
+  // The fused mxv+apply entry point takes a mandatory vector mask (BFS's
+  // ¬s(parent) shape); scenarios always carry one.
+  if (s.op == OpKind::fused_mxv_apply) s.has_mask = true;
   if (!s.has_mask) s.structural = false;
   if (!t.uses_rows) {
     s.rows_all = true;
@@ -457,6 +473,17 @@ void normalize(Scenario &s) {
     case OpKind::dup_v:
     case OpKind::mutate_v:
       clamp_vec(s.u, s.dn, keep);
+      out_vn = s.dn;
+      break;
+    case OpKind::fused_mxv_apply:
+      clamp_mat(s.a, s.ta ? s.dk : s.dm, s.ta ? s.dm : s.dk, false);
+      clamp_vec(s.u, s.dk, false);
+      clamp_vec(s.v, s.dm, false);  // stamp-copy companion's initial content
+      out_vn = s.dm;
+      break;
+    case OpKind::fused_vxm_select:
+      clamp_mat(s.a, s.ta ? s.dn : s.dk, s.ta ? s.dk : s.dn, false);
+      clamp_vec(s.u, s.dk, false);
       out_vn = s.dn;
       break;
     case OpKind::kCount: break;

@@ -86,24 +86,24 @@ void bfs_engine(grb::Vector<std::int64_t> *level,
     od.hint = hint;
     const auto pl = grb::plan::make_plan(od);
     lsp.set_plan(pl);
+    // The product and the two frontier stamps — p⟨s(q)⟩ = q (parents) and
+    // level⟨s(q)⟩ = depth+1 — go through the fused entry points: one kernel
+    // sweep when the planner fuses (ExecPlan::use_fused), the exact
+    // mxv/vxm + assign + assign composition otherwise. Stamping an empty
+    // frontier is a no-op, so the termination check can follow the call.
+    grb::Vector<std::int64_t> *lvp = level != nullptr ? &lv : nullptr;
     if (pl.direction == grb::plan::Direction::pull) {
       // q⟨¬s(p), r⟩ = Aᵀ any.secondi q
-      grb::mxv(q, p, grb::NoAccum{}, semiring, *at, q, grb::desc::RSC);
+      grb::fused_mxv_apply(q, p, semiring, *at, q, grb::desc::RSC, &p, lvp,
+                           depth + 1);
     } else {
       // qᵀ⟨¬s(pᵀ), r⟩ = qᵀ any.secondi A
-      grb::vxm(q, p, grb::NoAccum{}, semiring, q, a, grb::desc::RSC);
+      grb::fused_vxm_apply(q, p, semiring, q, a, grb::desc::RSC, &p, lvp,
+                           depth + 1);
     }
     lsp.set_out_nvals(q.nvals());
     if (q.nvals() == 0) break;
-
-    // p⟨s(q)⟩ = q — adopt the parents of the newly discovered nodes.
-    grb::assign(p, q, grb::NoAccum{}, q, grb::Indices::all(), grb::desc::S);
     ++depth;
-    if (level != nullptr) {
-      // level⟨s(q)⟩ = depth
-      grb::assign(lv, q, grb::NoAccum{}, depth, grb::Indices::all(),
-                  grb::desc::S);
-    }
     nvisited += q.nvals();
     if (nvisited == n) break;
   }

@@ -90,14 +90,12 @@ int sssp_delta_stepping(grb::Vector<double> *dist, const Graph<T> &g,
         // remember bucket membership for the heavy phase: e⟨s(tb)⟩ = 1
         grb::assign(e, tb, grb::NoAccum{}, grb::Bool(1), grb::Indices::all(),
                     grb::desc::S);
-        // light relaxation: treq = tbᵀ min.plus A_L
-        grb::vxm(treq, grb::no_mask, grb::NoAccum{}, min_plus, tb, al);
-
-        // candidates that land back in bucket i...
-        grb::select(tmp, grb::no_mask, grb::NoAccum{}, grb::ValueGe{}, treq,
-                    lo);
-        grb::select(tmp, grb::no_mask, grb::NoAccum{}, grb::ValueLt{}, tmp,
-                    hi);
+        // light relaxation fused with the bucket window (Alg. 5 line 10):
+        //   treq = tbᵀ min.plus A_L ; tmp = treq⟨lo ≤ · < hi⟩
+        // One sweep produces both the full candidate vector (needed for the
+        // t min= treq merge below) and the in-bucket prune; unfused it is
+        // the exact vxm + select(ValueGe) + select(ValueLt) chain.
+        grb::vxm_select_range(treq, tmp, min_plus, tb, al, lo, hi);
         // ...and strictly improve t (or reach a new node):
         //   part 1: candidates at nodes t has never reached
         grb::Vector<double> fresh(n);

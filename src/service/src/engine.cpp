@@ -52,6 +52,15 @@ Engine::Engine(SnapshotPtr snapshot, EngineConfig cfg)
     : cfg_(cfg), snap_(std::move(snapshot)) {
   cfg_.threads = std::max(1, cfg_.threads);
   cfg_.max_batch = std::max<std::uint32_t>(1, cfg_.max_batch);
+  if (cfg_.calibration_update_every > 0) {
+    // Online cost-model calibration: workers' traced spans feed the fitted
+    // ns/cost-unit coefficients. Span recording is a prerequisite — turn on
+    // a sparse sampling rate if the process runs with tracing off.
+    grb::config().calibration_update_every = cfg_.calibration_update_every;
+    if (grb::config().trace_sample_every == 0) {
+      grb::config().trace_sample_every = 64;
+    }
+  }
   // Optimistic start: assume lingering pays until the workload proves
   // otherwise, so bursts issued right after startup coalesce.
   ewma_batch_ = static_cast<double>(cfg_.max_batch);

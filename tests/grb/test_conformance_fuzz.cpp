@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "grb/config.hpp"
 #include "grb/testing/differ.hpp"
 
 #ifndef LAGRAPH_CORPUS_DIR
@@ -140,8 +141,30 @@ TEST(Conformance, SystematicSweepAllOps) {
           << mm->to_string();
     }
   }
-  // 27 ops × 32 variants × 9 configs.
+  // 29 ops × 32 variants × 9 configs.
   EXPECT_GE(instances, 7000u);
+}
+
+// ---------------------------------------------------------------------------
+// The fused kernels must be bit-exact against the oracle's unfused
+// composition AND actually take the single-sweep path for at least some of
+// the sweep (replace=true + bitmap stamp targets meet the fast-path gate) —
+// otherwise this would only ever test the fallback.
+TEST(Conformance, FusedKernelsDispatchFusedAndMatchOracle) {
+  const auto before = grb::stats().snapshot().fused_dispatches;
+  std::uint64_t instances = 0;
+  for (OpKind op : {OpKind::fused_mxv_apply, OpKind::fused_vxm_select}) {
+    // Bit 8 sets replace; bit 32 (ta) stays clear so fusion is reachable.
+    for (unsigned variant : {8u, 9u, 12u, 24u}) {
+      Scenario s = craft(op, variant);
+      auto mm = check_sweep(s, &instances);
+      ASSERT_FALSE(mm.has_value())
+          << "op=" << op_name(op) << " variant=" << variant << "\n"
+          << mm->to_string();
+    }
+  }
+  EXPECT_GT(instances, 0u);
+  EXPECT_GT(grb::stats().snapshot().fused_dispatches, before);
 }
 
 // ---------------------------------------------------------------------------

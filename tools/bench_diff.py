@@ -4,7 +4,8 @@
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 
-Both files must follow the same schema, either of:
+Both files normally follow the same schema (a mismatch warns and diffs the
+cells that still match, rather than refusing), either of:
 
   lagraph-bench-v1 (bench_kernels / table3_gap_suite):
     {"schema": "lagraph-bench-v1", "suite": "...", "scale": N,
@@ -55,7 +56,14 @@ def load_entries(path, role):
                  "re-run the bench to regenerate it")
     schema = data.get("schema")
     if schema not in ("lagraph-bench-v1", "lagraph-service-bench-v1"):
-        sys.exit(f"{path}: unexpected schema {schema!r}")
+        # A newer harness may bump the version suffix while keeping the entry
+        # layout; as long as it is one of ours, warn and try to diff rather
+        # than refusing -- unmatched keys simply fall out as one-sided.
+        if isinstance(schema, str) and schema.startswith("lagraph-"):
+            print(f"warning: {path}: unrecognized schema version {schema!r}; "
+                  "attempting to diff anyway", file=sys.stderr)
+        else:
+            sys.exit(f"{path}: unexpected schema {schema!r}")
     out = {}
     pcts = {}
     for e in data.get("entries", []):
@@ -98,10 +106,14 @@ def main():
     base_meta, base, base_pct = load_entries(args.baseline, "baseline")
     cand_meta, cand, cand_pct = load_entries(args.candidate, "candidate")
     if base_meta.get("schema") != cand_meta.get("schema"):
-        sys.exit(
-            f"bench_diff: schema mismatch (baseline "
+        # Not fatal: a baseline recorded before a schema bump is still worth
+        # diffing (keys that don't line up fall out as one-sided below).
+        print(
+            f"warning: schema mismatch (baseline "
             f"{base_meta.get('schema')!r}, candidate "
-            f"{cand_meta.get('schema')!r}) -- compare like with like"
+            f"{cand_meta.get('schema')!r}) -- matched cells are compared, "
+            "the rest are reported as one-sided",
+            file=sys.stderr,
         )
     if base_meta.get("scale") != cand_meta.get("scale"):
         print(

@@ -9,9 +9,10 @@
 //             lcc, cdlp, msbfs, stats
 // Planner introspection:
 //   explain [OP]         print the grb::plan execution plans the given op
-//                        would run on this graph (OP: bfs|mxv|vxm|mxm|ewise,
-//                        default bfs) — cost-model inputs, chosen direction,
-//                        operand formats, and thread-team size
+//                        would run on this graph (OP: bfs|mxv|vxm|mxm|ewise|
+//                        fused, default bfs) — cost-model inputs, chosen
+//                        direction, operand formats, thread-team size, and
+//                        the loaded calibration coefficients
 // Service commands (lagraph::service):
 //   serve                build a snapshot, start an Engine, run a query
 //                        script through the batching worker pool; a script
@@ -59,6 +60,11 @@
 //                        calibration report
 //   --trace-out FILE     trace: output path (default trace.json)
 //   --sample N           trace: record every Nth span per thread (default 1)
+// Cost-model calibration (grb::plan, see docs/API.md):
+//   --calibration FILE   load fitted ns/cost-unit coefficients before
+//                        planning (any command; explain reports them)
+//   --calibration-out F  trace: persist the run's fitted coefficients to F
+//                        for later --calibration loads
 // Conformance fuzzing (grb::testing, see docs/TESTING.md):
 //   fuzz [opts]          differential fuzz of the grb kernels against the
 //                        naive oracle; exits non-zero on any mismatch
@@ -74,6 +80,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -114,6 +121,8 @@ struct Options {
   std::string trace_out = "trace.json";
   std::uint32_t sample = 1;
   std::string prometheus;
+  std::string calibration;
+  std::string calibration_out;
 };
 
 int usage() {
@@ -125,10 +134,12 @@ int usage() {
       "       lagraph_cli fuzz [--seconds X|--ops N] [--seed N]\n"
       "                        [--corpus DIR] [--replay FILE] [--out FILE]\n"
       "                        [--emit-corpus DIR]\n"
-      "  explain [bfs|mxv|vxm|mxm|ewise]  print execution plans\n"
+      "  explain [bfs|mxv|vxm|mxm|ewise|fused]  print execution plans\n"
       "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
       "  --undirected --source N --delta X --k N --top N\n"
       "  --json (stats) --burble\n"
+      "  --calibration FILE (load coefficients) --calibration-out FILE "
+      "(trace: persist fit)\n"
       "  trace: --trace-out FILE --sample N\n"
       "  serve/replay: --script FILE --threads N --window-us U "
       "--max-batch B --no-batch --prometheus FILE\n"
@@ -208,6 +219,10 @@ bool parse_args(int argc, char **argv, Options &opt) {
           std::max(1, std::atoi(argv[++i])));
     } else if (a == "--prometheus" && need(1)) {
       opt.prometheus = argv[++i];
+    } else if (a == "--calibration" && need(1)) {
+      opt.calibration = argv[++i];
+    } else if (a == "--calibration-out" && need(1)) {
+      opt.calibration_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete option: %s\n", a.c_str());
       return false;
@@ -512,6 +527,20 @@ int main(int argc, char **argv) {
 
   if (opt.trace) grb::config().trace_sample_every = opt.sample;
   if (opt.burble) grb::config().burble = true;
+  // Lazy-loaded at the first make_plan call; a bad path surfaces here.
+  if (!opt.calibration.empty()) {
+    grb::config().calibration_file = opt.calibration;
+    if (!grb::plan::load_calibration(opt.calibration)) {
+      std::fprintf(stderr, "cannot load --calibration file %s\n",
+                   opt.calibration.c_str());
+      return 1;
+    }
+  }
+  if (!opt.calibration_out.empty() && !opt.trace) {
+    std::fprintf(stderr, "--calibration-out requires the trace command "
+                 "(the fit comes from recorded spans)\n");
+    return 2;
+  }
   // stats --json emits a machine-readable document: nothing else on stdout.
   const bool quiet = opt.algorithm == "stats" && opt.json;
 
@@ -708,11 +737,47 @@ int main(int argc, char **argv) {
       show("eWiseAdd sparse + bitmap (SSSP relax shape)", od);
       od.op = grb::plan::OpKind::ewise_mult;
       show("eWiseMult sparse x bitmap (intersection)", od);
+    } else if (opt.explain_op == "fused") {
+      // The fusion catalogue (docs/API.md): product + follow-up op(s) in one
+      // sweep when the modeled saving beats the composition. Same BFS-style
+      // stages so the fuse/no-fuse flip is visible.
+      auto od = base_desc(grb::plan::OpKind::fused_mxv_apply);
+      od.u_nvals = 1;
+      od.masked = true;
+      od.mask_complement = true;
+      od.mask_structural = true;
+      od.mask_nvals = 1;
+      od.has_terminal = true;
+      show("fused mxv+apply, early BFS level (frontier = source)", od);
+      od.u_nvals = std::max<grb::Index>(1, n / 4);
+      od.mask_nvals = std::max<grb::Index>(1, n / 3);
+      show("fused mxv+apply, mid BFS level (frontier ~ n/4)", od);
+      auto ov = base_desc(grb::plan::OpKind::fused_vxm_select);
+      ov.u_nvals = std::max<grb::Index>(1, n / 16);
+      show("fused vxm+select, SSSP light relax (bucket = n/16)", ov);
     } else {
       std::fprintf(stderr, "explain: unknown op '%s' "
-                   "(expected bfs|mxv|vxm|mxm|ewise)\n",
+                   "(expected bfs|mxv|vxm|mxm|ewise|fused)\n",
                    opt.explain_op.c_str());
       return 2;
+    }
+    // Which ns/cost-unit coefficients planned the above: per-machine fits
+    // persist across runs via --calibration / Config::calibration_file.
+    const grb::plan::Calibration cal = grb::plan::calibration_snapshot();
+    if (cal.loaded) {
+      const long long age =
+          cal.fitted_at_epoch_s > 0
+              ? static_cast<long long>(std::time(nullptr)) -
+                    static_cast<long long>(cal.fitted_at_epoch_s)
+              : -1;
+      std::printf("calibration: push %.2f, pull %.2f ns/cost-unit from %s "
+                  "(%llu samples, fit age %llds)\n",
+                  cal.push_ns_per_unit, cal.pull_ns_per_unit,
+                  cal.source.empty() ? "online updates" : cal.source.c_str(),
+                  static_cast<unsigned long long>(cal.samples), age);
+    } else {
+      std::printf("calibration: none loaded (model units only; fit one with "
+                  "trace --calibration-out)\n");
     }
     const grb::Stats &ps = grb::stats();
     std::printf("planner counters: %llu built, %llu cached, %llu overridden, "
@@ -988,7 +1053,38 @@ int main(int argc, char **argv) {
                   h.percentile_ns(50) / 1e3, h.percentile_ns(95) / 1e3,
                   h.percentile_ns(99) / 1e3);
     }
-    std::printf("%s", grb::trace::calibrate(spans).text().c_str());
+    const auto report = grb::trace::calibrate(spans);
+    std::printf("%s", report.text().c_str());
+    if (!opt.calibration_out.empty()) {
+      if (report.samples == 0) {
+        std::fprintf(stderr, "--calibration-out: no spans with predictions; "
+                     "nothing to persist\n");
+        return 1;
+      }
+      grb::plan::Calibration cal;
+      // Directions without samples fall back to the global fit so a loaded
+      // file always has usable coefficients for both.
+      cal.push_ns_per_unit = report.push_ns_per_cost > 0
+                                 ? report.push_ns_per_cost
+                                 : report.ns_per_cost;
+      cal.pull_ns_per_unit = report.pull_ns_per_cost > 0
+                                 ? report.pull_ns_per_cost
+                                 : report.ns_per_cost;
+      cal.samples = report.samples;
+      cal.fitted_at_epoch_s = static_cast<std::uint64_t>(std::time(nullptr));
+      cal.source = opt.calibration_out;
+      cal.loaded = true;
+      grb::plan::set_calibration(cal);
+      if (!grb::plan::save_calibration(opt.calibration_out)) {
+        std::fprintf(stderr, "cannot write --calibration-out file %s\n",
+                     opt.calibration_out.c_str());
+        return 1;
+      }
+      std::printf("calibration: push %.2f, pull %.2f ns/cost-unit "
+                  "(%zu samples) -> %s\n",
+                  cal.push_ns_per_unit, cal.pull_ns_per_unit, report.samples,
+                  opt.calibration_out.c_str());
+    }
   }
   return 0;
 }
