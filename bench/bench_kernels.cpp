@@ -11,6 +11,8 @@
 //   --smoke                  scale-12 sanity run (used by the perf-smoke
 //                            ctest label); exits nonzero if any kernel
 //                            exceeds a generous wall-clock bound.
+//   --width u32|u64          pin index storage width (default: auto-select)
+//                            for A/B memory + speed comparisons.
 //   LAGRAPH_BENCH_SCALE      kron scale for the full run (default 13)
 //   LAGRAPH_BENCH_THREADS    comma list of thread counts (default "1,2,4,8")
 //   LAGRAPH_BENCH_REPS       reps per (op, threads) cell (default 5, min 5)
@@ -52,6 +54,19 @@ int main(int argc, char **argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    // Pin index storage width for A/B runs (auto-selection is the default);
+    // feed both JSONs to tools/bench_diff.py to quantify the u32 win.
+    if (std::strcmp(argv[i], "--width") == 0 && i + 1 < argc) {
+      ++i;
+      if (std::strcmp(argv[i], "u32") == 0) {
+        grb::config().force_index_width = grb::ForceIndexWidth::u32;
+      } else if (std::strcmp(argv[i], "u64") == 0) {
+        grb::config().force_index_width = grb::ForceIndexWidth::u64;
+      } else {
+        std::fprintf(stderr, "bench_kernels: --width expects u32|u64\n");
+        return 2;
+      }
+    }
   }
   const int scale = smoke ? 12 : bench::suite_scale();
   const int reps = std::max(5, bench::env_int("LAGRAPH_BENCH_REPS", 5));
@@ -108,6 +123,14 @@ int main(int argc, char **argv) {
   std::vector<Index> bj;
   std::vector<double> bv;
   a.extract_tuples(bi, bj, bv);
+
+  // Storage footprint of the bench graph: CSR index bytes (width-dependent —
+  // u32 snapshots halve this) plus the value array, per edge. Attached to
+  // every JSON entry so bench_diff can gate memory like it gates medians.
+  const double edges = static_cast<double>(a.nvals());
+  const double index_bpe = static_cast<double>(a.index_bytes()) / edges;
+  const double bytes_per_edge =
+      (static_cast<double>(a.index_bytes()) + edges * sizeof(double)) / edges;
 
   struct Op {
     const char *name;
@@ -204,14 +227,22 @@ int main(int argc, char **argv) {
       op.fn();  // warm-up (also primes the workspace pool at this size)
       const bench::RepStatsMs st = bench::rep_stats_ms(reps, op.fn);
       const double ms = st.median_ms;
-      entries.push_back({op.name, graph_name, t, reps, ms, st.p50_ms,
-                         st.p95_ms, st.p99_ms});
+      bench::JsonEntry je{op.name,  graph_name, t,        reps,
+                          ms,       st.p50_ms,  st.p95_ms, st.p99_ms};
+      je.bytes_per_edge = bytes_per_edge;
+      je.peak_rss_mb = bench::peak_rss_mb();
+      entries.push_back(je);
       std::printf("  %9.3f", ms);
       if (smoke && ms > smoke_bound_ms) smoke_ok = false;
     }
     std::printf("\n");
   }
   grb::config().num_threads = 0;
+
+  std::printf("storage: %s indices, %.2f index B/edge, %.2f total B/edge, "
+              "peak RSS %.1f MB\n",
+              grb::index_width_name(a.index_width()), index_bpe,
+              bytes_per_edge, bench::peak_rss_mb());
 
   const grb::Stats &st = grb::stats();
   std::printf("planner: %llu plans built, %llu cache hits, %llu overridden; "

@@ -5,6 +5,8 @@
 // and a Table III-style printer.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -147,7 +149,19 @@ struct JsonEntry {
   double p50_ms = -1.0;
   double p95_ms = -1.0;
   double p99_ms = -1.0;
+  // Memory columns (negative = not recorded): storage footprint of the bench
+  // graph per edge, and the process peak-RSS high-water at measurement time.
+  // tools/bench_diff.py gates these with the same >10% threshold as medians.
+  double bytes_per_edge = -1.0;
+  double peak_rss_mb = -1.0;
 };
+
+/// Process peak resident set (ru_maxrss is KiB on Linux) in MiB.
+inline double peak_rss_mb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 /// Write the shared bench JSON schema: {schema, suite, scale, entries: [...]}.
 inline void write_bench_json(const std::string &path, const char *suite,
@@ -172,6 +186,12 @@ inline void write_bench_json(const std::string &path, const char *suite,
       std::fprintf(out,
                    ", \"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f",
                    x.p50_ms, x.p95_ms, x.p99_ms);
+    }
+    if (x.bytes_per_edge >= 0) {
+      std::fprintf(out, ", \"bytes_per_edge\": %.3f", x.bytes_per_edge);
+    }
+    if (x.peak_rss_mb >= 0) {
+      std::fprintf(out, ", \"peak_rss_mb\": %.2f", x.peak_rss_mb);
     }
     std::fprintf(out, "}%s\n", e + 1 < entries.size() ? "," : "");
   }

@@ -10,6 +10,9 @@
 #                     (tests_ingest_stress, the TSan target),
 #        plan         planner equivalence across formats × directions,
 #        obs          grb::trace rings, histograms, calibration,
+#        storage      index-width selection/promotion/guards + u32-vs-u64
+#                     kernel bit-identity (plus the same suite under
+#                     UBSan as the narrowing-conversion smoke),
 #        conformance  differential oracle suite incl. corpus replay and the
 #                     ingest snapshot-vs-rebuild fuzz sweep (tests_ingest),
 #   2b. a budgeted conformance fuzz: lagraph_cli fuzz replays the committed
@@ -85,10 +88,25 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 step "tier-1: full ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-for label in parallel concurrency plan obs conformance; do
+for label in parallel concurrency plan obs storage conformance; do
   step "ctest -L $label"
   ctest --test-dir "$BUILD_DIR" -L "$label" --output-on-failure -j"$JOBS"
 done
+
+step "UBSan narrowing smoke: tests_storage_ubsan"
+# The storage suite compiled under -fsanitize=undefined: runs the u64 -> u32
+# narrowing stores of the width-erased index paths on real kernel traffic
+# with the sanitizer watching (the plain-build run above checks semantics;
+# this run checks the casts themselves). The ctest -L storage loop already
+# executes it when present; this explicit pass fails loudly if the target
+# was configured out.
+if [[ -x "$BUILD_DIR"/tests/grb/tests_storage_ubsan ]]; then
+  "$BUILD_DIR"/tests/grb/tests_storage_ubsan \
+      --gtest_filter='IndexArray.*:IndexSpan.*:*WidthIdentity*' >/dev/null \
+    && echo "UBSan narrowing smoke OK"
+else
+  echo "check.sh: tests_storage_ubsan missing (global sanitizer build?) — skipped"
+fi
 
 step "conformance fuzz: corpus replay + ${FUZZ_SECONDS}s budget (seed $FUZZ_SEED)"
 # Replays every committed tests/corpus/*.repro through the full config

@@ -107,22 +107,26 @@ void apply(Matrix<W> &c, const MaskT &mask, Accum accum, F f,
   if (a.format() == Matrix<U>::Format::csr) {
     // CSR fast path: same structure, transformed values — a flat map over
     // the nnz positions.
-    auto arp = a.rowptr();
-    auto acx = a.colidx();
-    auto avx = a.values();
-    rp.assign(arp.begin(), arp.end());
-    const Index nz = static_cast<Index>(acx.size());
-    ci.resize(nz);
-    cv.resize(nz);
-    const int parts = plan::chunk_parts(nz, 2);
-    detail::for_each_chunk(detail::partition_even(nz, parts),
-                           [&](int, Index lo, Index hi) {
-                             for (Index p = lo; p < hi; ++p) {
-                               ci[p] = acx[p];
-                               cv[p] = static_cast<W>(
-                                   f(static_cast<W>(avx[p])));
-                             }
-                           });
+    // One width dispatch; the flat copy loop reads typed spans.
+    detail::dispatch_width(a.index_width(), [&](auto tag) {
+      using I = decltype(tag);
+      auto arp = a.rowptr().template as<I>();
+      auto acx = a.colidx().template as<I>();
+      auto avx = a.values();
+      rp.assign(arp.begin(), arp.end());
+      const Index nz = static_cast<Index>(acx.size());
+      ci.resize(nz);
+      cv.resize(nz);
+      const int parts = plan::chunk_parts(nz, 2);
+      detail::for_each_chunk(detail::partition_even(nz, parts),
+                             [&](int, Index lo, Index hi) {
+                               for (Index p = lo; p < hi; ++p) {
+                                 ci[p] = acx[p];
+                                 cv[p] = static_cast<W>(
+                                     f(static_cast<W>(avx[p])));
+                               }
+                             });
+    });
   } else {
     ci.reserve(a.nvals());
     cv.reserve(a.nvals());

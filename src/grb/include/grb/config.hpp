@@ -19,6 +19,21 @@ namespace grb {
 /// wherever the kernels support them; `none` lets the cost model choose.
 enum class ForceFormat : std::uint8_t { none, sparse, bitmap };
 
+/// Global index-width override for container storage (grb/indexarray.hpp).
+/// `auto_select` applies the 2^31 rule at build/finalize time; `u32`/`u64`
+/// pin the storage width — forcing u32 on a container whose dimensions or
+/// entry count exceed the u32 limit throws Info::index_out_of_bounds rather
+/// than truncating.
+enum class ForceIndexWidth : std::uint8_t { auto_select, u32, u64 };
+
+inline const char *force_index_width_name(ForceIndexWidth w) noexcept {
+  switch (w) {
+    case ForceIndexWidth::u32: return "u32";
+    case ForceIndexWidth::u64: return "u64";
+    default: return "auto";
+  }
+}
+
 struct Config {
   /// Density threshold (nvals/size) above which a vector auto-switches to the
   /// bitmap format. The bitmap format is what makes "pull" steps cheap
@@ -75,6 +90,19 @@ struct Config {
   /// harmless (each span consults it once, on entry).
   std::uint32_t trace_sample_every = 0;
 
+  /// Storage index width (grb/indexarray.hpp). auto_select picks u32 when
+  /// max(nrows, ncols, nvals) < u32_index_limit at build/finalize time and
+  /// u64 otherwise; u32/u64 pin the width for every subsequent build. The
+  /// conformance differ sweeps this knob to prove u32 and u64 storage are
+  /// bit-identical.
+  ForceIndexWidth force_index_width = ForceIndexWidth::auto_select;
+
+  /// The auto-selection threshold. Defaults to grb::kU32IndexLimit (2^31);
+  /// tests lower it so the u32→u64 promotion boundary can be exercised with
+  /// tiny containers instead of two billion entries. Must never exceed
+  /// kU32IndexLimit (values above it would let u32 storage overflow).
+  Index u32_index_limit = kU32IndexLimit;
+
   /// Burble-style narration (SuiteSparse:GraphBLAS's diagnostic): one
   /// stderr line per algorithm iteration — BFS level, PageRank sweep,
   /// FastSV round — with frontier size, chosen direction, and duration.
@@ -97,6 +125,8 @@ struct StatsSnapshot {
   std::uint64_t eager_sorts = 0;
   std::uint64_t pending_flushes = 0;
   std::uint64_t format_switches = 0;
+  std::uint64_t index_width_compressions = 0;
+  std::uint64_t index_width_promotions = 0;
   std::uint64_t finalize_calls = 0;
   std::uint64_t snapshot_builds = 0;
   std::uint64_t batched_queries = 0;
@@ -128,6 +158,8 @@ struct StatsSnapshot {
     f("eager_sorts", eager_sorts);
     f("pending_flushes", pending_flushes);
     f("format_switches", format_switches);
+    f("index_width_compressions", index_width_compressions);
+    f("index_width_promotions", index_width_promotions);
     f("finalize_calls", finalize_calls);
     f("snapshot_builds", snapshot_builds);
     f("batched_queries", batched_queries);
@@ -161,6 +193,13 @@ struct Stats {
   std::atomic<std::uint64_t> eager_sorts{0};      // eager sorts performed
   std::atomic<std::uint64_t> pending_flushes{0};  // pending-tuple merges
   std::atomic<std::uint64_t> format_switches{0};  // vector format conversions
+
+  // Index-width transitions (grb/indexarray.hpp): compressions are
+  // u64→u32 conversions at build/finalize time (the memory win landing);
+  // promotions are u32→u64 when a rebuild or mutation merge pushes a
+  // container past the u32 limit.
+  std::atomic<std::uint64_t> index_width_compressions{0};
+  std::atomic<std::uint64_t> index_width_promotions{0};
 
   // Service-layer counters (lagraph::service): how often containers are
   // frozen for concurrent sharing and how effective query batching is. The
@@ -215,6 +254,10 @@ struct Stats {
     s.eager_sorts = eager_sorts.load(std::memory_order_relaxed);
     s.pending_flushes = pending_flushes.load(std::memory_order_relaxed);
     s.format_switches = format_switches.load(std::memory_order_relaxed);
+    s.index_width_compressions =
+        index_width_compressions.load(std::memory_order_relaxed);
+    s.index_width_promotions =
+        index_width_promotions.load(std::memory_order_relaxed);
     s.finalize_calls = finalize_calls.load(std::memory_order_relaxed);
     s.snapshot_builds = snapshot_builds.load(std::memory_order_relaxed);
     s.batched_queries = batched_queries.load(std::memory_order_relaxed);
@@ -252,6 +295,8 @@ struct Stats {
     eager_sorts = 0;
     pending_flushes = 0;
     format_switches = 0;
+    index_width_compressions = 0;
+    index_width_promotions = 0;
     finalize_calls = 0;
     snapshot_builds = 0;
     batched_queries = 0;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "grb/config.hpp"
+#include "grb/indexarray.hpp"
 #include "grb/ops.hpp"
 #include "grb/parallel.hpp"
 #include "grb/trace.hpp"
@@ -62,10 +63,17 @@ class Matrix {
   static constexpr std::uint8_t kPendDelete = 1;  // zombie (remove if present)
   static constexpr std::uint8_t kPendAccum = 2;   // add into value, or insert
 
-  Matrix() : m_(0), n_(0) { rowptr_.assign(1, 0); }
+  Matrix() : m_(0), n_(0) {
+    init_width(detail::select_index_width_lenient(0, 0, 0));
+    rowptr_.assign(1, 0);
+  }
 
-  /// An empty m×n matrix in CSR format.
+  /// An empty m×n matrix in CSR format. Storage width starts at the
+  /// dimension-implied width and is re-selected at every build/finalize
+  /// (the non-throwing rule: a forced-u32 overflow is reported by the next
+  /// build/stage_tuples, not by the constructor).
   Matrix(Index m, Index n) : m_(m), n_(n) {
+    init_width(detail::select_index_width_lenient(m, n, 0));
     rowptr_.assign(static_cast<std::size_t>(m) + 1, 0);
   }
 
@@ -206,6 +214,23 @@ class Matrix {
       detail::require(ops[p] <= kPendAccum, Info::invalid_value,
                       "stage_tuples: unknown op code");
     }
+    // Overflow guard: under a forced u32 width, reject any batch whose
+    // projected entry count (pre-dedup — conservative) would exceed the u32
+    // domain, before anything is staged. Auto mode instead promotes to u64
+    // at the merge_pending → build boundary.
+    if (config().force_index_width == ForceIndexWidth::u32) {
+      const Index limit = std::min(config().u32_index_limit, kU32IndexLimit);
+      // colidx_.size() is the current materialized entry count (bitmap/full
+      // containers route through set_element below, where build re-checks);
+      // avoid nvals() here — it would finish() and flush the pending list.
+      const Index projected = static_cast<Index>(colidx_.size()) +
+                              static_cast<Index>(pend_i_.size()) +
+                              static_cast<Index>(rows.size());
+      detail::require(std::max({m_, n_, projected}) < limit,
+                      Info::index_out_of_bounds,
+                      "stage_tuples: batch exceeds the container's u32 index "
+                      "width");
+    }
     finalized_ = false;
     if (fmt_ == Format::hypersparse) to_csr();
     if (fmt_ != Format::csr) {
@@ -235,23 +260,30 @@ class Matrix {
       if (!present_[p]) return std::nullopt;
       return dense_[p];
     }
-    if (fmt_ == Format::hypersparse) {
-      ensure_sorted();
-      auto it = std::lower_bound(hrows_.begin(), hrows_.end(), i);
-      if (it == hrows_.end() || *it != i) return std::nullopt;
-      auto h = static_cast<std::size_t>(it - hrows_.begin());
-      auto lo = colidx_.begin() + static_cast<std::ptrdiff_t>(hrowptr_[h]);
-      auto hi = colidx_.begin() + static_cast<std::ptrdiff_t>(hrowptr_[h + 1]);
-      auto jt = std::lower_bound(lo, hi, j);
-      if (jt == hi || *jt != j) return std::nullopt;
-      return vals_[static_cast<std::size_t>(jt - colidx_.begin())];
-    }
     ensure_sorted();
-    auto lo = colidx_.begin() + static_cast<std::ptrdiff_t>(rowptr_[i]);
-    auto hi = colidx_.begin() + static_cast<std::ptrdiff_t>(rowptr_[i + 1]);
-    auto it = std::lower_bound(lo, hi, j);
-    if (it == hi || *it != j) return std::nullopt;
-    return vals_[static_cast<std::size_t>(it - colidx_.begin())];
+    return detail::dispatch_width(iw_, [&](auto tag) -> std::optional<T> {
+      using I = decltype(tag);
+      auto cx = colidx_.template as<I>();
+      std::size_t lo = 0, hi = 0;
+      if (fmt_ == Format::hypersparse) {
+        auto hr = hrows_.template as<I>();
+        auto hp = hrowptr_.template as<I>();
+        auto it = std::lower_bound(hr.begin(), hr.end(), static_cast<I>(i));
+        if (it == hr.end() || *it != static_cast<I>(i)) return std::nullopt;
+        auto h = static_cast<std::size_t>(it - hr.begin());
+        lo = hp[h];
+        hi = hp[h + 1];
+      } else {
+        auto rp = rowptr_.template as<I>();
+        lo = rp[i];
+        hi = rp[i + 1];
+      }
+      auto first = cx.begin() + static_cast<std::ptrdiff_t>(lo);
+      auto last = cx.begin() + static_cast<std::ptrdiff_t>(hi);
+      auto jt = std::lower_bound(first, last, static_cast<I>(j));
+      if (jt == last || *jt != static_cast<I>(j)) return std::nullopt;
+      return vals_[static_cast<std::size_t>(jt - cx.begin())];
+    });
   }
 
   [[nodiscard]] bool has(Index i, Index j) const { return get(i, j).has_value(); }
@@ -266,8 +298,25 @@ class Matrix {
                     Info::invalid_value, "build: array length mismatch");
     trace::ScopedSpan sp(trace::SpanKind::build);
     sp.set_in_nvals(rows.size());
-    clear();  // also drops the finalized flag: back to single-writer mode
     const std::size_t nz = rows.size();
+    // Width selection happens here, where the entry count is first known
+    // (nz counts pre-dedup tuples — conservative: finalize() re-compresses
+    // if duplicate combining shrank the matrix back under the limit). In
+    // forced-u32 mode an over-limit container throws index_out_of_bounds
+    // before any storage is touched.
+    const IndexWidth want =
+        detail::select_index_width(m_, n_, static_cast<Index>(nz));
+    const bool had_entries = !colidx_.empty();
+    if (want != iw_ && had_entries) {
+      if (want == IndexWidth::u32) {
+        stats().index_width_compressions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      } else {
+        stats().index_width_promotions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    clear();  // also drops the finalized flag: back to single-writer mode
+    init_width(want);
     // Counting sort by row, then per-row stable sort by column. The parallel
     // form (grb/parallel.hpp) mirrors the transpose bucket sort: per-chunk
     // row counts, prefix offsets giving each (chunk, row) pair a disjoint
@@ -361,23 +410,33 @@ class Matrix {
         }
       });
     }
-    rowptr_.assign(static_cast<std::size_t>(m_) + 1, 0);
-    colidx_.reserve(nz);
-    vals_.reserve(nz);
-    Index row = 0;
-    for (std::size_t q = 0; q < nz; ++q) {
-      std::size_t p = order[q];
-      while (row < rows[p]) rowptr_[++row] = static_cast<Index>(colidx_.size());
-      if (!colidx_.empty() &&
-          static_cast<Index>(colidx_.size()) > rowptr_[row] &&
-          colidx_.back() == cols[p]) {
-        vals_.back() = dup(vals_.back(), values[p]);
-      } else {
-        colidx_.push_back(cols[p]);
-        vals_.push_back(values[p]);
+    // Emit directly at the selected width: the loop is monomorphic after
+    // one dispatch, and the arrays are adopted zero-copy.
+    detail::dispatch_width(iw_, [&](auto tag) {
+      using I = decltype(tag);
+      std::vector<I> rp(static_cast<std::size_t>(m_) + 1, 0);
+      std::vector<I> ci;
+      std::vector<T> vx;
+      ci.reserve(nz);
+      vx.reserve(nz);
+      Index row = 0;
+      for (std::size_t q = 0; q < nz; ++q) {
+        std::size_t p = order[q];
+        while (row < rows[p]) rp[++row] = static_cast<I>(ci.size());
+        if (!ci.empty() && static_cast<Index>(ci.size()) >
+                               static_cast<Index>(rp[row]) &&
+            ci.back() == static_cast<I>(cols[p])) {
+          vx.back() = dup(vx.back(), values[p]);
+        } else {
+          ci.push_back(static_cast<I>(cols[p]));
+          vx.push_back(values[p]);
+        }
       }
-    }
-    while (row < m_) rowptr_[++row] = static_cast<Index>(colidx_.size());
+      while (row < m_) rp[++row] = static_cast<I>(ci.size());
+      rowptr_.adopt(std::move(rp));
+      colidx_.adopt(std::move(ci));
+      vals_ = std::move(vx);
+    });
     jumbled_ = false;
     sp.set_out_nvals(colidx_.size());
   }
@@ -408,14 +467,28 @@ class Matrix {
   void for_each_in_row(Index i, F &&f) const {
     finish();
     if (fmt_ == Format::csr) {
-      for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) f(colidx_[p], vals_[p]);
+      // One width dispatch per row, monomorphic inner loop.
+      detail::dispatch_width(iw_, [&](auto tag) {
+        using I = decltype(tag);
+        auto rp = rowptr_.template as<I>();
+        auto cx = colidx_.template as<I>();
+        for (std::size_t p = rp[i]; p < rp[i + 1]; ++p) {
+          f(static_cast<Index>(cx[p]), vals_[p]);
+        }
+      });
     } else if (fmt_ == Format::hypersparse) {
-      auto it = std::lower_bound(hrows_.begin(), hrows_.end(), i);
-      if (it == hrows_.end() || *it != i) return;
-      auto h = static_cast<std::size_t>(it - hrows_.begin());
-      for (Index p = hrowptr_[h]; p < hrowptr_[h + 1]; ++p) {
-        f(colidx_[p], vals_[p]);
-      }
+      detail::dispatch_width(iw_, [&](auto tag) {
+        using I = decltype(tag);
+        auto hr = hrows_.template as<I>();
+        auto hp = hrowptr_.template as<I>();
+        auto cx = colidx_.template as<I>();
+        auto it = std::lower_bound(hr.begin(), hr.end(), static_cast<I>(i));
+        if (it == hr.end() || *it != static_cast<I>(i)) return;
+        auto h = static_cast<std::size_t>(it - hr.begin());
+        for (std::size_t p = hp[h]; p < hp[h + 1]; ++p) {
+          f(static_cast<Index>(cx[p]), vals_[p]);
+        }
+      });
     } else if (fmt_ == Format::bitmap) {
       auto base = static_cast<std::size_t>(i) * n_;
       for (Index j = 0; j < n_; ++j) {
@@ -433,11 +506,17 @@ class Matrix {
     finish();
     if (fmt_ == Format::hypersparse) {
       // only the non-empty rows, without the binary search per row
-      for (std::size_t h = 0; h < hrows_.size(); ++h) {
-        for (Index p = hrowptr_[h]; p < hrowptr_[h + 1]; ++p) {
-          f(hrows_[h], colidx_[p], vals_[p]);
+      detail::dispatch_width(iw_, [&](auto tag) {
+        using I = decltype(tag);
+        auto hr = hrows_.template as<I>();
+        auto hp = hrowptr_.template as<I>();
+        auto cx = colidx_.template as<I>();
+        for (std::size_t h = 0; h < hr.size(); ++h) {
+          for (std::size_t p = hp[h]; p < hp[h + 1]; ++p) {
+            f(static_cast<Index>(hr[h]), static_cast<Index>(cx[p]), vals_[p]);
+          }
         }
-      }
+      });
       return;
     }
     for (Index i = 0; i < m_; ++i) {
@@ -449,10 +528,15 @@ class Matrix {
     finish();
     if (fmt_ == Format::csr) return rowptr_[i + 1] - rowptr_[i];
     if (fmt_ == Format::hypersparse) {
-      auto it = std::lower_bound(hrows_.begin(), hrows_.end(), i);
-      if (it == hrows_.end() || *it != i) return 0;
-      auto h = static_cast<std::size_t>(it - hrows_.begin());
-      return hrowptr_[h + 1] - hrowptr_[h];
+      return detail::dispatch_width(iw_, [&](auto tag) -> Index {
+        using I = decltype(tag);
+        auto hr = hrows_.template as<I>();
+        auto hp = hrowptr_.template as<I>();
+        auto it = std::lower_bound(hr.begin(), hr.end(), static_cast<I>(i));
+        if (it == hr.end() || *it != static_cast<I>(i)) return 0;
+        auto h = static_cast<std::size_t>(it - hr.begin());
+        return static_cast<Index>(hp[h + 1]) - static_cast<Index>(hp[h]);
+      });
     }
     if (fmt_ == Format::full) return n_;
     Index c = 0;
@@ -517,8 +601,33 @@ class Matrix {
   void finalize() const {
     wait();
     if (fmt_ == Format::hypersparse) to_csr();
+    // Snapshot-publish is where the memory win lands: with the deferred
+    // work drained the entry count is final, so re-select the width and
+    // compress u64 → u32 when the auto rule (or a forced override) allows.
+    if (fmt_ == Format::csr) {
+      refresh_width(static_cast<Index>(colidx_.size()));
+      auto &self = const_cast<Matrix &>(*this);
+      self.rowptr_.shrink_to_fit();
+      self.colidx_.shrink_to_fit();
+    }
     finalized_ = true;
     stats().finalize_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Physical width of the index arrays (see grb/indexarray.hpp). Merges
+  /// pending work first: staged mutations can change the selected width.
+  [[nodiscard]] IndexWidth index_width() const {
+    finish();
+    return iw_;
+  }
+
+  /// Heap bytes the index arrays occupy at the current width — the
+  /// numerator of the bytes-per-edge accounting (values excluded; their
+  /// size is width-independent).
+  [[nodiscard]] std::size_t index_bytes() const {
+    finish();
+    return rowptr_.byte_size() + colidx_.byte_size() + hrows_.byte_size() +
+           hrowptr_.byte_size();
   }
 
   /// True while the matrix is frozen for concurrent readers.
@@ -532,13 +641,22 @@ class Matrix {
     assert_lazy_path_allowed("to_csr");
     auto &self = const_cast<Matrix &>(*this);
     if (fmt_ == Format::hypersparse) {
-      // expand the compressed row list into a full row-pointer array
-      std::vector<Index> rp(static_cast<std::size_t>(m_) + 1, 0);
-      for (std::size_t h = 0; h < hrows_.size(); ++h) {
-        rp[hrows_[h] + 1] = hrowptr_[h + 1] - hrowptr_[h];
-      }
-      for (Index i = 0; i < m_; ++i) rp[i + 1] += rp[i];
-      self.rowptr_ = std::move(rp);
+      // expand the compressed row list into a full row-pointer array, at
+      // the container's width (m_ and nvals both fit: iw_ covered them when
+      // the hypersparse form was built)
+      detail::dispatch_width(iw_, [&](auto tag) {
+        using I = decltype(tag);
+        auto hr = hrows_.template as<I>();
+        auto hp = hrowptr_.template as<I>();
+        std::vector<I> rp(static_cast<std::size_t>(m_) + 1, 0);
+        for (std::size_t h = 0; h < hr.size(); ++h) {
+          rp[static_cast<std::size_t>(hr[h]) + 1] = hp[h + 1] - hp[h];
+        }
+        for (Index i = 0; i < m_; ++i) {
+          rp[i + 1] = static_cast<I>(rp[i + 1] + rp[i]);
+        }
+        self.rowptr_.adopt(std::move(rp));
+      });
       self.hrows_.clear();
       self.hrows_.shrink_to_fit();
       self.hrowptr_.clear();
@@ -547,25 +665,34 @@ class Matrix {
       stats().format_switches.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    std::vector<Index> rp(static_cast<std::size_t>(m_) + 1, 0);
-    std::vector<Index> ci;
-    std::vector<T> vx;
-    ci.reserve(nvals());
-    vx.reserve(nvals());
-    for (Index i = 0; i < m_; ++i) {
-      for_each_in_row(i, [&](Index j, const T &x) {
-        ci.push_back(j);
-        vx.push_back(x);
-      });
-      rp[i + 1] = static_cast<Index>(ci.size());
-    }
+    // Bitmap/full → CSR. A bitmap can hold more entries than its
+    // dimensions suggest (nvals up to m·n), so the width is re-selected
+    // for the realized entry count before the index arrays are emitted.
+    const Index nz = nvals();
+    const IndexWidth want = detail::select_index_width(m_, n_, nz);
+    if (want != self.iw_) self.iw_ = want;
+    detail::dispatch_width(iw_, [&](auto tag) {
+      using I = decltype(tag);
+      std::vector<I> rp(static_cast<std::size_t>(m_) + 1, 0);
+      std::vector<I> ci;
+      std::vector<T> vx;
+      ci.reserve(nz);
+      vx.reserve(nz);
+      for (Index i = 0; i < m_; ++i) {
+        for_each_in_row(i, [&](Index j, const T &x) {
+          ci.push_back(static_cast<I>(j));
+          vx.push_back(x);
+        });
+        rp[i + 1] = static_cast<I>(ci.size());
+      }
+      self.rowptr_.adopt(std::move(rp));
+      self.colidx_.adopt(std::move(ci));
+      self.vals_ = std::move(vx);
+    });
     self.present_.clear();
     self.present_.shrink_to_fit();
     self.dense_.clear();
     self.dense_.shrink_to_fit();
-    self.rowptr_ = std::move(rp);
-    self.colidx_ = std::move(ci);
-    self.vals_ = std::move(vx);
     self.bitmap_nvals_ = 0;
     self.jumbled_ = false;
     self.fmt_ = Format::csr;
@@ -608,17 +735,21 @@ class Matrix {
     assert_lazy_path_allowed("to_hypersparse");
     to_csr();
     auto &self = const_cast<Matrix &>(*this);
-    std::vector<Index> hr;
-    std::vector<Index> hp;
-    hp.push_back(0);
-    for (Index i = 0; i < m_; ++i) {
-      if (rowptr_[i + 1] > rowptr_[i]) {
-        hr.push_back(i);
-        hp.push_back(rowptr_[i + 1]);
+    detail::dispatch_width(iw_, [&](auto tag) {
+      using I = decltype(tag);
+      auto rp = rowptr_.template as<I>();
+      std::vector<I> hr;
+      std::vector<I> hp;
+      hp.push_back(0);
+      for (Index i = 0; i < m_; ++i) {
+        if (rp[i + 1] > rp[i]) {
+          hr.push_back(static_cast<I>(i));
+          hp.push_back(rp[i + 1]);
+        }
       }
-    }
-    self.hrows_ = std::move(hr);
-    self.hrowptr_ = std::move(hp);
+      self.hrows_.adopt(std::move(hr));
+      self.hrowptr_.adopt(std::move(hp));
+    });
     self.rowptr_.clear();
     self.rowptr_.shrink_to_fit();
     self.fmt_ = Format::hypersparse;
@@ -636,7 +767,7 @@ class Matrix {
 
   // -- raw access for kernels -------------------------------------------------------------
 
-  [[nodiscard]] std::span<const Index> rowptr() const {
+  [[nodiscard]] IndexSpan rowptr() const {
     finish();
     // No silent hypersparse expansion: materializing the O(nrows) row
     // pointer is a planner decision, not a side effect of peeking at raw
@@ -646,11 +777,11 @@ class Matrix {
     detail::require(fmt_ != Format::hypersparse, Info::invalid_value,
                     "rowptr: hypersparse matrix has no dense row pointer; "
                     "convert via grb::plan::prepare(a, MatFormat::csr)");
-    return {rowptr_.data(), rowptr_.size()};
+    return IndexSpan(rowptr_);
   }
-  [[nodiscard]] std::span<const Index> colidx() const {
+  [[nodiscard]] IndexSpan colidx() const {
     finish();
-    return {colidx_.data(), colidx_.size()};
+    return IndexSpan(colidx_);
   }
   [[nodiscard]] std::span<const T> values() const {
     finish();
@@ -670,9 +801,18 @@ class Matrix {
                         colidx.size() == values.size(),
                     Info::invalid_value, "adopt_csr: shape mismatch");
     clear();  // also drops the finalized flag: back to single-writer mode
-    rowptr_ = std::move(rowptr);
-    colidx_ = std::move(colidx);
+    const Index nz = static_cast<Index>(colidx.size());
+    iw_ = IndexWidth::u64;
+    rowptr_.adopt(std::move(rowptr));
+    colidx_.adopt(std::move(colidx));
     vals_ = std::move(values);
+    // Kernel outputs stay u64 zero-copy in auto mode (width is re-picked at
+    // finalize/publish); a forced width converts — or, for u32, throws —
+    // here, so the conformance sweep's forced-u32 runs exercise the 32-bit
+    // kernels on intermediates too.
+    if (config().force_index_width != ForceIndexWidth::auto_select) {
+      refresh_width(nz);
+    }
     jumbled_ = jumbled;
     if (jumbled_ && !config().lazy_sort) {
       sort_rows();
@@ -694,6 +834,38 @@ class Matrix {
   void check_indices(Index i, Index j) const {
     detail::require(i < m_ && j < n_, Info::index_out_of_bounds,
                     "matrix index out of bounds");
+  }
+
+  /// Set the shared width of every index array without converting payloads
+  /// (constructor / post-clear use only — arrays must be empty or about to
+  /// be overwritten).
+  void init_width(IndexWidth w) {
+    iw_ = w;
+    rowptr_ = detail::IndexArray(w);
+    colidx_ = detail::IndexArray(w);
+    hrows_ = detail::IndexArray(w);
+    hrowptr_ = detail::IndexArray(w);
+  }
+
+  /// Re-select the storage width for the given entry count and convert all
+  /// index arrays in place, bumping the transition counters. Throws
+  /// Info::index_out_of_bounds when force_index_width=u32 cannot represent
+  /// the container (the spec'd overflow guard). Logically const — the
+  /// mathematical content is unchanged.
+  void refresh_width(Index nvals) const {
+    const IndexWidth want = detail::select_index_width(m_, n_, nvals);
+    if (want == iw_) return;
+    auto &self = const_cast<Matrix &>(*this);
+    self.rowptr_.convert(want);
+    self.colidx_.convert(want);
+    self.hrows_.convert(want);
+    self.hrowptr_.convert(want);
+    self.iw_ = want;
+    if (want == IndexWidth::u32) {
+      stats().index_width_compressions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats().index_width_promotions.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Debug tripwire for the threading contract: a finalized matrix must never
@@ -785,41 +957,48 @@ class Matrix {
 
   void sort_rows() {
     // Rows sort independently in place (disjoint CSR slices), so chunk them
-    // by nnz — the row pointer is the work prefix (grb/parallel.hpp).
-    const Index total = rowptr_.empty() ? 0 : rowptr_[m_];
-    const int parts =
-        (detail::effective_threads() > 1 && total >= detail::kParallelGrain)
-            ? detail::effective_threads() * 4
-            : 1;
-    std::vector<Index> bounds =
-        parts > 1 ? detail::partition_rows_by_work(
-                        std::span<const Index>(rowptr_), parts)
-                  : detail::partition_even(m_, 1);
-    detail::for_each_chunk(bounds, [&](int, Index rlo, Index rhi) {
-      std::vector<std::pair<Index, T>> row;
-      for (Index i = rlo; i < rhi; ++i) {
-        Index lo = rowptr_[i];
-        Index hi = rowptr_[i + 1];
-        if (hi - lo < 2) continue;
-        bool sorted = true;
-        for (Index p = lo + 1; p < hi; ++p) {
-          if (colidx_[p - 1] > colidx_[p]) {
-            sorted = false;
-            break;
+    // by nnz — the row pointer is the work prefix (grb/parallel.hpp). One
+    // width dispatch up front keeps the per-entry scan monomorphic.
+    detail::dispatch_width(iw_, [&](auto tag) {
+      using I = decltype(tag);
+      auto rp = rowptr_.template as<I>();
+      auto cx = colidx_.template as_mut<I>();
+      const Index total = rp.empty() ? 0 : static_cast<Index>(rp[m_]);
+      const int parts =
+          (detail::effective_threads() > 1 && total >= detail::kParallelGrain)
+              ? detail::effective_threads() * 4
+              : 1;
+      std::vector<Index> bounds = parts > 1
+                                      ? detail::partition_rows_by_work(rp, parts)
+                                      : detail::partition_even(m_, 1);
+      detail::for_each_chunk(bounds, [&](int, Index rlo, Index rhi) {
+        std::vector<std::pair<I, T>> row;
+        for (Index i = rlo; i < rhi; ++i) {
+          std::size_t lo = rp[i];
+          std::size_t hi = rp[i + 1];
+          if (hi - lo < 2) continue;
+          bool sorted = true;
+          for (std::size_t p = lo + 1; p < hi; ++p) {
+            if (cx[p - 1] > cx[p]) {
+              sorted = false;
+              break;
+            }
+          }
+          if (sorted) continue;
+          row.clear();
+          row.reserve(hi - lo);
+          for (std::size_t p = lo; p < hi; ++p) {
+            row.emplace_back(cx[p], vals_[p]);
+          }
+          std::sort(row.begin(), row.end(), [](const auto &a, const auto &b) {
+            return a.first < b.first;
+          });
+          for (std::size_t p = lo; p < hi; ++p) {
+            cx[p] = row[p - lo].first;
+            vals_[p] = row[p - lo].second;
           }
         }
-        if (sorted) continue;
-        row.clear();
-        row.reserve(hi - lo);
-        for (Index p = lo; p < hi; ++p) row.emplace_back(colidx_[p], vals_[p]);
-        std::sort(row.begin(), row.end(), [](const auto &a, const auto &b) {
-          return a.first < b.first;
-        });
-        for (Index p = lo; p < hi; ++p) {
-          colidx_[p] = row[p - lo].first;
-          vals_[p] = row[p - lo].second;
-        }
-      }
+      });
     });
     jumbled_ = false;
   }
@@ -828,8 +1007,12 @@ class Matrix {
   Index n_;
   mutable bool finalized_ = false;  // frozen for concurrent readers
   mutable Format fmt_ = Format::csr;
-  mutable std::vector<Index> rowptr_;
-  mutable std::vector<Index> colidx_;
+  // Storage width invariant: rowptr_/colidx_/hrows_/hrowptr_ always share
+  // iw_. Pending-tuple staging stays u64 (it is transient and must accept
+  // any Index); build() re-selects the width when the lists merge.
+  mutable IndexWidth iw_ = IndexWidth::u64;
+  mutable detail::IndexArray rowptr_;
+  mutable detail::IndexArray colidx_;
   mutable std::vector<T> vals_;
   mutable bool jumbled_ = false;
   // pending ops (deferred set/accum_element + remove_element "zombies"),
@@ -839,8 +1022,8 @@ class Matrix {
   mutable std::vector<T> pend_v_;
   mutable std::vector<std::uint8_t> pend_op_;
   // hypersparse storage (non-empty row ids + their row pointers)
-  mutable std::vector<Index> hrows_;
-  mutable std::vector<Index> hrowptr_;
+  mutable detail::IndexArray hrows_;
+  mutable detail::IndexArray hrowptr_;
   // bitmap / full storage
   mutable std::vector<std::uint8_t> present_;
   mutable std::vector<T> dense_;

@@ -131,10 +131,14 @@ Matrix<Z> mxm_gustavson(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
   return t;
 }
 
-/// Sorted-sparse-row dot product: ⊕_k combine(a(i,k), b(j,k)).
-template <typename Z, typename SR, typename TA, typename TB>
-bool row_dot(SR sr, std::span<const Index> acol, std::span<const TA> aval,
-             std::span<const Index> bcol, std::span<const TB> bval, Index i,
+/// Sorted-sparse-row dot product: ⊕_k combine(a(i,k), b(j,k)). Generic over
+/// the two operands' index widths (IA/IB may differ — a u32 snapshot can
+/// multiply against a freshly-adopted u64 intermediate); the comparisons
+/// promote to 64-bit, so the merge walk is width-agnostic.
+template <typename Z, typename SR, typename IA, typename IB, typename TA,
+          typename TB>
+bool row_dot(SR sr, std::span<const IA> acol, std::span<const TA> aval,
+             std::span<const IB> bcol, std::span<const TB> bval, Index i,
              Index j, Z &out) {
   using AddM = typename SR::add_monoid;
   std::size_t p = 0;
@@ -183,118 +187,129 @@ Matrix<Z> mxm_dot(SR sr, const Matrix<TA> &a, const Matrix<TB> &b,
   assert(a.format() == (a_bitmap ? Matrix<TA>::Format::bitmap
                                  : Matrix<TA>::Format::csr));
   assert(b.format() == Matrix<TB>::Format::csr);
-  auto arp = a_bitmap ? std::span<const Index>{} : a.rowptr();
-  auto acx = a_bitmap ? std::span<const Index>{} : a.colidx();
-  auto avx = a_bitmap ? std::span<const TA>{} : a.values();
   const std::uint8_t *apres = a_bitmap ? a.bitmap_present() : nullptr;
   const TA *avals = a_bitmap ? a.dense_values() : nullptr;
-  auto brp = b.rowptr();
-  auto bcx = b.colidx();
-  auto bvx = b.values();
-  auto arow_c = [&](Index i) {
-    return acx.subspan(arp[i], arp[i + 1] - arp[i]);
-  };
-  auto arow_v = [&](Index i) {
-    return avx.subspan(arp[i], arp[i + 1] - arp[i]);
-  };
-  auto brow_c = [&](Index j) {
-    return bcx.subspan(brp[j], brp[j + 1] - brp[j]);
-  };
-  auto brow_v = [&](Index j) {
-    return bvx.subspan(brp[j], brp[j + 1] - brp[j]);
-  };
 
   // Each output row is independent: rows fill their own buffer in parallel
   // and are concatenated into CSR afterwards.
   std::vector<std::vector<std::pair<Index, Z>>> rows(
       static_cast<std::size_t>(m));
 
-  auto try_pair = [&](std::vector<std::pair<Index, Z>> &rowbuf, Index i,
-                      Index j) {
-    Z out{};
-    bool found = false;
-    if (a_bitmap) {
-      const std::size_t base = static_cast<std::size_t>(i) * a.ncols();
-      auto bc = brow_c(j);
-      auto bv = brow_v(j);
-      Z acc{};
-      for (std::size_t p = 0; p < bc.size(); ++p) {
-        const Index k = bc[p];
-        if (!apres[base + k]) continue;
-        Z prod = sr.multiply(avals[base + k], bv[p], i, k, j);
-        if (!found) {
-          found = true;
-          acc = prod;
-        } else {
-          acc = sr.add(acc, prod);
-        }
-        if constexpr (AddM::has_terminal) {
-          if (AddM::is_terminal(acc)) break;
-        }
-      }
-      out = acc;
-    } else {
-      found = row_dot<Z>(sr, arow_c(i), arow_v(i), brow_c(j), brow_v(j), i, j,
-                         out);
-    }
-    if (found) rowbuf.emplace_back(j, out);
-  };
+  // One nested width dispatch per call: the merge walks below run on
+  // monomorphic typed spans (A and B may carry different widths — row_dot
+  // promotes per element).
+  dispatch_width(a_bitmap ? b.index_width() : a.index_width(), [&](auto atag) {
+    using IA = decltype(atag);
+    dispatch_width(b.index_width(), [&](auto btag) {
+      using IB = decltype(btag);
+      auto arp = a_bitmap ? std::span<const IA>{} : a.rowptr().template as<IA>();
+      auto acx = a_bitmap ? std::span<const IA>{} : a.colidx().template as<IA>();
+      auto avx = a_bitmap ? std::span<const TA>{} : a.values();
+      auto brp = b.rowptr().template as<IB>();
+      auto bcx = b.colidx().template as<IB>();
+      auto bvx = b.values();
+      auto arow_c = [&](Index i) {
+        return acx.subspan(arp[i], arp[i + 1] - arp[i]);
+      };
+      auto arow_v = [&](Index i) {
+        return avx.subspan(arp[i], arp[i + 1] - arp[i]);
+      };
+      auto brow_c = [&](Index j) {
+        return bcx.subspan(brp[j], brp[j + 1] - brp[j]);
+      };
+      auto brow_v = [&](Index j) {
+        return bvx.subspan(brp[j], brp[j + 1] - brp[j]);
+      };
 
-  bool masked_candidates = false;
-  if constexpr (has_mask_v<MaskT>) {
-    masked_candidates = !d.mask_complement;
-    // Complete any deferred work before the parallel region: probing a
-    // jumbled/pending mask would otherwise race on its lazy mutation.
-    mask.wait();
-  }
-  const int nparts =
-      effective_threads() > 1 ? effective_threads() * 4 : 1;
-  if (masked_candidates) {
-    if constexpr (has_mask_v<MaskT>) {
-      // Candidates are exactly the mask's entries (row-major sorted). Rows
-      // are chunked by mask nnz — for triangle counting the mask is L
-      // itself, so this is exactly the nnz balance the hub rows need.
-      mask.ensure_sorted();
-      mask.finish();
-      std::vector<Index> bounds =
-          (nparts > 1 && mask.nvals() >= kParallelGrain)
-              ? partition_rows_by_work(
-                    m, nparts, [&](Index i) { return mask.row_nvals(i) + 1; })
-              : partition_even(m, 1);
-      for_each_chunk(bounds, [&](int, Index lo, Index hi) {
-        for (Index i = lo; i < hi; ++i) {
-          mask.for_each_in_row(i, [&](Index j, const auto &mv) {
-            if (!d.mask_structural && mv == 0) return;
-            try_pair(rows[i], i, j);
+      auto try_pair = [&](std::vector<std::pair<Index, Z>> &rowbuf, Index i,
+                          Index j) {
+        Z out{};
+        bool found = false;
+        if (a_bitmap) {
+          const std::size_t base = static_cast<std::size_t>(i) * a.ncols();
+          auto bc = brow_c(j);
+          auto bv = brow_v(j);
+          Z acc{};
+          for (std::size_t p = 0; p < bc.size(); ++p) {
+            const Index k = bc[p];
+            if (!apres[base + k]) continue;
+            Z prod = sr.multiply(avals[base + k], bv[p], i, k, j);
+            if (!found) {
+              found = true;
+              acc = prod;
+            } else {
+              acc = sr.add(acc, prod);
+            }
+            if constexpr (AddM::has_terminal) {
+              if (AddM::is_terminal(acc)) break;
+            }
+          }
+          out = acc;
+        } else {
+          found = row_dot<Z>(sr, arow_c(i), arow_v(i), brow_c(j), brow_v(j), i,
+                             j, out);
+        }
+        if (found) rowbuf.emplace_back(j, out);
+      };
+
+      bool masked_candidates = false;
+      if constexpr (has_mask_v<MaskT>) {
+        masked_candidates = !d.mask_complement;
+        // Complete any deferred work before the parallel region: probing a
+        // jumbled/pending mask would otherwise race on its lazy mutation.
+        mask.wait();
+      }
+      const int nparts =
+          effective_threads() > 1 ? effective_threads() * 4 : 1;
+      if (masked_candidates) {
+        if constexpr (has_mask_v<MaskT>) {
+          // Candidates are exactly the mask's entries (row-major sorted). Rows
+          // are chunked by mask nnz — for triangle counting the mask is L
+          // itself, so this is exactly the nnz balance the hub rows need.
+          mask.ensure_sorted();
+          mask.finish();
+          std::vector<Index> bounds =
+              (nparts > 1 && mask.nvals() >= kParallelGrain)
+                  ? partition_rows_by_work(
+                        m, nparts,
+                        [&](Index i) { return mask.row_nvals(i) + 1; })
+                  : partition_even(m, 1);
+          for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+            for (Index i = lo; i < hi; ++i) {
+              mask.for_each_in_row(i, [&](Index j, const auto &mv) {
+                if (!d.mask_structural && mv == 0) return;
+                try_pair(rows[i], i, j);
+              });
+            }
           });
         }
-      });
-    }
-  } else {
-    // Complemented mask (or none): all surviving pairs — the bottom-up
-    // shape. Every row probes all n candidates, but the dot cost still
-    // scales with |A(i,:)|, so balance on that when A is sparse.
-    std::vector<Index> bounds;
-    if (nparts > 1 && m >= 2) {
-      if (!a_bitmap) {
-        bounds = partition_rows_by_work(m, nparts, [&](Index i) {
-          return (arp[i + 1] - arp[i]) + n / 16 + 1;
-        });
       } else {
-        bounds = partition_even(m, nparts);
-      }
-    } else {
-      bounds = partition_even(m, 1);
-    }
-    for_each_chunk(bounds, [&](int, Index lo, Index hi) {
-      for (Index i = lo; i < hi; ++i) {
-        for (Index j = 0; j < n; ++j) {
-          if (!mmask_test(mask, i, j, d)) continue;
-          try_pair(rows[i], i, j);
+        // Complemented mask (or none): all surviving pairs — the bottom-up
+        // shape. Every row probes all n candidates, but the dot cost still
+        // scales with |A(i,:)|, so balance on that when A is sparse.
+        std::vector<Index> bounds;
+        if (nparts > 1 && m >= 2) {
+          if (!a_bitmap) {
+            bounds = partition_rows_by_work(m, nparts, [&](Index i) {
+              return static_cast<Index>(arp[i + 1] - arp[i]) + n / 16 + 1;
+            });
+          } else {
+            bounds = partition_even(m, nparts);
+          }
+        } else {
+          bounds = partition_even(m, 1);
         }
+        for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+          for (Index i = lo; i < hi; ++i) {
+            for (Index j = 0; j < n; ++j) {
+              if (!mmask_test(mask, i, j, d)) continue;
+              try_pair(rows[i], i, j);
+            }
+          }
+        });
       }
     });
-  }
+  });
 
   std::vector<Index> rp(static_cast<std::size_t>(m) + 1, 0);
   std::vector<Index> ci;
@@ -346,6 +361,8 @@ void mxm(Matrix<W> &c, const MaskT &mask, Accum accum, SR sr,
   od.a_cols = a.ncols();
   od.a_nvals = a.nvals();
   od.b_nvals = b.nvals();
+  od.a_width = a.index_width();
+  od.b_width = b.index_width();
   od.transpose_b = d.transpose_b;
   od.has_terminal = SR::add_monoid::has_terminal;
   if constexpr (has_mask_v<MaskT>) {
@@ -417,6 +434,8 @@ S mxm_reduce_scalar(ReduceMonoid rm, const MaskT &mask, SR sr,
   od.a_cols = a.ncols();
   od.a_nvals = a.nvals();
   od.b_nvals = b.nvals();
+  od.a_width = a.index_width();
+  od.b_width = b.index_width();
   od.transpose_b = true;
   if constexpr (has_mask_v<MaskT>) {
     od.masked = true;
@@ -433,41 +452,48 @@ S mxm_reduce_scalar(ReduceMonoid rm, const MaskT &mask, SR sr,
   b.ensure_sorted();
   plan::prepare(a, plan::MatFormat::csr);
   plan::prepare(b, plan::MatFormat::csr);
-  auto arp = a.rowptr();
-  auto acx = a.colidx();
-  auto avx = a.values();
-  auto brp = b.rowptr();
-  auto bcx = b.colidx();
-  auto bvx = b.values();
   S total = static_cast<S>(ReduceMonoid::identity());
-  auto do_pair = [&](Index i, Index j) {
-    Z out{};
-    if (detail::row_dot<Z>(sr, acx.subspan(arp[i], arp[i + 1] - arp[i]),
-                           avx.subspan(arp[i], arp[i + 1] - arp[i]),
-                           bcx.subspan(brp[j], brp[j + 1] - brp[j]),
-                           bvx.subspan(brp[j], brp[j + 1] - brp[j]), i, j,
-                           out)) {
-      total = static_cast<S>(rm(total, static_cast<S>(out)));
-    }
-  };
-  if constexpr (has_mask_v<MaskT>) {
-    if (!d.mask_complement) {
-      mask.ensure_sorted();
-      for (Index i = 0; i < a.nrows(); ++i) {
-        mask.for_each_in_row(i, [&](Index j, const auto &mv) {
-          if (!d.mask_structural && mv == 0) return;
-          do_pair(i, j);
-        });
+  // One nested width dispatch; the dot walks below run on typed spans.
+  detail::dispatch_width(a.index_width(), [&](auto atag) {
+    using IA = decltype(atag);
+    detail::dispatch_width(b.index_width(), [&](auto btag) {
+      using IB = decltype(btag);
+      auto arp = a.rowptr().template as<IA>();
+      auto acx = a.colidx().template as<IA>();
+      auto avx = a.values();
+      auto brp = b.rowptr().template as<IB>();
+      auto bcx = b.colidx().template as<IB>();
+      auto bvx = b.values();
+      auto do_pair = [&](Index i, Index j) {
+        Z out{};
+        if (detail::row_dot<Z>(sr, acx.subspan(arp[i], arp[i + 1] - arp[i]),
+                               avx.subspan(arp[i], arp[i + 1] - arp[i]),
+                               bcx.subspan(brp[j], brp[j + 1] - brp[j]),
+                               bvx.subspan(brp[j], brp[j + 1] - brp[j]), i, j,
+                               out)) {
+          total = static_cast<S>(rm(total, static_cast<S>(out)));
+        }
+      };
+      if constexpr (has_mask_v<MaskT>) {
+        if (!d.mask_complement) {
+          mask.ensure_sorted();
+          for (Index i = 0; i < a.nrows(); ++i) {
+            mask.for_each_in_row(i, [&](Index j, const auto &mv) {
+              if (!d.mask_structural && mv == 0) return;
+              do_pair(i, j);
+            });
+          }
+          return;
+        }
       }
-      return total;
-    }
-  }
-  for (Index i = 0; i < a.nrows(); ++i) {
-    for (Index j = 0; j < b.nrows(); ++j) {
-      if (!detail::mmask_test(mask, i, j, d)) continue;
-      do_pair(i, j);
-    }
-  }
+      for (Index i = 0; i < a.nrows(); ++i) {
+        for (Index j = 0; j < b.nrows(); ++j) {
+          if (!detail::mmask_test(mask, i, j, d)) continue;
+          do_pair(i, j);
+        }
+      }
+    });
+  });
   return total;
 }
 

@@ -70,7 +70,10 @@ Vector<Z> push_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
 
   a.finish();
   const bool csr = a.format() == Matrix<AT>::Format::csr;
-  auto rp = csr ? a.rowptr() : std::span<const Index>{};
+  // Width-erased view is fine here: the row pointer is only consulted for
+  // the per-frontier-row work estimate; the scatter itself goes through
+  // for_each_in_row, which dispatches on the storage width per row.
+  IndexSpan rp = csr ? a.rowptr() : IndexSpan{};
 
   auto scatter = [&](SaxpyWorkspace<Z> &ws, Index k, const U &uk) {
     a.for_each_in_row(k, [&](Index j, const AT &akj) {
@@ -235,9 +238,6 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
   a.finish();
   const auto fmt = a.format();
   const bool csr = fmt == Matrix<AT>::Format::csr;
-  auto rp = csr ? a.rowptr() : std::span<const Index>{};
-  auto cx = csr ? a.colidx() : std::span<const Index>{};
-  auto vx = csr ? a.values() : std::span<const AT>{};
   const std::uint8_t *apres =
       fmt == Matrix<AT>::Format::bitmap ? a.bitmap_present() : nullptr;
   const AT *adense = (fmt == Matrix<AT>::Format::bitmap ||
@@ -250,63 +250,75 @@ Vector<Z> dot_kernel(SR sr, const Matrix<AT> &a, const Vector<U> &u,
   std::vector<std::uint8_t> found(static_cast<std::size_t>(m), 0);
   std::vector<Z> out(static_cast<std::size_t>(m));
 
-  auto do_row = [&](Index i) {
-    if (!row_allowed(i)) return;
-    bool hit = false;
-    Z acc{};
-    auto step = [&](Index k, const AT &aik) -> bool {
-      const U *ukp = probe(k);
-      if (ukp == nullptr) return false;
-      Z prod = combine(aik, *ukp, i, k);
-      if (!hit) {
-        hit = true;
-        acc = prod;
-      } else {
-        acc = sr.add(acc, prod);
-      }
-      if constexpr (AddM::has_terminal) {
-        return AddM::is_terminal(acc);
-      }
-      return false;
-    };
-    if (csr) {
-      for (Index p = rp[i]; p < rp[i + 1]; ++p) {
-        if (step(cx[p], vx[p])) break;  // terminal short-circuit
-      }
-    } else if (adense != nullptr) {
-      // bitmap/full rows: direct indexing so a terminal accumulator (`any`,
-      // `lor`, ...) breaks out of the row instead of merely saturating.
-      const std::size_t base = static_cast<std::size_t>(i) * n;
-      if (apres != nullptr) {
-        for (Index k = 0; k < n; ++k) {
-          if (apres[base + k] && step(k, adense[base + k])) break;
-        }
-      } else {
-        for (Index k = 0; k < n; ++k) {
-          if (step(k, adense[base + k])) break;
-        }
-      }
-    } else {
-      // hypersparse: for_each_in_row cannot break, so saturate instead.
-      bool done = false;
-      a.for_each_in_row(i, [&](Index k, const AT &aik) {
-        if (done) return;
-        done = step(k, aik);
-      });
-    }
-    if (hit) {
-      found[i] = 1;
-      out[i] = acc;
-    }
-  };
+  // One width dispatch per kernel call: the per-entry CSR scan below runs
+  // on typed u32 or u64 spans, so halving the index width halves the bytes
+  // this bandwidth-bound loop streams.
+  dispatch_width(a.index_width(), [&](auto tag) {
+    using I = decltype(tag);
+    auto rp = csr ? a.rowptr().template as<I>() : std::span<const I>{};
+    auto cx = csr ? a.colidx().template as<I>() : std::span<const I>{};
+    auto vx = csr ? a.values() : std::span<const AT>{};
 
-  const Index total_work = csr ? (rp.empty() ? 0 : rp[m]) : m * n;
-  const int parts = plan::chunk_parts(total_work, 4);
-  std::vector<Index> bounds =
-      csr && parts > 1 ? partition_rows_by_work(rp, parts)
-                       : partition_even(m, parts);
-  for_each_chunk(bounds, [&](int, Index lo, Index hi) {
-    for (Index i = lo; i < hi; ++i) do_row(i);
+    auto do_row = [&](Index i) {
+      if (!row_allowed(i)) return;
+      bool hit = false;
+      Z acc{};
+      auto step = [&](Index k, const AT &aik) -> bool {
+        const U *ukp = probe(k);
+        if (ukp == nullptr) return false;
+        Z prod = combine(aik, *ukp, i, k);
+        if (!hit) {
+          hit = true;
+          acc = prod;
+        } else {
+          acc = sr.add(acc, prod);
+        }
+        if constexpr (AddM::has_terminal) {
+          return AddM::is_terminal(acc);
+        }
+        return false;
+      };
+      if (csr) {
+        for (std::size_t p = rp[i]; p < rp[i + 1]; ++p) {
+          if (step(cx[p], vx[p])) break;  // terminal short-circuit
+        }
+      } else if (adense != nullptr) {
+        // bitmap/full rows: direct indexing so a terminal accumulator
+        // (`any`, `lor`, ...) breaks out of the row instead of merely
+        // saturating.
+        const std::size_t base = static_cast<std::size_t>(i) * n;
+        if (apres != nullptr) {
+          for (Index k = 0; k < n; ++k) {
+            if (apres[base + k] && step(k, adense[base + k])) break;
+          }
+        } else {
+          for (Index k = 0; k < n; ++k) {
+            if (step(k, adense[base + k])) break;
+          }
+        }
+      } else {
+        // hypersparse: for_each_in_row cannot break, so saturate instead.
+        bool done = false;
+        a.for_each_in_row(i, [&](Index k, const AT &aik) {
+          if (done) return;
+          done = step(k, aik);
+        });
+      }
+      if (hit) {
+        found[i] = 1;
+        out[i] = acc;
+      }
+    };
+
+    const Index total_work =
+        csr ? (rp.empty() ? 0 : static_cast<Index>(rp[m])) : m * n;
+    const int parts = plan::chunk_parts(total_work, 4);
+    std::vector<Index> bounds = csr && parts > 1
+                                    ? partition_rows_by_work(rp, parts)
+                                    : partition_even(m, parts);
+    for_each_chunk(bounds, [&](int, Index lo, Index hi) {
+      for (Index i = lo; i < hi; ++i) do_row(i);
+    });
   });
 
   std::vector<Index> idx;
@@ -330,6 +342,7 @@ plan::ExecPlan plan_mxv_op(plan::OpKind op, const Matrix<AT> &a,
   od.a_rows = a.nrows();
   od.a_cols = a.ncols();
   od.a_nvals = a.nvals();
+  od.a_width = a.index_width();
   od.u_nvals = u.nvals();
   od.transpose_a = d.transpose_a;
   od.has_terminal = SR::add_monoid::has_terminal;
@@ -486,6 +499,7 @@ plan::ExecPlan plan_fused_op(plan::OpKind op, const Matrix<AT> &a,
   od.a_rows = a.nrows();
   od.a_cols = a.ncols();
   od.a_nvals = a.nvals();
+  od.a_width = a.index_width();
   od.u_nvals = u.nvals();
   od.transpose_a = transpose_for_plan;
   od.has_terminal = SR::add_monoid::has_terminal;

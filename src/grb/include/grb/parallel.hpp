@@ -30,6 +30,7 @@
 #endif
 
 #include "grb/config.hpp"
+#include "grb/indexarray.hpp"
 #include "grb/types.hpp"
 
 namespace grb {
@@ -59,9 +60,13 @@ inline int effective_threads() {
 /// `prefix` is the inclusive work prefix sum (size m+1, prefix[0] == 0) —
 /// for a CSR matrix the row-pointer array is exactly such a prefix. Returns
 /// chunk boundaries (size nchunks+1). Empty-work tails collapse, so fewer
-/// than `parts` chunks may come back.
-inline std::vector<Index> partition_rows_by_work(std::span<const Index> prefix,
-                                                 int parts) {
+/// than `parts` chunks may come back. Templated over the prefix element
+/// type so width-typed kernels hand their u32 or u64 row pointer straight
+/// in; chunk arithmetic stays 64-bit either way, so the boundaries are
+/// identical across widths (the bit-identical guarantee holds).
+template <typename I>
+std::vector<Index> partition_rows_by_work(std::span<const I> prefix,
+                                          int parts) {
   const Index m = prefix.empty() ? 0 : static_cast<Index>(prefix.size() - 1);
   std::vector<Index> bounds;
   bounds.push_back(0);
@@ -70,7 +75,7 @@ inline std::vector<Index> partition_rows_by_work(std::span<const Index> prefix,
     return bounds;
   }
   const Index base = prefix[0];  // tolerate prefixes that do not start at 0
-  const Index total = prefix[m] - base;
+  const Index total = static_cast<Index>(prefix[m]) - base;
   if (total == 0) {
     bounds.push_back(m);
     return bounds;
@@ -80,7 +85,8 @@ inline std::vector<Index> partition_rows_by_work(std::span<const Index> prefix,
         base + (total / static_cast<Index>(parts)) * static_cast<Index>(p) +
         (total % static_cast<Index>(parts)) * static_cast<Index>(p) /
             static_cast<Index>(parts);
-    auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+    auto it = std::upper_bound(prefix.begin(), prefix.end(),
+                               static_cast<I>(target));
     Index b = static_cast<Index>(it - prefix.begin());
     if (b > m) b = m;
     if (b < bounds.back()) b = bounds.back();
@@ -88,6 +94,15 @@ inline std::vector<Index> partition_rows_by_work(std::span<const Index> prefix,
   }
   if (bounds.back() < m) bounds.push_back(m);
   return bounds;
+}
+
+/// Width-erased overload for callers holding a Matrix::rowptr() view (e.g.
+/// reduce over a finalized source): one dispatch, then the typed split.
+inline std::vector<Index> partition_rows_by_work(IndexSpan prefix, int parts) {
+  return dispatch_width(prefix.width(), [&](auto tag) {
+    using I = decltype(tag);
+    return partition_rows_by_work(prefix.as<I>(), parts);
+  });
 }
 
 /// Same, but with per-item work given by a callable (used when no prefix

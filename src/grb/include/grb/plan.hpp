@@ -99,6 +99,8 @@ struct OpDesc {
   Index b_nvals = 0;     // second matrix operand (mxm)
   Index mask_nvals = 0;
   Index pull_candidates = 0;  // traversal: outputs a pull would compute
+  IndexWidth a_width = IndexWidth::u64;  // primary operand's storage width
+  IndexWidth b_width = IndexWidth::u64;  // second matrix operand (mxm)
   int u_format = -1;     // Vector<T>::Format as int, -1 when n/a
   int v_format = -1;
   bool masked = false;

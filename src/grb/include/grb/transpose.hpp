@@ -59,56 +59,63 @@ Matrix<T> transpose_impl(const Matrix<T> &a) {
     return at;
   }
 
-  auto arp = a.rowptr();
-  auto acx = a.colidx();
-  auto avx = a.values();
-  std::vector<Index> bounds = partition_rows_by_work(arp, nthreads);
-  const int nchunks = static_cast<int>(bounds.size()) - 1;
-
-  // Pass 1: per-chunk per-column counts.
-  std::vector<std::vector<Index>> count(
-      static_cast<std::size_t>(nchunks),
-      std::vector<Index>(static_cast<std::size_t>(n), 0));
-  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
-    auto &cnt = count[c];
-    for (Index p = arp[lo]; p < arp[hi]; ++p) ++cnt[acx[p]];
-  });
-
-  // Column starts, then per-(chunk, column) offsets: chunk c's slice of
-  // column j begins after all earlier chunks' entries for j.
   std::vector<Index> rp(static_cast<std::size_t>(n) + 1, 0);
-  for (Index j = 0; j < n; ++j) {
-    Index total = 0;
-    for (int c = 0; c < nchunks; ++c) total += count[c][j];
-    rp[j + 1] = rp[j] + total;
-  }
-  std::vector<std::vector<Index>> off(static_cast<std::size_t>(nchunks));
-  for (int c = 0; c < nchunks; ++c) {
-    off[c].resize(static_cast<std::size_t>(n));
-  }
-  for_each_chunk(partition_even(n, nchunks), [&](int, Index lo, Index hi) {
-    for (Index j = lo; j < hi; ++j) {
-      Index at = rp[j];
-      for (int c = 0; c < nchunks; ++c) {
-        off[c][j] = at;
-        at += count[c][j];
-      }
-    }
-  });
-
-  // Pass 2: scatter — every (chunk, column) range is disjoint.
   std::vector<Index> ci(static_cast<std::size_t>(nz));
   std::vector<T> cv(static_cast<std::size_t>(nz));
-  for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
-    auto &nx = off[c];
-    for (Index i = lo; i < hi; ++i) {
-      for (Index p = arp[i]; p < arp[i + 1]; ++p) {
-        const Index j = acx[p];
-        ci[nx[j]] = i;
-        cv[nx[j]] = avx[p];
-        ++nx[j];
-      }
+  // One width dispatch: both counting passes and the scatter walk typed
+  // spans. Chunk boundaries come from the 64-bit partitioner, so the
+  // (chunk, column) ranges — and therefore the output bytes — are identical
+  // for either width.
+  dispatch_width(a.index_width(), [&](auto tag) {
+    using I = decltype(tag);
+    auto arp = a.rowptr().template as<I>();
+    auto acx = a.colidx().template as<I>();
+    auto avx = a.values();
+    std::vector<Index> bounds = partition_rows_by_work(arp, nthreads);
+    const int nchunks = static_cast<int>(bounds.size()) - 1;
+
+    // Pass 1: per-chunk per-column counts.
+    std::vector<std::vector<Index>> count(
+        static_cast<std::size_t>(nchunks),
+        std::vector<Index>(static_cast<std::size_t>(n), 0));
+    for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      auto &cnt = count[c];
+      for (std::size_t p = arp[lo]; p < arp[hi]; ++p) ++cnt[acx[p]];
+    });
+
+    // Column starts, then per-(chunk, column) offsets: chunk c's slice of
+    // column j begins after all earlier chunks' entries for j.
+    for (Index j = 0; j < n; ++j) {
+      Index total = 0;
+      for (int c = 0; c < nchunks; ++c) total += count[c][j];
+      rp[j + 1] = rp[j] + total;
     }
+    std::vector<std::vector<Index>> off(static_cast<std::size_t>(nchunks));
+    for (int c = 0; c < nchunks; ++c) {
+      off[c].resize(static_cast<std::size_t>(n));
+    }
+    for_each_chunk(partition_even(n, nchunks), [&](int, Index lo, Index hi) {
+      for (Index j = lo; j < hi; ++j) {
+        Index at = rp[j];
+        for (int c = 0; c < nchunks; ++c) {
+          off[c][j] = at;
+          at += count[c][j];
+        }
+      }
+    });
+
+    // Pass 2: scatter — every (chunk, column) range is disjoint.
+    for_each_chunk(bounds, [&](int c, Index lo, Index hi) {
+      auto &nx = off[c];
+      for (Index i = lo; i < hi; ++i) {
+        for (std::size_t p = arp[i]; p < arp[i + 1]; ++p) {
+          const Index j = acx[p];
+          ci[nx[j]] = i;
+          cv[nx[j]] = avx[p];
+          ++nx[j];
+        }
+      }
+    });
   });
 
   Matrix<T> at(n, m);

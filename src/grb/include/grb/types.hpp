@@ -9,6 +9,7 @@
 // paper: the substrate on which the LAGraph algorithms are written.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -23,6 +24,27 @@ using Index = std::uint64_t;
 
 /// Sentinel meaning "all indices" in assign/extract, mirroring GrB_ALL.
 inline constexpr Index ALL = std::numeric_limits<Index>::max();
+
+/// Physical width of the index arrays inside a container. The API above is
+/// 64-bit everywhere (Index stays std::uint64_t); width is a *storage*
+/// property chosen per container at build/finalize time, SuiteSparse-style:
+/// u32 when every dimension and the entry count fit below 2^31, u64
+/// otherwise. Kernels dispatch once per call to a width-typed executor.
+enum class IndexWidth : std::uint8_t { u32, u64 };
+
+/// Containers whose max(nrows, ncols, nvals) is below this fit u32 storage.
+/// 2^31 (not 2^32) so that sizes, one-past-the-end row pointers, and signed
+/// intermediate arithmetic all stay representable without overflow checks.
+inline constexpr Index kU32IndexLimit = Index{1} << 31;
+
+inline const char *index_width_name(IndexWidth w) noexcept {
+  return w == IndexWidth::u32 ? "u32" : "u64";
+}
+
+/// Bytes one stored index occupies at the given width.
+inline constexpr std::size_t index_width_bytes(IndexWidth w) noexcept {
+  return w == IndexWidth::u32 ? 4 : 8;
+}
 
 /// Boolean element type (GrB_BOOL). `bool` itself is rejected as a container
 /// element because std::vector<bool> is a packed bitset whose elements cannot

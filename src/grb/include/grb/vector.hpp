@@ -60,6 +60,18 @@ class Vector {
   [[nodiscard]] bool empty() const noexcept { return nvals() == 0; }
   [[nodiscard]] Format format() const noexcept { return fmt_; }
 
+  /// Storage width of the sparse index array. Vector indices stay 64-bit —
+  /// frontiers are transient and the CSR matrices carry the memory win — but
+  /// the accessors mirror Matrix so stats/oracle code is container-agnostic.
+  [[nodiscard]] IndexWidth index_width() const noexcept {
+    return IndexWidth::u64;
+  }
+  /// Bytes currently held by index storage (sparse format only; bitmap and
+  /// dense vectors keep no index array).
+  [[nodiscard]] std::size_t index_bytes() const noexcept {
+    return idx_.size() * sizeof(Index);
+  }
+
   /// Remove all entries (size is unchanged).
   void clear() {
     finalized_ = false;

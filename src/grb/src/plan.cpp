@@ -54,6 +54,15 @@ double mean_degree(const OpDesc &d) noexcept {
              : 0.0;
 }
 
+/// Bytes-moved factor for an edge visit on operand width `w`. The model's
+/// units are edge visits; a visit streams one column index plus one 8-byte
+/// value, so u32 storage moves 12 bytes where u64 moves 16 — charge 0.75.
+/// Both directions of the same operand share the factor, so push/pull
+/// crossovers only shift where the constant call overhead matters.
+double width_byte_factor(IndexWidth w) noexcept {
+  return w == IndexWidth::u32 ? 0.75 : 1.0;
+}
+
 bool bitmap_allowed() noexcept {
   return config().bitmap_switch_density <= 1.0 &&
          config().force_format != ForceFormat::sparse;
@@ -70,8 +79,9 @@ bool bitmap_allowed() noexcept {
 /// both sides leaves large-frontier decisions untouched.
 void decide_direction(const OpDesc &d, ExecPlan &p) {
   const double davg = mean_degree(d);
+  const double bytes = width_byte_factor(d.a_width);
   p.cost_push =
-      kCallOverheadUnits + static_cast<double>(d.u_nvals) * davg;
+      kCallOverheadUnits + static_cast<double>(d.u_nvals) * davg * bytes;
   double probe = davg;
   if (d.has_terminal && d.u_nvals > 0) {
     // Terminal monoid (`any`): a dot product stops at the first frontier
@@ -79,8 +89,9 @@ void decide_direction(const OpDesc &d, ExecPlan &p) {
     probe = std::min(davg, static_cast<double>(d.out_size) /
                                static_cast<double>(d.u_nvals));
   }
-  p.cost_pull = kCallOverheadUnits +
-                kPullBias * static_cast<double>(d.pull_candidates) * probe;
+  p.cost_pull =
+      kCallOverheadUnits +
+      kPullBias * static_cast<double>(d.pull_candidates) * probe * bytes;
 
   const Direction model = (d.has_transpose && p.cost_pull < p.cost_push)
                               ? Direction::pull
@@ -141,8 +152,9 @@ void plan_mxv_vxm(const OpDesc &d, ExecPlan &p) {
       d.op == OpKind::vxm || d.op == OpKind::fused_vxm_select;
   const bool push = vxm_like != d.transpose_a;
   const double davg = mean_degree(d);
+  const double bytes = width_byte_factor(d.a_width);
   p.cost_push = kCallOverheadUnits +
-                static_cast<double>(d.u_nvals) * std::max(1.0, davg);
+                static_cast<double>(d.u_nvals) * std::max(1.0, davg) * bytes;
   // Early-exit-aware pull cost (calibration bias #1): a masked dot kernel
   // computes only the mask's candidate outputs, and a terminal additive
   // monoid stops each dot at its first frontier hit. The old model charged
@@ -159,7 +171,7 @@ void plan_mxv_vxm(const OpDesc &d, ExecPlan &p) {
     }
     pull_units = candidates * probe;
   }
-  p.cost_pull = kCallOverheadUnits + pull_units;
+  p.cost_pull = kCallOverheadUnits + pull_units * bytes;
   if (push) {
     p.direction = Direction::push;
     p.threads = team_size(static_cast<Index>(p.cost_push));
@@ -482,12 +494,20 @@ std::uint64_t cache_key(const OpDesc &d) noexcept {
   KeyPacker k;
   k.pack(static_cast<std::uint64_t>(d.op), 4);
   k.pack(bucket(d.a_nvals), 6);
-  k.pack(bucket(d.u_nvals), 6);
-  k.pack(bucket(d.pull_candidates), 6);
-  k.pack(bucket(d.mask_nvals), 6);
-  k.pack(bucket(d.out_size), 6);
-  k.pack(bucket(d.v_nvals), 5);  // clamps ≥ 2^30 — plenty for a vector nnz
+  // 5-bit buckets clamp ≥ 2^30 — plenty for these inputs; the freed bits
+  // carry the storage-width dimension below (the packer is budgeted at
+  // exactly 64 bits).
+  k.pack(bucket(d.u_nvals), 5);
+  k.pack(bucket(d.pull_candidates), 5);
+  k.pack(bucket(d.mask_nvals), 5);
+  k.pack(bucket(d.out_size), 5);
+  k.pack(bucket(d.v_nvals), 5);
   k.pack(bucket(d.b_nvals), 5);
+  // Width is a plan dimension: a u32 snapshot and a u64 intermediate with
+  // the same shape must not share a byte-cost decision.
+  k.pack((d.a_width == IndexWidth::u32 ? 1u : 0u) |
+             (d.b_width == IndexWidth::u32 ? 2u : 0u),
+         2);
   k.pack((d.masked ? 1u : 0u) | (d.mask_complement ? 2u : 0u) |
              (d.mask_structural ? 4u : 0u) | (d.transpose_a ? 8u : 0u) |
              (d.transpose_b ? 16u : 0u) | (d.has_terminal ? 32u : 0u) |
@@ -501,6 +521,7 @@ std::uint64_t cache_key(const OpDesc &d) noexcept {
              (config().enable_fusion ? 8u : 0u),
          4);
   k.pack(static_cast<std::uint64_t>(config().force_format), 2);
+  k.pack(static_cast<std::uint64_t>(config().force_index_width), 2);
   k.pack(static_cast<std::uint64_t>(d.u_format + 1), 2);
   k.pack(static_cast<std::uint64_t>(d.v_format + 1), 2);
   return k.key;
@@ -595,6 +616,15 @@ std::string ExecPlan::explain() const {
                       : 0.0,
       static_cast<std::uint64_t>(desc.u_nvals),
       static_cast<std::uint64_t>(desc.pull_candidates));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  storage: A index width=%s (%zu B/index, %.2fx edge-scan"
+                " bytes)%s%s\n",
+                index_width_name(desc.a_width),
+                index_width_bytes(desc.a_width),
+                width_byte_factor(desc.a_width),
+                op == OpKind::mxm ? ", B index width=" : "",
+                op == OpKind::mxm ? index_width_name(desc.b_width) : "");
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  mask: %s%s%s, add monoid %s, pull path %s, hint %s\n",

@@ -28,13 +28,16 @@ struct RunConfig {
   int force_format = 0;     // 0 none, 1 sparse, 2 bitmap (ForceFormat)
   bool force_push = false;  // planner direction overrides
   bool force_pull = false;
+  int force_index_width = 0;  // 0 auto, 1 u32, 2 u64 (ForceIndexWidth)
 
   [[nodiscard]] std::string name() const;
 };
 
 /// The standard sweep: threads {1, 4, 8} × force_format {none, sparse,
 /// bitmap}, with the planner direction overrides folded onto two of the
-/// nine points so every knob is exercised.
+/// nine points and the storage-width overrides folded onto the format-free
+/// column, so every knob is exercised. A scenario's own force_index_width
+/// (from an .repro) takes precedence over the sweep's.
 std::vector<RunConfig> sweep_configs();
 
 /// Test hook: mutate the real side's Result before comparison. Used to

@@ -165,6 +165,16 @@ struct Scenario {
        replace = false;
   bool has_mask = false;
 
+  // Pinned storage width for the real side: 0 = follow the sweep's
+  // Config::force_index_width, 1 = u32, 2 = u64. Serialized as `iwidth` —
+  // an append-only .repro key, so old files parse unchanged (field stays 0).
+  int force_index_width = 0;
+  // Lowered Config::u32_index_limit for the real side (0 = default). Lets a
+  // tiny corpus scenario sit exactly on the u32 → u64 promotion boundary:
+  // containers under the limit store u32, a mutation batch pushing nvals
+  // past it must promote. Serialized as `u32limit`, append-only like iwidth.
+  Index u32_limit = 0;
+
   // Logical dimensions; container dims are derived from these (and the index
   // list lengths) by normalize(), so the minimizer can shrink coherently.
   Index dm = 1, dk = 1, dn = 1;

@@ -34,6 +34,7 @@ struct ConfigGuard {
     c.force_format = static_cast<ForceFormat>(rc.force_format);
     c.force_push = rc.force_push;
     c.force_pull = rc.force_pull;
+    c.force_index_width = static_cast<ForceIndexWidth>(rc.force_index_width);
   }
   ~ConfigGuard() { config() = saved; }
   ConfigGuard(const ConfigGuard &) = delete;
@@ -48,6 +49,8 @@ std::string RunConfig::name() const {
      << (force_format == 0 ? "any" : force_format == 1 ? "sparse" : "bitmap");
   if (force_push) os << "/push";
   if (force_pull) os << "/pull";
+  if (force_index_width == 1) os << "/u32";
+  if (force_index_width == 2) os << "/u64";
   return os.str();
 }
 
@@ -62,6 +65,10 @@ std::vector<RunConfig> sweep_configs() {
       // hint machinery is exercised without doubling the grid.
       rc.force_push = threads == 4 && ff == 1;
       rc.force_pull = threads == 8 && ff == 2;
+      // Width joins the sweep on the format-free column: u32 at t1 and t8
+      // (serial + parallel compressed storage), an explicit u64 pin at t4
+      // so the no-compress path is also exercised.
+      rc.force_index_width = ff == 0 ? (threads == 4 ? 2 : 1) : 0;
       out.push_back(rc);
     }
   }
@@ -317,6 +324,21 @@ void append_vec_observed(std::vector<T> &obs, const Vector<T> &x) {
 
 Result run_real(const Scenario &s, const RunConfig &rc) {
   ConfigGuard guard(rc);
+  // A scenario that pins its own storage width (u32-path and promotion
+  // repros) wins over the sweep's fold; the guard still restores on exit.
+  if (s.force_index_width != 0) {
+    config().force_index_width =
+        static_cast<ForceIndexWidth>(s.force_index_width);
+  }
+  if (s.u32_limit != 0) {
+    config().u32_index_limit = s.u32_limit;
+    // A lowered limit is about exercising auto-selection and promotion; the
+    // sweep's forced-u32 column would instead turn the overflow into the
+    // spec'd error. Run those scenarios in auto mode unless they pin a width.
+    if (s.force_index_width == 0) {
+      config().force_index_width = ForceIndexWidth::auto_select;
+    }
+  }
   Descriptor d;
   d.transpose_a = s.ta;
   d.transpose_b = s.tb;
@@ -1371,6 +1393,10 @@ bool clear_flags(Scenario &s, const FailPred &fails) {
   }
   if (!s.rows_all) try_set([](Scenario &c) { c.rows_all = true; });
   if (!s.cols_all) try_set([](Scenario &c) { c.cols_all = true; });
+  if (s.force_index_width != 0) {
+    try_set([](Scenario &c) { c.force_index_width = 0; });
+  }
+  if (s.u32_limit != 0) try_set([](Scenario &c) { c.u32_limit = 0; });
   return improved;
 }
 

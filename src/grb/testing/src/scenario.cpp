@@ -609,6 +609,15 @@ std::string serialize(const Scenario &s) {
   os << "thunk " << s.thunk << "\n";
   os << "scalar " << s.scalar << "\n";
   os << "col " << s.col << "\n";
+  // Append-only key (new parsers read old files; old parsers reject new
+  // files loudly rather than silently dropping the pin). Written only when
+  // pinned so pre-existing corpus bytes stay stable.
+  if (s.force_index_width != 0) {
+    os << "iwidth " << s.force_index_width << "\n";
+  }
+  if (s.u32_limit != 0) {
+    os << "u32limit " << s.u32_limit << "\n";
+  }
   os << "desc ta=" << s.ta << " tb=" << s.tb << " comp=" << s.comp
      << " struct=" << s.structural << " replace=" << s.replace
      << " mask=" << s.has_mask << "\n";
@@ -813,6 +822,13 @@ std::optional<Scenario> parse(const std::string &text, std::string *error) {
       ls >> s.scalar;
     } else if (key == "col") {
       ls >> s.col;
+    } else if (key == "iwidth") {
+      ls >> s.force_index_width;
+      if (s.force_index_width < 0 || s.force_index_width > 2) {
+        return bail("iwidth must be 0 (auto), 1 (u32), or 2 (u64)");
+      }
+    } else if (key == "u32limit") {
+      ls >> s.u32_limit;
     } else if (key == "desc") {
       std::string tok;
       while (ls >> tok) {
@@ -1057,6 +1073,15 @@ Scenario generate(std::uint64_t seed) {
   s.comp = rng.chance(25);
   s.structural = rng.chance(50);
   s.replace = rng.chance(35);
+  // Occasionally pin the storage width so the fuzzer reaches u32/u64 paths
+  // even on sweep points whose fold leaves width on auto.
+  if (rng.chance(25)) s.force_index_width = 1 + rng.below(2);
+  // Occasionally shrink the u32 limit so auto-selection and the u32 → u64
+  // promotion path run on fuzz-sized containers. Never combined with a
+  // forced-u32 pin: there the overflow is the spec'd error, not a promotion.
+  if (s.force_index_width == 0 && rng.chance(15)) {
+    s.u32_limit = 4 + rng.below(60);
+  }
 
   // Index lists (domains fixed up by normalize; generate in a generous
   // domain so clamping keeps most entries).

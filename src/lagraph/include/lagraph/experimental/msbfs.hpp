@@ -113,8 +113,8 @@ int msbfs_core(const Graph<T> &g, std::span<const grb::Index> sources,
   // Pull steps probe incoming edges: the cached transpose, or A itself for
   // (pattern-)symmetric graphs. Without it the kernel stays push-only.
   const grb::Matrix<T> *atp = g.transpose_view();
-  std::span<const grb::Index> trp;
-  std::span<const grb::Index> tcx;
+  grb::IndexSpan trp;
+  grb::IndexSpan tcx;
   if (atp != nullptr) {
     grb::plan::prepare(*atp, grb::plan::MatFormat::csr);
     trp = atp->rowptr();

@@ -144,10 +144,14 @@ int bin_write(const grb::Matrix<T> &a, std::ostream &out, char *msg) {
     auto rp = a.rowptr();
     auto cx = a.colidx();
     auto vx = a.values();
-    out.write(reinterpret_cast<const char *>(rp.data()),
-              static_cast<std::streamsize>(rp.size() * sizeof(grb::Index)));
-    out.write(reinterpret_cast<const char *>(cx.data()),
-              static_cast<std::streamsize>(cx.size() * sizeof(grb::Index)));
+    // The on-disk format is fixed at 64-bit indices regardless of the
+    // in-memory storage width; widen u32 snapshots on the way out.
+    std::vector<grb::Index> rp64(rp.begin(), rp.end());
+    std::vector<grb::Index> cx64(cx.begin(), cx.end());
+    out.write(reinterpret_cast<const char *>(rp64.data()),
+              static_cast<std::streamsize>(rp64.size() * sizeof(grb::Index)));
+    out.write(reinterpret_cast<const char *>(cx64.data()),
+              static_cast<std::streamsize>(cx64.size() * sizeof(grb::Index)));
     out.write(reinterpret_cast<const char *>(vx.data()),
               static_cast<std::streamsize>(vx.size() * sizeof(T)));
     if (!out) {

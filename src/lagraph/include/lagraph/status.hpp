@@ -33,6 +33,10 @@ inline constexpr int LAGRAPH_INVALID_VALUE = -4;
 inline constexpr int LAGRAPH_IO_ERROR = -5;
 inline constexpr int LAGRAPH_NOT_IMPLEMENTED = -6;
 inline constexpr int LAGRAPH_GRB_ERROR = -10;        // substrate exception
+// A tuple coordinate (or implied pointer value) exceeds what the container's
+// active index width can store — the ingest/build overflow guard. Matches
+// grb::Info::index_out_of_bounds so GRB_TRY callers see the same value.
+inline constexpr int LAGRAPH_INDEX_OUT_OF_BOUNDS = -12;
 inline constexpr int LAGRAPH_INTERNAL_ERROR = -100;
 
 // warnings
@@ -82,6 +86,9 @@ int guarded(char *msg, F &&body) {
   try {
     return body();
   } catch (const grb::Exception &e) {
+    if (e.info() == grb::Info::index_out_of_bounds) {
+      return set_msg(msg, LAGRAPH_INDEX_OUT_OF_BOUNDS, e.what());
+    }
     return set_msg(msg, LAGRAPH_GRB_ERROR, e.what());
   } catch (const std::exception &e) {
     return set_msg(msg, LAGRAPH_INTERNAL_ERROR, e.what());
@@ -101,6 +108,7 @@ inline const char *status_name(int status) {
     case LAGRAPH_IO_ERROR: return "I/O error";
     case LAGRAPH_NOT_IMPLEMENTED: return "not implemented";
     case LAGRAPH_GRB_ERROR: return "GraphBLAS error";
+    case LAGRAPH_INDEX_OUT_OF_BOUNDS: return "index out of bounds for width";
     case LAGRAPH_INTERNAL_ERROR: return "internal error";
     case LAGRAPH_WARN_CONVERGENCE: return "warning: did not converge";
     case LAGRAPH_WARN_CACHE_STALE: return "warning: stale cached property";

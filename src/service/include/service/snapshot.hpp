@@ -40,6 +40,19 @@ class GraphSnapshot {
   /// which graph version answered their query.
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
+  /// Storage width the finalized adjacency settled on (u32 when the freeze
+  /// found dimensions and nnz inside the u32 domain) and the bytes its
+  /// index arrays currently occupy.
+  [[nodiscard]] grb::IndexWidth index_width() const {
+    return g_.a.index_width();
+  }
+  [[nodiscard]] std::size_t index_bytes() const { return g_.a.index_bytes(); }
+  /// Estimated index bytes saved vs hypothetical u64 storage. u32 halves
+  /// every slot, so the saving equals the current footprint; 0 for u64.
+  [[nodiscard]] std::size_t index_bytes_saved() const {
+    return index_width() == grb::IndexWidth::u32 ? index_bytes() : 0;
+  }
+
   /// Ingest epoch this snapshot was published at. Snapshots built outside
   /// the write path (make_snapshot) are epoch 0; the ingest Writer stamps
   /// each publication with its strictly increasing epoch counter, which

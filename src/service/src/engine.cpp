@@ -347,6 +347,8 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
   const auto end = Clock::now();
 
   const auto width = static_cast<std::uint32_t>(batch.size());
+  std::vector<QueryResult> results;
+  results.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     QueryResult r;
     r.status = st;
@@ -362,14 +364,21 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
     } else {
       r.level = std::move(levels[i]);
     }
-    batch[i].promise.set_value(std::move(r));
+    results.push_back(std::move(r));
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
-  if (st < 0) {
-    counters_.failed += batch.size();
-  } else {
-    counters_.completed += batch.size();
+  {
+    // Count before fulfilling the promises: a waiter that observes its
+    // future ready must also observe the completion counters advanced.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (st < 0) {
+      counters_.failed += batch.size();
+    } else {
+      counters_.completed += batch.size();
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
   }
 }
 
@@ -419,14 +428,17 @@ void Engine::run_solo(Pending p) {
   if (r.status >= 0) observe(p.req.kind, r.queue_seconds, r.exec_seconds);
   if (r.status < 0) r.error = msg;
   const bool ok = r.status >= 0;
-  p.promise.set_value(std::move(r));
-
-  std::lock_guard<std::mutex> lk(mu_);
-  if (ok) {
-    ++counters_.completed;
-  } else {
-    ++counters_.failed;
+  {
+    // Count before set_value so waiters never see a ready future ahead of
+    // the completion counters.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ok) {
+      ++counters_.completed;
+    } else {
+      ++counters_.failed;
+    }
   }
+  p.promise.set_value(std::move(r));
 }
 
 }  // namespace service

@@ -320,6 +320,41 @@ std::vector<Case> make_cases() {
                               grb::PlusTimes<T>{}, a, u, kDefault);
                    }});
 
+  // --- index-width overflow guards ---------------------------------------
+  // A container forced to u32 storage must reject out-of-range builds and
+  // stage batches with the spec'd code — never truncate silently. The limit
+  // is lowered so tiny test containers can trip the guard; WidthGuard
+  // restores the full Config even when the case throws.
+  struct WidthGuard {
+    grb::Config saved = grb::config();
+    explicit WidthGuard(Index limit) {
+      grb::config().force_index_width = grb::ForceIndexWidth::u32;
+      grb::config().u32_index_limit = limit;
+    }
+    ~WidthGuard() { grb::config() = saved; }
+  };
+  cases.push_back({"build exceeds forced u32 width", Info::index_out_of_bounds,
+                   [] {
+                     WidthGuard g(4);
+                     Mat a(8, 8);  // dims outside the modeled u32 domain
+                     std::vector<Index> r{0}, c{0};
+                     std::vector<T> v{1};
+                     a.build(r, c, v);
+                     a.finalize();
+                   }});
+  cases.push_back({"stage_tuples batch exceeds forced u32 width",
+                   Info::index_out_of_bounds, [] {
+                     Mat a(4, 4);
+                     std::vector<Index> r{0, 1, 2}, c{1, 2, 3};
+                     std::vector<T> v{1, 2, 3};
+                     a.build(r, c, v);
+                     WidthGuard g(6);
+                     // 3 existing + 3 staged = 6 >= limit: rejected on the
+                     // projected count, before any pending-list mutation.
+                     std::vector<std::uint8_t> ops(r.size(), Mat::kPendSet);
+                     a.stage_tuples(r, c, v, ops);
+                   }});
+
   return cases;
 }
 

@@ -32,6 +32,13 @@ Entries may optionally carry p50_ms / p95_ms / p99_ms percentile fields
 a matched cell its ratio is shown alongside the median; tail percentiles are
 informational only and never flag a regression (with few reps they collapse
 toward the max and are too noisy to gate on).
+
+Entries may also carry memory fields (bytes_per_edge, peak_rss_mb — written
+by bench_kernels since the 32-bit index storage work). Unlike percentiles,
+memory IS gated: a matched cell whose candidate memory exceeds the baseline's
+by more than the same threshold flags a regression. bytes_per_edge is
+deterministic (pure storage accounting); peak_rss_mb is an OS high-water mark
+but moves far more than 10% only when something real regressed.
 """
 
 import argparse
@@ -66,6 +73,7 @@ def load_entries(path, role):
             sys.exit(f"{path}: unexpected schema {schema!r}")
     out = {}
     pcts = {}
+    mems = {}
     for e in data.get("entries", []):
         if schema == "lagraph-service-bench-v1":
             # Throughput cells: invert qps to ms-per-query so the shared
@@ -81,7 +89,12 @@ def load_entries(path, role):
             for p in ("p50_ms", "p95_ms", "p99_ms")
             if p in e and float(e[p]) >= 0
         }
-    return data, out, pcts
+        mems[key] = {
+            m: float(e[m])
+            for m in ("bytes_per_edge", "peak_rss_mb")
+            if m in e and float(e[m]) >= 0
+        }
+    return data, out, pcts, mems
 
 
 def main():
@@ -103,8 +116,10 @@ def main():
     )
     args = ap.parse_args()
 
-    base_meta, base, base_pct = load_entries(args.baseline, "baseline")
-    cand_meta, cand, cand_pct = load_entries(args.candidate, "candidate")
+    base_meta, base, base_pct, base_mem = load_entries(args.baseline,
+                                                       "baseline")
+    cand_meta, cand, cand_pct, cand_mem = load_entries(args.candidate,
+                                                       "candidate")
     if base_meta.get("schema") != cand_meta.get("schema"):
         # Not fatal: a baseline recorded before a schema bump is still worth
         # diffing (keys that don't line up fall out as one-sided below).
@@ -151,7 +166,7 @@ def main():
                 flag = "  (slow, below --min-ms floor: not flagged)"
             else:
                 flag = "  << REGRESSION"
-                regressions.append((key, b, c, ratio))
+                regressions.append((key, "median_ms", b, c, ratio))
         pct = ""
         shared_pcts = [
             p
@@ -165,8 +180,26 @@ def main():
                 pr = pc / pb if pb > 0 else float("inf")
                 parts.append(f"{p[:3]} {pr:.2f}x")
             pct = "  [" + ", ".join(parts) + "]"
+        mem = ""
+        shared_mems = [
+            m
+            for m in ("bytes_per_edge", "peak_rss_mb")
+            if m in base_mem.get(key, {}) and m in cand_mem.get(key, {})
+        ]
+        if shared_mems:
+            parts = []
+            for m in shared_mems:
+                mb, mc = base_mem[key][m], cand_mem[key][m]
+                mr = mc / mb if mb > 0 else float("inf")
+                label = "B/edge" if m == "bytes_per_edge" else "rss"
+                tag = ""
+                if mb > 0 and mr > 1.0 + args.threshold:
+                    tag = " <<MEM"
+                    regressions.append((key, m, mb, mc, mr))
+                parts.append(f"{label} {mr:.2f}x{tag}")
+            mem = "  {" + ", ".join(parts) + "}"
         print(f"{op:24s} {graph:12s} {threads:3d} {b:12.3f} {c:12.3f} "
-              f"{ratio:7.2f}{flag}{pct}")
+              f"{ratio:7.2f}{flag}{pct}{mem}")
 
     for key in only_base:
         print(f"only in baseline:  {key}")
@@ -176,9 +209,11 @@ def main():
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "
               f"{args.threshold:.0%} threshold:")
-        for (op, graph, threads), b, c, ratio in regressions:
-            print(f"  {op} on {graph} @{threads}t: "
-                  f"{b:.3f} ms -> {c:.3f} ms ({ratio:.2f}x)")
+        for (op, graph, threads), metric, b, c, ratio in regressions:
+            unit = "ms" if metric == "median_ms" else (
+                "B/edge" if metric == "bytes_per_edge" else "MB")
+            print(f"  {op} on {graph} @{threads}t [{metric}]: "
+                  f"{b:.3f} {unit} -> {c:.3f} {unit} ({ratio:.2f}x)")
         return 1
     print(f"\nno regressions above {args.threshold:.0%} "
           f"({len(shared)} cells compared)")

@@ -563,6 +563,12 @@ int main(int argc, char **argv) {
     double mean = 0;
     double median = 0;
     LAGRAPH_TRY(lagraph::sample_degree(&mean, &median, g, true, 1000, 1, msg));
+    // Finalize the adjacency so the storage width reported below is the
+    // published (compressed) one, not the load-time u64 staging width.
+    g.a.finalize();
+    const grb::IndexWidth iw = g.a.index_width();
+    const std::size_t ib = g.a.index_bytes();
+    const std::size_t saved = iw == grb::IndexWidth::u32 ? ib : 0;
     if (opt.json) {
       // Graph summary plus every grb::Stats counter, as one JSON object
       // (the counters reflect the property computations just run).
@@ -574,6 +580,9 @@ int main(int argc, char **argv) {
                   static_cast<long long>(g.ndiag));
       std::printf("  \"degree\": {\"mean\": %.6g, \"median\": %.6g},\n", mean,
                   median);
+      std::printf("  \"index\": {\"width\": \"%s\", \"index_bytes\": %zu, "
+                  "\"index_bytes_saved\": %zu},\n",
+                  grb::index_width_name(iw), ib, saved);
       std::printf("  \"stats\": {");
       bool first_counter = true;
       grb::stats().snapshot().for_each(
@@ -587,6 +596,8 @@ int main(int argc, char **argv) {
     }
     LAGRAPH_TRY(lagraph::display_graph(g, std::cout, msg));
     std::printf("degree: mean %.2f, median %.1f\n", mean, median);
+    std::printf("index storage: %s (%zu index bytes, %zu saved vs u64)\n",
+                grb::index_width_name(iw), ib, saved);
   } else if (opt.algorithm == "bfs") {
     grb::Vector<std::int64_t> level;
     grb::Vector<std::int64_t> parent;
@@ -680,6 +691,8 @@ int main(int argc, char **argv) {
       od.a_rows = n;
       od.a_cols = n;
       od.a_nvals = nnz;
+      od.a_width = g.a.index_width();
+      od.b_width = od.a_width;
       return od;
     };
     auto show = [](const char *label, const grb::plan::OpDesc &od) {
