@@ -19,7 +19,13 @@
 // batches and republishing epochs under the readers. Read p99 (from the
 // engine's log₂ latency histograms) in the mixed phase must stay within
 // 1.5x of the read-only baseline; results land in BENCH_service.json
-// (schema lagraph-service-bench-v1) for tools/bench_diff.py.
+// (schema lagraph-service-bench-v1) for tools/bench_diff.py. Each entry
+// also records the queue-wait percentiles (submit → worker pickup) next to
+// the end-to-end latency so regressions attribute to scheduling vs kernels.
+//
+// --telemetry additionally starts each engine's embedded HTTP telemetry
+// server on an ephemeral port — A/B two runs to measure the observability
+// overhead (budget: <= 2% on p50).
 //
 // LAGRAPH_BENCH_SCALE raises the graph size (floored at 16 for the batching
 // gate, used as-is for --mutation-mix), LAGRAPH_BENCH_TRIALS the trial
@@ -78,6 +84,9 @@ double run_burst(Engine &engine, const std::vector<grb::Index> &sources,
 // -- --mutation-mix -----------------------------------------------------
 
 // One phase's read-side results, pulled from the engine's own histograms.
+// End-to-end latency splits into queue wait (submit → worker pickup) and
+// execute (kernel time); both sides are recorded so a regression can be
+// attributed to scheduling vs kernels.
 struct PhaseResult {
   std::size_t queries = 0;
   std::size_t ok = 0;
@@ -86,7 +95,15 @@ struct PhaseResult {
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
+  double queue_p50_ms = 0;
+  double queue_p95_ms = 0;
+  double queue_p99_ms = 0;
 };
+
+// When --telemetry is given, every engine also runs its embedded HTTP
+// telemetry server (ephemeral port) so the run A/Bs the observability
+// overhead against a default run.
+bool g_with_telemetry = false;
 
 // Drive `rounds` BFS bursts through the engine and read the bfs latency
 // summary back out. The histogram is per-engine, so callers hand us a
@@ -107,6 +124,9 @@ PhaseResult run_read_phase(Engine &engine,
       pr.p50_ms = kl.p50_ms;
       pr.p95_ms = kl.p95_ms;
       pr.p99_ms = kl.p99_ms;
+      pr.queue_p50_ms = kl.queue_p50_ms;
+      pr.queue_p95_ms = kl.queue_p95_ms;
+      pr.queue_p99_ms = kl.queue_p99_ms;
     }
   }
   pr.qps = pr.wall_s > 0 ? static_cast<double>(pr.queries) / pr.wall_s : 0;
@@ -133,9 +153,11 @@ void write_service_json(const char *path, int scale, int threads,
     std::fprintf(out,
                  "    {\"workload\": \"%s\", \"op\": \"bfs\", "
                  "\"threads\": %d, \"queries\": %zu, \"qps\": %.3f, "
-                 "\"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f",
+                 "\"p50_ms\": %.6f, \"p95_ms\": %.6f, \"p99_ms\": %.6f, "
+                 "\"queue_wait_p50_ms\": %.6f, \"queue_wait_p95_ms\": %.6f, "
+                 "\"queue_wait_p99_ms\": %.6f",
                  workload, threads, p.queries, p.qps, p.p50_ms, p.p95_ms,
-                 p.p99_ms);
+                 p.p99_ms, p.queue_p50_ms, p.queue_p95_ms, p.queue_p99_ms);
     if (w != nullptr) {
       std::fprintf(out,
                    ", \"write_batches\": %llu, \"edges_ingested\": %llu, "
@@ -182,6 +204,7 @@ int run_mutation_mix() {
   EngineConfig ecfg;
   ecfg.threads = 2;
   ecfg.max_batch = kSources;
+  if (g_with_telemetry) ecfg.telemetry_port = 0;
 
   // Phase 1: read-only baseline against a frozen snapshot.
   PhaseResult ro;
@@ -265,11 +288,13 @@ int run_mutation_mix() {
   }
 
   std::printf("read-only: %4zu/%zu ok, %8.1f q/s, bfs p50/p95/p99 = "
-              "%.3f/%.3f/%.3f ms\n",
-              ro.ok, ro.queries, ro.qps, ro.p50_ms, ro.p95_ms, ro.p99_ms);
+              "%.3f/%.3f/%.3f ms (queue wait %.3f/%.3f/%.3f ms)\n",
+              ro.ok, ro.queries, ro.qps, ro.p50_ms, ro.p95_ms, ro.p99_ms,
+              ro.queue_p50_ms, ro.queue_p95_ms, ro.queue_p99_ms);
   std::printf("mixed:     %4zu/%zu ok, %8.1f q/s, bfs p50/p95/p99 = "
-              "%.3f/%.3f/%.3f ms\n",
-              mx.ok, mx.queries, mx.qps, mx.p50_ms, mx.p95_ms, mx.p99_ms);
+              "%.3f/%.3f/%.3f ms (queue wait %.3f/%.3f/%.3f ms)\n",
+              mx.ok, mx.queries, mx.qps, mx.p50_ms, mx.p95_ms, mx.p99_ms,
+              mx.queue_p50_ms, mx.queue_p95_ms, mx.queue_p99_ms);
   std::printf("writes:    %llu batches, %llu edges, %llu epochs published\n",
               static_cast<unsigned long long>(wt.batches),
               static_cast<unsigned long long>(wt.edges),
@@ -292,11 +317,12 @@ int run_mutation_mix() {
 }  // namespace
 
 int main(int argc, char **argv) {
+  bool mutation_mix = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--mutation-mix") == 0) {
-      return run_mutation_mix();
-    }
+    if (std::strcmp(argv[i], "--mutation-mix") == 0) mutation_mix = true;
+    if (std::strcmp(argv[i], "--telemetry") == 0) g_with_telemetry = true;
   }
+  if (mutation_mix) return run_mutation_mix();
   const int scale = std::max(16, bench::suite_scale());
   const int trials = std::max(1, bench::suite_trials());
   char msg[LAGRAPH_MSG_LEN];
@@ -335,11 +361,13 @@ int main(int argc, char **argv) {
   EngineConfig solo;
   solo.threads = 1;
   solo.enable_batching = false;
+  solo.telemetry_port = g_with_telemetry ? 0 : -1;
 
   EngineConfig batch;
   batch.threads = 1;
   batch.enable_batching = true;
   batch.max_batch = kSources;
+  batch.telemetry_port = g_with_telemetry ? 0 : -1;
 
   const double t_solo = best_of(solo, "solo");
   const double t_batch = best_of(batch, "batched");

@@ -30,6 +30,10 @@
 #       ns/cost-unit coefficients and persists them (--calibration-out);
 #       the file is schema-checked and reloaded into a fresh process whose
 #       `explain --calibration` must render the fitted values,
+#   3c. a telemetry smoke: lagraph_cli serve --telemetry-port 0 on a
+#       generated graph, the printed ephemeral port scraped over HTTP —
+#       /healthz must answer "ok" and /metrics must expose a non-zero
+#       lagraph_requests_total,
 #   4. a perf smoke: bench_kernels --smoke, gated by tools/bench_diff.py
 #      against the committed baseline bench/baselines/BENCH_smoke.json.
 #
@@ -171,6 +175,60 @@ if ! grep -q "^calibration: push" <<<"$explain_out"; then
 fi
 grep "^calibration:" <<<"$explain_out"
 rm -f "$cal_json"
+
+step "telemetry smoke: lagraph_cli serve --telemetry-port 0 --serve-seconds 8"
+# Serves a generated graph with the embedded HTTP telemetry endpoint on an
+# ephemeral port, parses the printed port, and scrapes /healthz + /metrics
+# while the engine is live. The gate: the Prometheus exposition must carry a
+# non-zero lagraph_requests_total (requests actually flowed through the
+# instrumented path).
+serve_log=$(mktemp)
+"$BUILD_DIR"/tools/lagraph_cli serve --gen kron 10 --telemetry-port 0 \
+    --serve-seconds 8 --slow-query-ms 60000 >"$serve_log" 2>&1 &
+serve_pid=$!
+tele_port=""
+for _ in $(seq 1 100); do
+  tele_port=$(sed -n 's/^telemetry: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$serve_log")
+  [[ -n "$tele_port" ]] && break
+  if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if [[ -z "$tele_port" ]]; then
+  echo "check.sh: serve never printed its telemetry port:" >&2
+  cat "$serve_log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! python3 - "$tele_port" <<'EOF'
+import sys
+import urllib.request
+
+port = sys.argv[1]
+
+health = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/healthz", timeout=10).read().decode()
+assert health.strip() == "ok", f"unexpected /healthz body: {health!r}"
+
+metrics = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+for line in metrics.splitlines():
+    if line.startswith("lagraph_requests_total "):
+        value = float(line.split()[-1])
+        assert value > 0, f"lagraph_requests_total is zero: {line!r}"
+        print(f"telemetry smoke OK: /healthz ok, "
+              f"lagraph_requests_total = {value:.0f}")
+        break
+else:
+    sys.exit("no lagraph_requests_total sample in /metrics")
+EOF
+then
+  kill "$serve_pid" 2>/dev/null || true
+  cat "$serve_log" >&2
+  exit 1
+fi
+wait "$serve_pid"
+rm -f "$serve_log"
 
 if [[ "${SKIP_SMOKE:-0}" == "1" ]]; then
   step "perf smoke: skipped (SKIP_SMOKE=1)"

@@ -136,6 +136,10 @@ struct ExecPlan {
 
   /// Human-readable decision record — `lagraph_cli explain` output.
   [[nodiscard]] std::string explain() const;
+
+  /// Compact one-line form of explain() — what per-request roll-ups and the
+  /// slow-query log carry as the "plan summary".
+  [[nodiscard]] std::string explain_line() const;
 };
 
 /// Build a plan for `d`: probe the thread-local PlanCache (if one is

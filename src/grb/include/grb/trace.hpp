@@ -105,6 +105,8 @@ struct Span {
   std::uint64_t dur_ns = 0;
   std::uint64_t in_nvals = 0;   // frontier / input nnz
   std::uint64_t out_nvals = 0;  // result nnz
+  std::uint64_t request_id = 0;    // owning service request (0 = none)
+  std::uint32_t batch_members = 0;  // sweep width when the request batched
   double predicted_cost = 0.0;  // the plan's estimate for the chosen path
   double extra = 0.0;           // per-kind payload (PR norm, CC changed, ...)
 };
@@ -185,6 +187,32 @@ class Histogram {
 /// Global latency histogram for one op kind; fed automatically whenever a
 /// span of that kind is recorded.
 Histogram &op_histogram(SpanKind k) noexcept;
+
+/// Request-id propagation: a service worker installs the owning request's
+/// id thread-locally for the duration of one query execution, and every
+/// span recorded on that thread while the scope is active is stamped with
+/// it (Span::request_id / Span::batch_members). Scopes nest (the previous
+/// id is restored on destruction); kernels never call this — only the
+/// layer that owns request identity does. `members` is the batch width a
+/// merged MS-BFS sweep serves (1 for a solo query).
+class RequestScope {
+ public:
+  RequestScope(std::uint64_t id, std::uint32_t members = 1) noexcept;
+  ~RequestScope();
+  RequestScope(const RequestScope &) = delete;
+  RequestScope &operator=(const RequestScope &) = delete;
+
+  /// Spans recorded on this thread since the scope opened.
+  [[nodiscard]] std::uint64_t spans_recorded() const noexcept;
+
+ private:
+  std::uint64_t prev_id_;
+  std::uint32_t prev_members_;
+  std::uint64_t count_at_open_;
+};
+
+/// The id the current thread's spans are being stamped with (0 = none).
+std::uint64_t current_request_id() noexcept;
 
 /// RAII measurement scope. Construct at the top of a kernel entry point or
 /// around one algorithm iteration, fill in what the op knows, and the
@@ -305,10 +333,20 @@ CalibrationReport calibrate(const std::vector<Span> &spans,
 /// Prometheus text exposition for one histogram: cumulative `le` buckets in
 /// seconds plus _sum and _count, with `labels` (e.g. `kind="bfs"`) spliced
 /// into every sample. Set `with_type_header` on the first series of a
-/// metric only.
+/// metric family only — the exposition format requires `# HELP` / `# TYPE`
+/// exactly once per family, before any of its samples. `help` is the HELP
+/// text emitted alongside the TYPE line (nullptr = a generic one).
 void write_prometheus_histogram(std::ostream &os, const std::string &metric,
                                 const std::string &labels, const Histogram &h,
-                                bool with_type_header);
+                                bool with_type_header,
+                                const char *help = nullptr);
+
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote, and newline become \\, \", and \n.
+std::string prometheus_escape_label(const std::string &value);
+
+/// Convenience: `name="escaped-value"`.
+std::string prometheus_label(const char *label_name, const std::string &value);
 
 }  // namespace trace
 }  // namespace grb

@@ -597,6 +597,21 @@ double sssp_default_delta(double max_weight) noexcept {
   return std::max(1.0, max_weight / kDeltaDivisor);
 }
 
+std::string ExecPlan::explain_line() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s dir=%s (%s) A %" PRIu64 "x%" PRIu64 " nnz=%" PRIu64
+                " %s u=%" PRIu64 " t=%d cost push=%.0f pull=%.0f%s",
+                name(op), name(direction), name(chosen),
+                static_cast<std::uint64_t>(desc.a_rows),
+                static_cast<std::uint64_t>(desc.a_cols),
+                static_cast<std::uint64_t>(desc.a_nvals),
+                index_width_name(desc.a_width),
+                static_cast<std::uint64_t>(desc.u_nvals), threads, cost_push,
+                cost_pull, use_fused ? " fused" : "");
+  return buf;
+}
+
 std::string ExecPlan::explain() const {
   char buf[640];
   std::string out;

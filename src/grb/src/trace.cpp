@@ -99,7 +99,32 @@ struct PackedSpan {
   std::atomic<std::uint64_t> meta{0};
   std::atomic<std::uint64_t> iter{0};  // int64 bits
   std::atomic<std::uint64_t> extra{0};  // double bits
+  std::atomic<std::uint64_t> req{0};  // request id (low 48) | members (high 16)
 };
+
+std::uint64_t pack_req(const Span &s) noexcept {
+  const std::uint64_t members =
+      s.batch_members > 0xFFFF ? 0xFFFF : s.batch_members;
+  return (s.request_id & 0xFFFFFFFFFFFFULL) | (members << 48);
+}
+
+void unpack_req(std::uint64_t r, Span &s) noexcept {
+  s.request_id = r & 0xFFFFFFFFFFFFULL;
+  s.batch_members = static_cast<std::uint32_t>(r >> 48);
+}
+
+/// Thread-local request tag (see RequestScope). Plain thread_local data:
+/// only the owning thread reads or writes it, spans copy it at begin().
+struct RequestTag {
+  std::uint64_t id = 0;
+  std::uint32_t members = 0;
+  std::uint64_t recorded = 0;  // spans recorded on this thread, ever
+};
+
+RequestTag &request_tag() noexcept {
+  thread_local RequestTag tag;
+  return tag;
+}
 
 std::uint64_t pack_meta(const Span &s) noexcept {
   return static_cast<std::uint64_t>(s.kind) |
@@ -222,8 +247,10 @@ void record(const Span &s) {
   slot.iter.store(static_cast<std::uint64_t>(s.iter),
                   std::memory_order_relaxed);
   slot.extra.store(dbits(s.extra), std::memory_order_relaxed);
+  slot.req.store(pack_req(s), std::memory_order_relaxed);
   slot.seq.store(id + 1, std::memory_order_release);
   r.head.store(id + 1, std::memory_order_release);
+  ++request_tag().recorded;
 }
 
 /// One burble line per algorithm iteration, SuiteSparse-style: what ran,
@@ -280,9 +307,33 @@ Histogram &op_histogram(SpanKind k) noexcept {
   return g_op_hist[static_cast<int>(k)];
 }
 
+RequestScope::RequestScope(std::uint64_t id, std::uint32_t members) noexcept {
+  RequestTag &tag = request_tag();
+  prev_id_ = tag.id;
+  prev_members_ = tag.members;
+  count_at_open_ = tag.recorded;
+  tag.id = id;
+  tag.members = members;
+}
+
+RequestScope::~RequestScope() {
+  RequestTag &tag = request_tag();
+  tag.id = prev_id_;
+  tag.members = prev_members_;
+}
+
+std::uint64_t RequestScope::spans_recorded() const noexcept {
+  return request_tag().recorded - count_at_open_;
+}
+
+std::uint64_t current_request_id() noexcept { return request_tag().id; }
+
 void ScopedSpan::begin(SpanKind k) noexcept {
   s_.kind = k;
   s_.depth = static_cast<std::uint16_t>(depth_counter()++);
+  const RequestTag &tag = request_tag();
+  s_.request_id = tag.id;
+  s_.batch_members = tag.members;
   s_.t0_ns = detail::now_ns();
 }
 
@@ -330,6 +381,7 @@ std::vector<Span> collect() {
       s.iter = static_cast<std::int64_t>(
           slot.iter.load(std::memory_order_relaxed));
       s.extra = bits2d(slot.extra.load(std::memory_order_relaxed));
+      unpack_req(slot.req.load(std::memory_order_relaxed), s);
       if (slot.seq.load(std::memory_order_acquire) != id + 1) continue;
       s.tid = r->tid;
       out.push_back(s);
@@ -380,7 +432,9 @@ void write_chrome_trace(std::ostream &os, const std::vector<Span> &spans) {
        << "\",\"chosen\":\""
        << plan::name(static_cast<plan::Chosen>(s.chosen))
        << "\",\"threads\":" << s.threads << ",\"depth\":" << s.depth
-       << ",\"iter\":" << s.iter << ",\"mask\":" << static_cast<int>(s.mask);
+       << ",\"iter\":" << s.iter << ",\"mask\":" << static_cast<int>(s.mask)
+       << ",\"request_id\":" << s.request_id
+       << ",\"batch_members\":" << s.batch_members;
     std::snprintf(num, sizeof(num), ",\"predicted_cost\":%.6g,\"extra\":%.6g",
                   s.predicted_cost, s.extra);
     os << num << "}}";
@@ -497,10 +551,33 @@ std::string CalibrationReport::text() const {
   return os.str();
 }
 
+std::string prometheus_escape_label(const std::string &value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_label(const char *label_name, const std::string &value) {
+  return std::string(label_name) + "=\"" + prometheus_escape_label(value) +
+         "\"";
+}
+
 void write_prometheus_histogram(std::ostream &os, const std::string &metric,
                                 const std::string &labels, const Histogram &h,
-                                bool with_type_header) {
-  if (with_type_header) os << "# TYPE " << metric << " histogram\n";
+                                bool with_type_header, const char *help) {
+  if (with_type_header) {
+    os << "# HELP " << metric << ' '
+       << (help != nullptr ? help : "latency histogram (seconds)") << '\n';
+    os << "# TYPE " << metric << " histogram\n";
+  }
   const std::string sep = labels.empty() ? "" : ",";
   std::uint64_t cum = 0;
   char buf[64];

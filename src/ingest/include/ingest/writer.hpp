@@ -24,6 +24,7 @@
 //      snapshot there) and sweep reclaimable epochs.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -91,6 +92,19 @@ class Writer {
 
   [[nodiscard]] const SnapshotRegistry &registry() const { return registry_; }
 
+  /// Mutations queued but not yet staged — the ingest backlog gauge the
+  /// telemetry endpoint exposes (lock-free-ish: one queue mutex probe).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Wall time the most recent epoch publication took (flush + incremental
+  /// property maintenance + copy + publish), in seconds; 0 before the
+  /// first publication completes. Readable from any thread.
+  [[nodiscard]] double last_publish_seconds() const {
+    return static_cast<double>(
+               last_publish_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+
   /// Drain the queue, publish any unpublished work, join the thread.
   /// Subsequent submits fail with LAGRAPH_INGEST_STOPPED. Idempotent.
   void stop();
@@ -114,6 +128,7 @@ class Writer {
   std::unordered_set<grb::Index> diag_present_;  // diagonal cells currently set
   std::size_t unpublished_ = 0;  // mutations applied since the last epoch
   std::chrono::steady_clock::time_point last_publish_{};  // rate-limit anchor
+  std::atomic<std::uint64_t> last_publish_ns_{0};  // latency of last epoch
 
   // Publication barrier + error reporting (shared with callers).
   mutable std::mutex pub_mu_;

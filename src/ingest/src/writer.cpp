@@ -196,6 +196,7 @@ void Writer::apply_batch(std::deque<Mutation> &batch) {
 }
 
 void Writer::publish_epoch() {
+  const auto publish_t0 = std::chrono::steady_clock::now();
   // Flush boundary: merge pending tuples, bury zombies.
   master_.a.wait();
   if (master_.at.has_value()) master_.at->wait();
@@ -269,6 +270,12 @@ void Writer::publish_epoch() {
   }
   unpublished_ = 0;
   last_publish_ = std::chrono::steady_clock::now();
+  last_publish_ns_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(last_publish_ -
+                                                               publish_t0)
+              .count()),
+      std::memory_order_relaxed);
 }
 
 }  // namespace ingest

@@ -19,17 +19,20 @@
 // degrades to zero added latency.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "lagraph/lagraph.hpp"
+#include "service/request_log.hpp"
 #include "service/snapshot.hpp"
 
 // Service-layer status codes, extending the lagraph convention (< 0 error).
@@ -61,6 +64,11 @@ struct QueryResult {
   int status = LAGRAPH_OK;  ///< lagraph status (plus the service codes above)
   std::string error;        ///< message buffer contents when status < 0
   QueryKind kind = QueryKind::bfs;
+  /// Monotonic id assigned at submit; every kernel span recorded while this
+  /// request executed is stamped with it (batch members share the batch
+  /// head's id — see RequestRecord::trace_id), and /requestz?id= replays
+  /// the span breakdown.
+  std::uint64_t request_id = 0;
   std::uint64_t snapshot_id = 0;  ///< which graph version answered
   bool batched = false;           ///< answered by a merged msbfs sweep
   std::uint32_t batch_size = 1;   ///< sweep width (1 = solo)
@@ -89,6 +97,20 @@ struct EngineConfig {
   /// disables online updates. Enabling this turns on span sampling
   /// (grb::Config::trace_sample_every) if the process has it off.
   std::uint32_t calibration_update_every = 0;
+  /// Slow-query threshold in milliseconds: a request whose total wall time
+  /// (submit → completion) exceeds it — or that misses its deadline — emits
+  /// one structured JSONL record to the slow-query log. 0 disables the
+  /// threshold (deadline misses are always logged).
+  double slow_query_ms = 0;
+  /// JSONL sink for slow-query records ("" = in-memory tail only, served
+  /// at /statusz).
+  std::string slow_query_log;
+  /// Embedded HTTP telemetry server: -1 disables it, 0 binds an ephemeral
+  /// port (read back via Engine::telemetry()->port()), otherwise the port
+  /// to listen on (127.0.0.1 only).
+  int telemetry_port = -1;
+  /// Completed-request roll-ups retained for /statusz and /requestz.
+  std::size_t request_log_capacity = RequestLog::kDefaultCapacity;
 };
 
 /// One query kind's execution-latency distribution (from the engine's log₂
@@ -100,6 +122,12 @@ struct KindLatency {
   double p95_ms = 0;
   double p99_ms = 0;
   double mean_ms = 0;
+  // Queue-wait distribution (submit → execution start) for the same kind —
+  // saturation shows up here, slow kernels in the exec percentiles above.
+  double queue_p50_ms = 0;
+  double queue_p95_ms = 0;
+  double queue_p99_ms = 0;
+  double queue_mean_ms = 0;
 };
 
 /// Monotonic totals since construction (snapshot under the engine lock).
@@ -113,7 +141,10 @@ struct EngineCounters {
   std::uint64_t batched_bfs = 0;       // bfs answered in a sweep of >= 2
   std::uint64_t solo_queries = 0;      // everything else
   std::uint64_t snapshot_installs = 0;
+  std::uint64_t slow_queries = 0;  // slow-query log records emitted
 };
+
+class TelemetryServer;
 
 class Engine {
  public:
@@ -156,12 +187,34 @@ class Engine {
   /// (`grb_stats`). Readable live with bounded skew.
   [[nodiscard]] std::string prometheus_text() const;
 
+  /// Roll-ups of the last N completed requests (lock-free reads).
+  [[nodiscard]] const RequestLog &request_log() const noexcept {
+    return request_log_;
+  }
+
+  /// Slow-query records retained in memory (newest last).
+  [[nodiscard]] std::vector<std::string> slow_query_tail() const {
+    return slow_log_.tail();
+  }
+
+  // Live gauges for /metrics and /statusz.
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] int inflight() const;        ///< popped but not completed
+  [[nodiscard]] int active_workers() const;  ///< workers executing right now
+  [[nodiscard]] double uptime_seconds() const;
+
+  /// The embedded telemetry server, or nullptr when telemetry_port < 0.
+  [[nodiscard]] TelemetryServer *telemetry() const noexcept {
+    return telemetry_.get();
+  }
+
  private:
   struct Pending {
     Request req;
     std::promise<QueryResult> promise;
     SnapshotPtr snap;
     std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t id = 0;  ///< request id, assigned at submit
   };
 
   void worker_loop();
@@ -173,6 +226,12 @@ class Engine {
   void fail_locked(Pending &&p, int status, const char *what);
   // Feed the per-kind latency histograms; lock-free (relaxed counters).
   void observe(QueryKind k, double queue_s, double exec_s) noexcept;
+  // Roll up one finished request into the request log, and route it to the
+  // slow-query log when it blew the threshold or missed its deadline.
+  void log_request(const Pending &p, const QueryResult &r,
+                   std::chrono::steady_clock::time_point end,
+                   std::uint64_t span_count, std::uint64_t trace_id,
+                   const std::string &plan_summary);
 
   static constexpr int kNumQueryKinds = 4;
   // Indexed by QueryKind; recordable from any worker without the lock.
@@ -188,9 +247,16 @@ class Engine {
   EngineCounters counters_;
   double ewma_batch_;  // recent sweep width; decides whether lingering pays
   int in_flight_ = 0;
+  int busy_workers_ = 0;  // workers currently off the queue, executing
   bool stopping_ = false;
   bool stopped_ = false;
   std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> next_request_id_{0};
+  RequestLog request_log_;
+  SlowQueryLog slow_log_;
+  std::chrono::steady_clock::time_point started_;
+  std::unique_ptr<TelemetryServer> telemetry_;
 };
 
 }  // namespace service

@@ -1,0 +1,149 @@
+// service/request_log.hpp — per-request roll-ups and the slow-query log.
+//
+// Two retention structures sit behind the telemetry endpoints:
+//
+//   RequestLog   a fixed-capacity lock-free ring of the last N completed
+//                requests' roll-ups (queue/exec/total wall time, span count,
+//                plan summary, snapshot epoch). Same seqlock-over-atomic-
+//                words design as the grb::trace span rings, so engine
+//                workers record without a lock and /statusz reads
+//                concurrently without tearing — but multi-writer: slots are
+//                claimed by CAS-ing the sequence word to BUSY, and a lapped
+//                writer that finds a newer record in its slot drops its own.
+//
+//   SlowQueryLog a mutex-guarded JSONL sink (file I/O can't be lock-free
+//                and doesn't need to be — a request only reaches it by
+//                blowing the latency threshold or missing its deadline)
+//                that also retains a short in-memory tail for /statusz.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "grb/trace.hpp"
+
+namespace lagraph {
+namespace service {
+
+/// One completed (or failed) request's roll-up. Plain data with a bounded
+/// plan-summary buffer so it packs into a lock-free ring slot.
+struct RequestRecord {
+  static constexpr std::size_t kPlanChars = 96;
+
+  std::uint64_t request_id = 0;
+  /// The id kernel spans were stamped with: equal to request_id for solo
+  /// queries, the batch head's id for members of a merged MS-BFS sweep.
+  std::uint64_t trace_id = 0;
+  std::uint64_t snapshot_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t span_count = 0;  // kernel spans recorded while executing
+  std::uint64_t source = 0;
+  std::uint64_t end_ns = 0;  // steady-clock completion time
+  std::int32_t status = 0;
+  std::uint8_t kind = 0;  // service::QueryKind
+  bool batched = false;
+  bool deadline_missed = false;
+  std::uint16_t batch_size = 1;
+  double queue_s = 0;
+  double exec_s = 0;
+  double total_s = 0;
+  char plan[kPlanChars] = {0};  // ExecPlan::explain_line(), truncated
+
+  void set_plan(const std::string &s) noexcept {
+    const std::size_t n = s.size() < kPlanChars - 1 ? s.size() : kPlanChars - 1;
+    std::memcpy(plan, s.data(), n);
+    plan[n] = '\0';
+  }
+};
+
+/// Lock-free ring of the last `capacity` RequestRecords. record() is
+/// wait-free except when two writers land on the same slot (capacity
+/// completions apart within one record write — the loser drops out);
+/// readers drop torn slots, mirroring grb::trace::collect().
+class RequestLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit RequestLog(std::size_t capacity = kDefaultCapacity);
+  ~RequestLog();  // out-of-line: Slot is complete only in request_log.cpp
+
+  void record(const RequestRecord &rec) noexcept;
+
+  /// Newest-first roll-ups, at most `max_n`.
+  [[nodiscard]] std::vector<RequestRecord> recent(std::size_t max_n) const;
+
+  /// Look up one request by its id (linear scan over the retained window).
+  bool find(std::uint64_t request_id, RequestRecord *out) const;
+
+  /// Requests ever recorded (monotonic).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot;
+  bool read_slot(std::uint64_t id, RequestRecord *out) const;
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// One span's contribution to a slow request, ranked by self-time (span
+/// duration minus the duration of its direct children on the same thread).
+struct SpanSelfTime {
+  grb::trace::Span span;
+  std::uint64_t self_ns = 0;
+};
+
+/// Top-k spans of one request by self-time. `spans` should already be
+/// filtered to the request's trace id (and is consumed sorted).
+std::vector<SpanSelfTime> top_spans_by_self_time(
+    std::vector<grb::trace::Span> spans, std::size_t k);
+
+/// Render one slow-query JSONL record: the full roll-up plus `top` spans.
+/// `kind_name` is the query kind's text form (request_log is layered below
+/// engine.hpp, so the caller supplies it).
+std::string slow_query_json(const RequestRecord &rec, const char *kind_name,
+                            const std::vector<SpanSelfTime> &top);
+
+/// JSON string escaping (also used by the /statusz builder).
+std::string json_escape(const std::string &s);
+
+/// Threshold/deadline-triggered JSONL sink with an in-memory tail.
+class SlowQueryLog {
+ public:
+  static constexpr std::size_t kTailCapacity = 32;
+
+  /// Route records to a JSONL file ("" = tail only). Not thread-safe
+  /// against concurrent emit(); call before serving starts.
+  void open(const std::string &path);
+
+  /// Append one record (a complete JSON object, no trailing newline).
+  void emit(const std::string &json_line);
+
+  /// Most recent records, oldest first.
+  [[nodiscard]] std::vector<std::string> tail() const;
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::deque<std::string> tail_;
+  std::atomic<std::uint64_t> emitted_{0};
+};
+
+}  // namespace service
+}  // namespace lagraph

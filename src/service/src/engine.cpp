@@ -11,6 +11,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "service/telemetry.hpp"
+
 namespace lagraph {
 namespace service {
 
@@ -34,6 +36,51 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 // has stopped paying for itself and workers run BFS immediately.
 constexpr double kLingerThreshold = 1.5;
 
+// Slow-query records carry the top spans ranked by self-time.
+constexpr std::size_t kSlowLogTopSpans = 5;
+
+/// The representative plan one-liner a request's roll-up carries: the
+/// planner decision for the query's dominant op shape against its bound
+/// snapshot. Cheap (a cache probe under an installed CacheScope, a pure
+/// cost-model run otherwise).
+std::string plan_summary_for(const Request &req, const GraphSnapshot &snap) {
+  grb::plan::OpDesc d;
+  const Graph<double> &g = snap.graph();
+  const grb::Index n = g.a.nrows();
+  d.a_rows = n;
+  d.a_cols = g.a.ncols();
+  d.a_nvals = g.a.nvals();
+  d.a_width = g.a.index_width();
+  d.out_size = n;
+  switch (req.kind) {
+    case QueryKind::bfs:
+    case QueryKind::sssp:
+      d.op = grb::plan::OpKind::traversal;
+      d.u_nvals = 1;
+      d.pull_candidates = n;
+      d.has_transpose = g.at.has_value();
+      d.has_terminal = true;
+      d.masked = true;
+      d.mask_structural = true;
+      d.mask_complement = true;
+      break;
+    case QueryKind::pagerank:
+      d.op = grb::plan::OpKind::mxv;
+      d.u_nvals = n;
+      break;
+    case QueryKind::tc:
+      d.op = grb::plan::OpKind::mxm;
+      d.b_nvals = d.a_nvals;
+      d.b_width = d.a_width;
+      d.masked = true;
+      d.mask_structural = true;
+      d.mask_nvals = d.a_nvals;
+      d.operands_aliased = true;
+      break;
+  }
+  return grb::plan::make_plan(d).explain_line();
+}
+
 }  // namespace
 
 const char *query_kind_name(QueryKind k) {
@@ -49,9 +96,13 @@ const char *query_kind_name(QueryKind k) {
 Engine::Engine(EngineConfig cfg) : Engine(SnapshotPtr{}, cfg) {}
 
 Engine::Engine(SnapshotPtr snapshot, EngineConfig cfg)
-    : cfg_(cfg), snap_(std::move(snapshot)) {
+    : cfg_(cfg),
+      snap_(std::move(snapshot)),
+      request_log_(cfg.request_log_capacity),
+      started_(Clock::now()) {
   cfg_.threads = std::max(1, cfg_.threads);
   cfg_.max_batch = std::max<std::uint32_t>(1, cfg_.max_batch);
+  slow_log_.open(cfg_.slow_query_log);
   if (cfg_.calibration_update_every > 0) {
     // Online cost-model calibration: workers' traced spans feed the fitted
     // ns/cost-unit coefficients. Span recording is a prerequisite — turn on
@@ -67,9 +118,16 @@ Engine::Engine(SnapshotPtr snapshot, EngineConfig cfg)
   workers_.reserve(static_cast<std::size_t>(cfg_.threads));
   for (int i = 0; i < cfg_.threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  if (cfg_.telemetry_port >= 0) {
+    telemetry_ = std::make_unique<TelemetryServer>(*this, cfg_.telemetry_port);
+  }
 }
 
-Engine::~Engine() { stop(); }
+Engine::~Engine() {
+  // The telemetry thread reads engine state; retire it before anything else.
+  telemetry_.reset();
+  stop();
+}
 
 void Engine::install_snapshot(SnapshotPtr snapshot) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -84,7 +142,28 @@ SnapshotPtr Engine::snapshot() const {
 
 EngineCounters Engine::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return counters_;
+  EngineCounters c = counters_;
+  c.slow_queries = slow_log_.emitted();
+  return c;
+}
+
+std::size_t Engine::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+int Engine::inflight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+int Engine::active_workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return busy_workers_;
+}
+
+double Engine::uptime_seconds() const {
+  return seconds_between(started_, Clock::now());
 }
 
 void Engine::observe(QueryKind k, double queue_s, double exec_s) noexcept {
@@ -106,6 +185,14 @@ std::vector<KindLatency> Engine::latency_summary() const {
     kl.p99_ms = h.percentile_ns(99) / 1e6;
     kl.mean_ms = static_cast<double>(h.sum_ns()) /
                  static_cast<double>(h.count()) / 1e6;
+    const auto &q = queue_hist_[i];
+    if (q.count() > 0) {
+      kl.queue_p50_ms = q.percentile_ns(50) / 1e6;
+      kl.queue_p95_ms = q.percentile_ns(95) / 1e6;
+      kl.queue_p99_ms = q.percentile_ns(99) / 1e6;
+      kl.queue_mean_ms = static_cast<double>(q.sum_ns()) /
+                         static_cast<double>(q.count()) / 1e6;
+    }
     out.push_back(kl);
   }
   return out;
@@ -137,20 +224,46 @@ std::string Engine::prometheus_text() const {
           c.solo_queries);
   counter("lagraph_service_snapshot_installs_total", "Snapshots installed",
           c.snapshot_installs);
+  counter("lagraph_service_slow_queries_total",
+          "Slow-query log records emitted", c.slow_queries);
+  // The scrape-gate alias: "did this engine see traffic at all?"
+  counter("lagraph_requests_total", "Queries submitted (alias)", c.submitted);
+
+  auto gauge = [&](const char *name, const char *help, double v) {
+    os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << " gauge\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << name << ' ' << buf << '\n';
+  };
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    gauge("lagraph_service_queue_depth", "Requests waiting in the queue",
+          static_cast<double>(queue_.size()));
+    gauge("lagraph_service_inflight_requests",
+          "Requests popped but not yet completed",
+          static_cast<double>(in_flight_));
+    gauge("lagraph_service_active_workers", "Workers executing right now",
+          static_cast<double>(busy_workers_));
+  }
+  gauge("lagraph_calibration_updates_total",
+        "Online cost-model calibration updates",
+        static_cast<double>(grb::stats().calibration_updates.load(
+            std::memory_order_relaxed)));
 
   for (int i = 0; i < kNumQueryKinds; ++i) {
-    const std::string labels =
-        std::string("kind=\"") +
-        query_kind_name(static_cast<QueryKind>(i)) + "\"";
+    const std::string labels = grb::trace::prometheus_label(
+        "kind", query_kind_name(static_cast<QueryKind>(i)));
     grb::trace::write_prometheus_histogram(
-        os, "lagraph_service_exec_seconds", labels, exec_hist_[i], i == 0);
+        os, "lagraph_service_exec_seconds", labels, exec_hist_[i], i == 0,
+        "Query execution latency (seconds)");
   }
   for (int i = 0; i < kNumQueryKinds; ++i) {
-    const std::string labels =
-        std::string("kind=\"") +
-        query_kind_name(static_cast<QueryKind>(i)) + "\"";
+    const std::string labels = grb::trace::prometheus_label(
+        "kind", query_kind_name(static_cast<QueryKind>(i)));
     grb::trace::write_prometheus_histogram(
-        os, "lagraph_service_queue_seconds", labels, queue_hist_[i], i == 0);
+        os, "lagraph_service_queue_seconds", labels, queue_hist_[i], i == 0,
+        "Queue wait before execution (seconds)");
   }
 
   // Global per-op kernel histograms (fed by grb::trace spans; empty unless
@@ -161,16 +274,18 @@ std::string Engine::prometheus_text() const {
     const auto &h = grb::trace::op_histogram(k);
     if (h.count() == 0) continue;
     const std::string labels =
-        std::string("kind=\"") + grb::trace::name(k) + "\"";
+        grb::trace::prometheus_label("kind", grb::trace::name(k));
     grb::trace::write_prometheus_histogram(os, "grb_op_seconds", labels, h,
-                                           first);
+                                           first,
+                                           "grb kernel latency (seconds)");
     first = false;
   }
 
   os << "# HELP grb_stats grb substrate counters\n";
   os << "# TYPE grb_stats counter\n";
   grb::stats().snapshot().for_each([&](const char *name, std::uint64_t v) {
-    os << "grb_stats{counter=\"" << name << "\"} " << v << '\n';
+    os << "grb_stats{" << grb::trace::prometheus_label("counter", name)
+       << "} " << v << '\n';
   });
   return os.str();
 }
@@ -179,6 +294,7 @@ std::future<QueryResult> Engine::submit(Request req) {
   Pending p;
   p.req = req;
   p.enqueued = Clock::now();
+  p.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto fut = p.promise.get_future();
 
   std::lock_guard<std::mutex> lk(mu_);
@@ -232,11 +348,64 @@ void Engine::fail_locked(Pending &&p, int status, const char *what) {
   r.status = status;
   r.error = what != nullptr ? what : "";
   r.kind = p.req.kind;
+  r.request_id = p.id;
   if (p.snap) r.snapshot_id = p.snap->id();
   ++counters_.failed;
   if (status == LAGRAPH_SERVICE_DEADLINE) ++counters_.deadline_expired;
   if (status == LAGRAPH_SERVICE_QUEUE_FULL) ++counters_.queue_rejected;
+  const auto now = Clock::now();
+  r.queue_seconds = seconds_between(p.enqueued, now);
+  // A deadline-expired request still gets a roll-up (and, since by
+  // definition it missed its deadline, a slow-query record) — that's the
+  // request a tail-latency investigation most wants to see.
+  log_request(p, r, now, /*span_count=*/0, /*trace_id=*/0,
+              p.snap ? plan_summary_for(p.req, *p.snap) : std::string());
   p.promise.set_value(std::move(r));
+}
+
+void Engine::log_request(const Pending &p, const QueryResult &r,
+                         Clock::time_point end, std::uint64_t span_count,
+                         std::uint64_t trace_id,
+                         const std::string &plan_summary) {
+  RequestRecord rec;
+  rec.request_id = p.id;
+  rec.trace_id = trace_id;
+  rec.snapshot_id = r.snapshot_id;
+  rec.epoch = p.snap ? p.snap->epoch() : 0;
+  rec.span_count = span_count;
+  rec.source = static_cast<std::uint64_t>(p.req.source);
+  rec.end_ns = grb::trace::detail::now_ns();
+  rec.status = r.status;
+  rec.kind = static_cast<std::uint8_t>(p.req.kind);
+  rec.batched = r.batched;
+  rec.batch_size = static_cast<std::uint16_t>(r.batch_size);
+  rec.deadline_missed = has_deadline(p.req) && end > p.req.deadline;
+  rec.queue_s = r.queue_seconds;
+  rec.exec_s = r.exec_seconds;
+  rec.total_s = seconds_between(p.enqueued, end);
+  rec.set_plan(plan_summary);
+  request_log_.record(rec);
+
+  const bool over_threshold =
+      cfg_.slow_query_ms > 0 && rec.total_s * 1e3 > cfg_.slow_query_ms;
+  if (over_threshold || rec.deadline_missed) {
+    // Top-k spans by self-time — only the spans this request stamped, and
+    // only when tracing was actually sampling (collect() is empty
+    // otherwise). The query-kind span wrapping the whole execution is
+    // excluded: it would always "win" with zero information.
+    std::vector<grb::trace::Span> mine;
+    if (trace_id != 0) {
+      for (const grb::trace::Span &s : grb::trace::collect()) {
+        if (s.request_id == trace_id &&
+            s.kind != grb::trace::SpanKind::query) {
+          mine.push_back(s);
+        }
+      }
+    }
+    slow_log_.emit(slow_query_json(
+        rec, query_kind_name(p.req.kind),
+        top_spans_by_self_time(std::move(mine), kSlowLogTopSpans)));
+  }
 }
 
 void Engine::scoop_bfs_locked(std::vector<Pending> &batch) {
@@ -312,17 +481,21 @@ void Engine::worker_loop() {
       }
       grb::stats().batch_sweeps.fetch_add(1, std::memory_order_relaxed);
       const auto count = batch.size();
+      ++busy_workers_;
       lk.unlock();
       run_bfs_sweep(std::move(batch));
       lk.lock();
+      --busy_workers_;
       in_flight_ -= static_cast<int>(count);
       cv_idle_.notify_all();
     } else {
       ++counters_.solo_queries;
       grb::stats().solo_queries.fetch_add(1, std::memory_order_relaxed);
+      ++busy_workers_;
       lk.unlock();
       run_solo(std::move(p));
       lk.lock();
+      --busy_workers_;
       --in_flight_;
       cv_idle_.notify_all();
     }
@@ -331,6 +504,11 @@ void Engine::worker_loop() {
 
 void Engine::run_bfs_sweep(std::vector<Pending> batch) {
   const auto start = Clock::now();
+  // Every kernel span the sweep records is stamped with the batch head's
+  // request id plus the member count; members' roll-ups carry that id as
+  // their trace_id so /requestz resolves any of them to the shared sweep.
+  grb::trace::RequestScope rscope(batch.front().id,
+                                  static_cast<std::uint32_t>(batch.size()));
   grb::trace::ScopedSpan qsp(grb::trace::SpanKind::query);
   qsp.set_in_nvals(batch.size());
   // Route every grb::plan lookup in this batch through the snapshot's
@@ -347,12 +525,16 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
   const auto end = Clock::now();
 
   const auto width = static_cast<std::uint32_t>(batch.size());
+  const std::uint64_t sweep_spans = rscope.spans_recorded();
+  const std::string summary =
+      plan_summary_for(batch.front().req, *batch.front().snap);
   std::vector<QueryResult> results;
   results.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     QueryResult r;
     r.status = st;
     r.kind = QueryKind::bfs;
+    r.request_id = batch[i].id;
     r.snapshot_id = batch[i].snap->id();
     r.batched = width > 1;
     r.batch_size = width;
@@ -378,12 +560,18 @@ void Engine::run_bfs_sweep(std::vector<Pending> batch) {
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Roll up before set_value so a waiter that sees its future ready can
+    // already find the record at /statusz and /requestz. Members share the
+    // sweep's span count and trace id.
+    log_request(batch[i], results[i], end, sweep_spans, batch.front().id,
+                summary);
     batch[i].promise.set_value(std::move(results[i]));
   }
 }
 
 void Engine::run_solo(Pending p) {
   const auto start = Clock::now();
+  grb::trace::RequestScope rscope(p.id, 1);
   grb::trace::ScopedSpan qsp(grb::trace::SpanKind::query);
   qsp.set_in_nvals(1);
   grb::plan::CacheScope plan_scope(&p.snap->plan_cache());
@@ -392,6 +580,7 @@ void Engine::run_solo(Pending p) {
 
   QueryResult r;
   r.kind = p.req.kind;
+  r.request_id = p.id;
   r.snapshot_id = p.snap->id();
   const Graph<double> &g = p.snap->graph();
 
@@ -428,6 +617,8 @@ void Engine::run_solo(Pending p) {
   if (r.status >= 0) observe(p.req.kind, r.queue_seconds, r.exec_seconds);
   if (r.status < 0) r.error = msg;
   const bool ok = r.status >= 0;
+  // Still inside the plan CacheScope: the summary probe is a cache hit.
+  const std::string summary = plan_summary_for(p.req, *p.snap);
   {
     // Count before set_value so waiters never see a ready future ahead of
     // the completion counters.
@@ -438,6 +629,7 @@ void Engine::run_solo(Pending p) {
       ++counters_.failed;
     }
   }
+  log_request(p, r, end, rscope.spans_recorded(), p.id, summary);
   p.promise.set_value(std::move(r));
 }
 

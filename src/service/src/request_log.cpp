@@ -1,0 +1,274 @@
+// service/request_log.cpp — roll-up ring, self-time ranking, slow-query JSON.
+
+#include "service/request_log.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace lagraph {
+namespace service {
+
+namespace {
+
+constexpr std::uint64_t kBusy = ~std::uint64_t{0};
+constexpr std::size_t kPlanWords = RequestRecord::kPlanChars / 8;
+
+std::uint64_t dbits(double d) noexcept {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double bits2d(std::uint64_t u) noexcept {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+std::uint64_t pack_meta(const RequestRecord &r) noexcept {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.status)) |
+         (static_cast<std::uint64_t>(r.kind) << 32) |
+         (static_cast<std::uint64_t>(r.batch_size) << 40) |
+         (static_cast<std::uint64_t>(r.batched ? 1 : 0) << 56) |
+         (static_cast<std::uint64_t>(r.deadline_missed ? 1 : 0) << 57);
+}
+
+void unpack_meta(std::uint64_t m, RequestRecord &r) noexcept {
+  r.status = static_cast<std::int32_t>(static_cast<std::uint32_t>(m));
+  r.kind = static_cast<std::uint8_t>((m >> 32) & 0xFF);
+  r.batch_size = static_cast<std::uint16_t>((m >> 40) & 0xFFFF);
+  r.batched = ((m >> 56) & 1) != 0;
+  r.deadline_missed = ((m >> 57) & 1) != 0;
+}
+
+}  // namespace
+
+/// Seqlock slot: payload words are themselves atomics (like the grb::trace
+/// span rings), so concurrent readers are data-race-free by construction.
+struct RequestLog::Slot {
+  std::atomic<std::uint64_t> seq{0};  // 0 = never written, kBusy = mid-write
+  std::atomic<std::uint64_t> req{0};
+  std::atomic<std::uint64_t> trace{0};
+  std::atomic<std::uint64_t> snap{0};
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::uint64_t> spans{0};
+  std::atomic<std::uint64_t> source{0};
+  std::atomic<std::uint64_t> end{0};
+  std::atomic<std::uint64_t> meta{0};
+  std::atomic<std::uint64_t> queue{0};  // double bits
+  std::atomic<std::uint64_t> exec{0};   // double bits
+  std::atomic<std::uint64_t> total{0};  // double bits
+  std::atomic<std::uint64_t> plan[kPlanWords]{};
+};
+
+RequestLog::RequestLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? kDefaultCapacity : capacity),
+      slots_(new Slot[capacity_]) {}
+
+RequestLog::~RequestLog() = default;
+
+void RequestLog::record(const RequestRecord &rec) noexcept {
+  const std::uint64_t id = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot &slot = slots_[id % capacity_];
+
+  // Claim the slot. Another writer mid-write here means two completions
+  // landed `capacity_` apart inside one record write; the one carrying the
+  // older id yields so the newer roll-up survives.
+  std::uint64_t cur = slot.seq.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur == kBusy) {
+      cur = slot.seq.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (cur > id + 1) return;  // lapped: a newer record already owns it
+    if (slot.seq.compare_exchange_weak(cur, kBusy, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  slot.req.store(rec.request_id, std::memory_order_relaxed);
+  slot.trace.store(rec.trace_id, std::memory_order_relaxed);
+  slot.snap.store(rec.snapshot_id, std::memory_order_relaxed);
+  slot.epoch.store(rec.epoch, std::memory_order_relaxed);
+  slot.spans.store(rec.span_count, std::memory_order_relaxed);
+  slot.source.store(rec.source, std::memory_order_relaxed);
+  slot.end.store(rec.end_ns, std::memory_order_relaxed);
+  slot.meta.store(pack_meta(rec), std::memory_order_relaxed);
+  slot.queue.store(dbits(rec.queue_s), std::memory_order_relaxed);
+  slot.exec.store(dbits(rec.exec_s), std::memory_order_relaxed);
+  slot.total.store(dbits(rec.total_s), std::memory_order_relaxed);
+  for (std::size_t w = 0; w < kPlanWords; ++w) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, rec.plan + w * 8, 8);
+    slot.plan[w].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(id + 1, std::memory_order_release);
+}
+
+bool RequestLog::read_slot(std::uint64_t id, RequestRecord *out) const {
+  const Slot &slot = slots_[id % capacity_];
+  if (slot.seq.load(std::memory_order_acquire) != id + 1) return false;
+  RequestRecord r;
+  r.request_id = slot.req.load(std::memory_order_relaxed);
+  r.trace_id = slot.trace.load(std::memory_order_relaxed);
+  r.snapshot_id = slot.snap.load(std::memory_order_relaxed);
+  r.epoch = slot.epoch.load(std::memory_order_relaxed);
+  r.span_count = slot.spans.load(std::memory_order_relaxed);
+  r.source = slot.source.load(std::memory_order_relaxed);
+  r.end_ns = slot.end.load(std::memory_order_relaxed);
+  unpack_meta(slot.meta.load(std::memory_order_relaxed), r);
+  r.queue_s = bits2d(slot.queue.load(std::memory_order_relaxed));
+  r.exec_s = bits2d(slot.exec.load(std::memory_order_relaxed));
+  r.total_s = bits2d(slot.total.load(std::memory_order_relaxed));
+  for (std::size_t w = 0; w < kPlanWords; ++w) {
+    const std::uint64_t word = slot.plan[w].load(std::memory_order_relaxed);
+    std::memcpy(r.plan + w * 8, &word, 8);
+  }
+  r.plan[RequestRecord::kPlanChars - 1] = '\0';
+  if (slot.seq.load(std::memory_order_acquire) != id + 1) return false;
+  *out = r;
+  return true;
+}
+
+std::vector<RequestRecord> RequestLog::recent(std::size_t max_n) const {
+  std::vector<RequestRecord> out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+  for (std::uint64_t id = head; id > lo && out.size() < max_n; --id) {
+    RequestRecord r;
+    if (read_slot(id - 1, &r)) out.push_back(r);
+  }
+  return out;
+}
+
+bool RequestLog::find(std::uint64_t request_id, RequestRecord *out) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+  for (std::uint64_t id = head; id > lo; --id) {
+    RequestRecord r;
+    if (read_slot(id - 1, &r) && r.request_id == request_id) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SpanSelfTime> top_spans_by_self_time(
+    std::vector<grb::trace::Span> spans, std::size_t k) {
+  std::vector<SpanSelfTime> rows;
+  rows.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const grb::trace::Span &s = spans[i];
+    // Self-time = duration minus direct children: spans on the same thread
+    // one nesting level deeper whose interval lies inside this one.
+    std::uint64_t children_ns = 0;
+    for (std::size_t j = 0; j < spans.size(); ++j) {
+      const grb::trace::Span &c = spans[j];
+      if (j == i || c.tid != s.tid || c.depth != s.depth + 1) continue;
+      if (c.t0_ns >= s.t0_ns && c.t0_ns + c.dur_ns <= s.t0_ns + s.dur_ns) {
+        children_ns += c.dur_ns;
+      }
+    }
+    SpanSelfTime row;
+    row.span = s;
+    row.self_ns = s.dur_ns > children_ns ? s.dur_ns - children_ns : 0;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SpanSelfTime &a, const SpanSelfTime &b) {
+              return a.self_ns > b.self_ns;
+            });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::string json_escape(const std::string &s) {
+  std::string out;
+  out.reserve(s.size());
+  char buf[8];
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string slow_query_json(const RequestRecord &rec, const char *kind_name,
+                            const std::vector<SpanSelfTime> &top) {
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"request_id\":%" PRIu64 ",\"trace_id\":%" PRIu64
+      ",\"kind\":\"%s\",\"source\":%" PRIu64 ",\"status\":%d"
+      ",\"deadline_missed\":%s,\"batched\":%s,\"batch_size\":%u"
+      ",\"snapshot_id\":%" PRIu64 ",\"epoch\":%" PRIu64
+      ",\"queue_ms\":%.3f,\"exec_ms\":%.3f,\"total_ms\":%.3f"
+      ",\"span_count\":%" PRIu64,
+      rec.request_id, rec.trace_id, kind_name, rec.source,
+      static_cast<int>(rec.status), rec.deadline_missed ? "true" : "false",
+      rec.batched ? "true" : "false",
+      static_cast<unsigned>(rec.batch_size), rec.snapshot_id, rec.epoch,
+      rec.queue_s * 1e3, rec.exec_s * 1e3, rec.total_s * 1e3, rec.span_count);
+  out += buf;
+  out += ",\"plan\":\"" + json_escape(rec.plan) + "\"";
+  out += ",\"top_spans\":[";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const grb::trace::Span &s = top[i].span;
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"op\":\"%s\",\"self_ms\":%.3f,\"dur_ms\":%.3f"
+                  ",\"iter\":%" PRId64 ",\"in_nvals\":%" PRIu64
+                  ",\"out_nvals\":%" PRIu64 ",\"dir\":\"%s\",\"depth\":%u}",
+                  grb::trace::name(s.kind),
+                  static_cast<double>(top[i].self_ns) / 1e6,
+                  static_cast<double>(s.dur_ns) / 1e6, s.iter, s.in_nvals,
+                  s.out_nvals,
+                  grb::plan::name(static_cast<grb::plan::Direction>(
+                      s.direction)),
+                  static_cast<unsigned>(s.depth));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void SlowQueryLog::open(const std::string &path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!path.empty()) out_.open(path, std::ios::app);
+}
+
+void SlowQueryLog::emit(const std::string &json_line) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (out_.is_open()) {
+    out_ << json_line << '\n';
+    out_.flush();
+  }
+  tail_.push_back(json_line);
+  while (tail_.size() > kTailCapacity) tail_.pop_front();
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::string> SlowQueryLog::tail() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<std::string>(tail_.begin(), tail_.end());
+}
+
+}  // namespace service
+}  // namespace lagraph

@@ -344,4 +344,86 @@ TEST(StatsSnapshot, MatchesLiveCountersAndVisitsAll) {
   st.push_calls.fetch_sub(3, std::memory_order_relaxed);
 }
 
+TEST(Trace, RequestScopeStampsSpans) {
+  TraceGuard guard(1);
+  // Outside any scope, spans carry request id 0.
+  { grb::trace::ScopedSpan sp(SpanKind::mxv); }
+  {
+    grb::trace::RequestScope scope(42, 3);
+    EXPECT_EQ(grb::trace::current_request_id(), 42u);
+    { grb::trace::ScopedSpan sp(SpanKind::bfs_level); }
+    {
+      // Nesting: the inner scope wins while open, the outer is restored.
+      grb::trace::RequestScope inner(43);
+      { grb::trace::ScopedSpan sp(SpanKind::vxm); }
+      EXPECT_EQ(inner.spans_recorded(), 1u);
+    }
+    EXPECT_EQ(grb::trace::current_request_id(), 42u);
+    { grb::trace::ScopedSpan sp(SpanKind::ewise_add); }
+    EXPECT_EQ(scope.spans_recorded(), 3u);  // includes the nested span
+  }
+  EXPECT_EQ(grb::trace::current_request_id(), 0u);
+
+  std::uint64_t id0 = 99, id42 = 0, id43 = 0;
+  std::uint32_t members42 = 0;
+  for (const Span &s : grb::trace::collect()) {
+    if (s.kind == SpanKind::mxv) id0 = s.request_id;
+    if (s.kind == SpanKind::bfs_level) {
+      id42 = s.request_id;
+      members42 = s.batch_members;
+    }
+    if (s.kind == SpanKind::vxm) id43 = s.request_id;
+  }
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id42, 42u);
+  EXPECT_EQ(members42, 3u);
+  EXPECT_EQ(id43, 43u);
+}
+
+// Format lint for the exposition helpers: one # HELP + # TYPE per family
+// (in that order, before any sample), samples parse, label values escape.
+TEST(Trace, PrometheusHistogramFormat) {
+  grb::trace::Histogram h;
+  h.record(100);
+  h.record(2000);
+
+  std::ostringstream os;
+  grb::trace::write_prometheus_histogram(
+      os, "demo_seconds", grb::trace::prometheus_label("kind", "bfs"), h,
+      /*with_type_header=*/true, "Demo histogram.");
+  grb::trace::write_prometheus_histogram(
+      os, "demo_seconds", grb::trace::prometheus_label("kind", "sssp"), h,
+      /*with_type_header=*/false);
+  const std::string text = os.str();
+
+  // Exactly one HELP and one TYPE for the family, HELP first.
+  auto count_of = [&](const std::string &needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# HELP demo_seconds "), 1u);
+  EXPECT_EQ(count_of("# TYPE demo_seconds histogram"), 1u);
+  EXPECT_LT(text.find("# HELP demo_seconds"),
+            text.find("# TYPE demo_seconds"));
+  EXPECT_LT(text.find("# TYPE demo_seconds"),
+            text.find("demo_seconds_bucket"));
+  // Both label sets emitted samples; +Inf bucket and _count/_sum present.
+  EXPECT_NE(text.find("kind=\"bfs\""), std::string::npos);
+  EXPECT_NE(text.find("kind=\"sssp\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_EQ(count_of("demo_seconds_count"), 2u);
+  EXPECT_EQ(count_of("demo_seconds_sum"), 2u);
+
+  // Label escaping: backslash, quote, newline are the three specials.
+  EXPECT_EQ(grb::trace::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(grb::trace::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(grb::trace::prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(grb::trace::prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(grb::trace::prometheus_label("op", "x\"y"), "op=\"x\\\"y\"");
+}
+
 }  // namespace

@@ -28,10 +28,14 @@ present on only one side are reported but never fail the run (graph scale or
 thread sweep may legitimately differ between commits).
 
 Entries may optionally carry p50_ms / p95_ms / p99_ms percentile fields
-(written by newer harnesses). When a percentile is present on *both* sides of
-a matched cell its ratio is shown alongside the median; tail percentiles are
-informational only and never flag a regression (with few reps they collapse
-toward the max and are too noisy to gate on).
+(written by newer harnesses), and service entries may additionally carry
+queue_wait_p50_ms / queue_wait_p95_ms / queue_wait_p99_ms (the submit →
+worker-pickup share of the end-to-end latency, written since the telemetry
+work). When a percentile is present on *both* sides of a matched cell its
+ratio is shown alongside the median; all percentiles are informational only
+and never flag a regression (with few reps they collapse toward the max and
+are too noisy to gate on). A side lacking these fields — an older JSON —
+diffs without warnings; the extra columns simply don't appear.
 
 Entries may also carry memory fields (bytes_per_edge, peak_rss_mb — written
 by bench_kernels since the 32-bit index storage work). Unlike percentiles,
@@ -44,6 +48,25 @@ but moves far more than 10% only when something real regressed.
 import argparse
 import json
 import sys
+
+# Percentile fields are informational: compared when present on both sides,
+# silently ignored otherwise (older JSONs simply lack the newer columns).
+PCT_FIELDS = (
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "queue_wait_p50_ms",
+    "queue_wait_p95_ms",
+    "queue_wait_p99_ms",
+)
+PCT_LABELS = {
+    "p50_ms": "p50",
+    "p95_ms": "p95",
+    "p99_ms": "p99",
+    "queue_wait_p50_ms": "qw50",
+    "queue_wait_p95_ms": "qw95",
+    "queue_wait_p99_ms": "qw99",
+}
 
 
 def load_entries(path, role):
@@ -86,7 +109,7 @@ def load_entries(path, role):
             out[key] = float(e["median_ms"])
         pcts[key] = {
             p: float(e[p])
-            for p in ("p50_ms", "p95_ms", "p99_ms")
+            for p in PCT_FIELDS
             if p in e and float(e[p]) >= 0
         }
         mems[key] = {
@@ -170,7 +193,7 @@ def main():
         pct = ""
         shared_pcts = [
             p
-            for p in ("p50_ms", "p95_ms", "p99_ms")
+            for p in PCT_FIELDS
             if p in base_pct.get(key, {}) and p in cand_pct.get(key, {})
         ]
         if shared_pcts:
@@ -178,7 +201,7 @@ def main():
             for p in shared_pcts:
                 pb, pc = base_pct[key][p], cand_pct[key][p]
                 pr = pc / pb if pb > 0 else float("inf")
-                parts.append(f"{p[:3]} {pr:.2f}x")
+                parts.append(f"{PCT_LABELS[p]} {pr:.2f}x")
             pct = "  [" + ", ".join(parts) + "]"
         mem = ""
         shared_mems = [

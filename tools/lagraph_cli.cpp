@@ -23,6 +23,9 @@
 //                        the one-query-at-a-time baseline to compare against
 //                        (mutation lines are rejected: the baseline is
 //                        deterministic)
+//   top                  poll a running engine's /statusz telemetry endpoint
+//                        (--host/--port/--interval-ms/--count) and print a
+//                        one-line status per sample
 // Ingest commands (lagraph::ingest):
 //   mutate               stream a mutation script (or --mutations N random
 //                        edits) through an ingest::Writer and report the
@@ -51,6 +54,12 @@
 //   --no-batch           serve: disable batching (still multi-threaded)
 //   --prometheus FILE    serve/replay: write the engine's Prometheus text
 //                        exposition (counters + latency histograms) to FILE
+//   --telemetry-port P   serve: start the embedded HTTP telemetry server on
+//                        port P (0 = ephemeral; the bound port is printed)
+//   --serve-seconds S    serve: keep serving (and scraping) S seconds after
+//                        the script completes
+//   --slow-query-ms X    serve: threshold for the structured slow-query log
+//   --slow-query-log F   serve: append slow-query JSONL records to F
 //   --json               stats: dump graph summary + grb::Stats as JSON
 //   --burble             narrate algorithm iterations to stderr
 // Tracing (grb::trace):
@@ -78,6 +87,7 @@
 //                        (default fuzz_failure.repro)
 //   --emit-corpus DIR    fuzz: regenerate the seed corpus into DIR and exit
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -86,6 +96,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/generators.hpp"
@@ -93,6 +104,7 @@
 #include "ingest/writer.hpp"
 #include "lagraph/lagraph.hpp"
 #include "service/engine.hpp"
+#include "service/telemetry.hpp"
 
 namespace {
 
@@ -123,6 +135,14 @@ struct Options {
   std::string prometheus;
   std::string calibration;
   std::string calibration_out;
+  int telemetry_port = -1;      // serve: -1 = off, 0 = ephemeral
+  double serve_seconds = 0;     // serve: keep serving after the script
+  double slow_query_ms = 0;     // serve: slow-query threshold (0 = off)
+  std::string slow_query_log;   // serve: slow-query JSONL sink
+  std::string host = "127.0.0.1";  // top: telemetry host
+  int port = -1;                   // top: telemetry port
+  long interval_ms = 1000;         // top: poll interval
+  int count = 5;                   // top: iterations (0 = forever)
 };
 
 int usage() {
@@ -143,6 +163,10 @@ int usage() {
       "  trace: --trace-out FILE --sample N\n"
       "  serve/replay: --script FILE --threads N --window-us U "
       "--max-batch B --no-batch --prometheus FILE\n"
+      "  serve: --telemetry-port P (0 = ephemeral) --serve-seconds S\n"
+      "         --slow-query-ms X --slow-query-log FILE\n"
+      "  top: --host H --port P --interval-ms M --count N  (poll a running "
+      "engine's /statusz)\n"
       "  mutate: --script FILE | --mutations N  (script lines: ins/ups/del "
       "SRC DST [W], publish)\n");
   return 2;
@@ -164,7 +188,8 @@ bool parse_args(int argc, char **argv, Options &opt) {
   const char *known[] = {"bfs",    "pagerank", "pagerank-dangling", "sssp",
                          "tc",     "cc",       "bc",                "ktruss",
                          "lcc",    "cdlp",     "msbfs",             "stats",
-                         "explain", "serve",   "replay",            "mutate"};
+                         "explain", "serve",   "replay",            "mutate",
+                         "top"};
   bool ok = false;
   for (const char *k : known) ok = ok || opt.algorithm == k;
   if (!ok) {
@@ -219,6 +244,22 @@ bool parse_args(int argc, char **argv, Options &opt) {
           std::max(1, std::atoi(argv[++i])));
     } else if (a == "--prometheus" && need(1)) {
       opt.prometheus = argv[++i];
+    } else if (a == "--telemetry-port" && need(1)) {
+      opt.telemetry_port = std::atoi(argv[++i]);
+    } else if (a == "--serve-seconds" && need(1)) {
+      opt.serve_seconds = std::atof(argv[++i]);
+    } else if (a == "--slow-query-ms" && need(1)) {
+      opt.slow_query_ms = std::atof(argv[++i]);
+    } else if (a == "--slow-query-log" && need(1)) {
+      opt.slow_query_log = argv[++i];
+    } else if (a == "--host" && need(1)) {
+      opt.host = argv[++i];
+    } else if (a == "--port" && need(1)) {
+      opt.port = std::atoi(argv[++i]);
+    } else if (a == "--interval-ms" && need(1)) {
+      opt.interval_ms = std::atol(argv[++i]);
+    } else if (a == "--count" && need(1)) {
+      opt.count = std::atoi(argv[++i]);
     } else if (a == "--calibration" && need(1)) {
       opt.calibration = argv[++i];
     } else if (a == "--calibration-out" && need(1)) {
@@ -493,6 +534,55 @@ int run_fuzz(int argc, char **argv) {
   return 0;
 }
 
+// Naive single-key probe into the /statusz JSON — enough for a status line
+// without a JSON parser in the CLI. Finds the first `"key":` and reads the
+// number after it; returns fallback when the key is absent.
+double json_number(const std::string &body, const char *key, double fallback) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = body.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::atof(body.c_str() + pos + needle.size());
+}
+
+// `lagraph_cli top`: poll a running engine's /statusz and print a one-line
+// summary per sample — the curses-free `top` for a serving process.
+int run_top(const Options &opt) {
+  namespace svc = lagraph::service;
+  if (opt.port < 0) {
+    std::fprintf(stderr, "top: --port is required (the engine prints its "
+                 "telemetry port at startup)\n");
+    return 2;
+  }
+  std::printf("%-8s %9s %9s %6s %8s %7s %6s %9s\n", "uptime", "submitted",
+              "completed", "queue", "inflight", "workers", "slow",
+              "p50(ms)");
+  for (int it = 0; opt.count == 0 || it < opt.count; ++it) {
+    if (it > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+    const std::string body =
+        svc::TelemetryServer::http_get(opt.host, opt.port, "/statusz");
+    if (body.empty()) {
+      std::fprintf(stderr, "top: no response from %s:%d\n", opt.host.c_str(),
+                   opt.port);
+      return 1;
+    }
+    // Best exec p50 across kinds: probe the first latency entry only (the
+    // leading "exec_p50_ms" occurrence); absent until a query completes.
+    std::printf("%-8.1f %9.0f %9.0f %6.0f %8.0f %7.0f %6.0f %9.3f\n",
+                json_number(body, "uptime_s", 0),
+                json_number(body, "submitted", 0),
+                json_number(body, "completed", 0),
+                json_number(body, "queue_depth", 0),
+                json_number(body, "inflight", 0),
+                json_number(body, "active_workers", 0),
+                json_number(body, "slow_queries", 0),
+                json_number(body, "exec_p50_ms", 0));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 void print_top(const grb::Vector<double> &v, int top, const char *what) {
   std::vector<std::pair<double, grb::Index>> entries;
   v.for_each([&](grb::Index i, const double &x) { entries.emplace_back(x, i); });
@@ -524,6 +614,9 @@ int main(int argc, char **argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage();
   char msg[LAGRAPH_MSG_LEN];
+
+  // `top` talks to an already-running engine over HTTP; no graph to load.
+  if (opt.algorithm == "top") return run_top(opt);
 
   if (opt.trace) grb::config().trace_sample_every = opt.sample;
   if (opt.burble) grb::config().burble = true;
@@ -821,6 +914,9 @@ int main(int argc, char **argv) {
     cfg.batch_window = std::chrono::microseconds(opt.window_us);
     cfg.max_batch = opt.max_batch;
     cfg.enable_batching = !opt.no_batch;
+    cfg.telemetry_port = opt.telemetry_port;
+    cfg.slow_query_ms = opt.slow_query_ms;
+    cfg.slow_query_log = opt.slow_query_log;
     if (opt.algorithm == "replay") {
       // The one-query-at-a-time baseline: a single worker, no coalescing.
       cfg.threads = 1;
@@ -843,6 +939,35 @@ int main(int argc, char **argv) {
       svc::SnapshotPtr snap;
       LAGRAPH_TRY(svc::make_snapshot(&snap, std::move(g), msg));
       engine.install_snapshot(std::move(snap));
+    }
+    if (svc::TelemetryServer *tel = engine.telemetry()) {
+      if (tel->port() < 0) {
+        std::fprintf(stderr, "telemetry: failed to bind port %d\n",
+                     opt.telemetry_port);
+        return 1;
+      }
+      std::printf("telemetry: listening on 127.0.0.1:%d\n", tel->port());
+      std::fflush(stdout);
+      if (writer) {
+        // The ingest gauges live a layer above service; splice them into
+        // /metrics here where both libraries are visible.
+        ing::Writer *w = writer.get();
+        tel->set_extra_metrics([w] {
+          char buf[512];
+          std::snprintf(
+              buf, sizeof(buf),
+              "# HELP lagraph_ingest_pending Mutations queued but not yet "
+              "staged.\n"
+              "# TYPE lagraph_ingest_pending gauge\n"
+              "lagraph_ingest_pending %zu\n"
+              "# HELP lagraph_ingest_last_publish_seconds Wall time of the "
+              "most recent epoch publication.\n"
+              "# TYPE lagraph_ingest_last_publish_seconds gauge\n"
+              "lagraph_ingest_last_publish_seconds %.9f\n",
+              w->pending(), w->last_publish_seconds());
+          return std::string(buf);
+        });
+      }
     }
     std::printf("%s: %zu queries, %zu mutations on snapshot %llu, "
                 "%d worker(s), batching %s (window %ldus, max batch %u)\n",
@@ -881,6 +1006,14 @@ int main(int argc, char **argv) {
       }
     }
     if (writer) writer->publish_now();  // make trailing edits visible
+    if (opt.serve_seconds > 0) {
+      // Keep the engine (and its telemetry endpoint) alive for scrapers —
+      // the check.sh smoke test and `lagraph_cli top` attach here.
+      std::printf("serving for %.1fs...\n", opt.serve_seconds);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opt.serve_seconds));
+    }
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t batched = 0;
