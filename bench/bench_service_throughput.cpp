@@ -23,6 +23,15 @@
 // also records the queue-wait percentiles (submit → worker pickup) next to
 // the end-to-end latency so regressions attribute to scheduling vs kernels.
 //
+// --query measures the multi-op query optimizer instead: a pinned chain
+// pattern (MATCH (a)->(b)->(c)->(d) WHERE d = <far node>) is compiled and
+// executed on a kron graph twice — once with the optimizer (propagation
+// reordered to start at the pin, masks pushed into the pruning vxm/mxv,
+// cached A^T reused) and once as the naive textual-order unmasked baseline.
+// Both plans are bit-identical by the conformance suite, so the delta is
+// pure plan quality. Entries query_naive / query_optimized plus the
+// speedup land in BENCH_service.json.
+//
 // --telemetry additionally starts each engine's embedded HTTP telemetry
 // server on an ephemeral port — A/B two runs to measure the observability
 // overhead (budget: <= 2% on p50).
@@ -40,6 +49,7 @@
 
 #include "common.hpp"
 #include "ingest/writer.hpp"
+#include "query/query.hpp"
 #include "service/engine.hpp"
 
 namespace {
@@ -314,14 +324,121 @@ int run_mutation_mix() {
   return ok ? 0 : 1;
 }
 
+// -- --query ------------------------------------------------------------
+
+// Optimized vs naive compiled plans for one pinned chain query. The pin
+// sits on the last variable, so the naive textual-order sweep propagates
+// forward from an unconstrained (a) — every intermediate candidate set
+// stays near n and the DFS enumeration walks the whole fan-out before the
+// leaf check kills it. The optimizer starts at the pin, runs the pruning
+// vxm/mxv masked, and reuses the cached transpose for the reverse steps.
+int run_query_bench() {
+  namespace q = lagraph::query;
+  // Scale 10 by default: big enough that plan quality dominates the
+  // parse/compile constants, small enough that the naive side finishes in
+  // well under a second per trial on one core.
+  const int scale = std::min(bench::suite_scale(), 10);
+  const int trials = std::max(3, bench::suite_trials());
+  char msg[LAGRAPH_MSG_LEN];
+
+  const auto el = gen::kronecker(scale, bench::suite_edgefactor(), 42);
+  lagraph::Graph<double> g;
+  if (lagraph::make_graph(g, gen::to_matrix<double>(el),
+                          lagraph::Kind::adjacency_directed, msg) < 0) {
+    std::fprintf(stderr, "make_graph failed: %s\n", msg);
+    return 1;
+  }
+  g.a.finalize();
+  // The CSE inputs the optimizer can reuse: A^T and both degree vectors.
+  lagraph::property_at(g, msg);
+  lagraph::property_row_degree(g, msg);
+  lagraph::property_col_degree(g, msg);
+  (*g.at).finalize();
+  const grb::Index n = g.nodes();
+  std::printf("graph: kron scale %d, %llu nodes, %llu entries\n", scale,
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(g.entries()));
+
+  // Pin the chain's far end to a low-in-degree node so the optimized
+  // backward propagation collapses immediately.
+  char text[160];
+  std::snprintf(text, sizeof text,
+                "MATCH (a)-[]->(b)-[]->(c)-[]->(d) WHERE d = %llu "
+                "RETURN COUNT(*)",
+                static_cast<unsigned long long>(n - 1));
+  q::Query parsed;
+  if (q::parse(&parsed, text, msg) < 0) {
+    std::fprintf(stderr, "parse failed: %s\n", msg);
+    return 1;
+  }
+
+  auto best_of = [&](bool optimize, const char *label, double *count) {
+    q::QueryPlan plan;
+    if (q::compile(&plan, parsed, g, optimize, msg) < 0) {
+      std::fprintf(stderr, "compile failed: %s\n", msg);
+      return -1.0;
+    }
+    double best = 1e30;
+    for (int t = 0; t < trials; ++t) {
+      q::ResultSet rs;
+      lagraph::Timer timer;
+      lagraph::tic(timer);
+      if (q::execute(&rs, parsed, plan, g, msg) < 0) {
+        std::fprintf(stderr, "execute failed: %s\n", msg);
+        return -1.0;
+      }
+      best = std::min(best, lagraph::toc(timer));
+      *count = static_cast<double>(rs.data[0][0]);
+    }
+    std::printf("%-15s %s\n", label, plan.explain_line().c_str());
+    std::printf("%-15s count=%.0f, best %.6fs\n", label, *count, best);
+    return best;
+  };
+
+  double count_opt = -1, count_naive = -2;
+  const double t_opt = best_of(true, "query_optimized", &count_opt);
+  const double t_naive = best_of(false, "query_naive", &count_naive);
+  if (t_opt < 0 || t_naive < 0) return 1;
+  if (count_opt != count_naive) {
+    std::fprintf(stderr, "plan divergence: optimized count %.0f vs naive "
+                         "%.0f\n",
+                 count_opt, count_naive);
+    return 1;
+  }
+
+  const double speedup = t_naive / t_opt;
+  std::FILE *out = std::fopen("BENCH_service.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n  \"schema\": \"lagraph-service-bench-v1\",\n"
+                 "  \"suite\": \"kron\",\n  \"scale\": %d,\n"
+                 "  \"entries\": [\n"
+                 "    {\"workload\": \"query_naive\", \"op\": \"cypher\", "
+                 "\"threads\": 1, \"queries\": %d, \"best_s\": %.6f},\n"
+                 "    {\"workload\": \"query_optimized\", \"op\": "
+                 "\"cypher\", \"threads\": 1, \"queries\": %d, "
+                 "\"best_s\": %.6f, \"speedup_vs_naive\": %.3f}\n"
+                 "  ]\n}\n",
+                 scale, trials, t_naive, trials, t_opt, speedup);
+    std::fclose(out);
+    std::printf("wrote BENCH_service.json\n");
+  }
+  std::printf("optimized vs naive: %.2fx (target >= 2.0x) %s\n", speedup,
+              speedup >= 2.0 ? "PASS" : "FAIL");
+  return speedup >= 2.0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char **argv) {
   bool mutation_mix = false;
+  bool query_bench = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mutation-mix") == 0) mutation_mix = true;
+    if (std::strcmp(argv[i], "--query") == 0) query_bench = true;
     if (std::strcmp(argv[i], "--telemetry") == 0) g_with_telemetry = true;
   }
+  if (query_bench) return run_query_bench();
   if (mutation_mix) return run_mutation_mix();
   const int scale = std::max(16, bench::suite_scale());
   const int trials = std::max(1, bench::suite_trials());

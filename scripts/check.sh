@@ -13,14 +13,27 @@
 #        storage      index-width selection/promotion/guards + u32-vs-u64
 #                     kernel bit-identity (plus the same suite under
 #                     UBSan as the narrowing-conversion smoke),
-#        conformance  differential oracle suite incl. corpus replay and the
-#                     ingest snapshot-vs-rebuild fuzz sweep (tests_ingest),
+#        conformance  differential oracle suite incl. corpus replay (kernel
+#                     and query corpora) and the ingest snapshot-vs-rebuild
+#                     fuzz sweep (tests_ingest),
+#        query        lagraph::query parser/plan/exec units, optimizer
+#                     decision tests, golden-file queries, the EXPLAIN
+#                     stability golden, and a budgeted differential fuzz,
 #   2b. a budgeted conformance fuzz: lagraph_cli fuzz replays the committed
 #       corpus (tests/corpus/*.repro) then runs fresh seeded scenarios for
 #       --fuzz-seconds (default 30) wall-clock seconds; any mismatch exits
 #       non-zero and prints the failing seed + a shrunk repro — mutation
 #       prologues now interleave insert/delete/accumulate across flush
 #       boundaries, so the pending-tuple write path is fuzzed here too,
+#   2b'. a budgeted query fuzz: lagraph_cli fuzz --query replays the
+#        committed query corpus (tests/corpus/query/*.repro) then checks
+#        QUERY_FUZZ_OPS fresh pattern-query scenarios (default 10000)
+#        bit-exactly against the tuple-at-a-time oracle across the full
+#        config sweep in both compilation modes,
+#   2b''. a TSan leg: tests_query_stress rebuilt with
+#        -DLAGRAPH_SANITIZE=thread in a side build tree (BUILD_DIR-tsan)
+#        and run under the sanitizer — concurrent cypher traffic against a
+#        mutating ingest::Writer (SKIP_TSAN=1 skips),
 #   2c. an ingest smoke: lagraph_cli mutate streams a synthetic mixed
 #       mutation load through an ingest::Writer and check_graph-validates
 #       the final published snapshot,
@@ -49,6 +62,8 @@
 #                      never fail the gate (sub-ms cells
 #                      are noise)                        (default: 0.5)
 #   SKIP_SMOKE=1       skip step 3 entirely
+#   SKIP_TSAN=1        skip the TSan query-stress leg
+#   QUERY_FUZZ_OPS     scenario budget for the query fuzz   (default: 10000)
 #
 # Args:
 #   --fuzz-seconds N   wall-clock budget for the fresh-seed conformance
@@ -69,6 +84,7 @@ SMOKE_MIN_MS=${SMOKE_MIN_MS:-0.5}
 BASELINE=bench/baselines/BENCH_smoke.json
 FUZZ_SECONDS=30
 FUZZ_SEED=${FUZZ_SEED:-1}
+QUERY_FUZZ_OPS=${QUERY_FUZZ_OPS:-10000}
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -92,7 +108,7 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 step "tier-1: full ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
-for label in parallel concurrency plan obs storage conformance; do
+for label in parallel concurrency plan obs storage conformance query; do
   step "ctest -L $label"
   ctest --test-dir "$BUILD_DIR" -L "$label" --output-on-failure -j"$JOBS"
 done
@@ -120,6 +136,29 @@ step "conformance fuzz: corpus replay + ${FUZZ_SECONDS}s budget (seed $FUZZ_SEED
 # kernel plus the repro (as tests/corpus/<name>.repro) together.
 "$BUILD_DIR"/tools/lagraph_cli fuzz --corpus tests/corpus \
     --seconds "$FUZZ_SECONDS" --seed "$FUZZ_SEED"
+
+step "query fuzz: corpus replay + $QUERY_FUZZ_OPS scenarios (seed $FUZZ_SEED)"
+# Same contract one layer up: replays tests/corpus/query/*.repro, then
+# checks fresh pattern-query scenarios against the tuple-at-a-time oracle
+# under every RunConfig x {naive, optimized} compilation. A mismatch prints
+# the failing seed and writes a shrunk qscenario repro to
+# fuzz_failure.repro — commit it under tests/corpus/query/ with the fix.
+"$BUILD_DIR"/tools/lagraph_cli fuzz --query --corpus tests/corpus/query \
+    --ops "$QUERY_FUZZ_OPS" --seed "$FUZZ_SEED"
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  step "TSan query stress: skipped (SKIP_TSAN=1)"
+else
+  step "TSan query stress: tests_query_stress under -DLAGRAPH_SANITIZE=thread"
+  # Rebuilds only the query-stress target (plus its library closure) in a
+  # dedicated TSan tree and runs the concurrent-cypher-vs-mutating-writer
+  # suite under the sanitizer. This is the race gate for the new
+  # Engine::cypher path and the snapshot handoff it rides on.
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DLAGRAPH_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_DIR" -j"$JOBS" --target tests_query_stress >/dev/null
+  "$TSAN_DIR"/tests/query/tests_query_stress
+fi
 
 step "ingest smoke: lagraph_cli mutate --gen kron 10 --mutations 2048"
 # Streams a synthetic insert/upsert/delete mix through the epoch-publishing

@@ -1,0 +1,101 @@
+// query/ast.hpp — the query model and its recursive-descent parser.
+//
+// lagraph::query understands a small Cypher-like pattern language:
+//
+//   MATCH pattern (',' pattern)*
+//   [WHERE predicate (AND predicate)*]
+//   RETURN (COUNT(*) | var (',' var)*)
+//   [LIMIT <int>]
+//
+//   pattern   := node (edge node)*
+//   node      := '(' var ')'
+//   edge      := '-[]->' | '<-[]-' | '-[]-'
+//   predicate := var '=' <int>                        pin to a node id
+//              | var '<>' var                         inequality
+//              | var '.' ('out'|'in') cmp <int>       degree constraint
+//   cmp       := '>=' | '<=' | '>' | '<' | '='
+//
+// Keywords are case-insensitive; variables are [A-Za-z_][A-Za-z0-9_]*.
+// Semantics are homomorphism-based (two variables may bind the same node
+// unless separated by '<>') with bag results: every satisfying assignment
+// contributes one row, rows are projected onto the RETURN variables,
+// sorted lexicographically, then truncated by LIMIT. COUNT(*) yields a
+// single row holding the assignment count in a column named "count".
+//
+// The parser normalizes '<-[]-' into a forward edge with swapped
+// endpoints, so downstream passes only see `out` and `both` directions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lagraph {
+namespace query {
+
+enum class EdgeDir : std::uint8_t {
+  out,   // (src)-[]->(dst): requires A[src, dst]
+  both,  // (src)-[]-(dst):  requires A[src, dst] or A[dst, src]
+};
+
+enum class CmpOp : std::uint8_t { ge, le, gt, lt, eq };
+
+/// One relationship in a MATCH pattern, endpoints as variable indices.
+struct EdgeConstraint {
+  int src = -1;
+  int dst = -1;
+  EdgeDir dir = EdgeDir::out;
+};
+
+/// WHERE var = <node id>.
+struct PinConstraint {
+  int var = -1;
+  std::int64_t node = 0;
+};
+
+/// WHERE a <> b.
+struct NeqConstraint {
+  int a = -1;
+  int b = -1;
+};
+
+/// WHERE var.out >= k (and friends).
+struct DegreeConstraint {
+  int var = -1;
+  bool out_degree = true;
+  CmpOp cmp = CmpOp::ge;
+  std::int64_t bound = 0;
+};
+
+/// Parsed query: variables in first-appearance order plus the constraint
+/// lists the planner schedules over.
+struct Query {
+  std::vector<std::string> vars;
+  std::vector<EdgeConstraint> edges;
+  std::vector<PinConstraint> pins;
+  std::vector<NeqConstraint> neqs;
+  std::vector<DegreeConstraint> degs;
+
+  bool count_only = false;
+  std::vector<int> returns;   // variable indices; empty when count_only
+  std::int64_t limit = -1;    // -1 = no LIMIT clause
+
+  std::string text;  // original source text, kept for logs and round-trips
+
+  [[nodiscard]] int find_var(const std::string &name) const {
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Parse `text` into `*out`. Returns LAGRAPH_OK or LAGRAPH_INVALID_VALUE
+/// with a position-bearing message in `msg` (LAGRAPH_MSG_LEN bytes).
+int parse(Query *out, const std::string &text, char *msg);
+
+/// Human-readable comparison operator ('>=', '<=', ...).
+const char *cmp_name(CmpOp op);
+
+}  // namespace query
+}  // namespace lagraph

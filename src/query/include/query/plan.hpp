@@ -1,0 +1,110 @@
+// query/plan.hpp — multi-op planning and execution for pattern queries.
+//
+// Compilation lowers a parsed Query onto grb:: ops in two phases:
+//
+//   1. Candidate pruning (vectorized). Each variable gets a candidate
+//      vector seeded from its pins/degree predicates, then edge
+//      constraints propagate reachability between candidate sets with
+//      masked vxm/mxv over the adjacency (semiring any.pair — pure
+//      structure). Pruning is arc-consistency: it only ever removes
+//      nodes that cannot appear in any satisfying assignment, so the
+//      enumeration phase stays correct regardless of how aggressively
+//      (or lazily) the optimizer schedules these steps.
+//
+//   2. Enumeration (tuple building). A depth-first walk over the plan's
+//      variable order binds candidates, extending along adjacency rows
+//      where a neighbor is already bound, and re-checks every edge/neq
+//      constraint so phase 1 is never load-bearing for correctness.
+//
+// The *multi-op* optimizer sits above the per-op grb::plan cost model and
+// makes the whole-plan decisions (GraphBLAST's observation — the big wins
+// come from plan-level choices, not per-op tuning):
+//
+//   · ordering      — propagation starts from the most selective variable
+//                     (pins ≪ degree-filtered ≪ unconstrained) and walks
+//                     the constraint graph outward, then tightens
+//                     backwards; naive compilation instead sweeps edges
+//                     once, left to right, in textual order.
+//   · mask pushdown — when a target's candidate set is already strict,
+//                     the optimizer passes it as a structural mask into
+//                     the vxm/mxv itself (desc::S) instead of computing
+//                     the full reach and intersecting afterwards.
+//   · CSE           — cached snapshot properties are reused rather than
+//                     recomputed: A^T (Graph::transpose_view) serves
+//                     reverse traversal, cached row/col degree vectors
+//                     serve degree predicates.
+//
+// compile(..., optimize=false) produces the naive baseline plan; EXPLAIN
+// prints both so reorderings and pushdowns are diff-visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lagraph/graph.hpp"
+#include "query/ast.hpp"
+#include "query/resultset.hpp"
+
+namespace lagraph {
+namespace query {
+
+/// One compiled step of the candidate-pruning phase.
+struct PlanStep {
+  enum class Kind : std::uint8_t {
+    seed,           // initialize a variable's candidate vector
+    degree_filter,  // intersect candidates with a select() over degrees
+    prune,          // propagate candidates across one edge constraint
+  };
+
+  Kind kind = Kind::seed;
+  int var = -1;   // the variable this step constrains
+  int from = -1;  // prune: source variable
+  int edge = -1;  // prune: index into Query::edges
+  int deg = -1;   // degree_filter: index into Query::degs
+  /// prune: true propagates src→dst along the stored orientation,
+  /// false propagates dst→src (reverse traversal).
+  bool forward = true;
+  bool masked = false;         // mask pushed into the op (vs post-filter)
+  bool via_transpose = false;  // reverse step served by the cached A^T
+  double est_in = 0;           // estimated source candidates
+  double est_out = 0;          // estimated target candidates afterwards
+};
+
+/// A compiled query plan: the pruning schedule plus the enumeration order.
+struct QueryPlan {
+  bool optimized = true;
+  std::vector<PlanStep> steps;
+  std::vector<int> enum_order;  // variable indices, outermost first
+  std::vector<double> est;      // final per-variable candidate estimates
+  double avg_degree = 0;
+
+  // Cached snapshot properties the plan reuses (CSE) vs must compute.
+  bool reuse_transpose = false;
+  bool reuse_row_degree = false;
+  bool reuse_col_degree = false;
+
+  /// Multi-line plan rendering for `lagraph_cli explain query`.
+  [[nodiscard]] std::string explain(const Query &q) const;
+  /// One-line summary for RequestLog / slow-query records (≤ ~95 chars).
+  [[nodiscard]] std::string explain_line() const;
+};
+
+/// Compile `q` against `g` (shape + cached properties only — no kernel
+/// runs, so this is cheap enough for plan summaries and EXPLAIN).
+/// `optimize=false` yields the naive left-to-right baseline.
+int compile(QueryPlan *out, const Query &q, const Graph<double> &g,
+            bool optimize, char *msg);
+
+/// Execute a compiled plan. The result matches the tuple-at-a-time oracle
+/// bit-exactly for any correct plan (pruning is re-checked during
+/// enumeration).
+int execute(ResultSet *out, const Query &q, const QueryPlan &plan,
+            const Graph<double> &g, char *msg);
+
+/// parse + compile(optimized) + execute in one call.
+int run(ResultSet *out, const std::string &text, const Graph<double> &g,
+        char *msg);
+
+}  // namespace query
+}  // namespace lagraph

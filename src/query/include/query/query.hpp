@@ -1,0 +1,6 @@
+// query/query.hpp — umbrella header for lagraph::query.
+#pragma once
+
+#include "query/ast.hpp"        // IWYU pragma: export
+#include "query/plan.hpp"       // IWYU pragma: export
+#include "query/resultset.hpp"  // IWYU pragma: export

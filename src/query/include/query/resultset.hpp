@@ -1,0 +1,47 @@
+// query/resultset.hpp — the columnar result container for lagraph::query.
+//
+// Query results are tables of node ids. Storage is column-major
+// (`data[c][r]`) so the service layer can hand a whole column to a client
+// without re-pivoting, and so equality — the contract the differential
+// oracle checks bit-exactly — is a plain vector compare per column.
+//
+// Row order is part of the query semantics (rows are sorted
+// lexicographically before LIMIT is applied), so operator== compares rows
+// in order, not as a bag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lagraph {
+namespace query {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  /// Column-major payload: data[c][r]. All columns share the same length.
+  std::vector<std::vector<std::int64_t>> data;
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return data.empty() ? 0 : data[0].size();
+  }
+  [[nodiscard]] std::size_t cols() const noexcept { return columns.size(); }
+
+  void clear() {
+    columns.clear();
+    data.clear();
+  }
+
+  bool operator==(const ResultSet &o) const {
+    return columns == o.columns && data == o.data;
+  }
+  bool operator!=(const ResultSet &o) const { return !(*this == o); }
+
+  /// Render as a header line plus one row per line, space-separated —
+  /// the same format gen_golden.py writes for the golden query fixtures.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace query
+}  // namespace lagraph

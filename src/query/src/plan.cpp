@@ -1,0 +1,303 @@
+// query/src/plan.cpp — the multi-op query optimizer and EXPLAIN renderers.
+//
+// Compilation is pure planning: it reads only the graph's shape (n, nnz)
+// and which cached properties exist, never runs a kernel, so it is cheap
+// enough to serve `EXPLAIN` and the engine's per-request plan summaries.
+//
+// Estimates are deliberately simple (uniform-degree model): a pinned
+// variable has 1 candidate, a degree-filtered one n/2 per predicate, an
+// unconstrained one n; propagating across an edge multiplies by the
+// average degree. That is enough to pick a propagation root and an
+// enumeration order — correctness never depends on the numbers because
+// enumeration re-checks every constraint.
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lagraph/status.hpp"
+#include "query/plan.hpp"
+
+namespace lagraph {
+namespace query {
+
+namespace {
+
+/// Clamped candidate estimate after applying one edge hop.
+double hop(double src_est, double avg_degree, double n) {
+  const double e = src_est * std::max(avg_degree, 1.0);
+  return std::min(e, n);
+}
+
+/// Seed + degree-filter steps shared by both compilation modes. Returns
+/// the post-filter estimates in `est`.
+void emit_seeds(const Query &q, QueryPlan *p, double n) {
+  const int nv = static_cast<int>(q.vars.size());
+  p->est.assign(static_cast<std::size_t>(nv), n);
+  std::vector<char> pinned(static_cast<std::size_t>(nv), 0);
+  for (const PinConstraint &pin : q.pins) pinned[pin.var] = 1;
+  for (int v = 0; v < nv; ++v) {
+    if (pinned[v]) p->est[v] = 1.0;
+    PlanStep s;
+    s.kind = PlanStep::Kind::seed;
+    s.var = v;
+    s.est_out = p->est[v];
+    p->steps.push_back(s);
+  }
+  for (std::size_t i = 0; i < q.degs.size(); ++i) {
+    const DegreeConstraint &d = q.degs[i];
+    PlanStep s;
+    s.kind = PlanStep::Kind::degree_filter;
+    s.var = d.var;
+    s.deg = static_cast<int>(i);
+    s.est_in = p->est[d.var];
+    p->est[d.var] = std::max(p->est[d.var] * 0.5, 1.0);
+    s.est_out = p->est[d.var];
+    p->steps.push_back(s);
+  }
+}
+
+/// Emit one prune step propagating candidates from `from` across edge `e`.
+void emit_prune(const Query &q, QueryPlan *p, int eidx, int from, double n) {
+  const EdgeConstraint &e = q.edges[eidx];
+  const int to = (from == e.src) ? e.dst : e.src;
+  PlanStep s;
+  s.kind = PlanStep::Kind::prune;
+  s.edge = eidx;
+  s.from = from;
+  s.var = to;
+  s.forward = (from == e.src);
+  // Reverse traversal (and the reverse half of a '-[]-' edge) is served by
+  // the cached transpose when the snapshot carries one (CSE); otherwise the
+  // executor falls back to a pull-style mxv over A.
+  const bool needs_reverse = !s.forward || e.dir == EdgeDir::both;
+  s.via_transpose = needs_reverse && p->reuse_transpose;
+  // Mask pushdown: once the target's candidate set is already strict,
+  // hand it to the op as a structural mask instead of post-filtering.
+  s.masked = p->optimized && p->est[to] < n;
+  s.est_in = p->est[from];
+  s.est_out = std::min(p->est[to], hop(p->est[from], p->avg_degree, n));
+  p->est[to] = s.est_out;
+  p->steps.push_back(s);
+}
+
+/// Naive baseline: one left-to-right sweep over the edges in textual
+/// order, no mask pushdown, enumeration in textual variable order.
+void schedule_naive(const Query &q, QueryPlan *p, double n) {
+  for (std::size_t i = 0; i < q.edges.size(); ++i) {
+    emit_prune(q, p, static_cast<int>(i), q.edges[i].src, n);
+  }
+  p->enum_order.resize(q.vars.size());
+  for (std::size_t v = 0; v < q.vars.size(); ++v) {
+    p->enum_order[v] = static_cast<int>(v);
+  }
+}
+
+/// Optimized schedule: start propagation at the most selective variable,
+/// walk the constraint graph outward (BFS), then tighten backwards by
+/// replaying the emitted prunes in reverse. Enumeration binds the
+/// cheapest connected variable next.
+void schedule_optimized(const Query &q, QueryPlan *p, double n) {
+  const int nv = static_cast<int>(q.vars.size());
+  const int ne = static_cast<int>(q.edges.size());
+  std::vector<char> visited(static_cast<std::size_t>(nv), 0);
+  std::vector<char> handled(static_cast<std::size_t>(ne), 0);
+  const std::size_t first_prune = p->steps.size();
+
+  for (;;) {
+    int root = -1;
+    for (int v = 0; v < nv; ++v) {
+      if (!visited[v] && (root < 0 || p->est[v] < p->est[root])) root = v;
+    }
+    if (root < 0) break;
+    std::vector<int> queue{root};
+    visited[root] = 1;
+    for (std::size_t h = 0; h < queue.size(); ++h) {
+      const int x = queue[h];
+      for (int eidx = 0; eidx < ne; ++eidx) {
+        if (handled[eidx]) continue;
+        const EdgeConstraint &e = q.edges[eidx];
+        if (e.src != x && e.dst != x) continue;
+        handled[eidx] = 1;
+        const int y = (e.src == x) ? e.dst : e.src;
+        emit_prune(q, p, eidx, x, n);
+        if (!visited[y]) {
+          visited[y] = 1;
+          queue.push_back(y);
+        }
+      }
+    }
+  }
+
+  // Backward tightening: the outward pass constrained leaves from the
+  // root; replaying it reversed pushes the leaves' (now strict) candidate
+  // sets back toward the root.
+  const std::size_t last_prune = p->steps.size();
+  for (std::size_t i = last_prune; i-- > first_prune;) {
+    const PlanStep fwd = p->steps[i];  // copy: emit_prune reallocates
+    emit_prune(q, p, fwd.edge, fwd.var, n);
+  }
+
+  // Enumeration order: cheapest variable first, preferring one connected
+  // to the already-ordered set so extension walks adjacency rows instead
+  // of scanning candidate lists.
+  std::vector<char> ordered(static_cast<std::size_t>(nv), 0);
+  for (int step = 0; step < nv; ++step) {
+    int best = -1;
+    bool best_conn = false;
+    for (int v = 0; v < nv; ++v) {
+      if (ordered[v]) continue;
+      bool conn = false;
+      for (const EdgeConstraint &e : q.edges) {
+        const int o = (e.src == v) ? e.dst : (e.dst == v ? e.src : -1);
+        if (o >= 0 && o != v && ordered[o]) {
+          conn = true;
+          break;
+        }
+      }
+      if (best < 0 || (conn && !best_conn) ||
+          (conn == best_conn && p->est[v] < p->est[best])) {
+        best = v;
+        best_conn = conn;
+      }
+    }
+    ordered[best] = 1;
+    p->enum_order.push_back(best);
+  }
+}
+
+void append(std::string *out, const char *fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+const char *edge_arrow(EdgeDir dir) {
+  return dir == EdgeDir::out ? "-[]->" : "-[]-";
+}
+
+}  // namespace
+
+int compile(QueryPlan *out, const Query &q, const Graph<double> &g,
+            bool optimize, char *msg) {
+  detail::clear_msg(msg);
+  if (out == nullptr) {
+    return detail::set_msg(msg, LAGRAPH_NULL_POINTER, "compile: out is null");
+  }
+  if (q.vars.empty()) {
+    return detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                           "compile: query has no variables");
+  }
+  *out = QueryPlan{};
+  out->optimized = optimize;
+  const double n = static_cast<double>(g.a.nrows());
+  out->avg_degree =
+      n > 0 ? static_cast<double>(g.a.nvals()) / n : 0.0;
+  out->reuse_transpose = g.transpose_view() != nullptr;
+  out->reuse_row_degree = g.row_degree.has_value();
+  out->reuse_col_degree =
+      g.col_degree.has_value() ||
+      (g.kind == Kind::adjacency_undirected && g.row_degree.has_value());
+
+  emit_seeds(q, out, n);
+  if (optimize) {
+    schedule_optimized(q, out, n);
+  } else {
+    schedule_naive(q, out, n);
+  }
+  return LAGRAPH_OK;
+}
+
+std::string QueryPlan::explain(const Query &q) const {
+  std::string out;
+  append(&out, "query plan (%s): %zu vars, %zu edges, avg degree %.2f\n",
+         optimized ? "optimized" : "naive", q.vars.size(), q.edges.size(),
+         avg_degree);
+  append(&out, "cse: transpose=%s row_degree=%s col_degree=%s\n",
+         reuse_transpose ? "cached" : "computed",
+         reuse_row_degree ? "cached" : "computed",
+         reuse_col_degree ? "cached" : "computed");
+  int i = 0;
+  for (const PlanStep &s : steps) {
+    ++i;
+    switch (s.kind) {
+      case PlanStep::Kind::seed:
+        if (s.est_out == 1.0) {
+          append(&out, "%3d. seed %s := pinned (est 1)\n", i,
+                 q.vars[s.var].c_str());
+        } else {
+          append(&out, "%3d. seed %s := all (est %.3g)\n", i,
+                 q.vars[s.var].c_str(), s.est_out);
+        }
+        break;
+      case PlanStep::Kind::degree_filter: {
+        const DegreeConstraint &d = q.degs[s.deg];
+        append(&out, "%3d. filter %s.%s %s %lld via select(%s) est %.3g -> %.3g\n",
+               i, q.vars[s.var].c_str(), d.out_degree ? "out" : "in",
+               cmp_name(d.cmp), static_cast<long long>(d.bound),
+               d.out_degree ? "row_degree" : "col_degree", s.est_in,
+               s.est_out);
+        break;
+      }
+      case PlanStep::Kind::prune: {
+        const EdgeConstraint &e = q.edges[s.edge];
+        const char *op;
+        if (e.dir == EdgeDir::both) {
+          op = s.via_transpose ? "vxm(A)+vxm(A^T)" : "vxm(A)+mxv(A)";
+        } else if (s.forward) {
+          op = "vxm(A)";
+        } else {
+          op = s.via_transpose ? "vxm(A^T)" : "mxv(A)";
+        }
+        append(&out,
+               "%3d. prune %s <- %s over (%s)%s(%s) %s[any.pair] mask=%s "
+               "est %.3g -> %.3g\n",
+               i, q.vars[s.var].c_str(), q.vars[s.from].c_str(),
+               q.vars[e.src].c_str(), edge_arrow(e.dir),
+               q.vars[e.dst].c_str(), op,
+               s.masked ? "pushed" : "post-filter", s.est_in, s.est_out);
+        break;
+      }
+    }
+  }
+  out += "enum order:";
+  for (const int v : enum_order) {
+    out += ' ';
+    out += q.vars[v];
+  }
+  out += '\n';
+  return out;
+}
+
+std::string QueryPlan::explain_line() const {
+  std::size_t prunes = 0;
+  std::size_t masked = 0;
+  for (const PlanStep &s : steps) {
+    if (s.kind != PlanStep::Kind::prune) continue;
+    ++prunes;
+    if (s.masked) ++masked;
+  }
+  std::string cse;
+  if (reuse_transpose) cse += "at,";
+  if (reuse_row_degree || reuse_col_degree) cse += "deg,";
+  if (!cse.empty()) cse.pop_back();
+  std::string order;
+  for (const int v : enum_order) {
+    if (!order.empty()) order += ',';
+    order += std::to_string(v);
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "cypher[%s] vars=%zu prunes=%zu masked=%zu order=%s cse=%s",
+                optimized ? "opt" : "naive", est.size(), prunes, masked,
+                order.c_str(), cse.empty() ? "none" : cse.c_str());
+  return buf;
+}
+
+}  // namespace query
+}  // namespace lagraph

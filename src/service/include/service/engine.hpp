@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "lagraph/lagraph.hpp"
+#include "query/resultset.hpp"
 #include "service/request_log.hpp"
 #include "service/snapshot.hpp"
 
@@ -44,7 +45,7 @@ inline constexpr int LAGRAPH_SERVICE_NO_SNAPSHOT = -34;  // nothing installed
 namespace lagraph {
 namespace service {
 
-enum class QueryKind : std::uint8_t { bfs, sssp, pagerank, tc };
+enum class QueryKind : std::uint8_t { bfs, sssp, pagerank, tc, cypher };
 
 const char *query_kind_name(QueryKind k);
 
@@ -55,6 +56,7 @@ struct Request {
   double damping = 0.85;  ///< pagerank
   double tol = 1e-7;      ///< pagerank convergence threshold
   int itermax = 100;      ///< pagerank iteration cap
+  std::string query;      ///< cypher: pattern-query source text
   /// Optional deadline; a request still queued past it is failed with
   /// LAGRAPH_SERVICE_DEADLINE instead of executed. Default (epoch) = none.
   std::chrono::steady_clock::time_point deadline{};
@@ -81,6 +83,8 @@ struct QueryResult {
   grb::Vector<double> ranks;        ///< pagerank
   std::uint64_t triangles = 0;      ///< tc
   int iterations = 0;               ///< pagerank iterations taken
+  query::ResultSet table;           ///< cypher: columnar resultset
+  std::string plan;                 ///< cypher: compiled-plan one-liner
 };
 
 struct EngineConfig {
@@ -233,7 +237,7 @@ class Engine {
                    std::uint64_t span_count, std::uint64_t trace_id,
                    const std::string &plan_summary);
 
-  static constexpr int kNumQueryKinds = 4;
+  static constexpr int kNumQueryKinds = 5;
   // Indexed by QueryKind; recordable from any worker without the lock.
   grb::trace::Histogram exec_hist_[kNumQueryKinds];
   grb::trace::Histogram queue_hist_[kNumQueryKinds];

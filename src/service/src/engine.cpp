@@ -11,6 +11,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "query/query.hpp"
 #include "service/telemetry.hpp"
 
 namespace lagraph {
@@ -44,8 +45,20 @@ constexpr std::size_t kSlowLogTopSpans = 5;
 /// snapshot. Cheap (a cache probe under an installed CacheScope, a pure
 /// cost-model run otherwise).
 std::string plan_summary_for(const Request &req, const GraphSnapshot &snap) {
-  grb::plan::OpDesc d;
   const Graph<double> &g = snap.graph();
+  if (req.kind == QueryKind::cypher) {
+    // The cypher plan summary is the multi-op optimizer's own one-liner
+    // (parse + compile are pure planning — no kernels run).
+    query::Query q;
+    query::QueryPlan plan;
+    if (query::parse(&q, req.query, nullptr) != LAGRAPH_OK ||
+        query::compile(&plan, q, g, /*optimize=*/true, nullptr) !=
+            LAGRAPH_OK) {
+      return "cypher[invalid]";
+    }
+    return plan.explain_line();
+  }
+  grb::plan::OpDesc d;
   const grb::Index n = g.a.nrows();
   d.a_rows = n;
   d.a_cols = g.a.ncols();
@@ -77,6 +90,8 @@ std::string plan_summary_for(const Request &req, const GraphSnapshot &snap) {
       d.mask_nvals = d.a_nvals;
       d.operands_aliased = true;
       break;
+    case QueryKind::cypher:
+      break;  // handled above
   }
   return grb::plan::make_plan(d).explain_line();
 }
@@ -89,6 +104,7 @@ const char *query_kind_name(QueryKind k) {
     case QueryKind::sssp: return "sssp";
     case QueryKind::pagerank: return "pagerank";
     case QueryKind::tc: return "tc";
+    case QueryKind::cypher: return "cypher";
   }
   return "?";
 }
@@ -609,6 +625,19 @@ void Engine::run_solo(Pending p) {
                                           TcPresort::automatic,
                                           /*fused=*/true, msg);
       break;
+    case QueryKind::cypher: {
+      query::Query q;
+      r.status = query::parse(&q, p.req.query, msg);
+      if (r.status >= 0) {
+        query::QueryPlan qplan;
+        r.status = query::compile(&qplan, q, g, /*optimize=*/true, msg);
+        if (r.status >= 0) {
+          r.plan = qplan.explain_line();
+          r.status = query::execute(&r.table, q, qplan, g, msg);
+        }
+      }
+      break;
+    }
   }
 
   const auto end = Clock::now();
@@ -618,7 +647,10 @@ void Engine::run_solo(Pending p) {
   if (r.status < 0) r.error = msg;
   const bool ok = r.status >= 0;
   // Still inside the plan CacheScope: the summary probe is a cache hit.
-  const std::string summary = plan_summary_for(p.req, *p.snap);
+  // Cypher requests already carry their compiled plan's one-liner.
+  const std::string summary = (p.req.kind == QueryKind::cypher && !r.plan.empty())
+                                  ? r.plan
+                                  : plan_summary_for(p.req, *p.snap);
   {
     // Count before set_value so waiters never see a ready future ahead of
     // the completion counters.

@@ -176,6 +176,123 @@ def components(n, adj):
     return [lab[comp[v]] for v in range(n)]
 
 
+def arcs_of(n, directed, edges):
+    """Directed arc set: undirected graphs contribute both directions
+    (matching Kind::adjacency_undirected's symmetrized adjacency)."""
+    arcs = set()
+    for u, v, _ in edges:
+        arcs.add((u, v))
+        if not directed:
+            arcs.add((v, u))
+    return arcs
+
+
+def eval_query(n, arcs, spec):
+    """Tuple-at-a-time reference for the lagraph::query golden tests:
+    enumerate every assignment of pattern variables to nodes (homomorphism
+    semantics), check every constraint, project, sort, LIMIT. Written with
+    no reference to the compiled pipeline — plain nested loops.
+
+    spec keys: nv (variable count), edges [(src, dst, dir)] with dir in
+    {'out', 'both'}, pins [(var, node)], neqs [(a, b)],
+    degs [(var, 'out'|'in', cmp, bound)], count_only, returns [var...],
+    limit (-1 = none), columns [name...].
+    """
+    outdeg = [0] * n
+    indeg = [0] * n
+    for (u, v) in arcs:
+        outdeg[u] += 1
+        indeg[v] += 1
+    cmps = {
+        ">=": lambda x, k: x >= k,
+        "<=": lambda x, k: x <= k,
+        ">": lambda x, k: x > k,
+        "<": lambda x, k: x < k,
+        "=": lambda x, k: x == k,
+    }
+
+    def ok(asg):
+        for var, node in spec.get("pins", []):
+            if asg[var] != node:
+                return False
+        for a, b in spec.get("neqs", []):
+            if asg[a] == asg[b]:
+                return False
+        for var, which, cmp, bound in spec.get("degs", []):
+            deg = outdeg[asg[var]] if which == "out" else indeg[asg[var]]
+            if not cmps[cmp](deg, bound):
+                return False
+        for src, dst, direction in spec["edges"]:
+            fwd = (asg[src], asg[dst]) in arcs
+            if direction == "out":
+                if not fwd:
+                    return False
+            else:  # 'both'
+                if not fwd and (asg[dst], asg[src]) not in arcs:
+                    return False
+        return True
+
+    matches = 0
+    rows = []
+    nv = spec["nv"]
+    asg = [0] * nv
+
+    def rec(d):
+        nonlocal matches
+        if d == nv:
+            if ok(asg):
+                matches += 1
+                if not spec.get("count_only"):
+                    rows.append([asg[v] for v in spec["returns"]])
+            return
+        for node in range(n):
+            asg[d] = node
+            rec(d + 1)
+
+    rec(0)
+    if spec.get("count_only"):
+        rows = [[matches]]
+    else:
+        rows.sort()
+    limit = spec.get("limit", -1)
+    if limit >= 0:
+        rows = rows[:limit]
+    return spec["columns"], rows
+
+
+def write_query(path, columns, rows):
+    with open(path, "w") as f:
+        f.write(" ".join(columns) + "\n")
+        for row in rows:
+            f.write(" ".join(str(x) for x in row) + "\n")
+
+
+# The fixed queries of the golden query tests (tests/query/test_exec.cpp
+# holds the same strings verbatim). Key = golden-file suffix.
+GOLDEN_QUERIES = {
+    "karate": {
+        # MATCH (a)-[]-(b) WHERE a = 0 RETURN b
+        "q_nbrs": dict(nv=2, edges=[(0, 1, "both")], pins=[(0, 0)],
+                       returns=[1], columns=["b"]),
+        # MATCH (a)-[]->(b)-[]->(c) WHERE a = 33 AND a <> c RETURN COUNT(*)
+        "q_wedge_count": dict(nv=3, edges=[(0, 1, "out"), (1, 2, "out")],
+                              pins=[(0, 33)], neqs=[(0, 2)],
+                              count_only=True, columns=["count"]),
+    },
+    "path": {
+        # MATCH (a)-[]->(b)-[]->(c) RETURN a, c LIMIT 5
+        "q_pairs": dict(nv=3, edges=[(0, 1, "out"), (1, 2, "out")],
+                        returns=[0, 2], limit=5, columns=["a", "c"]),
+    },
+    "wdag": {
+        # MATCH (a)-[]->(b) WHERE a.out >= 2 RETURN a, b
+        "q_fanout": dict(nv=2, edges=[(0, 1, "out")],
+                        degs=[(0, "out", ">=", 2)],
+                        returns=[0, 1], columns=["a", "b"]),
+    },
+}
+
+
 def write_vec(path, values, fmt):
     with open(path, "w") as f:
         for i, x in enumerate(values):
@@ -205,6 +322,10 @@ def main():
         if not directed:  # triangle counting needs a symmetric pattern
             with open(out("tc"), "w") as f:
                 f.write(f"{triangles(n, adj)}\n")
+        arcs = arcs_of(n, directed, edges)
+        for suffix, spec in GOLDEN_QUERIES.get(name, {}).items():
+            cols, rows = eval_query(n, arcs, spec)
+            write_query(out(suffix), cols, rows)
         print(f"{name}: n={n} directed={int(directed)} edges={len(edges)}")
     return 0
 

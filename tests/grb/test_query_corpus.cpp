@@ -1,0 +1,36 @@
+// Query-corpus replay, alongside the kernel corpus in the conformance
+// suite: every committed tests/corpus/query/*.repro must parse and agree
+// with the tuple-at-a-time oracle under the full RunConfig sweep in both
+// compilation modes. The corpus is regenerated (seed_*.repro only) with
+// `lagraph_cli fuzz --query --emit-corpus tests/corpus/query`; the
+// shrunk_*.repro files are hand-reduced regressions and never regenerated.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/testing/qtest.hpp"
+
+#ifndef LAGRAPH_CORPUS_DIR
+#define LAGRAPH_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace qt = lagraph::query::testing;
+
+TEST(QueryConformance, QueryCorpusReplaysClean) {
+  const std::string dir = std::string(LAGRAPH_CORPUS_DIR) + "/query";
+  grb::testing::ReplayOutcome out = qt::replay_corpus(dir);
+  EXPECT_GE(out.files, 2) << "query corpus missing or too small: " << dir;
+  EXPECT_EQ(out.failures, 0) << out.detail;
+  EXPECT_GT(out.instances, 0u);
+}
+
+TEST(QueryConformance, HandShrunkRegressionsPresent) {
+  std::string err;
+  for (const char *name : {"shrunk_degree_hub", "shrunk_pin_cycle"}) {
+    const std::string path = std::string(LAGRAPH_CORPUS_DIR) + "/query/" +
+                             name + ".repro";
+    auto mm = qt::replay_file(path, &err);
+    EXPECT_TRUE(err.empty()) << path << ": " << err;
+    EXPECT_FALSE(mm.has_value()) << mm->to_string();
+  }
+}

@@ -1,0 +1,194 @@
+// Multi-op optimizer unit tests: the compiled pruning schedule itself —
+// edge-chain reordering away from textual order, mask pushdown into the
+// traversal ops, cached-property CSE, the naive baseline's shape, and the
+// EXPLAIN renderings the CLI and the request log surface.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "query/query.hpp"
+
+namespace q = lagraph::query;
+using grb::Index;
+
+namespace {
+
+// A directed "funnel": a few hub nodes 0..2 fan out to everything, node
+// n-1 has exactly one in-edge. Selectivity differences the optimizer can
+// exploit are extreme by construction.
+lagraph::Graph<double> funnel_graph(Index n, bool cache_properties) {
+  grb::Matrix<double> a(n, n);
+  for (Index h = 0; h < 3; ++h) {
+    for (Index v = 3; v + 1 < n; ++v) a.set_element(h, v, 1.0);
+  }
+  a.set_element(3, n - 1, 1.0);
+  lagraph::Graph<double> g;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(lagraph::make_graph(g, std::move(a),
+                                lagraph::Kind::adjacency_directed, msg),
+            LAGRAPH_OK)
+      << msg;
+  g.a.finalize();
+  if (cache_properties) {
+    EXPECT_EQ(lagraph::property_at(g, msg), LAGRAPH_OK) << msg;
+    EXPECT_EQ(lagraph::property_row_degree(g, msg), LAGRAPH_OK) << msg;
+    EXPECT_EQ(lagraph::property_col_degree(g, msg), LAGRAPH_OK) << msg;
+    (*g.at).finalize();
+  }
+  return g;
+}
+
+q::Query parse_ok(const std::string &text) {
+  q::Query p;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(q::parse(&p, text, msg), LAGRAPH_OK) << msg;
+  return p;
+}
+
+q::QueryPlan compile_ok(const q::Query &p, const lagraph::Graph<double> &g,
+                        bool optimize) {
+  q::QueryPlan plan;
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_EQ(q::compile(&plan, p, g, optimize, msg), LAGRAPH_OK) << msg;
+  return plan;
+}
+
+std::vector<int> prune_edge_sequence(const q::QueryPlan &plan) {
+  std::vector<int> seq;
+  for (const auto &s : plan.steps) {
+    if (s.kind == q::PlanStep::Kind::prune) seq.push_back(s.edge);
+  }
+  return seq;
+}
+
+int masked_prunes(const q::QueryPlan &plan) {
+  int k = 0;
+  for (const auto &s : plan.steps) {
+    if (s.kind == q::PlanStep::Kind::prune && s.masked) ++k;
+  }
+  return k;
+}
+
+const char *kChain =
+    "MATCH (a)-[]->(b)-[]->(c)-[]->(d) WHERE d = 63 RETURN COUNT(*)";
+
+}  // namespace
+
+TEST(QueryPlan, NaiveBaselineIsTextualOrderAndUnmasked) {
+  auto g = funnel_graph(64, /*cache_properties=*/true);
+  q::Query p = parse_ok(kChain);
+  q::QueryPlan plan = compile_ok(p, g, /*optimize=*/false);
+  EXPECT_FALSE(plan.optimized);
+  // One pass over the edges in textual order, each propagated forward.
+  EXPECT_EQ(prune_edge_sequence(plan), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(masked_prunes(plan), 0);
+  // Enumeration in textual variable order.
+  EXPECT_EQ(plan.enum_order, (std::vector<int>{0, 1, 2, 3}));
+  for (const auto &s : plan.steps) {
+    if (s.kind == q::PlanStep::Kind::prune) {
+      EXPECT_TRUE(s.forward);
+    }
+  }
+}
+
+TEST(QueryPlan, OptimizerReordersChainToStartFromThePin) {
+  auto g = funnel_graph(64, /*cache_properties=*/true);
+  q::Query p = parse_ok(kChain);
+  q::QueryPlan plan = compile_ok(p, g, /*optimize=*/true);
+  EXPECT_TRUE(plan.optimized);
+  auto seq = prune_edge_sequence(plan);
+  ASSERT_FALSE(seq.empty());
+  // Propagation must begin at the pinned variable d, i.e. with the last
+  // textual edge (c)-[]->(d) walked in reverse — not edge 0.
+  EXPECT_EQ(seq.front(), 2);
+  const auto &first = plan.steps[4];  // after the 4 seeds
+  EXPECT_EQ(first.kind, q::PlanStep::Kind::prune);
+  EXPECT_FALSE(first.forward);
+  EXPECT_EQ(first.from, p.find_var("d"));
+  // And the enumeration order starts at the pin too.
+  ASSERT_FALSE(plan.enum_order.empty());
+  EXPECT_EQ(plan.enum_order.front(), p.find_var("d"));
+  // The pinned start makes every estimate strictly smaller than "all
+  // nodes"; the naive plan's intermediate estimates stay at n.
+  q::QueryPlan naive = compile_ok(p, g, /*optimize=*/false);
+  ASSERT_EQ(plan.est.size(), 4u);
+  EXPECT_LT(plan.est[1], naive.est[1]);
+  EXPECT_LT(plan.est[2], naive.est[2]);
+}
+
+TEST(QueryPlan, OptimizerPushesMasksOnceCandidatesAreStrict) {
+  auto g = funnel_graph(64, /*cache_properties=*/true);
+  q::Query p = parse_ok(kChain);
+  q::QueryPlan opt = compile_ok(p, g, /*optimize=*/true);
+  q::QueryPlan naive = compile_ok(p, g, /*optimize=*/false);
+  // At least the backward-tightening replay runs masked (targets are
+  // strict subsets by then); naive never masks.
+  EXPECT_GE(masked_prunes(opt), 1);
+  EXPECT_EQ(masked_prunes(naive), 0);
+}
+
+TEST(QueryPlan, ReverseTraversalUsesTheCachedTransposeWhenPresent) {
+  auto with = funnel_graph(64, /*cache_properties=*/true);
+  auto without = funnel_graph(64, /*cache_properties=*/false);
+  q::Query p = parse_ok(kChain);
+  q::QueryPlan cached = compile_ok(p, with, true);
+  q::QueryPlan cold = compile_ok(p, without, true);
+  EXPECT_TRUE(cached.reuse_transpose);
+  EXPECT_TRUE(cached.reuse_row_degree);
+  EXPECT_TRUE(cached.reuse_col_degree);
+  bool via_at = false;
+  for (const auto &s : cached.steps) via_at = via_at || s.via_transpose;
+  EXPECT_TRUE(via_at);
+  EXPECT_FALSE(cold.reuse_transpose);
+  for (const auto &s : cold.steps) EXPECT_FALSE(s.via_transpose);
+}
+
+TEST(QueryPlan, DegreePredicateCompilesToAFilterStep) {
+  auto g = funnel_graph(64, true);
+  q::Query p =
+      parse_ok("MATCH (a)-[]->(b) WHERE a.out >= 3 RETURN COUNT(*)");
+  q::QueryPlan plan = compile_ok(p, g, true);
+  bool filtered = false;
+  for (const auto &s : plan.steps) {
+    if (s.kind == q::PlanStep::Kind::degree_filter) {
+      filtered = true;
+      EXPECT_EQ(s.var, p.find_var("a"));
+      EXPECT_EQ(s.deg, 0);
+    }
+  }
+  EXPECT_TRUE(filtered);
+}
+
+TEST(QueryPlan, ExplainRendersBothModes) {
+  auto g = funnel_graph(64, true);
+  q::Query p = parse_ok(kChain);
+  q::QueryPlan opt = compile_ok(p, g, true);
+  q::QueryPlan naive = compile_ok(p, g, false);
+  const std::string eo = opt.explain(p);
+  const std::string en = naive.explain(p);
+  EXPECT_NE(eo.find("query plan (optimized)"), std::string::npos) << eo;
+  EXPECT_NE(en.find("query plan (naive)"), std::string::npos) << en;
+  EXPECT_NE(eo.find("seed d := pinned"), std::string::npos) << eo;
+  EXPECT_NE(eo.find("mask=pushed"), std::string::npos) << eo;
+  EXPECT_NE(eo.find("enum order:"), std::string::npos) << eo;
+  // One-line summaries (request log / slow-query records) stay short and
+  // carry the mode tag.
+  const std::string lo = opt.explain_line();
+  const std::string ln = naive.explain_line();
+  EXPECT_NE(lo.find("cypher[opt]"), std::string::npos) << lo;
+  EXPECT_NE(ln.find("cypher[naive]"), std::string::npos) << ln;
+  EXPECT_LE(lo.size(), 128u);
+  EXPECT_LE(ln.size(), 128u);
+}
+
+TEST(QueryPlan, CompileRejectsNullAndEmpty) {
+  auto g = funnel_graph(8, false);
+  q::Query p = parse_ok("MATCH (a)-[]->(b) RETURN a");
+  char msg[LAGRAPH_MSG_LEN];
+  EXPECT_LT(q::compile(nullptr, p, g, true, msg), 0);
+  q::Query empty;
+  q::QueryPlan plan;
+  EXPECT_LT(q::compile(&plan, empty, g, true, msg), 0);
+}

@@ -13,6 +13,11 @@
 //                        fused, default bfs) — cost-model inputs, chosen
 //                        direction, operand formats, thread-team size, and
 //                        the loaded calibration coefficients
+//   explain query 'PAT'  compile the pattern query against this graph and
+//                        print both the optimized and the naive multi-op
+//                        plan (lagraph::query; grammar in docs/API.md) so
+//                        the optimizer's reordering / mask pushdown / CSE
+//                        decisions are visible side by side
 // Service commands (lagraph::service):
 //   serve                build a snapshot, start an Engine, run a query
 //                        script through the batching worker pool; a script
@@ -42,7 +47,9 @@
 //   --top N              print the top-N entries of vector results (def. 10)
 //   --script FILE        serve/replay/mutate script: one line per command —
 //                        queries `bfs SRC`, `sssp SRC [DELTA]`, `pagerank`,
-//                        `tc`; mutations `ins SRC DST [W]`, `ups SRC DST
+//                        `tc`, `query PATTERN...` (rest of the line is a
+//                        lagraph::query pattern, run as QueryKind::cypher);
+//                        mutations `ins SRC DST [W]`, `ups SRC DST
 //                        [W]`, `del SRC DST`; `publish` forces an epoch
 //                        boundary; '#' starts a comment. Without a script,
 //                        serve runs 64 BFS queries from hashed sources and
@@ -86,6 +93,10 @@
 //   --out FILE           fuzz: where to write a shrunk failure
 //                        (default fuzz_failure.repro)
 //   --emit-corpus DIR    fuzz: regenerate the seed corpus into DIR and exit
+//   --query              fuzz: fuzz the query layer instead (pattern-query
+//                        scenarios differentially checked against the
+//                        tuple-at-a-time oracle; query::testing, corpus
+//                        under tests/corpus/query/)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -103,6 +114,8 @@
 #include "grb/testing/differ.hpp"
 #include "ingest/writer.hpp"
 #include "lagraph/lagraph.hpp"
+#include "query/query.hpp"
+#include "query/testing/qtest.hpp"
 #include "service/engine.hpp"
 #include "service/telemetry.hpp"
 
@@ -126,6 +139,7 @@ struct Options {
   std::uint32_t max_batch = 64;
   bool no_batch = false;
   std::string explain_op = "bfs";
+  std::string query_text;  // explain query: the pattern source
   int mutations = 1024;
   bool json = false;
   bool burble = false;
@@ -151,10 +165,11 @@ int usage() {
       "usage: lagraph_cli <bfs|pagerank|pagerank-dangling|sssp|tc|cc|bc|"
       "ktruss|lcc|cdlp|msbfs|stats|explain|serve|replay|mutate> [options]\n"
       "       lagraph_cli trace <algorithm> [options]\n"
-      "       lagraph_cli fuzz [--seconds X|--ops N] [--seed N]\n"
+      "       lagraph_cli fuzz [--query] [--seconds X|--ops N] [--seed N]\n"
       "                        [--corpus DIR] [--replay FILE] [--out FILE]\n"
       "                        [--emit-corpus DIR]\n"
       "  explain [bfs|mxv|vxm|mxm|ewise|fused]  print execution plans\n"
+      "  explain query 'PATTERN'  print optimized vs naive query plans\n"
       "  --mtx FILE | --graphalytics V E | --gen KIND SCALE\n"
       "  --undirected --source N --delta X --k N --top N\n"
       "  --json (stats) --burble\n"
@@ -199,6 +214,11 @@ bool parse_args(int argc, char **argv, Options &opt) {
   if (opt.algorithm == "explain" && argc > first && argv[first][0] != '-') {
     opt.explain_op = argv[first];
     ++first;
+    // `explain query 'MATCH ...'` — the next argument is the pattern text.
+    if (opt.explain_op == "query" && argc > first && argv[first][0] != '-') {
+      opt.query_text = argv[first];
+      ++first;
+    }
   }
   for (int i = first; i < argc; ++i) {
     std::string a = argv[i];
@@ -399,6 +419,16 @@ int parse_script(std::vector<ScriptItem> &items, const Options &opt,
         double d;
         if (ls >> d) it.req.delta = d;
       }
+    } else if (kind == "query") {
+      std::string rest;
+      std::getline(ls, rest);
+      const auto start = rest.find_first_not_of(" \t");
+      if (start == std::string::npos) {
+        return lagraph::detail::set_msg(msg, LAGRAPH_INVALID_VALUE,
+                                        "script: query needs a pattern");
+      }
+      it.req.kind = svc::QueryKind::cypher;
+      it.req.query = rest.substr(start);
     } else if (kind == "pagerank") {
       it.req.kind = svc::QueryKind::pagerank;
     } else if (kind == "tc") {
@@ -426,8 +456,103 @@ constexpr std::uint64_t kCorpusSeeds[] = {
     1,  2,  3,  5,  8,  13,  21,  34,  55,  89,  144, 233,
     377, 610, 672, 987, 1597, 2584, 4181, 6765, 10946, 17711, 28657};
 
+// Query-layer analogue of kCorpusSeeds: the committed tests/corpus/query/
+// seed_*.repro files are regenerated from these with `fuzz --query
+// --emit-corpus`. Same append-only rule. Two hand-reduced scenarios
+// (shrunk_degree_hub — both-direction edge + degree predicate over an
+// undirected hub; shrunk_pin_cycle — directed cycle with a pin + LIMIT)
+// live alongside them and are not regenerated.
+constexpr std::uint64_t kQueryCorpusSeeds[] = {1, 2, 7, 19, 42, 137, 1009};
+
+// `fuzz --query`: the same emit/replay/corpus/fuzz flow, one layer up —
+// pattern-query scenarios differentially checked against the
+// tuple-at-a-time oracle across the full RunConfig sweep × {naive,
+// optimized} compilation.
+int run_query_fuzz(double seconds, std::uint64_t ops, std::uint64_t seed,
+                   const std::string &corpus, const std::string &replay,
+                   const std::string &out, const std::string &emit) {
+  namespace qt = lagraph::query::testing;
+
+  if (!emit.empty()) {
+    for (std::uint64_t s : kQueryCorpusSeeds) {
+      qt::QueryScenario sc = qt::generate(s);
+      char name[64];
+      std::snprintf(name, sizeof name, "/seed_%llu.repro",
+                    static_cast<unsigned long long>(s));
+      std::ofstream f(emit + name);
+      if (!f) {
+        std::fprintf(stderr, "fuzz: cannot write to %s\n", emit.c_str());
+        return 2;
+      }
+      f << qt::serialize(sc);
+    }
+    std::printf("fuzz: wrote %zu query corpus files to %s\n",
+                std::size(kQueryCorpusSeeds), emit.c_str());
+    return 0;
+  }
+
+  if (!replay.empty()) {
+    std::string err;
+    auto mm = qt::replay_file(replay, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "fuzz: %s\n", err.c_str());
+      return 2;
+    }
+    if (mm) {
+      std::fprintf(stderr, "%s\n", mm->to_string().c_str());
+      return 1;
+    }
+    std::printf("fuzz: %s replays clean across %zu configs x 2 modes\n",
+                replay.c_str(), grb::testing::sweep_configs().size());
+    return 0;
+  }
+
+  if (!corpus.empty()) {
+    auto outcome = qt::replay_corpus(corpus);
+    std::printf(
+        "fuzz: query corpus %s — %d files, %llu instances, %d failures\n",
+        corpus.c_str(), outcome.files,
+        static_cast<unsigned long long>(outcome.instances), outcome.failures);
+    if (outcome.failures > 0) {
+      std::fprintf(stderr, "%s", outcome.detail.c_str());
+      return 1;
+    }
+  }
+
+  if (seconds <= 0 && ops == 0) return 0;
+
+  qt::QueryFuzzOptions fo;
+  fo.seconds = ops > 0 ? 0 : seconds;
+  fo.max_scenarios = ops;
+  fo.seed = seed;
+  auto rep = qt::fuzz(fo);
+  std::printf("fuzz: %llu query scenarios, %llu instances "
+              "(scenario x config x mode), seeds %llu..%llu\n",
+              static_cast<unsigned long long>(rep.scenarios),
+              static_cast<unsigned long long>(rep.instances),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + rep.scenarios - 1));
+  if (!rep.ok) {
+    std::fprintf(stderr,
+                 "fuzz: MISMATCH at seed %llu (rerun: lagraph_cli fuzz "
+                 "--query --seed %llu --ops 1)\n%s\n",
+                 static_cast<unsigned long long>(rep.failing_seed),
+                 static_cast<unsigned long long>(rep.failing_seed),
+                 rep.detail.c_str());
+    std::ofstream f(out);
+    if (f) {
+      f << rep.repro;
+      std::fprintf(stderr, "fuzz: shrunk repro written to %s\n", out.c_str());
+    }
+    return 1;
+  }
+  std::printf("fuzz: all query instances agree with the oracle\n");
+  return 0;
+}
+
 int run_fuzz(int argc, char **argv) {
   namespace gt = grb::testing;
+  bool query = false;
   double seconds = 30;
   std::uint64_t ops = 0;
   std::uint64_t seed = 1;
@@ -449,12 +574,15 @@ int run_fuzz(int argc, char **argv) {
       out = argv[++i];
     } else if (a == "--emit-corpus" && need(1)) {
       emit = argv[++i];
+    } else if (a == "--query") {
+      query = true;
     } else {
       std::fprintf(stderr, "fuzz: unknown or incomplete option: %s\n",
                    a.c_str());
       return 2;
     }
   }
+  if (query) return run_query_fuzz(seconds, ops, seed, corpus, replay, out, emit);
 
   if (!emit.empty()) {
     for (std::uint64_t s : kCorpusSeeds) {
@@ -816,6 +944,33 @@ int main(int argc, char **argv) {
         od.has_transpose = g.transpose_view() != nullptr;
         show(s.label, od);
       }
+    } else if (opt.explain_op == "query") {
+      // Multi-op query planning: compile the pattern both ways and print
+      // the full plans side by side so the optimizer's edge reordering,
+      // mask pushdown, and cached-property CSE are visible against the
+      // textual-order baseline.
+      if (opt.query_text.empty()) {
+        std::fprintf(stderr,
+                     "explain query: expected a pattern, e.g. "
+                     "lagraph_cli explain query 'MATCH (a)-[]->(b) RETURN "
+                     "COUNT(*)' --gen kron 8\n");
+        return 2;
+      }
+      namespace q = lagraph::query;
+      q::Query pq;
+      LAGRAPH_TRY(q::parse(&pq, opt.query_text, msg));
+      LAGRAPH_TRY(lagraph::property_row_degree(g, msg));
+      if (g.kind == lagraph::Kind::adjacency_directed) {
+        LAGRAPH_TRY(lagraph::property_col_degree(g, msg));
+      }
+      q::QueryPlan optimized, naive;
+      LAGRAPH_TRY(q::compile(&optimized, pq, g, /*optimize=*/true, msg));
+      LAGRAPH_TRY(q::compile(&naive, pq, g, /*optimize=*/false, msg));
+      std::printf("-- optimized --\n%s", optimized.explain(pq).c_str());
+      std::printf("-- naive (textual order, unmasked) --\n%s",
+                  naive.explain(pq).c_str());
+      std::printf("summary: %s | %s\n", optimized.explain_line().c_str(),
+                  naive.explain_line().c_str());
     } else if (opt.explain_op == "mxv" || opt.explain_op == "vxm") {
       const bool is_mxv = opt.explain_op == "mxv";
       auto od = base_desc(is_mxv ? grb::plan::OpKind::mxv
@@ -863,7 +1018,7 @@ int main(int argc, char **argv) {
       show("fused vxm+select, SSSP light relax (bucket = n/16)", ov);
     } else {
       std::fprintf(stderr, "explain: unknown op '%s' "
-                   "(expected bfs|mxv|vxm|mxm|ewise|fused)\n",
+                   "(expected bfs|mxv|vxm|mxm|ewise|fused|query)\n",
                    opt.explain_op.c_str());
       return 2;
     }
